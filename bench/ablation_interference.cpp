@@ -1,0 +1,45 @@
+// Ablation A1 — interference model (paper §2, footnote 2: "A more
+// adversarial interference model can be substituted, if needed.")
+//
+// Compares the paper's linear proportional-sharing model against the
+// adversarial kDegrading model (aggregate bandwidth shrinks by
+// 1/(1 + alpha (k-1)) with k concurrent flows) at the Figure 2 operating
+// point (Cielo, 40 GB/s, node MTBF 2 y).
+//
+// Expected shape: strategies that serialise I/O (Ordered*, Least-Waste) are
+// insensitive to alpha — they never run concurrent flows — while Oblivious
+// strategies degrade further as alpha grows.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace coopcr;
+
+int main() {
+  const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
+  const std::vector<double> alphas = {0.0, 0.25, 1.0};
+
+  std::vector<bench::FigureRow> rows;
+  for (const double alpha : alphas) {
+    auto scenario =
+        bench::cielo_scenario(units::gb_per_s(40), units::years(2));
+    scenario.simulation.interference =
+        alpha == 0.0 ? InterferenceModel::kLinear
+                     : InterferenceModel::kDegrading;
+    scenario.simulation.degradation_alpha = alpha;
+    const auto report = run_monte_carlo(scenario, paper_strategies(), options);
+    for (const auto& outcome : report.outcomes) {
+      rows.push_back(bench::FigureRow{alpha, outcome.strategy.name(),
+                                      outcome.waste_ratio.candlestick()});
+    }
+    std::cerr << "[ablation A1] alpha=" << alpha << " done\n";
+  }
+
+  bench::emit_figure(
+      "ablation_interference",
+      "Ablation A1: linear vs adversarial interference (Cielo, 40 GB/s, "
+      "node MTBF 2 y)\nalpha = 0 is the paper's linear model",
+      "degradation alpha", rows);
+  return 0;
+}

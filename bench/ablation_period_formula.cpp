@@ -1,0 +1,83 @@
+// Ablation A5 — checkpoint-period formula quality across the APEX classes.
+//
+// The paper builds everything on the first-order Young/Daly period (Eq. 5)
+// and the first-order waste model (Eq. 3). This ablation quantifies how far
+// first order is from the exact exponential-failure model for each APEX
+// class at both Figure 1 operating points, explaining why the simulated
+// strategies can undercut the Eq. (7) bound at 40 GB/s (EXPERIMENTS.md,
+// Figure 2 discussion): Silverton's C is no longer small against its µ.
+//
+// For each class we report Young, Daly-higher-order and exact optimal
+// periods, the exact overhead at each, and Eq. (3)'s first-order estimate at
+// the Young period.
+
+#include <iostream>
+
+#include "core/daly.hpp"
+#include "core/optimal_period.hpp"
+#include "platform/platform.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+using namespace coopcr;
+
+int main() {
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const double gbps : {40.0, 160.0}) {
+    PlatformSpec cielo = PlatformSpec::cielo();
+    cielo.pfs_bandwidth = units::gb_per_s(gbps);
+    const auto classes = resolve_all(apex_lanl_classes(), cielo);
+
+    std::cout << "Ablation A5: period formulas at " << gbps
+              << " GB/s (node MTBF 2 y)\n\n";
+    TablePrinter table({"class", "C/mu", "P_young (s)", "P_daly (s)",
+                        "P_exact (s)", "H(young)", "H(daly)", "H(exact)",
+                        "Eq.(3)@young"});
+    for (const auto& cls : classes) {
+      const auto cmp = compare_periods(cls.checkpoint_seconds,
+                                       cls.recovery_seconds, cls.mtbf);
+      const double eq3 = periodic_waste(cmp.young, cls.checkpoint_seconds,
+                                        cls.recovery_seconds, cls.mtbf);
+      table.add_row({cls.app.name,
+                     TablePrinter::fmt(cls.checkpoint_seconds / cls.mtbf, 3),
+                     TablePrinter::fmt(cmp.young, 0),
+                     TablePrinter::fmt(cmp.daly, 0),
+                     TablePrinter::fmt(cmp.exact, 0),
+                     TablePrinter::fmt(cmp.overhead_young, 4),
+                     TablePrinter::fmt(cmp.overhead_daly, 4),
+                     TablePrinter::fmt(cmp.overhead_exact, 4),
+                     TablePrinter::fmt(eq3, 4)});
+      csv_rows.push_back({std::to_string(gbps), cls.app.name,
+                          TablePrinter::fmt(cls.checkpoint_seconds / cls.mtbf, 6),
+                          TablePrinter::fmt(cmp.young, 3),
+                          TablePrinter::fmt(cmp.daly, 3),
+                          TablePrinter::fmt(cmp.exact, 3),
+                          TablePrinter::fmt(cmp.overhead_young, 6),
+                          TablePrinter::fmt(cmp.overhead_daly, 6),
+                          TablePrinter::fmt(cmp.overhead_exact, 6),
+                          TablePrinter::fmt(eq3, 6)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading guide: at 160 GB/s every class sits in the Young "
+               "regime (C << mu) and all\ncolumns agree. At 40 GB/s "
+               "Silverton's C/mu reaches ~0.37 and first order is out of\n"
+               "its depth: Eq. (3) disagrees sharply with the exact renewal "
+               "overhead (1.23 vs 2.97),\nand the exact optimal period is "
+               "markedly longer than Young's. This sensitivity of\nthe "
+               "waste model to its approximation order is why simulated "
+               "strategies can undercut\nthe Eq. (7) bound at the stressed "
+               "end of Figure 2 (see EXPERIMENTS.md).\n";
+
+  if (const auto dir = CsvWriter::env_output_dir()) {
+    CsvWriter csv(*dir + "/ablation_period_formula.csv");
+    csv.write_row({"bandwidth_gbps", "class", "c_over_mu", "p_young",
+                   "p_daly", "p_exact", "h_young", "h_daly", "h_exact",
+                   "eq3_at_young"});
+    for (const auto& row : csv_rows) csv.write_row(row);
+  }
+  return 0;
+}

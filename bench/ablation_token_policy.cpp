@@ -1,0 +1,49 @@
+// Ablation A2 — token-policy survey (paper §3.5 design choice).
+//
+// The paper replaces FCFS selection with the Least-Waste rule. This bench
+// holds everything else fixed (serialized admission, non-blocking waits,
+// Daly periods — i.e. the Ordered-NB-Daly chassis) and swaps only the token
+// policy: FCFS, Random, Smallest-First, Least-Waste. Run at the stressed
+// Figure 2 operating point where policy choice matters most.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace coopcr;
+
+int main() {
+  const auto options = MonteCarloOptions::from_env(/*default_replicas=*/20);
+  struct Case {
+    const char* name;
+    SerialPolicyOverride policy;
+  };
+  const std::vector<Case> cases = {
+      {"fcfs", SerialPolicyOverride::kFcfs},
+      {"random", SerialPolicyOverride::kRandom},
+      {"smallest-first", SerialPolicyOverride::kSmallestFirst},
+      {"least-waste", SerialPolicyOverride::kLeastWaste},
+  };
+
+  std::vector<bench::FigureRow> rows;
+  int index = 0;
+  for (const auto& c : cases) {
+    auto scenario =
+        bench::cielo_scenario(units::gb_per_s(40), units::years(2));
+    scenario.simulation.policy_override = c.policy;
+    // Chassis: non-blocking serialized strategy with Daly periods.
+    const Strategy chassis{IoMode::kOrderedNb, CheckpointPolicy::kDaly};
+    const auto report = run_monte_carlo(scenario, {chassis}, options);
+    rows.push_back(bench::FigureRow{static_cast<double>(index++), c.name,
+                                    report.outcomes[0].waste_ratio
+                                        .candlestick()});
+    std::cerr << "[ablation A2] " << c.name << " done\n";
+  }
+
+  bench::emit_figure(
+      "ablation_token_policy",
+      "Ablation A2: token policy on the Ordered-NB-Daly chassis\n"
+      "(Cielo, 40 GB/s, node MTBF 2 y)",
+      "case #", rows);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 1 — "Waste ratio as a function of the system bandwidth for the
+// seven I/O and Checkpointing scheduling strategies, and the LANL workload
+// on Cielo." (§6.1)
+//
+// Setting: Cielo, node MTBF 2 years (system MTBF ~1 h), aggregated PFS
+// bandwidth swept over 40..160 GB/s. One series per strategy plus the
+// Theorem 1 theoretical model.
+//
+// The paper runs >= 1000 Monte Carlo replicas per point; this bench defaults
+// to a CI-friendly count — set COOPCR_REPLICAS (and COOPCR_THREADS) to
+// reproduce the paper's statistics, and COOPCR_CSV_DIR to dump the series.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/lower_bound.hpp"
+
+using namespace coopcr;
+
+int main() {
+  const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
+  const std::vector<double> bandwidths_gbps = {40, 60, 80, 100, 120, 140, 160};
+  const double node_mtbf = units::years(2);
+
+  std::vector<bench::FigureRow> rows;
+  for (const double gbps : bandwidths_gbps) {
+    const auto scenario =
+        bench::cielo_scenario(units::gb_per_s(gbps), node_mtbf);
+    const auto report =
+        run_monte_carlo(scenario, paper_strategies(), options);
+    for (const auto& outcome : report.outcomes) {
+      rows.push_back(bench::FigureRow{gbps, outcome.strategy.name(),
+                                      outcome.waste_ratio.candlestick()});
+    }
+    // Theoretical model (Theorem 1) at this bandwidth.
+    Candlestick model;
+    model.mean = model.d1 = model.q1 = model.median = model.q3 = model.d9 =
+        lower_bound_waste(scenario.platform, scenario.applications,
+                          scenario.platform.pfs_bandwidth);
+    model.n = 0;
+    rows.push_back(bench::FigureRow{gbps, "Theoretical Model", model});
+    std::cerr << "[fig1] " << gbps << " GB/s done (" << options.replicas
+              << " replicas)\n";
+  }
+
+  bench::emit_figure(
+      "fig1_bandwidth_sweep",
+      "Figure 1: waste ratio vs system aggregated bandwidth\n"
+      "System: Cielo; Node MTBF: 2 years; workload: LANL APEX (Table 1)",
+      "bandwidth (GB/s)", rows);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 2 — "Waste ratio as a function of the system MTBF for the seven
+// I/O and Checkpointing scheduling strategies, and the LANL workload on
+// Cielo." (§6.1)
+//
+// Setting: Cielo at a fixed, scarce 40 GB/s aggregated bandwidth; node MTBF
+// swept from 2 years (system MTBF ~1 h) to 50 years (~24 h).
+//
+// COOPCR_REPLICAS / COOPCR_THREADS / COOPCR_CSV_DIR honoured as in fig1.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/lower_bound.hpp"
+
+using namespace coopcr;
+
+int main() {
+  const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
+  const std::vector<double> mtbf_years = {2, 4, 8, 16, 25, 50};
+  const double bandwidth = units::gb_per_s(40);
+
+  std::vector<bench::FigureRow> rows;
+  for (const double years : mtbf_years) {
+    const auto scenario =
+        bench::cielo_scenario(bandwidth, units::years(years));
+    const auto report =
+        run_monte_carlo(scenario, paper_strategies(), options);
+    for (const auto& outcome : report.outcomes) {
+      rows.push_back(bench::FigureRow{years, outcome.strategy.name(),
+                                      outcome.waste_ratio.candlestick()});
+    }
+    Candlestick model;
+    model.mean = model.d1 = model.q1 = model.median = model.q3 = model.d9 =
+        lower_bound_waste(scenario.platform, scenario.applications,
+                          bandwidth);
+    model.n = 0;
+    rows.push_back(bench::FigureRow{years, "Theoretical Model", model});
+    std::cerr << "[fig2] node MTBF " << years << " y done ("
+              << options.replicas << " replicas)\n";
+  }
+
+  bench::emit_figure(
+      "fig2_mtbf_sweep",
+      "Figure 2: waste ratio vs node MTBF\n"
+      "System: Cielo; aggregated bandwidth: 40 GB/s; workload: LANL APEX",
+      "node MTBF (years)", rows);
+  return 0;
+}

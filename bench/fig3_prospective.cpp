@@ -1,0 +1,79 @@
+// Figure 3 — "Minimum aggregated filesystem bandwidth to reach 80%
+// efficiency with the different approaches on the prospective future
+// system." (§6.2)
+//
+// Setting: the prospective system (50,000 nodes, 7 PB memory) running the
+// APEX workload projected onto it (problem sizes scaled with machine
+// memory). For each node MTBF in 5..25 years and each strategy, bisect on
+// the aggregated bandwidth for the smallest value whose mean waste ratio is
+// <= 20% (i.e. >= 80% efficiency); the model series uses Theorem 1 directly.
+//
+// This is the most expensive bench (a Monte Carlo campaign per bisection
+// step); the default replica count is small. COOPCR_REPLICAS /
+// COOPCR_THREADS / COOPCR_CSV_DIR honoured as usual.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/lower_bound.hpp"
+#include "util/numeric.hpp"
+
+using namespace coopcr;
+
+namespace {
+
+double mean_waste(const Strategy& strategy, double bandwidth,
+                  double node_mtbf, const MonteCarloOptions& options) {
+  const auto scenario = bench::prospective_scenario(bandwidth, node_mtbf);
+  const auto report = run_monte_carlo(scenario, {strategy}, options);
+  return report.outcomes[0].waste_ratio.mean();
+}
+
+}  // namespace
+
+int main() {
+  const auto options = MonteCarloOptions::from_env(/*default_replicas=*/4);
+  const std::vector<double> mtbf_years = {5, 10, 15, 20, 25};
+  const double target_waste = 0.20;  // 80% efficiency target
+  const double lo = units::tb_per_s(0.25);
+  const double hi = units::tb_per_s(60);
+  // Bandwidth resolution of the bisection (the paper plots 5..25 TB/s).
+  const double xtol = units::tb_per_s(0.25);
+
+  std::vector<bench::FigureRow> rows;
+  for (const double years : mtbf_years) {
+    const double node_mtbf = units::years(years);
+    for (const Strategy& strategy : paper_strategies()) {
+      const double beta = bisect_threshold(
+          [&](double bw) {
+            return mean_waste(strategy, bw, node_mtbf, options) <=
+                   target_waste;
+          },
+          lo, hi, xtol);
+      Candlestick point;
+      point.mean = point.d1 = point.q1 = point.median = point.q3 = point.d9 =
+          beta / units::kTB;
+      point.n = static_cast<std::size_t>(options.replicas);
+      rows.push_back(bench::FigureRow{years, strategy.name(), point});
+      std::cerr << "[fig3] MTBF " << years << " y, " << strategy.name()
+                << ": " << point.mean << " TB/s\n";
+    }
+    // Theorem 1 model series.
+    const auto scenario = bench::prospective_scenario(units::tb_per_s(1),
+                                                      node_mtbf);
+    const double model_beta = min_bandwidth_for_waste(
+        scenario.platform, scenario.applications, target_waste, lo, hi);
+    Candlestick model;
+    model.mean = model.d1 = model.q1 = model.median = model.q3 = model.d9 =
+        model_beta / units::kTB;
+    model.n = 0;
+    rows.push_back(bench::FigureRow{years, "Theoretical Model", model});
+  }
+
+  bench::emit_figure(
+      "fig3_prospective",
+      "Figure 3: minimum aggregated bandwidth (TB/s) for 80% efficiency\n"
+      "System: prospective (50k nodes, 7 PB); workload: APEX projected",
+      "node MTBF (years)", rows, "min bandwidth (TB/s)");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the simulator substrate: event queue throughput,
+// processor-sharing channel updates, Least-Waste candidate selection and the
+// Theorem 1 λ solve. These bound the cost of a Monte Carlo campaign.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lower_bound.hpp"
+#include "io/channel.hpp"
+#include "io/token_policy.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace {
+
+using namespace coopcr;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    Rng rng(1);
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      engine.at(rng.uniform(0.0, 1000.0), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    Rng rng(2);
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ids.push_back(engine.at(rng.uniform(0.0, 1000.0), [] {}));
+    }
+    // Cancel every other event, then drain.
+    for (std::size_t i = 0; i < ids.size(); i += 2) engine.cancel(ids[i]);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000)->Arg(100000);
+
+void BM_ChannelProcessorSharing(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    SharedChannel channel(engine, units::gb_per_s(100));
+    int completed = 0;
+    for (int i = 0; i < flows; ++i) {
+      channel.start(units::gigabytes(1 + i % 7), 16 + i % 64,
+                    [&completed](FlowId) { ++completed; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows) *
+                          state.iterations());
+}
+BENCHMARK(BM_ChannelProcessorSharing)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LeastWasteSelect(benchmark::State& state) {
+  const auto candidates = static_cast<std::size_t>(state.range(0));
+  LeastWastePolicy policy(units::years(2), units::gb_per_s(40));
+  std::vector<PendingEntry> pending;
+  Rng rng(3);
+  for (std::size_t i = 0; i < candidates; ++i) {
+    PendingEntry e;
+    e.id = i + 1;
+    e.request.job = static_cast<JobId>(i);
+    e.request.kind = (i % 2 == 0) ? IoKind::kCheckpoint : IoKind::kOutput;
+    e.request.volume = units::terabytes(rng.uniform(1.0, 60.0));
+    e.request.nodes = 512 << (i % 4);
+    e.enqueued_at = rng.uniform(0.0, 1000.0);
+    e.last_checkpoint_end = rng.uniform(0.0, 500.0);
+    e.recovery_seconds = rng.uniform(100.0, 2000.0);
+    pending.push_back(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select(pending, 2000.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(candidates) *
+                          state.iterations());
+}
+BENCHMARK(BM_LeastWasteSelect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LowerBoundSolve(benchmark::State& state) {
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  const auto apps = apex_lanl_classes();
+  const double beta = units::gb_per_s(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lower_bound(cielo, apps, beta));
+  }
+}
+BENCHMARK(BM_LowerBoundSolve)->Arg(40)->Arg(160);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Table 1 — LANL workflow workload from the APEX Workflows report,
+// plus the derived per-class quantities (q_i, footprint, C_i, µ_i, P_Daly)
+// on Cielo that every other experiment builds on.
+//
+// Usage: table1_workload
+// Honours COOPCR_CSV_DIR for CSV output.
+
+#include <iostream>
+
+#include "core/lower_bound.hpp"
+#include "platform/platform.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+using namespace coopcr;
+
+int main() {
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  const auto apps = apex_lanl_classes();
+  const auto classes = resolve_all(apps, cielo);
+
+  std::cout << "Table 1: LANL Workflow Workload from the APEX Workflows report\n"
+            << "Platform: " << cielo.name << " (" << cielo.total_cores()
+            << " cores, " << cielo.memory_bytes / units::kTB << " TB memory, "
+            << cielo.pfs_bandwidth / units::kGB << " GB/s PFS)\n\n";
+
+  TablePrinter paper({"Workflow", "Workload %", "Work time (h)", "Cores",
+                      "Input (%mem)", "Output (%mem)", "Ckpt (%mem)"});
+  for (const auto& app : apps) {
+    paper.add_row({app.name, TablePrinter::fmt(app.workload_share * 100, 1),
+                   TablePrinter::fmt(app.work_seconds / units::kHour, 1),
+                   std::to_string(app.cores),
+                   TablePrinter::fmt(app.input_fraction * 100, 0),
+                   TablePrinter::fmt(app.output_fraction * 100, 0),
+                   TablePrinter::fmt(app.checkpoint_fraction * 100, 0)});
+  }
+  paper.print(std::cout);
+
+  std::cout << "\nDerived quantities on Cielo (node MTBF "
+            << cielo.node_mtbf / units::kYear << " y => system MTBF "
+            << TablePrinter::fmt(cielo.system_mtbf() / units::kHour, 2)
+            << " h):\n\n";
+
+  TablePrinter derived({"Workflow", "q (units)", "Footprint (TB)",
+                        "Ckpt (TB)", "C=R at 160GB/s (s)", "mu_i (h)",
+                        "P_Daly (s)", "steady jobs"});
+  for (const auto& cls : classes) {
+    derived.add_row(
+        {cls.app.name, std::to_string(cls.nodes),
+         TablePrinter::fmt(cls.footprint_bytes / units::kTB, 2),
+         TablePrinter::fmt(cls.checkpoint_bytes / units::kTB, 2),
+         TablePrinter::fmt(cls.checkpoint_seconds, 1),
+         TablePrinter::fmt(cls.mtbf / units::kHour, 2),
+         TablePrinter::fmt(cls.daly_period, 1),
+         TablePrinter::fmt(cls.steady_state_jobs(cielo), 2)});
+  }
+  derived.print(std::cout);
+
+  // Aggregate I/O pressure at the Daly periods: the quantity that drives the
+  // whole paper (F > 1 means Daly periods are infeasible, Theorem 1).
+  const LowerBoundResult bound = solve_lower_bound(cielo, apps);
+  std::cout << "\nSteady-state I/O fraction at optimal periods (160 GB/s): F = "
+            << TablePrinter::fmt(bound.io_fraction, 4)
+            << (bound.io_constrained ? "  [I/O-constrained, lambda = "
+                                     : "  [unconstrained, lambda = ")
+            << bound.lambda << "]\n"
+            << "Lower-bound platform waste (Eq. 7): "
+            << TablePrinter::fmt(bound.waste, 4) << "\n";
+
+  if (const auto dir = CsvWriter::env_output_dir()) {
+    CsvWriter csv(*dir + "/table1_workload.csv");
+    csv.write_row({"workflow", "workload_pct", "work_h", "cores", "input_pct",
+                   "output_pct", "ckpt_pct", "nodes", "footprint_tb",
+                   "ckpt_tb", "ckpt_s", "mtbf_h", "daly_s"});
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const auto& a = apps[i];
+      const auto& c = classes[i];
+      csv.write_row(a.name,
+                    {a.workload_share * 100, a.work_seconds / units::kHour,
+                     static_cast<double>(a.cores), a.input_fraction * 100,
+                     a.output_fraction * 100, a.checkpoint_fraction * 100,
+                     static_cast<double>(c.nodes),
+                     c.footprint_bytes / units::kTB,
+                     c.checkpoint_bytes / units::kTB, c.checkpoint_seconds,
+                     c.mtbf / units::kHour, c.daly_period});
+    }
+  }
+  return 0;
+}

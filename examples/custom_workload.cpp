@@ -1,0 +1,131 @@
+// custom_workload — defining your own platform and application classes.
+//
+// The paper's machinery is not tied to the APEX workload: this example
+// models a mid-size cluster running a mix of (a) large ML training jobs
+// with heavy checkpoints and (b) small data-analytics jobs with heavy
+// output, then asks which scheduling strategy the operator should deploy
+// and how far it sits from the analytical optimum.
+//
+// Usage: custom_workload [--replicas N]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/lower_bound.hpp"
+#include "core/monte_carlo.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace coopcr;
+
+namespace {
+
+double arg_double(int argc, char** argv, const std::string& flag,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int replicas =
+      static_cast<int>(arg_double(argc, argv, "--replicas", 10.0));
+
+  // 1. The machine: 4,096 nodes, 512 TB of memory, a 20 GB/s PFS and a node
+  //    MTBF of 8 years (system MTBF ~17 h).
+  PlatformSpec cluster;
+  cluster.name = "ml-cluster";
+  cluster.nodes = 4096;
+  cluster.cores_per_node = 32;
+  cluster.memory_bytes = units::terabytes(512);
+  cluster.pfs_bandwidth = units::gb_per_s(20);
+  cluster.node_mtbf = units::years(8);
+
+  // 2. The workload. Percentages are fractions of each job's memory
+  //    footprint, exactly like Table 1 of the paper.
+  ApplicationClass training;
+  training.name = "ml-training";
+  training.workload_share = 0.70;
+  training.work_seconds = units::hours(96);
+  training.cores = 16384;            // 512 nodes per job
+  training.input_fraction = 0.20;    // dataset shards
+  training.output_fraction = 0.50;   // final model + optimizer state
+  training.checkpoint_fraction = 1.0;
+  training.routine_io_fraction = 0.25;  // periodic evaluation dumps
+
+  ApplicationClass analytics;
+  analytics.name = "analytics";
+  analytics.workload_share = 0.30;
+  analytics.work_seconds = units::hours(8);
+  analytics.cores = 2048;            // 64 nodes per job
+  analytics.input_fraction = 0.50;
+  analytics.output_fraction = 0.80;
+  analytics.checkpoint_fraction = 0.40;
+
+  ScenarioConfig scenario;
+  scenario.platform = cluster;
+  scenario.applications = {training, analytics};
+  scenario.workload.min_makespan = units::days(30);
+  scenario.simulation.segment_start = units::days(1);
+  scenario.simulation.segment_end = units::days(29);
+  scenario.seed = 2024;
+  scenario.finalize();
+
+  std::cout << "Custom workload on '" << cluster.name << "' (" << cluster.nodes
+            << " nodes, " << cluster.pfs_bandwidth / units::kGB
+            << " GB/s PFS)\n\n";
+
+  // Per-class paper quantities, straight from the resolved classes.
+  TablePrinter classes_table({"class", "nodes/job", "ckpt (TB)", "C (s)",
+                              "mu_i (h)", "P_Daly (s)"});
+  for (const auto& cls : scenario.simulation.classes) {
+    classes_table.add_row(
+        {cls.app.name, std::to_string(cls.nodes),
+         TablePrinter::fmt(cls.checkpoint_bytes / units::kTB, 2),
+         TablePrinter::fmt(cls.checkpoint_seconds, 1),
+         TablePrinter::fmt(cls.mtbf / units::kHour, 1),
+         TablePrinter::fmt(cls.daly_period, 0)});
+  }
+  classes_table.print(std::cout);
+
+  // 3. Evaluate every strategy.
+  const auto options = MonteCarloOptions::from_env(replicas);
+  const auto report = run_monte_carlo(scenario, paper_strategies(), options);
+
+  std::cout << "\nStrategy comparison (" << options.replicas
+            << " replicas):\n\n";
+  TablePrinter results({"strategy", "waste (mean)", "q1", "q3"});
+  const StrategyOutcome* best = nullptr;
+  for (const auto& outcome : report.outcomes) {
+    const Candlestick c = outcome.waste_ratio.candlestick();
+    results.add_row({outcome.strategy.name(), TablePrinter::fmt(c.mean, 4),
+                     TablePrinter::fmt(c.q1, 4), TablePrinter::fmt(c.q3, 4)});
+    if (best == nullptr ||
+        c.mean < best->waste_ratio.mean()) {
+      best = &outcome;
+    }
+  }
+  results.print(std::cout);
+
+  const auto bound = solve_lower_bound(scenario.platform,
+                                       scenario.applications,
+                                       scenario.platform.pfs_bandwidth);
+  std::cout << "\nTheorem 1 bound: " << TablePrinter::fmt(bound.waste, 4)
+            << (bound.io_constrained
+                    ? " (I/O-constrained: optimal periods exceed Young/Daly)"
+                    : " (Young/Daly periods feasible)")
+            << "\nRecommended strategy: " << best->strategy.name() << " at "
+            << TablePrinter::fmt(best->waste_ratio.mean(), 4)
+            << " mean waste.\n"
+            << "\nNote: the Theorem 1 bound models checkpoint traffic only "
+               "(§4 assumes input/output\nI/O spans the whole run). When "
+               "regular I/O dominates the channel — crank up the\nanalytics "
+               "output fractions to see it — simulated waste decouples from "
+               "the bound\nand strategy choice is driven by ordinary I/O "
+               "scheduling, not by CR policy.\n";
+  return 0;
+}

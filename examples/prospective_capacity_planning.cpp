@@ -1,0 +1,110 @@
+// prospective_capacity_planning — the §6.2 question, productised:
+// "How much aggregated filesystem bandwidth must I buy so the platform
+// sustains a target efficiency under checkpoint/restart?"
+//
+// For a chosen platform size, node MTBF and target efficiency, this example
+// (1) solves the Theorem 1 model for the minimum bandwidth, (2) verifies the
+// answer by simulation under the best strategy (Least-Waste) and the status
+// quo (Oblivious-Fixed), and (3) prints how much bandwidth the status quo
+// over-provisions.
+//
+// Usage:
+//   prospective_capacity_planning [--nodes N] [--memory-pb M]
+//       [--mtbf-years Y] [--efficiency E] [--replicas R]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/lower_bound.hpp"
+#include "core/monte_carlo.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+using namespace coopcr;
+
+namespace {
+
+double arg_double(int argc, char** argv, const std::string& flag,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double simulated_min_bandwidth(const PlatformSpec& base,
+                               const std::vector<ApplicationClass>& apps,
+                               const Strategy& strategy, double target_waste,
+                               const MonteCarloOptions& options) {
+  return bisect_threshold(
+      [&](double bw) {
+        ScenarioConfig sc;
+        sc.platform = base;
+        sc.platform.pfs_bandwidth = bw;
+        sc.applications = apps;
+        sc.seed = 0xCAFEull;
+        sc.finalize();
+        const auto report = run_monte_carlo(sc, {strategy}, options);
+        return report.outcomes[0].waste_ratio.mean() <= target_waste;
+      },
+      units::tb_per_s(0.1), units::tb_per_s(60), units::tb_per_s(0.25));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PlatformSpec platform = PlatformSpec::prospective();
+  platform.nodes =
+      static_cast<std::int64_t>(arg_double(argc, argv, "--nodes", 50000.0));
+  platform.memory_bytes =
+      units::petabytes(arg_double(argc, argv, "--memory-pb", 7.0));
+  platform.node_mtbf =
+      units::years(arg_double(argc, argv, "--mtbf-years", 10.0));
+  const double efficiency = arg_double(argc, argv, "--efficiency", 0.80);
+  const double target_waste = 1.0 - efficiency;
+  const int replicas =
+      static_cast<int>(arg_double(argc, argv, "--replicas", 4.0));
+
+  const auto apps =
+      project_workload(apex_lanl_classes(), PlatformSpec::cielo(), platform);
+
+  std::cout << "Capacity planning for '" << platform.name << "': "
+            << platform.nodes << " nodes, "
+            << platform.memory_bytes / units::kPB << " PB memory, node MTBF "
+            << platform.node_mtbf / units::kYear << " y (system MTBF "
+            << TablePrinter::fmt(platform.system_mtbf() / units::kHour, 2)
+            << " h)\nTarget efficiency: " << efficiency * 100 << "%\n\n";
+
+  const double model_beta = min_bandwidth_for_waste(
+      platform, apps, target_waste, units::tb_per_s(0.1),
+      units::tb_per_s(60));
+
+  const MonteCarloOptions options = MonteCarloOptions::from_env(replicas);
+  const double lw_beta = simulated_min_bandwidth(
+      platform, apps, {IoMode::kLeastWaste, CheckpointPolicy::kDaly},
+      target_waste, options);
+  const double status_quo_beta = simulated_min_bandwidth(
+      platform, apps, {IoMode::kOblivious, CheckpointPolicy::kFixed},
+      target_waste, options);
+
+  TablePrinter table({"approach", "min bandwidth (TB/s)"});
+  table.add_row({"Theorem 1 model (lower bound)",
+                 TablePrinter::fmt(model_beta / units::kTB, 2)});
+  table.add_row({"Least-Waste (simulated)",
+                 TablePrinter::fmt(lw_beta / units::kTB, 2)});
+  table.add_row({"Oblivious-Fixed status quo (simulated)",
+                 TablePrinter::fmt(status_quo_beta / units::kTB, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nCooperative checkpoint scheduling lets the platform hit "
+            << efficiency * 100 << "% efficiency with "
+            << TablePrinter::fmt(status_quo_beta / lw_beta, 1)
+            << "x less I/O bandwidth than the uncoordinated fixed-interval "
+               "status quo\n(paper §6.2: \"whether by integrating I/O-aware "
+               "scheduling strategies or by\nsignificantly over-provisioning "
+               "the I/O partition\").\n";
+  return 0;
+}

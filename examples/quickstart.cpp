@@ -1,0 +1,66 @@
+// quickstart — the smallest end-to-end use of the coopcr public API.
+//
+// Builds the Cielo/APEX scenario of the paper, runs one Monte Carlo replica
+// of two strategies (the status quo and the paper's contribution), and
+// prints their waste ratios next to the analytical lower bound.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/lower_bound.hpp"
+#include "core/monte_carlo.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+using namespace coopcr;
+
+int main() {
+  // 1. Describe the platform and the workload (paper Table 1 on Cielo, with
+  //    the bandwidth-starved 40 GB/s operating point of Figure 2).
+  ScenarioConfig scenario;
+  scenario.platform = PlatformSpec::cielo();
+  scenario.platform.pfs_bandwidth = units::gb_per_s(40);
+  scenario.applications = apex_lanl_classes();
+  scenario.seed = 42;
+  scenario.finalize();
+
+  // 2. Pick strategies: the uncoordinated status quo vs the paper's
+  //    cooperative Least-Waste scheduler.
+  const Strategy oblivious{IoMode::kOblivious, CheckpointPolicy::kFixed};
+  const Strategy least_waste{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+
+  // 3. Run one replica each (same initial conditions — paired comparison).
+  const ReplicaRun status_quo = run_replica(scenario, oblivious, /*replica=*/0);
+  const ReplicaRun cooperative =
+      run_replica(scenario, least_waste, /*replica=*/0);
+
+  // 4. Compare against the Theorem 1 analytical bound.
+  const double bound = lower_bound_waste(scenario.platform,
+                                         scenario.applications,
+                                         scenario.platform.pfs_bandwidth);
+
+  TablePrinter table({"strategy", "waste ratio", "jobs done", "failures hit",
+                      "checkpoints"});
+  auto row = [&](const std::string& name, const ReplicaRun& run) {
+    table.add_row({name, TablePrinter::fmt(run.waste_ratio, 4),
+                   std::to_string(run.result.counters.jobs_completed),
+                   std::to_string(run.result.counters.failures_on_jobs),
+                   std::to_string(run.result.counters.checkpoints_completed)});
+  };
+  row(oblivious.name(), status_quo);
+  row(least_waste.name(), cooperative);
+  table.add_row({"Theoretical Model", TablePrinter::fmt(bound, 4), "-", "-",
+                 "-"});
+
+  std::cout << "coopcr quickstart — Cielo + APEX workload @ 40 GB/s, node "
+               "MTBF 2 years\n\n";
+  table.print(std::cout);
+  std::cout << "\nLeast-Waste should sit close to the theoretical bound; the "
+               "oblivious fixed-period\nstatus quo wastes several times "
+               "more node-hours (paper Figs. 1-2).\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// timeline_inspector — watch a strategy schedule checkpoints in real time.
+//
+// Runs a small platform under two strategies with the *same* failure trace
+// and renders the first hours as ASCII Gantt charts, making the paper's §3
+// mechanics visible: under blocking Ordered the jobs idle ('w') while the
+// token is busy; under Least-Waste the same jobs keep computing ('=') and
+// commit ('K') when the waste-minimising scheduler picks them.
+//
+// Usage: timeline_inspector [--hours H]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "core/trace.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace coopcr;
+
+namespace {
+
+double arg_double(int argc, char** argv, const std::string& flag,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// A small demonstration platform: 16 units, 10 GB/s PFS. The node MTBF is
+// deliberately terrible (~3.7 days) so the Daly periods drop to ~1.5 h and
+// several checkpoints land inside the rendered window.
+PlatformSpec demo_platform() {
+  PlatformSpec p;
+  p.name = "demo";
+  p.nodes = 16;
+  p.cores_per_node = 8;
+  p.memory_bytes = units::terabytes(8);
+  p.pfs_bandwidth = units::gb_per_s(10);
+  p.node_mtbf = units::years(0.01);
+  return p;
+}
+
+// Two classes tuned so several checkpoints land within a few hours.
+std::vector<ClassOnPlatform> demo_classes(const PlatformSpec& platform) {
+  ApplicationClass big;
+  big.name = "big";
+  big.workload_share = 0.5;
+  big.work_seconds = units::hours(6);
+  big.cores = 64;  // 8 units
+  big.input_fraction = 0.10;
+  big.output_fraction = 0.30;
+  big.checkpoint_fraction = 1.0;
+
+  ApplicationClass small;
+  small.name = "small";
+  small.workload_share = 0.5;
+  small.work_seconds = units::hours(3);
+  small.cores = 32;  // 4 units
+  small.input_fraction = 0.20;
+  small.output_fraction = 0.50;
+  small.checkpoint_fraction = 0.8;
+
+  return resolve_all({big, small}, platform);
+}
+
+std::vector<Job> demo_jobs(const std::vector<ClassOnPlatform>& classes) {
+  std::vector<Job> jobs;
+  auto add = [&](int cls_index, JobId id) {
+    const auto& cls = classes[static_cast<std::size_t>(cls_index)];
+    Job j;
+    j.id = id;
+    j.class_index = cls_index;
+    j.nodes = cls.nodes;
+    j.total_work = cls.app.work_seconds;
+    j.input_bytes = cls.input_bytes;
+    j.output_bytes = cls.output_bytes;
+    j.checkpoint_bytes = cls.checkpoint_bytes;
+    j.root = id;
+    jobs.push_back(j);
+  };
+  add(0, 0);        // one big job (8 units)
+  add(1, 1);        // two small jobs (4 units each)
+  add(1, 2);
+  return jobs;
+}
+
+void show(const Strategy& strategy, double hours) {
+  const PlatformSpec platform = demo_platform();
+  const auto classes = demo_classes(platform);
+
+  SimulationConfig cfg;
+  cfg.platform = platform;
+  cfg.classes = classes;
+  cfg.strategy = strategy;
+  cfg.segment_start = 0.0;
+  cfg.segment_end = units::days(2);
+  cfg.horizon = units::days(2);
+  TraceRecorder trace;
+  cfg.trace = &trace;
+
+  // One hand-placed failure to show the recovery path.
+  const std::vector<Failure> failures = {{units::hours(2.0), 0}};
+  const SimulationResult result = simulate(cfg, demo_jobs(classes), failures);
+
+  std::cout << "=== " << strategy.name() << " ===\n"
+            << render_gantt(trace, 0.0, units::hours(hours), 96)
+            << "jobs done " << result.counters.jobs_completed
+            << ", checkpoints " << result.counters.checkpoints_completed
+            << ", failures hitting jobs " << result.counters.failures_on_jobs
+            << ", waste " << TablePrinter::fmt(result.wasted, 0)
+            << " unit-s\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double hours = arg_double(argc, argv, "--hours", 8.0);
+  std::cout << "Timeline inspector — 16-unit demo platform, 10 GB/s PFS, "
+               "failure injected at t = 2 h on node 0\n\n";
+  show({IoMode::kOrdered, CheckpointPolicy::kDaly}, hours);
+  show({IoMode::kLeastWaste, CheckpointPolicy::kDaly}, hours);
+  std::cout << "Note how the blocking Ordered run shows 'w' stretches where\n"
+               "jobs idle for the I/O token, while Least-Waste keeps them\n"
+               "computing ('=') until their commit ('K') is granted.\n";
+  return 0;
+}

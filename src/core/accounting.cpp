@@ -1,0 +1,89 @@
+#include "core/accounting.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+std::string to_string(TimeCategory category) {
+  switch (category) {
+    case TimeCategory::kUsefulCompute:
+      return "useful-compute";
+    case TimeCategory::kUsefulIo:
+      return "useful-io";
+    case TimeCategory::kIoDilation:
+      return "io-dilation";
+    case TimeCategory::kCheckpoint:
+      return "checkpoint";
+    case TimeCategory::kBlockedWait:
+      return "blocked-wait";
+    case TimeCategory::kRecovery:
+      return "recovery";
+    case TimeCategory::kLostWork:
+      return "lost-work";
+    case TimeCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool is_waste(TimeCategory category) {
+  switch (category) {
+    case TimeCategory::kUsefulCompute:
+    case TimeCategory::kUsefulIo:
+      return false;
+    case TimeCategory::kIoDilation:
+    case TimeCategory::kCheckpoint:
+    case TimeCategory::kBlockedWait:
+    case TimeCategory::kRecovery:
+    case TimeCategory::kLostWork:
+      return true;
+    case TimeCategory::kCount:
+      break;
+  }
+  return false;
+}
+
+Accounting::Accounting(sim::Time segment_start, sim::Time segment_end)
+    : start_(segment_start), end_(segment_end) {
+  COOPCR_CHECK(segment_start >= 0.0 && segment_start < segment_end,
+               "invalid measurement segment");
+}
+
+void Accounting::add(std::int64_t nodes, TimeCategory category, sim::Time from,
+                     sim::Time to) {
+  COOPCR_CHECK(nodes > 0, "accounting needs a positive node count");
+  COOPCR_CHECK(category != TimeCategory::kCount, "invalid category");
+  COOPCR_CHECK(to >= from, "accounting interval reversed");
+  const sim::Time lo = std::max(from, start_);
+  const sim::Time hi = std::min(to, end_);
+  if (hi <= lo) return;
+  totals_[static_cast<std::size_t>(category)] +=
+      static_cast<double>(nodes) * (hi - lo);
+}
+
+double Accounting::total(TimeCategory category) const {
+  COOPCR_CHECK(category != TimeCategory::kCount, "invalid category");
+  return totals_[static_cast<std::size_t>(category)];
+}
+
+double Accounting::wasted() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    if (is_waste(static_cast<TimeCategory>(i))) sum += totals_[i];
+  }
+  return sum;
+}
+
+double Accounting::useful() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    if (!is_waste(static_cast<TimeCategory>(i))) sum += totals_[i];
+  }
+  return sum;
+}
+
+double Accounting::accounted() const { return useful() + wasted(); }
+
+}  // namespace coopcr

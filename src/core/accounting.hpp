@@ -1,0 +1,79 @@
+// coopcr/core/accounting.hpp
+//
+// Node-time accounting (paper §5, "Method of statistics collection").
+//
+// Every unit-second spent by an allocated job is classified into one of the
+// categories below; intervals are clipped to the measurement segment before
+// accumulation. The waste ratio reported by the benches is
+//
+//     waste ratio = wasted unit-seconds / baseline useful unit-seconds
+//
+// where the baseline is the fault-free, checkpoint-free, interference-free
+// run over the same job list ("the resource waste over a segment of 60 days
+// divided by the application resource usage over that same segment for the
+// baseline simulation", §6.1).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace coopcr {
+
+/// Classification of one unit-second of an allocated node.
+enum class TimeCategory : int {
+  kUsefulCompute = 0,  ///< first-time execution of application work
+  kUsefulIo = 1,       ///< input/output/routine I/O, interference-free share
+  kIoDilation = 2,     ///< transfer time beyond the interference-free duration
+  kCheckpoint = 3,     ///< checkpoint commit (transfer at the job's side)
+  kBlockedWait = 4,    ///< idle wait for the I/O token / contended channel
+  kRecovery = 5,       ///< recovery (restart) read after a failure
+  kLostWork = 6,       ///< re-execution of work already performed before a failure
+  kCount = 7,
+};
+
+/// Human-readable category name.
+std::string to_string(TimeCategory category);
+
+/// True when the category counts toward the waste ratio numerator.
+bool is_waste(TimeCategory category);
+
+/// Segment-clipped accumulator of unit-seconds per category.
+class Accounting {
+ public:
+  /// Measurement window [segment_start, segment_end].
+  Accounting(sim::Time segment_start, sim::Time segment_end);
+
+  /// Accumulate `nodes` units spending [from, to) in `category`; the
+  /// interval is clipped to the segment. `from <= to` is required.
+  void add(std::int64_t nodes, TimeCategory category, sim::Time from,
+           sim::Time to);
+
+  /// Unit-seconds recorded in `category`.
+  double total(TimeCategory category) const;
+
+  /// Sum of the waste categories (checkpoint, wait, dilation, recovery,
+  /// lost work).
+  double wasted() const;
+
+  /// Sum of the useful categories (compute + I/O).
+  double useful() const;
+
+  /// Everything recorded (useful + waste).
+  double accounted() const;
+
+  sim::Time segment_start() const { return start_; }
+  sim::Time segment_end() const { return end_; }
+  double segment_length() const { return end_ - start_; }
+
+ private:
+  sim::Time start_;
+  sim::Time end_;
+  std::array<double, static_cast<std::size_t>(TimeCategory::kCount)> totals_{};
+};
+
+}  // namespace coopcr

@@ -1,0 +1,18 @@
+#include "core/config.hpp"
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+void ScenarioConfig::finalize() {
+  platform.validate();
+  COOPCR_CHECK(!applications.empty(), "scenario needs application classes");
+  simulation.platform = platform;
+  simulation.classes = resolve_all(applications, platform);
+  COOPCR_CHECK(simulation.segment_start < simulation.segment_end,
+               "measurement segment is empty");
+  COOPCR_CHECK(simulation.segment_end <= simulation.horizon,
+               "segment extends past the horizon");
+}
+
+}  // namespace coopcr

@@ -1,0 +1,113 @@
+// coopcr/core/config.hpp
+//
+// Configuration records for single simulations and Monte Carlo scenarios.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/trace.hpp"
+#include "io/channel.hpp"
+#include "io/token_policy.hpp"
+#include "platform/failure_model.hpp"
+#include "platform/platform.hpp"
+#include "util/units.hpp"
+#include "workload/app_class.hpp"
+#include "workload/generator.hpp"
+
+namespace coopcr {
+
+/// Token-policy override for serialized strategies (ablation A2). The
+/// default derives the policy from the strategy (FCFS for Ordered /
+/// Ordered-NB, Least-Waste for Least-Waste).
+enum class SerialPolicyOverride {
+  kStrategyDefault,
+  kFcfs,
+  kRandom,
+  kSmallestFirst,
+  kLeastWaste,
+};
+
+/// When, relative to the previous checkpoint's completion, the next
+/// checkpoint *request* is issued.
+enum class CheckpointRequestOffset {
+  /// At max(0, P - C): completions land exactly P apart in an
+  /// interference-free run (§2). Used by Oblivious / Ordered / Ordered-NB.
+  kPeriodMinusCommit,
+  /// At P: matches §3.5's Least-Waste candidate definition, where a pending
+  /// checkpoint candidate always satisfies d_i >= P_Daly(J_i).
+  kFullPeriod,
+  /// Per the paper: kFullPeriod for Least-Waste, kPeriodMinusCommit for the
+  /// other strategies. This is the default.
+  kPaper,
+};
+
+/// Everything one simulation run needs besides the job list and failures.
+struct SimulationConfig {
+  PlatformSpec platform;
+  std::vector<ClassOnPlatform> classes;
+  Strategy strategy;
+
+  /// Fixed checkpoint period (seconds) for CheckpointPolicy::kFixed.
+  /// "a common heuristic is to take a checkpoint every hour" (§1).
+  double fixed_period = units::kHour;
+
+  /// Measurement segment: statistics are collected on
+  /// [segment_start, segment_end] only — "The segment excludes the first and
+  /// last days of the simulation" (§5).
+  double segment_start = units::days(1);
+  double segment_end = units::days(59);
+
+  /// Hard horizon: the engine stops here even if jobs remain (guards against
+  /// pathological dilation, e.g. Oblivious-Fixed at very low bandwidth).
+  double horizon = units::days(365);
+
+  /// Interference model of the PFS channel (kLinear is the paper's;
+  /// kDegrading is the footnote-2 adversarial ablation).
+  InterferenceModel interference = InterferenceModel::kLinear;
+  double degradation_alpha = 0.0;
+
+  CheckpointRequestOffset request_offset = CheckpointRequestOffset::kPaper;
+
+  /// Least-Waste formula variant (ablation A3 in DESIGN.md).
+  LeastWasteVariant least_waste_variant = LeastWasteVariant::kPaperEq12;
+
+  /// Token-policy override for serialized strategies (ablation A2).
+  SerialPolicyOverride policy_override = SerialPolicyOverride::kStrategyDefault;
+
+  /// Number of chunks the per-job routine (non-CR) I/O volume is split into,
+  /// issued evenly across the job's work (§2). Only used when a class
+  /// declares routine I/O.
+  int routine_io_chunks = 8;
+
+  /// Disable checkpointing entirely (baseline runs).
+  bool checkpoints_enabled = true;
+
+  /// Seed for strategy-internal randomness (RandomPolicy only).
+  std::uint64_t policy_seed = 0x5EEDull;
+
+  /// Optional, non-owning execution trace sink (see core/trace.hpp). When
+  /// set, every job lifecycle transition is recorded. Leave null for Monte
+  /// Carlo sweeps.
+  TraceRecorder* trace = nullptr;
+};
+
+/// A Monte Carlo scenario: the invariant part shared by all strategies and
+/// replicas. Per-replica initial conditions (job list, failure trace) derive
+/// from `seed` + the replica index.
+struct ScenarioConfig {
+  PlatformSpec platform;
+  std::vector<ApplicationClass> applications;
+  WorkloadOptions workload;
+  FailureModel failures;
+  SimulationConfig simulation;  ///< strategy field is overridden per run
+  std::uint64_t seed = 0xC0FFEEull;
+
+  /// Resolve classes and propagate the platform into `simulation`.
+  /// Call after mutating platform/applications.
+  void finalize();
+};
+
+}  // namespace coopcr

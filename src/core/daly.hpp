@@ -1,0 +1,41 @@
+// coopcr/core/daly.hpp
+//
+// Young/Daly first-order optimal checkpoint interval (paper §1, Eq. (5)):
+//
+//     P_Daly = sqrt(2 µ C)
+//
+// where C is the checkpoint commit time and µ the MTBF seen by the
+// application, µ = µ_ind / q for a job on q failure units [5].
+//
+// Header-only: these two formulas are shared by the workload layer (class
+// resolution), the strategies and the analytical bound, and must stay
+// dependency-free.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace coopcr {
+
+/// Application MTBF for a job enrolling `nodes` failure units whose
+/// individual MTBF is `node_mtbf` seconds.
+inline double job_mtbf(double node_mtbf, std::int64_t nodes) {
+  return node_mtbf / static_cast<double>(nodes);
+}
+
+/// Young/Daly period (seconds) for checkpoint cost `checkpoint_seconds` and
+/// application MTBF `mtbf` (both in seconds).
+inline double daly_period(double checkpoint_seconds, double mtbf) {
+  return std::sqrt(2.0 * mtbf * checkpoint_seconds);
+}
+
+/// First-order waste of a periodic checkpointing job (paper Eq. (3)):
+/// W = C/P + (P/2 + R)/µ. Valid for P >= C and P << µ.
+inline double periodic_waste(double period, double checkpoint_seconds,
+                             double recovery_seconds, double mtbf) {
+  return checkpoint_seconds / period +
+         (period / 2.0 + recovery_seconds) / mtbf;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,122 @@
+#include "core/lower_bound.hpp"
+
+#include <cmath>
+
+#include "core/daly.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace coopcr {
+
+namespace {
+
+struct ClassTerms {
+  std::string name;
+  double n = 0.0;  ///< steady-state concurrent jobs (fractional)
+  double q = 0.0;  ///< failure units per job
+  double c = 0.0;  ///< checkpoint seconds at the given bandwidth
+  double r = 0.0;  ///< recovery seconds (= c, symmetric bandwidth)
+};
+
+/// P_i(λ) per Eq. (8); λ = 0 gives Eq. (5).
+double period_of(const ClassTerms& t, double mu_ind, double n_nodes,
+                 double lambda) {
+  return std::sqrt(2.0 * mu_ind * n_nodes / (t.q * t.q) *
+                   (t.q / n_nodes + lambda) * t.c);
+}
+
+}  // namespace
+
+LowerBoundResult solve_lower_bound(const PlatformSpec& platform,
+                                   const std::vector<ApplicationClass>& apps,
+                                   double bandwidth) {
+  platform.validate();
+  COOPCR_CHECK(!apps.empty(), "lower bound needs application classes");
+  const double beta =
+      bandwidth > 0.0 ? bandwidth : platform.pfs_bandwidth;
+  const double mu_ind = platform.node_mtbf;
+  const auto n_nodes = static_cast<double>(platform.nodes);
+
+  std::vector<ClassTerms> terms;
+  terms.reserve(apps.size());
+  for (const ApplicationClass& app : apps) {
+    // Resolve sizes against the *platform* (footprints do not depend on the
+    // swept bandwidth), then re-derive C at the requested bandwidth.
+    PlatformSpec at_beta = platform;
+    at_beta.pfs_bandwidth = beta;
+    const ClassOnPlatform cls = resolve(app, at_beta);
+    ClassTerms t;
+    t.name = app.name;
+    t.q = static_cast<double>(cls.nodes);
+    t.n = cls.steady_state_jobs(platform);
+    t.c = cls.checkpoint_seconds;
+    t.r = cls.recovery_seconds;
+    terms.push_back(t);
+  }
+
+  auto io_fraction = [&](double lambda) {
+    double f = 0.0;
+    for (const ClassTerms& t : terms) {
+      f += t.n * t.c / period_of(t, mu_ind, n_nodes, lambda);
+    }
+    return f;
+  };
+
+  // λ: smallest non-negative value with F(λ) <= 1. F is strictly decreasing
+  // in λ, so the predicate F(λ) <= 1 is monotone and bisect_threshold applies
+  // directly (and lands on the feasible side of the bracket).
+  double lambda = 0.0;
+  const double f0 = io_fraction(0.0);
+  const bool constrained = f0 > 1.0;
+  if (constrained) {
+    double hi = 1.0;
+    while (io_fraction(hi) > 1.0) {
+      hi *= 2.0;
+      COOPCR_CHECK(hi < 1e30, "lambda search diverged");
+    }
+    lambda = bisect_threshold(
+        [&](double l) { return io_fraction(l) <= 1.0; }, 0.0, hi,
+        /*xtol=*/hi * 1e-13);
+  }
+
+  LowerBoundResult result;
+  result.lambda = lambda;
+  result.io_constrained = constrained;
+  result.io_fraction = io_fraction(lambda);
+  for (const ClassTerms& t : terms) {
+    LowerBoundClass entry;
+    entry.name = t.name;
+    entry.steady_jobs = t.n;
+    entry.nodes = t.q;
+    entry.checkpoint_seconds = t.c;
+    entry.period = period_of(t, mu_ind, n_nodes, lambda);
+    entry.daly_period = period_of(t, mu_ind, n_nodes, 0.0);
+    // W_i of Eq. (3): C/P + (q/µ)(P/2 + R).
+    entry.waste = t.c / entry.period +
+                  t.q / mu_ind * (entry.period / 2.0 + t.r);
+    result.classes.push_back(entry);
+    // Platform waste W (Eq. 4/7): weight by the class's node share n q / N.
+    result.waste += t.n * t.q / n_nodes * entry.waste;
+  }
+  return result;
+}
+
+double lower_bound_waste(const PlatformSpec& platform,
+                         const std::vector<ApplicationClass>& apps,
+                         double bandwidth) {
+  return solve_lower_bound(platform, apps, bandwidth).waste;
+}
+
+double min_bandwidth_for_waste(const PlatformSpec& platform,
+                               const std::vector<ApplicationClass>& apps,
+                               double target_waste, double lo, double hi) {
+  COOPCR_CHECK(target_waste > 0.0, "target waste must be positive");
+  COOPCR_CHECK(lo > 0.0 && lo < hi, "invalid bandwidth bracket");
+  return bisect_threshold(
+      [&](double beta) {
+        return lower_bound_waste(platform, apps, beta) <= target_waste;
+      },
+      lo, hi, /*xtol=*/hi * 1e-6);
+}
+
+}  // namespace coopcr

@@ -1,0 +1,69 @@
+// coopcr/core/lower_bound.hpp
+//
+// The analytical steady-state lower bound of platform waste (paper §4,
+// Theorem 1).
+//
+// In steady state, class A_i runs n_i = share_i * N / q_i concurrent jobs,
+// each checkpointing in C_i = size_i / β seconds. The per-class optimal
+// period under the aggregate I/O constraint F = Σ n_i C_i / P_i <= 1 is
+//
+//     P_i(λ) = sqrt( (2 µ N / q_i²) (q_i / N + λ) C_i )        (Eq. 8)
+//
+// with λ the smallest non-negative multiplier making F(λ) <= 1 (λ = 0
+// recovers the Young/Daly periods, Eq. 5). The bound on the platform waste is
+//
+//     W = Σ (n_i q_i / N) ( C_i / P_i + (q_i / µ)(P_i / 2 + R_i) )  (Eq. 7)
+//
+// λ has no closed form; we bracket and bisect on the strictly decreasing
+// F(λ).
+
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "workload/app_class.hpp"
+
+namespace coopcr {
+
+/// Per-class entry of the bound's solution.
+struct LowerBoundClass {
+  std::string name;
+  double steady_jobs = 0.0;    ///< n_i (fractional)
+  double nodes = 0.0;          ///< q_i
+  double checkpoint_seconds = 0.0;  ///< C_i at bandwidth β
+  double period = 0.0;         ///< optimal P_i (Eq. 8)
+  double daly_period = 0.0;    ///< unconstrained P_Daly (Eq. 5)
+  double waste = 0.0;          ///< W_i of Eq. (3) at the optimal period
+};
+
+/// Solution of Theorem 1 for one (platform, workload, bandwidth) triple.
+struct LowerBoundResult {
+  double lambda = 0.0;        ///< KKT multiplier (0 when I/O-unconstrained)
+  double waste = 0.0;         ///< platform waste W (Eq. 7)
+  double io_fraction = 0.0;   ///< F = Σ n_i C_i / P_i at the solution
+  bool io_constrained = false;  ///< true when λ > 0 (Daly infeasible)
+  std::vector<LowerBoundClass> classes;
+};
+
+/// Solve Theorem 1. `bandwidth` is the I/O bandwidth available for
+/// checkpoints (β_avail, bytes/s); when zero, the platform's PFS bandwidth is
+/// used. Throws when even arbitrarily long periods cannot satisfy F <= 1
+/// (cannot happen: F → 0 as λ → ∞).
+LowerBoundResult solve_lower_bound(const PlatformSpec& platform,
+                                   const std::vector<ApplicationClass>& apps,
+                                   double bandwidth = 0.0);
+
+/// Waste of the bound as a function of bandwidth (Figure 1/2 model curves).
+double lower_bound_waste(const PlatformSpec& platform,
+                         const std::vector<ApplicationClass>& apps,
+                         double bandwidth);
+
+/// Smallest bandwidth achieving `target_waste` or less (Figure 3 model
+/// curve), searched on [lo, hi] by bisection. Returns hi when even hi cannot
+/// reach the target.
+double min_bandwidth_for_waste(const PlatformSpec& platform,
+                               const std::vector<ApplicationClass>& apps,
+                               double target_waste, double lo, double hi);
+
+}  // namespace coopcr

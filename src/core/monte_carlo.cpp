@@ -1,0 +1,171 @@
+#include "core/monte_carlo.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "platform/failure_model.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace coopcr {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Everything one replica produces, kept per-replica so reduction order is
+/// deterministic regardless of thread scheduling.
+struct ReplicaOutput {
+  double baseline_useful = 0.0;
+  std::vector<SimulationResult> per_strategy;
+  std::vector<double> waste_ratio;
+  std::vector<double> efficiency;
+};
+
+ReplicaOutput run_one_replica(const ScenarioConfig& scenario,
+                              const std::vector<Strategy>& strategies,
+                              std::uint64_t replica, bool keep_results) {
+  Rng rng = Rng::stream(scenario.seed, replica);
+  WorkloadGenerator generator(scenario.simulation.classes, scenario.platform,
+                              scenario.workload);
+  const std::vector<Job> jobs = generator.generate(rng);
+  const sim::Time stop = std::min(scenario.simulation.horizon,
+                                  scenario.simulation.segment_end);
+  const std::vector<Failure> failures =
+      scenario.failures.generate(scenario.platform, stop, rng);
+
+  ReplicaOutput out;
+  const SimulationResult baseline =
+      simulate_baseline(scenario.simulation, jobs);
+  out.baseline_useful = baseline.useful;
+  COOPCR_CHECK(out.baseline_useful > 0.0,
+               "baseline run produced no useful work — check the workload");
+
+  out.waste_ratio.reserve(strategies.size());
+  out.efficiency.reserve(strategies.size());
+  for (const Strategy& strategy : strategies) {
+    SimulationConfig cfg = scenario.simulation;
+    cfg.strategy = strategy;
+    SimulationResult result = simulate(cfg, jobs, failures);
+    out.waste_ratio.push_back(result.wasted / out.baseline_useful);
+    out.efficiency.push_back(result.useful / out.baseline_useful);
+    if (keep_results) {
+      out.per_strategy.push_back(std::move(result));
+    } else {
+      // Keep only the scalar channels: move counters into a slim result.
+      out.per_strategy.push_back(std::move(result));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MonteCarloOptions MonteCarloOptions::from_env(int default_replicas,
+                                              int default_threads) {
+  MonteCarloOptions options;
+  options.replicas = env_int("COOPCR_REPLICAS", default_replicas);
+  options.threads = env_int("COOPCR_THREADS", default_threads);
+  return options;
+}
+
+const StrategyOutcome& MonteCarloReport::outcome(
+    const std::string& name) const {
+  for (const auto& o : outcomes) {
+    if (o.strategy.name() == name) return o;
+  }
+  COOPCR_CHECK(false, "no outcome for strategy: " + name);
+  return outcomes.front();  // unreachable
+}
+
+MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
+                                 const std::vector<Strategy>& strategies,
+                                 const MonteCarloOptions& options) {
+  COOPCR_CHECK(!strategies.empty(), "no strategies requested");
+  COOPCR_CHECK(options.replicas > 0, "replicas must be positive");
+  COOPCR_CHECK(!scenario.simulation.classes.empty(),
+               "scenario not finalized (call ScenarioConfig::finalize)");
+
+  const int replicas = options.replicas;
+  unsigned thread_count =
+      options.threads > 0 ? static_cast<unsigned>(options.threads)
+                          : std::thread::hardware_concurrency();
+  if (thread_count == 0) thread_count = 1;
+  thread_count = std::min<unsigned>(thread_count,
+                                    static_cast<unsigned>(replicas));
+
+  std::vector<ReplicaOutput> outputs(static_cast<std::size_t>(replicas));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int r = next.fetch_add(1);
+      if (r >= replicas) break;
+      outputs[static_cast<std::size_t>(r)] =
+          run_one_replica(scenario, strategies,
+                          static_cast<std::uint64_t>(r), options.keep_results);
+    }
+  };
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Deterministic reduction in replica order.
+  MonteCarloReport report;
+  report.replicas = replicas;
+  report.outcomes.resize(strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    report.outcomes[s].strategy = strategies[s];
+  }
+  for (int r = 0; r < replicas; ++r) {
+    ReplicaOutput& out = outputs[static_cast<std::size_t>(r)];
+    report.baseline_useful.add(out.baseline_useful);
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      StrategyOutcome& outcome = report.outcomes[s];
+      const SimulationResult& result = out.per_strategy[s];
+      outcome.waste_ratio.add(out.waste_ratio[s]);
+      outcome.efficiency.add(out.efficiency[s]);
+      outcome.utilization.add(result.avg_utilization);
+      outcome.failures_hit.add(
+          static_cast<double>(result.counters.failures_on_jobs));
+      outcome.checkpoints.add(
+          static_cast<double>(result.counters.checkpoints_completed));
+      if (options.keep_results) {
+        outcome.results.push_back(std::move(out.per_strategy[s]));
+      }
+    }
+  }
+  return report;
+}
+
+ReplicaRun run_replica(const ScenarioConfig& scenario,
+                       const Strategy& strategy, std::uint64_t replica) {
+  Rng rng = Rng::stream(scenario.seed, replica);
+  WorkloadGenerator generator(scenario.simulation.classes, scenario.platform,
+                              scenario.workload);
+  const std::vector<Job> jobs = generator.generate(rng);
+  const sim::Time stop = std::min(scenario.simulation.horizon,
+                                  scenario.simulation.segment_end);
+  const std::vector<Failure> failures =
+      scenario.failures.generate(scenario.platform, stop, rng);
+  const SimulationResult baseline =
+      simulate_baseline(scenario.simulation, jobs);
+  SimulationConfig cfg = scenario.simulation;
+  cfg.strategy = strategy;
+  ReplicaRun run(simulate(cfg, jobs, failures));
+  run.baseline_useful = baseline.useful;
+  run.waste_ratio = run.result.wasted / baseline.useful;
+  return run;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,77 @@
+// coopcr/core/monte_carlo.hpp
+//
+// Monte Carlo evaluation harness (paper §5, "Method of statistics
+// collection"): draw many sets of initial conditions (job list + failure
+// trace), simulate every strategy on each, and report candlestick statistics
+// of the waste ratio.
+//
+// Determinism: replica r derives its RNG stream from (seed, r); results are
+// identical for any thread count. All strategies of a replica share the same
+// initial conditions so the comparison is paired, exactly as in the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace coopcr {
+
+/// Execution options for the harness.
+struct MonteCarloOptions {
+  int replicas = 100;       ///< paper uses >= 1000; benches default lower
+  int threads = 0;          ///< 0 = hardware concurrency
+  bool keep_results = false; ///< retain the full per-replica SimulationResults
+
+  /// Read COOPCR_REPLICAS / COOPCR_THREADS from the environment, falling back
+  /// to the provided defaults. Used by every bench binary.
+  static MonteCarloOptions from_env(int default_replicas,
+                                    int default_threads = 0);
+};
+
+/// Distribution of one strategy's outcomes over the replicas.
+struct StrategyOutcome {
+  Strategy strategy;
+  SampleSet waste_ratio;     ///< wasted / baseline useful, per replica
+  SampleSet efficiency;      ///< useful / baseline useful, per replica
+  SampleSet utilization;     ///< mean allocated node fraction
+  SampleSet failures_hit;    ///< failures that killed a job
+  SampleSet checkpoints;     ///< completed checkpoint count
+  /// Per-replica full results (only when keep_results was set).
+  std::vector<SimulationResult> results;
+};
+
+/// Result of a Monte Carlo campaign.
+struct MonteCarloReport {
+  std::vector<StrategyOutcome> outcomes;  ///< one per requested strategy
+  SampleSet baseline_useful;              ///< denominator, per replica
+  int replicas = 0;
+
+  /// Outcome lookup by strategy name; throws when absent.
+  const StrategyOutcome& outcome(const std::string& name) const;
+};
+
+/// Run `options.replicas` replicas of `scenario` under each strategy.
+/// `scenario` must be finalized (classes resolved).
+MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
+                                 const std::vector<Strategy>& strategies,
+                                 const MonteCarloOptions& options);
+
+/// Single-replica convenience: generate initial conditions from
+/// (scenario.seed, replica) and simulate one strategy. Used by tests and the
+/// quickstart example.
+struct ReplicaRun {
+  SimulationResult result;
+  double baseline_useful = 0.0;
+  double waste_ratio = 0.0;
+
+  ReplicaRun(SimulationResult r) : result(std::move(r)) {}
+};
+ReplicaRun run_replica(const ScenarioConfig& scenario, const Strategy& strategy,
+                       std::uint64_t replica);
+
+}  // namespace coopcr

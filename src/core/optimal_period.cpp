@@ -1,0 +1,82 @@
+#include "core/optimal_period.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace coopcr {
+
+double young_period(double checkpoint_seconds, double mtbf) {
+  COOPCR_CHECK(checkpoint_seconds > 0.0 && mtbf > 0.0,
+               "positive C and mtbf required");
+  return std::sqrt(2.0 * mtbf * checkpoint_seconds);
+}
+
+double daly_higher_order_period(double checkpoint_seconds, double mtbf) {
+  COOPCR_CHECK(checkpoint_seconds > 0.0 && mtbf > 0.0,
+               "positive C and mtbf required");
+  const double c = checkpoint_seconds;
+  // Daly 2006 gives the optimal *compute segment* τ = sqrt(2cµ)[1 +
+  // sqrt(x)/3 + x/9] − c for c < 2µ and τ = µ otherwise (x = c/2µ). We
+  // return the full period τ + c to match the rest of the library.
+  if (c >= 2.0 * mtbf) return mtbf + c;
+  const double x = c / (2.0 * mtbf);
+  const double base = std::sqrt(2.0 * c * mtbf);
+  return base * (1.0 + std::sqrt(x) / 3.0 + x / 9.0);
+}
+
+double exact_overhead(double period, double checkpoint_seconds,
+                      double recovery_seconds, double mtbf) {
+  COOPCR_CHECK(period > checkpoint_seconds,
+               "period must exceed the commit time");
+  COOPCR_CHECK(mtbf > 0.0 && recovery_seconds >= 0.0,
+               "positive mtbf and non-negative R required");
+  const double lambda = 1.0 / mtbf;
+  const double w = period - checkpoint_seconds;
+  const double expected =
+      mtbf * std::exp(lambda * recovery_seconds) *
+      (std::exp(lambda * period) - 1.0);
+  return expected / w - 1.0;
+}
+
+double exact_optimal_period(double checkpoint_seconds,
+                            double recovery_seconds, double mtbf) {
+  COOPCR_CHECK(checkpoint_seconds > 0.0 && mtbf > 0.0,
+               "positive C and mtbf required");
+  // The optimum lies between C (degenerate) and a few multiples of the
+  // Young period; bracket generously. H is unimodal in P on (C, inf).
+  const double lo = checkpoint_seconds * (1.0 + 1e-9) + 1e-12;
+  const double hi =
+      checkpoint_seconds + 10.0 * young_period(checkpoint_seconds, mtbf) +
+      10.0 * mtbf;
+  const SolveResult sol = golden_section_min(
+      [&](double p) {
+        return exact_overhead(p, checkpoint_seconds, recovery_seconds, mtbf);
+      },
+      lo, hi, /*xtol=*/1e-6 * hi);
+  return sol.x;
+}
+
+PeriodComparison compare_periods(double checkpoint_seconds,
+                                 double recovery_seconds, double mtbf) {
+  PeriodComparison cmp;
+  cmp.young = young_period(checkpoint_seconds, mtbf);
+  cmp.daly = daly_higher_order_period(checkpoint_seconds, mtbf);
+  cmp.exact = exact_optimal_period(checkpoint_seconds, recovery_seconds, mtbf);
+  // The Young period can fall below C in the C ~ µ regime; clamp the
+  // evaluation to valid periods.
+  const double floor = checkpoint_seconds * (1.0 + 1e-6);
+  cmp.overhead_young = exact_overhead(std::max(cmp.young, floor),
+                                      checkpoint_seconds, recovery_seconds,
+                                      mtbf);
+  cmp.overhead_daly = exact_overhead(std::max(cmp.daly, floor),
+                                     checkpoint_seconds, recovery_seconds,
+                                     mtbf);
+  cmp.overhead_exact = exact_overhead(std::max(cmp.exact, floor),
+                                      checkpoint_seconds, recovery_seconds,
+                                      mtbf);
+  return cmp;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,66 @@
+// coopcr/core/optimal_period.hpp
+//
+// Checkpoint-period optimisation beyond the first-order Young/Daly formula.
+//
+// The paper's analysis (§4) uses the first-order waste model Eq. (3),
+// W(P) = C/P + (P/2 + R)/µ, whose minimiser is P = sqrt(2µC) (Eq. 5). That
+// approximation degrades when C is no longer small against µ — exactly the
+// regime of Silverton on a bandwidth-starved Cielo (C = 5734 s vs
+// µ = 15398 s at 40 GB/s), where the simulated strategies visibly undercut
+// the Eq. (7) bound (see EXPERIMENTS.md, Figure 2 discussion).
+//
+// This module provides the exact exponential-failure model and two classical
+// refinements so users can quantify that gap:
+//
+//  * exact expected overhead per unit of work, from the standard renewal
+//    argument for memoryless failures: a segment of w seconds of work plus a
+//    commit of C seconds, restarted from scratch (plus recovery R) on every
+//    failure, takes
+//
+//        E(w) = (1/λ) e^{λR} (e^{λ(w+C)} − 1),      λ = 1/µ
+//
+//    expected wall-clock seconds; the overhead ratio is H(w) = E(w)/w − 1.
+//  * the exact optimal period (numeric minimisation of H);
+//  * Daly's higher-order closed form (Daly 2006, the "[4]" of the paper).
+
+#pragma once
+
+namespace coopcr {
+
+/// First-order Young/Daly period sqrt(2µC) (paper Eq. (5)); re-exported here
+/// for symmetry with the refinements.
+double young_period(double checkpoint_seconds, double mtbf);
+
+/// Daly's higher-order estimate (Daly 2006):
+///   P = sqrt(2Cµ) [1 + (1/3)sqrt(C/(2µ)) + (1/9)(C/(2µ))] − C  for C < 2µ,
+///   P = µ                                                       otherwise.
+/// Returned as the *period* (work + commit).
+double daly_higher_order_period(double checkpoint_seconds, double mtbf);
+
+/// Exact expected overhead ratio H = E/w − 1 for period `period` (= w + C),
+/// commit C, recovery R and MTBF µ under exponential failures.
+/// Requires period > checkpoint_seconds.
+double exact_overhead(double period, double checkpoint_seconds,
+                      double recovery_seconds, double mtbf);
+
+/// Exact optimal period: argmin of exact_overhead over P in (C, ∞), found by
+/// golden-section search. The optimum is independent of R (R only shifts the
+/// overhead multiplicatively), but R is accepted for interface symmetry.
+double exact_optimal_period(double checkpoint_seconds,
+                            double recovery_seconds, double mtbf);
+
+/// Convenience comparison record used by examples/benches.
+struct PeriodComparison {
+  double young = 0.0;
+  double daly = 0.0;
+  double exact = 0.0;
+  double overhead_young = 0.0;  ///< exact H at the Young period
+  double overhead_daly = 0.0;   ///< exact H at the Daly period
+  double overhead_exact = 0.0;  ///< exact H at the exact optimum
+};
+
+/// Evaluate all three period choices under the exact overhead model.
+PeriodComparison compare_periods(double checkpoint_seconds,
+                                 double recovery_seconds, double mtbf);
+
+}  // namespace coopcr

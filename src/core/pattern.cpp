@@ -1,0 +1,131 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+// Classical periodic-task construction: each job j of stream s releases its
+// n-th checkpoint at phase_j + n * P_s and must finish it before the next
+// release (implicit deadline). EDF on the single I/O channel is optimal for
+// this problem, so "EDF meets all deadlines" is the constructive counterpart
+// of §4's necessary condition Σ n_i C_i / P_i <= 1.
+PatternResult orchestrate_pattern(const std::vector<PatternStream>& streams,
+                                  double tolerance, int horizon_periods) {
+  COOPCR_CHECK(!streams.empty(), "pattern needs at least one stream");
+  COOPCR_CHECK(tolerance > 0.0, "tolerance must be positive");
+  COOPCR_CHECK(horizon_periods > 0, "horizon must be positive");
+
+  struct JobState {
+    std::size_t stream = 0;
+    double release = 0.0;     ///< next checkpoint release time
+    double last_start = -1.0; ///< previous commit start
+    long commits = 0;
+    double period_sum = 0.0;
+    double worst_stretch = 0.0;
+    bool missed_deadline = false;
+  };
+
+  std::vector<JobState> jobs;
+  double max_period = 0.0;
+  double demand = 0.0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const PatternStream& stream = streams[s];
+    COOPCR_CHECK(stream.jobs > 0,
+                 "stream '" + stream.name + "': jobs must be positive");
+    COOPCR_CHECK(stream.period > 0.0 && stream.commit > 0.0,
+                 "stream '" + stream.name +
+                     "': period and commit must be positive");
+    COOPCR_CHECK(stream.commit <= stream.period,
+                 "stream '" + stream.name + "': commit exceeds period");
+    max_period = std::max(max_period, stream.period);
+    demand += static_cast<double>(stream.jobs) * stream.commit / stream.period;
+    for (int j = 0; j < stream.jobs; ++j) {
+      JobState job;
+      job.stream = s;
+      // Spread phases across the period: the natural steady-state stagger.
+      job.release = stream.period * static_cast<double>(j) /
+                    static_cast<double>(stream.jobs);
+      jobs.push_back(job);
+    }
+  }
+
+  const double horizon = max_period * static_cast<double>(horizon_periods);
+  double channel_free = 0.0;
+  double busy = 0.0;
+
+  for (;;) {
+    // Releases pending at the channel-free instant; if none, fast-forward.
+    double t = channel_free;
+    double min_release = std::numeric_limits<double>::infinity();
+    for (const JobState& job : jobs) {
+      min_release = std::min(min_release, job.release);
+    }
+    t = std::max(t, min_release);
+    if (t >= horizon) break;
+
+    // EDF: among jobs released by t, earliest absolute deadline
+    // (release + period); ties resolve by vector order (deterministic).
+    std::size_t pick = jobs.size();
+    double best_deadline = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].release > t) continue;
+      const double deadline =
+          jobs[i].release + streams[jobs[i].stream].period;
+      if (deadline < best_deadline) {
+        best_deadline = deadline;
+        pick = i;
+      }
+    }
+    COOPCR_ASSERT(pick < jobs.size(), "no released job at dispatch time");
+    JobState& job = jobs[pick];
+    const PatternStream& stream = streams[job.stream];
+    const double start = std::max(job.release, t);
+
+    if (job.commits > 0) job.period_sum += start - job.last_start;
+    job.worst_stretch = std::max(job.worst_stretch,
+                                 (start - job.release) / stream.period);
+    if (start + stream.commit >
+        job.release + stream.period * (1.0 + 1e-9)) {
+      job.missed_deadline = true;
+    }
+    job.last_start = start;
+    job.commits += 1;
+    channel_free = start + stream.commit;
+    busy += stream.commit;
+    job.release += stream.period;  // fixed periodic releases
+  }
+
+  PatternResult result;
+  result.demand = demand;
+  result.channel_utilization = busy / horizon;
+  result.achieved_period.assign(streams.size(), 0.0);
+  result.worst_stretch.assign(streams.size(), 0.0);
+  std::vector<double> count(streams.size(), 0.0);
+  std::vector<double> sum(streams.size(), 0.0);
+  bool missed = false;
+  for (const JobState& job : jobs) {
+    if (job.commits > 1) {
+      sum[job.stream] +=
+          job.period_sum / static_cast<double>(job.commits - 1);
+      count[job.stream] += 1.0;
+    }
+    result.worst_stretch[job.stream] =
+        std::max(result.worst_stretch[job.stream], job.worst_stretch);
+    missed = missed || job.missed_deadline;
+  }
+  result.feasible = !missed;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    result.achieved_period[s] =
+        count[s] > 0.0 ? sum[s] / count[s]
+                       : std::numeric_limits<double>::infinity();
+    if (result.achieved_period[s] > streams[s].period * (1.0 + tolerance)) {
+      result.feasible = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,693 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "io/io_subsystem.hpp"
+#include "platform/node_pool.hpp"
+#include "sched/job_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace coopcr {
+
+namespace {
+
+/// Minimum residual work of a restart (guards Job::well_formed when a
+/// failure lands exactly at a job's completion instant).
+constexpr double kMinResidualWork = 1e-3;
+
+/// Runtime state of a started job.
+enum class JobState {
+  kInitialIo,     ///< blocking initial read (input or recovery)
+  kComputing,     ///< executing work
+  kRoutineIo,     ///< blocking regular I/O chunk
+  kCkptWait,      ///< checkpoint requested, job idle (blocking strategies)
+  kCkptWaitNb,    ///< checkpoint requested, job computing (NB strategies)
+  kCheckpointing, ///< commit in progress (job paused)
+  kOutputIo,      ///< blocking final output
+};
+
+/// The orchestrator. One instance per run; not reusable.
+class Runner {
+ public:
+  Runner(const SimulationConfig& config, const std::vector<Job>& jobs,
+         const std::vector<Failure>& failures)
+      : cfg_(config),
+        pool_(config.platform.nodes),
+        scheduler_(pool_),
+        result_(config.segment_start, config.segment_end) {
+    COOPCR_CHECK(!cfg_.classes.empty(), "simulation needs resolved classes");
+    cfg_.platform.validate();
+    stop_time_ = std::min(cfg_.horizon, cfg_.segment_end);
+    io_ = std::make_unique<IoSubsystem>(
+        engine_, cfg_.platform.pfs_bandwidth, admission_mode(),
+        cfg_.interference, cfg_.degradation_alpha, make_policy());
+    next_job_id_ = 0;
+    for (const Job& job : jobs) {
+      next_job_id_ = std::max(next_job_id_, job.id + 1);
+    }
+    // Failure events (trace is pre-drawn so all strategies share it).
+    for (const Failure& f : failures) {
+      if (f.time >= stop_time_) continue;
+      engine_.at(f.time, [this, f] { on_failure(f); });
+    }
+    // All jobs presented simultaneously at t = 0 (§2).
+    for (const Job& job : jobs) scheduler_.submit(job);
+  }
+
+  SimulationResult run() {
+    pump_scheduler();
+    engine_.run(stop_time_);
+    finalize(stop_time_);
+    result_.useful = result_.accounting.useful();
+    result_.wasted = result_.accounting.wasted();
+    result_.avg_utilization =
+        util_accum_ / (static_cast<double>(cfg_.platform.nodes) *
+                       result_.accounting.segment_length());
+    result_.stop_time = stop_time_;
+    result_.events = engine_.events_executed();
+    return std::move(result_);
+  }
+
+ private:
+  struct ActiveReq {
+    std::uint64_t serial = 0;  ///< simulation-level identity (0 = none)
+    RequestId id = kInvalidRequest;
+    IoKind kind = IoKind::kInput;
+    double volume = 0.0;
+    sim::Time submitted = 0.0;
+    sim::Time started = sim::kTimeNever;
+    bool redo = false;  ///< routine chunk re-executed after a failure
+    bool live() const { return serial != 0; }
+  };
+
+  struct JobRt {
+    Job job;
+    const ClassOnPlatform* cls = nullptr;
+    JobState state = JobState::kInitialIo;
+    double work_pos = 0.0;      ///< absolute work position (seconds)
+    double snapshot_pos = 0.0;  ///< last committed snapshot position
+    bool has_snapshot = false;  ///< lineage committed >= 1 checkpoint
+    sim::Time compute_started_at = 0.0;
+    sim::Time last_ckpt_end = 0.0;  ///< d_i reference for Least-Waste
+    sim::EventId ckpt_timer = sim::kInvalidEventId;
+    sim::EventId milestone = sim::kInvalidEventId;
+    bool ckpt_due = false;  ///< timer fired while the job was doing I/O
+    /// A non-blocking checkpoint waiter that hit a routine-I/O boundary must
+    /// stop computing (data dependence) and idle until the token arrives.
+    bool chunk_blocked = false;
+    sim::Time chunk_blocked_since = 0.0;
+    ActiveReq req;
+    int next_chunk = 1;  ///< next routine chunk index (1-based)
+  };
+
+  // --- configuration plumbing -----------------------------------------------
+
+  AdmissionMode admission_mode() const {
+    return cfg_.strategy.serialized() ? AdmissionMode::kSerial
+                                      : AdmissionMode::kConcurrent;
+  }
+
+  std::unique_ptr<TokenPolicy> make_policy() const {
+    if (!cfg_.strategy.serialized()) return nullptr;
+    switch (cfg_.policy_override) {
+      case SerialPolicyOverride::kFcfs:
+        return std::make_unique<FcfsPolicy>();
+      case SerialPolicyOverride::kRandom:
+        return std::make_unique<RandomPolicy>(cfg_.policy_seed);
+      case SerialPolicyOverride::kSmallestFirst:
+        return std::make_unique<SmallestFirstPolicy>();
+      case SerialPolicyOverride::kLeastWaste:
+        return std::make_unique<LeastWastePolicy>(cfg_.platform.node_mtbf,
+                                                  cfg_.platform.pfs_bandwidth,
+                                                  cfg_.least_waste_variant);
+      case SerialPolicyOverride::kStrategyDefault:
+        break;
+    }
+    if (cfg_.strategy.mode == IoMode::kLeastWaste) {
+      return std::make_unique<LeastWastePolicy>(cfg_.platform.node_mtbf,
+                                                cfg_.platform.pfs_bandwidth,
+                                                cfg_.least_waste_variant);
+    }
+    return std::make_unique<FcfsPolicy>();
+  }
+
+  const ClassOnPlatform& cls_of(const Job& job) const {
+    return cfg_.classes[static_cast<std::size_t>(job.class_index)];
+  }
+
+  void tr(JobId job, TraceKind kind, IoKind io = IoKind::kInput,
+          double detail = 0.0) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(engine_.now(), job, kind, io, detail);
+    }
+  }
+
+  double period_of(const JobRt& rt) const {
+    return cfg_.strategy.policy == CheckpointPolicy::kFixed
+               ? cfg_.fixed_period
+               : rt.cls->daly_period;
+  }
+
+  /// Delay from checkpoint completion (or compute start) to the next
+  /// checkpoint *request* (DESIGN.md "Checkpoint scheduling").
+  double request_delay(const JobRt& rt) const {
+    const double period = period_of(rt);
+    const double commit = rt.cls->checkpoint_seconds;
+    switch (cfg_.request_offset) {
+      case CheckpointRequestOffset::kPeriodMinusCommit:
+        return std::max(0.0, period - commit);
+      case CheckpointRequestOffset::kFullPeriod:
+        return period;
+      case CheckpointRequestOffset::kPaper:
+        return cfg_.strategy.mode == IoMode::kLeastWaste
+                   ? period
+                   : std::max(0.0, period - commit);
+    }
+    return period;
+  }
+
+  int routine_chunks(const JobRt& rt) const {
+    return rt.job.routine_io_bytes > 0.0 ? cfg_.routine_io_chunks : 0;
+  }
+
+  /// Absolute work position at which routine chunk `k` (1-based) is issued.
+  double chunk_position(const JobRt& rt, int k) const {
+    const int n = routine_chunks(rt);
+    return rt.job.total_work * static_cast<double>(k) /
+           static_cast<double>(n + 1);
+  }
+
+  // --- accounting helpers ----------------------------------------------------
+
+  void note_alloc_change() { note_alloc_change_at(engine_.now()); }
+
+  void note_alloc_change_at(sim::Time t) {
+    const sim::Time lo = std::max(last_util_t_, cfg_.segment_start);
+    const sim::Time hi = std::min(t, cfg_.segment_end);
+    if (hi > lo) {
+      util_accum_ += static_cast<double>(pool_.allocated_count()) * (hi - lo);
+    }
+    last_util_t_ = t;
+  }
+
+  double& lineage_max(JobId root) { return lineage_max_[root]; }
+
+  /// Close a compute interval [t0, t1): split into lost-work re-execution
+  /// (positions below the lineage's high-water mark) and useful compute.
+  void close_compute(JobRt& rt, sim::Time t0, sim::Time t1) {
+    COOPCR_ASSERT(t1 >= t0, "compute interval reversed");
+    if (t1 == t0) return;
+    const double p0 = rt.work_pos;
+    const double p1 = p0 + (t1 - t0);
+    double& lm = lineage_max(rt.job.root);
+    const double lost = std::clamp(lm - p0, 0.0, p1 - p0);
+    if (lost > 0.0) {
+      result_.accounting.add(rt.job.nodes, TimeCategory::kLostWork, t0,
+                             t0 + lost);
+    }
+    if (p1 - p0 - lost > 0.0) {
+      result_.accounting.add(rt.job.nodes, TimeCategory::kUsefulCompute,
+                             t0 + lost, t1);
+    }
+    rt.work_pos = p1;
+    lm = std::max(lm, p1);
+  }
+
+  /// Account a finished (completed=true) or torn-down I/O request up to the
+  /// given end time.
+  void account_request_end(JobRt& rt, bool completed, sim::Time end) {
+    const ActiveReq& req = rt.req;
+    if (!req.live()) return;
+    const bool nb_ckpt_wait = req.kind == IoKind::kCheckpoint &&
+                              cfg_.strategy.non_blocking_wait();
+    const sim::Time start =
+        req.started == sim::kTimeNever ? end : req.started;
+    // Wait (queueing) time: idle for blocking operations; overlapped with
+    // compute for non-blocking checkpoint waits (already accounted there).
+    if (!nb_ckpt_wait && start > req.submitted) {
+      result_.accounting.add(rt.job.nodes, TimeCategory::kBlockedWait,
+                             req.submitted, start);
+    }
+    if (req.started == sim::kTimeNever || end <= start) return;
+    if (!completed) {
+      // Torn-down transfer: the moved bytes are lost and will be redone.
+      const TimeCategory cat = req.kind == IoKind::kCheckpoint
+                                   ? TimeCategory::kCheckpoint
+                                   : TimeCategory::kLostWork;
+      result_.accounting.add(rt.job.nodes, cat, start, end);
+      return;
+    }
+    // Completed transfer: the interference-free duration is the operation's
+    // intrinsic cost; anything beyond is contention dilation.
+    const double ideal =
+        std::min(req.volume / cfg_.platform.pfs_bandwidth, end - start);
+    TimeCategory ideal_cat = TimeCategory::kUsefulIo;
+    switch (req.kind) {
+      case IoKind::kInput:
+      case IoKind::kOutput:
+        ideal_cat = TimeCategory::kUsefulIo;
+        break;
+      case IoKind::kRoutine:
+        ideal_cat =
+            req.redo ? TimeCategory::kLostWork : TimeCategory::kUsefulIo;
+        break;
+      case IoKind::kRecovery:
+        ideal_cat = TimeCategory::kRecovery;
+        break;
+      case IoKind::kCheckpoint:
+        ideal_cat = TimeCategory::kCheckpoint;
+        break;
+    }
+    if (ideal > 0.0) {
+      result_.accounting.add(rt.job.nodes, ideal_cat, start, start + ideal);
+    }
+    if (end - start - ideal > 0.0) {
+      result_.accounting.add(rt.job.nodes, TimeCategory::kIoDilation,
+                             start + ideal, end);
+    }
+  }
+
+  // --- lifecycle -------------------------------------------------------------
+
+  void pump_scheduler() {
+    note_alloc_change();
+    scheduler_.pump([this](const Job& job) { start_job(job); });
+  }
+
+  void start_job(const Job& job) {
+    ++result_.counters.jobs_started;
+    tr(job.id, TraceKind::kJobStart, IoKind::kInput,
+       static_cast<double>(job.nodes));
+    auto [it, inserted] = jobs_.emplace(job.id, JobRt{});
+    COOPCR_ASSERT(inserted, "duplicate job id started");
+    JobRt& rt = it->second;
+    rt.job = job;
+    rt.cls = &cls_of(job);
+    rt.state = JobState::kInitialIo;
+    rt.work_pos = job.work_start;
+    rt.snapshot_pos = job.work_start;
+    rt.has_snapshot = job.has_checkpoint;
+    rt.last_ckpt_end = engine_.now();
+    // Skip routine chunks already behind the restart position.
+    const int n = routine_chunks(rt);
+    while (rt.next_chunk <= n &&
+           chunk_position(rt, rt.next_chunk) <= rt.work_pos) {
+      ++rt.next_chunk;
+    }
+    submit_request(rt, job.is_restart ? IoKind::kRecovery : IoKind::kInput,
+                   job.input_bytes);
+  }
+
+  void submit_request(JobRt& rt, IoKind kind, double volume,
+                      bool redo = false) {
+    COOPCR_ASSERT(!rt.req.live(), "job already has an outstanding request");
+    ++result_.counters.io_requests;
+    const std::uint64_t serial = ++req_serial_;
+    rt.req = ActiveReq{};
+    rt.req.serial = serial;
+    rt.req.kind = kind;
+    rt.req.volume = volume;
+    rt.req.submitted = engine_.now();
+    rt.req.redo = redo;
+    IoRequest request;
+    request.job = rt.job.id;
+    request.kind = kind;
+    request.volume = volume;
+    request.nodes = rt.job.nodes;
+    const JobId jid = rt.job.id;
+    RequestCallbacks callbacks;
+    callbacks.on_start = [this, jid, serial](RequestId id) {
+      on_request_start(jid, serial, id);
+    };
+    callbacks.on_complete = [this, jid, serial](RequestId id) {
+      on_request_complete(jid, serial, id);
+    };
+    // submit() may invoke on_start — and through it arbitrary state
+    // transitions — synchronously. Only adopt the id if this request is
+    // still the job's live one afterwards.
+    const RequestId id = io_->submit(request, std::move(callbacks),
+                                     rt.last_ckpt_end,
+                                     rt.cls->recovery_seconds);
+    auto it = jobs_.find(jid);
+    if (it != jobs_.end() && it->second.req.serial == serial &&
+        it->second.req.id == kInvalidRequest) {
+      it->second.req.id = id;
+    }
+  }
+
+  void on_request_start(JobId jid, std::uint64_t serial, RequestId id) {
+    auto it = jobs_.find(jid);
+    if (it == jobs_.end()) return;
+    JobRt& rt = it->second;
+    if (rt.req.serial != serial) return;  // stale notification
+    rt.req.id = id;
+    rt.req.started = engine_.now();
+    tr(jid, TraceKind::kIoStart, rt.req.kind, rt.req.volume);
+    if (rt.req.kind != IoKind::kCheckpoint) return;
+
+    if (rt.state == JobState::kCkptWait) {
+      // Blocking variants paused at request time; just snapshot and commit.
+      rt.snapshot_pos = rt.work_pos;
+      rt.state = JobState::kCheckpointing;
+      return;
+    }
+    COOPCR_ASSERT(rt.state == JobState::kCkptWaitNb,
+                  "checkpoint grant in unexpected state");
+    if (rt.chunk_blocked) {
+      // The waiter already stopped at a routine-I/O boundary; the wait since
+      // then was idle time.
+      result_.accounting.add(rt.job.nodes, TimeCategory::kBlockedWait,
+                             rt.chunk_blocked_since, engine_.now());
+      rt.chunk_blocked = false;
+    } else {
+      // Token granted mid-compute: stop, snapshot, commit (§3.3).
+      close_compute(rt, rt.compute_started_at, engine_.now());
+      cancel_event(rt.milestone);
+    }
+    if (rt.work_pos >= rt.job.total_work) {
+      // The job finished in the same instant the token arrived; the commit
+      // is pointless — drop it and go straight to output.
+      ++result_.counters.checkpoints_cancelled;
+      rt.req = ActiveReq{};
+      io_->abort(id);
+      begin_output(rt);
+      return;
+    }
+    rt.snapshot_pos = rt.work_pos;
+    rt.state = JobState::kCheckpointing;
+  }
+
+  void on_request_complete(JobId jid, std::uint64_t serial,
+                           RequestId /*id*/) {
+    auto it = jobs_.find(jid);
+    if (it == jobs_.end()) return;
+    JobRt& rt = it->second;
+    if (rt.req.serial != serial) return;  // stale notification
+    account_request_end(rt, /*completed=*/true, engine_.now());
+    tr(jid, TraceKind::kIoEnd, rt.req.kind, rt.req.volume);
+    const IoKind kind = rt.req.kind;
+    rt.req = ActiveReq{};
+    switch (kind) {
+      case IoKind::kInput:
+      case IoKind::kRecovery:
+        rt.last_ckpt_end = engine_.now();
+        begin_compute(rt, /*schedule_ckpt=*/true);
+        break;
+      case IoKind::kRoutine:
+        begin_compute(rt, /*schedule_ckpt=*/false);
+        break;
+      case IoKind::kCheckpoint:
+        ++result_.counters.checkpoints_completed;
+        rt.has_snapshot = true;
+        rt.last_ckpt_end = engine_.now();
+        begin_compute(rt, /*schedule_ckpt=*/true);
+        break;
+      case IoKind::kOutput:
+        complete_job(rt);
+        break;
+    }
+  }
+
+  /// (Re)enter the computing state; optionally restart the checkpoint clock.
+  void begin_compute(JobRt& rt, bool schedule_ckpt) {
+    rt.state = JobState::kComputing;
+    rt.compute_started_at = engine_.now();
+    schedule_milestone(rt);
+    const JobId jid = rt.job.id;
+    if (schedule_ckpt && cfg_.checkpoints_enabled) {
+      cancel_event(rt.ckpt_timer);
+      rt.ckpt_due = false;
+      rt.ckpt_timer =
+          engine_.after(request_delay(rt), [this, jid] { on_ckpt_timer(jid); });
+    } else if (rt.ckpt_due && cfg_.checkpoints_enabled) {
+      // The period elapsed while the job was doing routine I/O: request now.
+      rt.ckpt_due = false;
+      request_checkpoint(rt);
+    }
+  }
+
+  void schedule_milestone(JobRt& rt) {
+    cancel_event(rt.milestone);
+    const int n = routine_chunks(rt);
+    double target = rt.job.total_work;
+    if (rt.next_chunk <= n) {
+      target = std::min(target, chunk_position(rt, rt.next_chunk));
+    }
+    const double delay = std::max(0.0, target - rt.work_pos);
+    const JobId jid = rt.job.id;
+    rt.milestone = engine_.after(
+        delay, [this, jid, target] { on_milestone(jid, target); });
+  }
+
+  void on_milestone(JobId jid, double target) {
+    auto it = jobs_.find(jid);
+    COOPCR_ASSERT(it != jobs_.end(), "milestone for unknown job");
+    JobRt& rt = it->second;
+    rt.milestone = sim::kInvalidEventId;
+    COOPCR_ASSERT(rt.state == JobState::kComputing ||
+                      rt.state == JobState::kCkptWaitNb,
+                  "milestone outside compute");
+    close_compute(rt, rt.compute_started_at, engine_.now());
+    rt.work_pos = target;  // authoritative position (kills fp drift)
+    lineage_max(rt.job.root) = std::max(lineage_max(rt.job.root), target);
+
+    if (target >= rt.job.total_work) {
+      // Work complete. Withdraw any pending non-blocking checkpoint request.
+      cancel_event(rt.ckpt_timer);
+      if (rt.state == JobState::kCkptWaitNb && rt.req.live()) {
+        ++result_.counters.checkpoints_cancelled;
+        const RequestId id = rt.req.id;
+        rt.req = ActiveReq{};
+        io_->cancel(id);
+      }
+      begin_output(rt);
+      return;
+    }
+
+    if (rt.state == JobState::kCkptWaitNb) {
+      // Routine-I/O boundary reached while waiting for the checkpoint token:
+      // the job cannot compute past its I/O point — idle until the token
+      // arrives, commit, then issue the chunk.
+      rt.chunk_blocked = true;
+      rt.chunk_blocked_since = engine_.now();
+      return;
+    }
+
+    issue_routine_chunk(rt, target);
+  }
+
+  void issue_routine_chunk(JobRt& rt, double target) {
+    COOPCR_ASSERT(rt.state == JobState::kComputing,
+                  "routine chunk outside compute");
+    const int n = routine_chunks(rt);
+    const double chunk_volume =
+        rt.job.routine_io_bytes / static_cast<double>(n);
+    // A chunk strictly behind the lineage high-water mark is a re-execution.
+    const bool redo = target < lineage_max(rt.job.root);
+    ++rt.next_chunk;
+    rt.state = JobState::kRoutineIo;
+    submit_request(rt, IoKind::kRoutine, chunk_volume, redo);
+  }
+
+  void on_ckpt_timer(JobId jid) {
+    auto it = jobs_.find(jid);
+    COOPCR_ASSERT(it != jobs_.end(), "checkpoint timer for unknown job");
+    JobRt& rt = it->second;
+    rt.ckpt_timer = sim::kInvalidEventId;
+    if (rt.state != JobState::kComputing) {
+      // Busy with routine I/O — remember and request at the next resume.
+      rt.ckpt_due = true;
+      return;
+    }
+    request_checkpoint(rt);
+  }
+
+  void request_checkpoint(JobRt& rt) {
+    COOPCR_ASSERT(rt.state == JobState::kComputing,
+                  "checkpoint request outside compute");
+    tr(rt.job.id, TraceKind::kCkptRequest, IoKind::kCheckpoint,
+       rt.job.checkpoint_bytes);
+    if (cfg_.strategy.non_blocking_wait()) {
+      // Keep computing until the token arrives (§3.3, §3.5). The compute
+      // interval stays open; the milestone event stays armed.
+      ++result_.counters.checkpoint_requests;
+      rt.state = JobState::kCkptWaitNb;
+      submit_request(rt, IoKind::kCheckpoint, rt.job.checkpoint_bytes);
+      return;
+    }
+    // Blocking variants: stop computing at the request instant.
+    close_compute(rt, rt.compute_started_at, engine_.now());
+    cancel_event(rt.milestone);
+    if (rt.work_pos >= rt.job.total_work) {
+      begin_output(rt);
+      return;
+    }
+    ++result_.counters.checkpoint_requests;
+    rt.state = JobState::kCkptWait;
+    submit_request(rt, IoKind::kCheckpoint, rt.job.checkpoint_bytes);
+  }
+
+  void begin_output(JobRt& rt) {
+    cancel_event(rt.ckpt_timer);
+    rt.ckpt_due = false;
+    rt.state = JobState::kOutputIo;
+    submit_request(rt, IoKind::kOutput, rt.job.output_bytes);
+  }
+
+  void complete_job(JobRt& rt) {
+    ++result_.counters.jobs_completed;
+    tr(rt.job.id, TraceKind::kJobComplete);
+    const JobId jid = rt.job.id;
+    note_alloc_change();
+    pool_.release(jid);
+    jobs_.erase(jid);
+    pump_scheduler();
+  }
+
+  // --- failures ---------------------------------------------------------------
+
+  void on_failure(const Failure& failure) {
+    ++result_.counters.failures_total;
+    const JobId victim = pool_.owner_of(failure.node);
+    if (victim == kNoJob) return;  // spare node: swap is instantaneous
+    ++result_.counters.failures_on_jobs;
+    kill_job(victim);
+  }
+
+  void kill_job(JobId jid) {
+    auto it = jobs_.find(jid);
+    COOPCR_ASSERT(it != jobs_.end(), "failure on unknown job");
+    JobRt& rt = it->second;
+    tr(jid, TraceKind::kFailure);
+
+    // Close the open compute interval (if any).
+    if (rt.state == JobState::kComputing ||
+        (rt.state == JobState::kCkptWaitNb && !rt.chunk_blocked)) {
+      close_compute(rt, rt.compute_started_at, engine_.now());
+    }
+    if (rt.chunk_blocked) {
+      result_.accounting.add(rt.job.nodes, TimeCategory::kBlockedWait,
+                             rt.chunk_blocked_since, engine_.now());
+      rt.chunk_blocked = false;
+    }
+    cancel_event(rt.milestone);
+    cancel_event(rt.ckpt_timer);
+
+    // Tear down any outstanding I/O.
+    if (rt.req.live()) {
+      account_request_end(rt, /*completed=*/false, engine_.now());
+      if (rt.req.kind == IoKind::kCheckpoint &&
+          rt.req.started != sim::kTimeNever) {
+        ++result_.counters.checkpoints_aborted;
+      }
+      const RequestId id = rt.req.id;
+      rt.req = ActiveReq{};
+      if (id != kInvalidRequest) io_->abort(id);
+    }
+
+    // Build the restart (§5: highest priority; remaining work from the last
+    // snapshot; the initial read becomes recovery I/O).
+    Job restart = rt.job;
+    restart.id = next_job_id_++;
+    restart.is_restart = true;
+    restart.priority = 1;
+    restart.generation = rt.job.generation + 1;
+    restart.root = rt.job.root;
+    restart.has_checkpoint = rt.has_snapshot;
+    if (rt.has_snapshot) {
+      restart.work_start = rt.snapshot_pos;
+      restart.input_bytes = rt.cls->checkpoint_bytes;
+    } else {
+      restart.work_start = 0.0;
+      restart.input_bytes = rt.cls->input_bytes;
+    }
+    restart.work_start = std::min(
+        restart.work_start, restart.total_work - kMinResidualWork);
+    restart.work_start = std::max(restart.work_start, 0.0);
+    ++result_.counters.restarts_submitted;
+
+    tr(jid, TraceKind::kRestartSubmit, IoKind::kRecovery,
+       static_cast<double>(restart.id));
+    note_alloc_change();
+    pool_.release(jid);
+    jobs_.erase(it);
+    scheduler_.submit(restart);
+    pump_scheduler();
+  }
+
+  // --- teardown ----------------------------------------------------------------
+
+  void cancel_event(sim::EventId& id) {
+    if (id != sim::kInvalidEventId) {
+      engine_.cancel(id);
+      id = sim::kInvalidEventId;
+    }
+  }
+
+  /// Close every open interval at the stop time so segment-clipped accounting
+  /// is complete even though jobs are still running.
+  void finalize(sim::Time stop) {
+    // The engine's clock stops at the last executed event, which can be well
+    // before `stop`; the allocation integral must still cover the tail.
+    note_alloc_change_at(stop);
+    for (auto& [jid, rt] : jobs_) {
+      if (rt.state == JobState::kComputing ||
+          (rt.state == JobState::kCkptWaitNb && !rt.chunk_blocked)) {
+        close_compute(rt, rt.compute_started_at, stop);
+      }
+      if (rt.chunk_blocked) {
+        result_.accounting.add(rt.job.nodes, TimeCategory::kBlockedWait,
+                               rt.chunk_blocked_since, stop);
+        rt.chunk_blocked = false;
+      }
+      if (rt.req.live()) {
+        // In-flight transfers continue past the stop time; classify the
+        // elapsed part as if it completes (the segment clip removes any
+        // overhang anyway).
+        account_request_end(rt, /*completed=*/true, stop);
+        rt.req = ActiveReq{};
+      }
+    }
+  }
+
+  SimulationConfig cfg_;
+  sim::Engine engine_;
+  NodePool pool_;
+  JobScheduler scheduler_;
+  std::unique_ptr<IoSubsystem> io_;
+  SimulationResult result_;
+
+  std::unordered_map<JobId, JobRt> jobs_;
+  std::unordered_map<JobId, double> lineage_max_;
+  JobId next_job_id_ = 0;
+  std::uint64_t req_serial_ = 0;
+  sim::Time stop_time_ = 0.0;
+
+  double util_accum_ = 0.0;
+  sim::Time last_util_t_ = 0.0;
+};
+
+}  // namespace
+
+SimulationResult simulate(const SimulationConfig& config,
+                          const std::vector<Job>& jobs,
+                          const std::vector<Failure>& failures) {
+  Runner runner(config, jobs, failures);
+  return runner.run();
+}
+
+SimulationResult simulate_baseline(const SimulationConfig& config,
+                                   const std::vector<Job>& jobs) {
+  SimulationConfig baseline = config;
+  baseline.strategy = Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly};
+  baseline.checkpoints_enabled = false;
+  baseline.interference = InterferenceModel::kNone;
+  Runner runner(baseline, jobs, /*failures=*/{});
+  return runner.run();
+}
+
+}  // namespace coopcr

@@ -1,0 +1,73 @@
+// coopcr/core/simulation.hpp
+//
+// The full-platform discrete-event simulation (paper §5).
+//
+// One `Simulation` instance executes one set of initial conditions (job list
+// + failure trace) under one strategy and produces segment-clipped node-time
+// accounting. The Monte Carlo harness (core/monte_carlo) replicates this over
+// many initial conditions; `run_baseline` produces the fault-free, CR-free,
+// interference-free reference of §6.1 used as the waste-ratio denominator.
+//
+// Job lifecycle (§5 "Execution Simulation"):
+//
+//   scheduled → initial input (blocking; recovery read for restarts)
+//             → [ compute ⇄ checkpoint / routine I/O ]*
+//             → final output (blocking) → done
+//
+// A node failure kills the owning job; a restart job is resubmitted at the
+// highest priority with the remaining work from the last snapshot and a
+// recovery read as its input.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accounting.hpp"
+#include "core/config.hpp"
+#include "platform/failure_model.hpp"
+#include "workload/job.hpp"
+
+namespace coopcr {
+
+/// Event/job counters of one run (diagnostics and tests).
+struct SimulationCounters {
+  std::uint64_t failures_total = 0;    ///< failures fired by the trace
+  std::uint64_t failures_on_jobs = 0;  ///< failures that killed a job
+  std::uint64_t checkpoint_requests = 0;
+  std::uint64_t checkpoints_completed = 0;
+  std::uint64_t checkpoints_aborted = 0;   ///< failure during commit
+  std::uint64_t checkpoints_cancelled = 0; ///< overtaken by job completion
+  std::uint64_t jobs_started = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t restarts_submitted = 0;
+  std::uint64_t io_requests = 0;
+};
+
+/// Outcome of one simulation run.
+struct SimulationResult {
+  Accounting accounting;        ///< per-category unit-seconds in the segment
+  SimulationCounters counters;
+  double useful = 0.0;          ///< accounting.useful()
+  double wasted = 0.0;          ///< accounting.wasted()
+  double avg_utilization = 0.0; ///< mean allocated node fraction over segment
+  double stop_time = 0.0;       ///< simulated time at which the run stopped
+  std::uint64_t events = 0;     ///< engine events executed
+
+  SimulationResult(sim::Time seg_start, sim::Time seg_end)
+      : accounting(seg_start, seg_end) {}
+};
+
+/// Run one simulation. `jobs` is the shuffled arrival-ordered list; `failures`
+/// the pre-drawn trace (times beyond the measured horizon are ignored).
+SimulationResult simulate(const SimulationConfig& config,
+                          const std::vector<Job>& jobs,
+                          const std::vector<Failure>& failures);
+
+/// Fault-free, checkpoint-free, interference-free run over the same job list
+/// (the baseline of §6.1). Returns the same result type; `useful` is the
+/// waste-ratio denominator.
+SimulationResult simulate_baseline(const SimulationConfig& config,
+                                   const std::vector<Job>& jobs);
+
+}  // namespace coopcr

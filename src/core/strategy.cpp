@@ -1,0 +1,64 @@
+#include "core/strategy.hpp"
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+std::string to_string(IoMode mode) {
+  switch (mode) {
+    case IoMode::kOblivious:
+      return "Oblivious";
+    case IoMode::kOrdered:
+      return "Ordered";
+    case IoMode::kOrderedNb:
+      return "Ordered-NB";
+    case IoMode::kLeastWaste:
+      return "Least-Waste";
+  }
+  return "?";
+}
+
+std::string to_string(CheckpointPolicy policy) {
+  switch (policy) {
+    case CheckpointPolicy::kFixed:
+      return "Fixed";
+    case CheckpointPolicy::kDaly:
+      return "Daly";
+  }
+  return "?";
+}
+
+std::string Strategy::name() const {
+  if (mode == IoMode::kLeastWaste) {
+    // The paper's Least-Waste always uses Daly periods ("Fixed checkpointing
+    // makes little sense in the Least-Waste strategy", §3.5 footnote).
+    return "Least-Waste";
+  }
+  return to_string(mode) + "-" + to_string(policy);
+}
+
+const std::vector<Strategy>& paper_strategies() {
+  static const std::vector<Strategy> kStrategies = {
+      {IoMode::kOblivious, CheckpointPolicy::kFixed},
+      {IoMode::kOblivious, CheckpointPolicy::kDaly},
+      {IoMode::kOrdered, CheckpointPolicy::kFixed},
+      {IoMode::kOrdered, CheckpointPolicy::kDaly},
+      {IoMode::kOrderedNb, CheckpointPolicy::kFixed},
+      {IoMode::kOrderedNb, CheckpointPolicy::kDaly},
+      {IoMode::kLeastWaste, CheckpointPolicy::kDaly},
+  };
+  return kStrategies;
+}
+
+Strategy strategy_from_name(const std::string& name) {
+  for (const Strategy& s : paper_strategies()) {
+    if (s.name() == name) return s;
+  }
+  // Accept the two non-canonical spellings of the NB variants.
+  if (name == "OrderedNB-Fixed") return {IoMode::kOrderedNb, CheckpointPolicy::kFixed};
+  if (name == "OrderedNB-Daly") return {IoMode::kOrderedNb, CheckpointPolicy::kDaly};
+  COOPCR_CHECK(false, "unknown strategy name: " + name);
+  return {};
+}
+
+}  // namespace coopcr

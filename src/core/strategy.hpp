@@ -1,0 +1,70 @@
+// coopcr/core/strategy.hpp
+//
+// The checkpoint / I/O scheduling strategies studied by the paper (§3):
+//
+//   Oblivious-Fixed   Oblivious-Daly     — uncoordinated, linear interference
+//   Ordered-Fixed     Ordered-Daly       — serialized FCFS, blocking wait
+//   Ordered-NB-Fixed  Ordered-NB-Daly    — serialized FCFS, compute while waiting
+//   Least-Waste                          — serialized, Eq. (1)/(2) selection,
+//                                          compute while waiting, Daly periods
+//
+// A strategy is the triple (admission/interference mode, waiting behaviour,
+// checkpoint-period policy); this header is the single source of truth for
+// the mapping.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coopcr {
+
+/// How each job's checkpoint period P_i is chosen (§3.4).
+enum class CheckpointPolicy {
+  kFixed,  ///< a fixed period, 1 hour unless configured otherwise
+  kDaly,   ///< P_Daly(J_i) = sqrt(2 µ_i C_i)
+};
+
+/// I/O coordination mode (§3.1-3.5).
+enum class IoMode {
+  kOblivious,  ///< no coordination; linear interference dilates transfers
+  kOrdered,    ///< FCFS token; jobs block (idle) while waiting
+  kOrderedNb,  ///< FCFS token; jobs compute while waiting for a checkpoint
+  kLeastWaste, ///< waste-minimising token (Eq. (1)/(2)); non-blocking waits
+};
+
+/// One of the paper's strategies.
+struct Strategy {
+  IoMode mode = IoMode::kOblivious;
+  CheckpointPolicy policy = CheckpointPolicy::kDaly;
+
+  /// Canonical display name, e.g. "Ordered-NB-Daly" or "Least-Waste".
+  std::string name() const;
+
+  /// True when a job keeps computing while its *checkpoint* request waits
+  /// for the I/O token (§3.3, §3.5).
+  bool non_blocking_wait() const {
+    return mode == IoMode::kOrderedNb || mode == IoMode::kLeastWaste;
+  }
+
+  /// True when the strategy serialises I/O behind a token.
+  bool serialized() const { return mode != IoMode::kOblivious; }
+
+  bool operator==(const Strategy& other) const {
+    return mode == other.mode && policy == other.policy;
+  }
+};
+
+/// The seven strategies evaluated in every figure of the paper, in the
+/// paper's legend order: Oblivious-Fixed, Oblivious-Daly, Ordered-Fixed,
+/// Ordered-Daly, Ordered-NB-Fixed, Ordered-NB-Daly, Least-Waste.
+const std::vector<Strategy>& paper_strategies();
+
+/// Parse a canonical name back into a Strategy (exact match; throws on
+/// unknown names). Useful for example CLIs.
+Strategy strategy_from_name(const std::string& name);
+
+std::string to_string(IoMode mode);
+std::string to_string(CheckpointPolicy policy);
+
+}  // namespace coopcr

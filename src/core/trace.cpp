@@ -1,0 +1,159 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace coopcr {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kJobStart:
+      return "job-start";
+    case TraceKind::kIoStart:
+      return "io-start";
+    case TraceKind::kIoEnd:
+      return "io-end";
+    case TraceKind::kCkptRequest:
+      return "ckpt-request";
+    case TraceKind::kFailure:
+      return "failure";
+    case TraceKind::kRestartSubmit:
+      return "restart-submit";
+    case TraceKind::kJobComplete:
+      return "job-complete";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(sim::Time time, JobId job, TraceKind kind,
+                           IoKind io, double detail) {
+  events_.push_back(TraceEvent{time, job, kind, io, detail});
+}
+
+std::vector<TraceEvent> TraceRecorder::for_job(JobId job) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.job == job) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.write_row({"time", "job", "kind", "io", "detail"});
+  for (const auto& e : events_) {
+    csv.write_row({TablePrinter::fmt(e.time, 6), std::to_string(e.job),
+                   to_string(e.kind), to_string(e.io),
+                   TablePrinter::fmt(e.detail, 6)});
+  }
+}
+
+std::string render_gantt(const TraceRecorder& trace, sim::Time t0,
+                         sim::Time t1, int width) {
+  COOPCR_CHECK(t1 > t0, "gantt window must be non-empty");
+  COOPCR_CHECK(width >= 10, "gantt width too small");
+
+  // Replay each job's state machine to produce per-bucket characters.
+  // Priority when several states touch one bucket: failure > checkpoint >
+  // I/O > wait > compute > idle.
+  auto rank = [](char c) {
+    switch (c) {
+      case 'X':
+        return 6;
+      case 'K':
+        return 5;
+      case 'i':
+      case 'o':
+        return 4;
+      case 'w':
+        return 3;
+      case '=':
+        return 2;
+      default:
+        return 0;
+    }
+  };
+
+  std::map<JobId, std::string> rows;
+  auto row_of = [&](JobId job) -> std::string& {
+    auto it = rows.find(job);
+    if (it == rows.end()) {
+      it = rows.emplace(job, std::string(static_cast<std::size_t>(width), '.'))
+               .first;
+    }
+    return it->second;
+  };
+  const double bucket = (t1 - t0) / static_cast<double>(width);
+  auto paint = [&](JobId job, double from, double to, char c) {
+    if (to < from) return;
+    std::string& row = row_of(job);
+    int lo = static_cast<int>((std::max(from, t0) - t0) / bucket);
+    int hi = static_cast<int>((std::min(to, t1) - t0) / bucket);
+    lo = std::clamp(lo, 0, width - 1);
+    hi = std::clamp(hi, 0, width - 1);
+    for (int b = lo; b <= hi; ++b) {
+      char& cell = row[static_cast<std::size_t>(b)];
+      if (rank(c) >= rank(cell)) cell = c;
+    }
+  };
+
+  struct JobCursor {
+    double since = 0.0;
+    char state = '.';
+  };
+  std::map<JobId, JobCursor> cursors;
+  for (const auto& e : trace.events()) {
+    JobCursor& cur = cursors[e.job];
+    // Close the current state segment up to this event.
+    if (cur.state != '.') paint(e.job, cur.since, e.time, cur.state);
+    switch (e.kind) {
+      case TraceKind::kJobStart:
+        cur.state = 'w';  // queued for its initial read
+        break;
+      case TraceKind::kIoStart:
+        cur.state = e.io == IoKind::kCheckpoint ? 'K'
+                    : e.io == IoKind::kOutput   ? 'o'
+                                                : 'i';
+        break;
+      case TraceKind::kIoEnd:
+        cur.state = '=';  // back to compute (or done, fixed below)
+        break;
+      case TraceKind::kCkptRequest:
+        // Blocking strategies idle ('w'); non-blocking keep computing — the
+        // renderer shows 'w' either way to make the wait visible.
+        cur.state = 'w';
+        break;
+      case TraceKind::kFailure:
+        paint(e.job, e.time, e.time, 'X');
+        cur.state = '.';
+        break;
+      case TraceKind::kRestartSubmit:
+        break;  // concerns the new job id
+      case TraceKind::kJobComplete:
+        cur.state = '.';
+        break;
+    }
+    cur.since = e.time;
+  }
+  // Close open segments at the window end.
+  for (auto& [job, cur] : cursors) {
+    if (cur.state != '.') paint(job, cur.since, t1, cur.state);
+  }
+
+  std::string out;
+  out += "time " + TablePrinter::fmt(t0, 0) + " .. " + TablePrinter::fmt(t1, 0) +
+         " s  ('=' compute, 'i' input, 'o' output, 'K' ckpt, 'w' wait, "
+         "'X' failure)\n";
+  for (const auto& [job, row] : rows) {
+    std::string label = "job " + std::to_string(job);
+    label.resize(10, ' ');
+    out += label + "|" + row + "|\n";
+  }
+  return out;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,71 @@
+// coopcr/core/trace.hpp
+//
+// Optional execution tracing for the simulator: every job lifecycle
+// transition is recorded with its timestamp, enabling timeline inspection,
+// CSV export and the ASCII Gantt rendering used by the timeline example.
+// Tracing is off unless a recorder is attached to the SimulationConfig, so
+// Monte Carlo sweeps pay nothing for it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/request.hpp"
+#include "platform/node_pool.hpp"
+#include "sim/time.hpp"
+
+namespace coopcr {
+
+/// Kind of a recorded transition.
+enum class TraceKind : int {
+  kJobStart = 0,       ///< job allocated, initial read submitted
+  kIoStart = 1,        ///< a transfer was granted the channel
+  kIoEnd = 2,          ///< a transfer completed
+  kCkptRequest = 3,    ///< checkpoint request issued
+  kFailure = 4,        ///< a node failure killed the job
+  kRestartSubmit = 5,  ///< restart job queued (detail = restart job id)
+  kJobComplete = 6,    ///< final output done, nodes released
+};
+
+/// Human-readable name for a TraceKind.
+std::string to_string(TraceKind kind);
+
+/// One recorded transition.
+struct TraceEvent {
+  sim::Time time = 0.0;
+  JobId job = kNoJob;
+  TraceKind kind = TraceKind::kJobStart;
+  IoKind io = IoKind::kInput;  ///< valid for kIoStart / kIoEnd
+  double detail = 0.0;         ///< kind-specific payload (volume, id, ...)
+};
+
+/// Append-only event sink attached to a simulation run.
+class TraceRecorder {
+ public:
+  void record(sim::Time time, JobId job, TraceKind kind,
+              IoKind io = IoKind::kInput, double detail = 0.0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one job, in time order.
+  std::vector<TraceEvent> for_job(JobId job) const;
+
+  /// Export as CSV (time,job,kind,io,detail) to `path`.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Render the trace as an ASCII Gantt chart over [t0, t1] with `width`
+/// buckets: one row per job, characters
+///   'i' input/recovery transfer, 'w' waiting for the token,
+///   '=' computing, 'K' checkpoint commit, 'o' output, 'X' failure,
+///   '.' not allocated.
+std::string render_gantt(const TraceRecorder& trace, sim::Time t0,
+                         sim::Time t1, int width);
+
+}  // namespace coopcr

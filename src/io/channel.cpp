@@ -1,0 +1,168 @@
+#include "io/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+namespace {
+// Completion slack in bytes. Volumes reach petabytes (1e15); double rounding
+// leaves sub-byte residues, and one byte of slack is 25 ps at 40 GB/s —
+// entirely negligible against any modelled quantity.
+constexpr double kByteEpsilon = 1.0;
+}  // namespace
+
+SharedChannel::SharedChannel(sim::Engine& engine, double bandwidth,
+                             InterferenceModel model, double alpha)
+    : engine_(engine), bandwidth_(bandwidth), model_(model), alpha_(alpha) {
+  COOPCR_CHECK(bandwidth_ > 0.0, "channel bandwidth must be positive");
+  COOPCR_CHECK(alpha_ >= 0.0, "degradation alpha must be non-negative");
+  last_advance_ = engine_.now();
+}
+
+std::int64_t SharedChannel::total_weight() const {
+  std::int64_t sum = 0;
+  for (const auto& [id, flow] : flows_) sum += flow.weight;
+  return sum;
+}
+
+double SharedChannel::flow_rate(std::int64_t weight) const {
+  if (flows_.empty()) return 0.0;
+  switch (model_) {
+    case InterferenceModel::kNone:
+      return bandwidth_;
+    case InterferenceModel::kLinear: {
+      const auto tw = static_cast<double>(total_weight());
+      return bandwidth_ * static_cast<double>(weight) / tw;
+    }
+    case InterferenceModel::kDegrading: {
+      const auto k = static_cast<double>(flows_.size());
+      const double effective = bandwidth_ / (1.0 + alpha_ * (k - 1.0));
+      const auto tw = static_cast<double>(total_weight());
+      return effective * static_cast<double>(weight) / tw;
+    }
+  }
+  return 0.0;
+}
+
+void SharedChannel::advance() {
+  const sim::Time now = engine_.now();
+  const double dt = now - last_advance_;
+  COOPCR_ASSERT(dt >= 0.0, "channel time ran backwards");
+  if (dt > 0.0 && !flows_.empty()) {
+    busy_accum_ += dt;
+    for (auto& [id, flow] : flows_) {
+      flow.remaining =
+          std::max(0.0, flow.remaining - flow_rate(flow.weight) * dt);
+    }
+  }
+  last_advance_ = now;
+}
+
+void SharedChannel::reschedule() {
+  if (pending_event_ != sim::kInvalidEventId) {
+    engine_.cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  expected_done_.clear();
+  if (flows_.empty()) return;
+  double min_ttf = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    const double rate = flow_rate(flow.weight);
+    COOPCR_ASSERT(rate > 0.0, "active flow with zero rate");
+    min_ttf = std::min(min_ttf, std::max(0.0, flow.remaining) / rate);
+  }
+  // Remember every flow finishing at (or indistinguishably close to) the
+  // event time: they complete *by construction* when the event fires, which
+  // makes completion immune to double rounding in rate*dt updates.
+  const double slack = 1e-9 * std::max(min_ttf, 1.0);
+  for (const auto& [id, flow] : flows_) {
+    const double ttf =
+        std::max(0.0, flow.remaining) / flow_rate(flow.weight);
+    if (ttf <= min_ttf + slack) expected_done_.push_back(id);
+  }
+  pending_event_ = engine_.after(min_ttf, [this] { on_completion_event(); });
+}
+
+FlowId SharedChannel::start(double volume, std::int64_t weight,
+                            CompletionFn on_complete) {
+  COOPCR_CHECK(volume >= 0.0, "flow volume must be non-negative");
+  COOPCR_CHECK(weight > 0, "flow weight must be positive");
+  COOPCR_CHECK(static_cast<bool>(on_complete), "flow needs a completion callback");
+  advance();
+  const FlowId id = next_id_++;
+  flows_.emplace(id, Flow{volume, volume, weight, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool SharedChannel::abort(FlowId id) {
+  advance();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  reschedule();
+  return true;
+}
+
+double SharedChannel::rate_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  return flow_rate(it->second.weight);
+}
+
+double SharedChannel::remaining_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  // Advance analytically without mutating (const view).
+  const double dt = engine_.now() - last_advance_;
+  return std::max(0.0, it->second.remaining - flow_rate(it->second.weight) * dt);
+}
+
+double SharedChannel::aggregate_rate() const {
+  double sum = 0.0;
+  for (const auto& [id, flow] : flows_) sum += flow_rate(flow.weight);
+  return sum;
+}
+
+double SharedChannel::busy_time() const {
+  double extra = 0.0;
+  if (!flows_.empty()) extra = engine_.now() - last_advance_;
+  return busy_accum_ + extra;
+}
+
+void SharedChannel::on_completion_event() {
+  pending_event_ = sim::kInvalidEventId;
+  advance();
+  // Collect every drained flow first, then mutate, then notify: completion
+  // callbacks may start new flows on this very channel (serial token pump).
+  // The flows this event was scheduled for complete by construction; any
+  // other flow whose residue drained to (near) zero joins them.
+  std::vector<std::pair<FlowId, CompletionFn>> finished;
+  for (const FlowId id : expected_done_) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) continue;  // aborted meanwhile
+    finished.emplace_back(id, std::move(it->second.on_complete));
+    bytes_done_ += it->second.volume;
+    it->second.remaining = 0.0;
+  }
+  for (auto& [id, flow] : flows_) {
+    if (flow.remaining > 0.0 && flow.remaining <= kByteEpsilon) {
+      finished.emplace_back(id, std::move(flow.on_complete));
+      bytes_done_ += flow.volume;
+      flow.remaining = 0.0;
+    }
+  }
+  // A spurious wake-up (all flows still draining) can only happen if an
+  // abort/start changed rates after this event was scheduled — reschedule()
+  // cancels the stale event in those paths, so something drained here.
+  COOPCR_ASSERT(!finished.empty(), "completion event with no drained flow");
+  for (const auto& [id, fn] : finished) flows_.erase(id);
+  reschedule();
+  for (auto& [id, fn] : finished) fn(id);
+}
+
+}  // namespace coopcr

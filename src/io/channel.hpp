@@ -1,0 +1,123 @@
+// coopcr/io/channel.hpp
+//
+// Shared-bandwidth transfer channel: the time-shared PFS of the model
+// (paper §2, "Computational Platform Model").
+//
+// Interference models:
+//  * kLinear (the paper's): the aggregated bandwidth B is split among the k
+//    active flows proportionally to the node count of each flow's job —
+//    rate_i = B * q_i / Σ_j q_j. Global throughput stays B.
+//  * kNone (baseline runs): no contention — every flow proceeds at the full
+//    bandwidth B regardless of concurrency (the fault-free, CR-free,
+//    interference-free reference of §6.1).
+//  * kDegrading (footnote 2's "more adversarial" model): concurrency also
+//    degrades the aggregate — B_eff = B / (1 + alpha * (k - 1)), shares still
+//    proportional to q_i.
+//
+// The channel is a processor-sharing queue simulated exactly: on every
+// admission/abort/completion the remaining volumes are advanced analytically
+// and the next completion event is (re)scheduled. No time-stepping.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "io/request.hpp"
+#include "sim/engine.hpp"
+
+namespace coopcr {
+
+/// Contention model applied to concurrent flows.
+enum class InterferenceModel {
+  kLinear,     ///< paper model: fair proportional sharing, constant aggregate
+  kNone,       ///< no interference (baseline reference runs)
+  kDegrading,  ///< adversarial: aggregate shrinks with concurrency
+};
+
+/// Identifier of an active flow within one channel.
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+/// Processor-sharing bandwidth channel.
+class SharedChannel {
+ public:
+  /// Called when a flow's last byte is transferred.
+  using CompletionFn = std::function<void(FlowId)>;
+
+  /// `bandwidth` — aggregated bytes/s; `alpha` — degradation coefficient for
+  /// kDegrading (ignored otherwise).
+  SharedChannel(sim::Engine& engine, double bandwidth,
+                InterferenceModel model = InterferenceModel::kLinear,
+                double alpha = 0.0);
+
+  /// Admit a flow transferring `volume` bytes with interference weight
+  /// `weight` (the job's node count). Zero-volume flows complete at the next
+  /// event dispatch (still asynchronously). Returns the flow handle.
+  FlowId start(double volume, std::int64_t weight, CompletionFn on_complete);
+
+  /// Abort an active flow (failure killed the job). No completion callback
+  /// fires. Returns false if the flow is unknown (already completed).
+  bool abort(FlowId id);
+
+  /// Number of currently active flows.
+  std::size_t active() const { return flows_.size(); }
+
+  /// Instantaneous rate of a flow (bytes/s); 0 for unknown flows.
+  double rate_of(FlowId id) const;
+
+  /// Remaining bytes of a flow (advanced to "now"); 0 for unknown flows.
+  double remaining_of(FlowId id) const;
+
+  /// Aggregate bytes/s currently being moved.
+  double aggregate_rate() const;
+
+  /// Total time during which at least one flow was active.
+  double busy_time() const;
+
+  /// Total bytes fully transferred through the channel.
+  double bytes_transferred() const { return bytes_done_; }
+
+  double bandwidth() const { return bandwidth_; }
+  InterferenceModel model() const { return model_; }
+
+ private:
+  struct Flow {
+    double remaining = 0.0;
+    double volume = 0.0;  ///< original request size (for transfer accounting)
+    std::int64_t weight = 0;
+    CompletionFn on_complete;
+  };
+
+  /// Advance all remaining volumes to the current engine time.
+  void advance();
+  /// Recompute per-flow rates and (re)schedule the next completion event.
+  void reschedule();
+  /// Completion event handler: finish every flow whose volume has drained.
+  void on_completion_event();
+  /// Current per-flow rate for `weight` given the active set.
+  double flow_rate(std::int64_t weight) const;
+  std::int64_t total_weight() const;
+
+  sim::Engine& engine_;
+  double bandwidth_;
+  InterferenceModel model_;
+  double alpha_;
+
+  std::unordered_map<FlowId, Flow> flows_;
+  /// Flows the pending completion event was computed for: they are complete
+  /// at that instant by construction, regardless of accumulated double
+  /// rounding in remaining-volume updates.
+  std::vector<FlowId> expected_done_;
+  FlowId next_id_ = 1;
+  sim::Time last_advance_ = 0.0;
+  sim::EventId pending_event_ = sim::kInvalidEventId;
+
+  double busy_accum_ = 0.0;
+  sim::Time busy_since_ = 0.0;
+  double bytes_done_ = 0.0;
+};
+
+}  // namespace coopcr

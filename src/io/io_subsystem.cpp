@@ -1,0 +1,158 @@
+#include "io/io_subsystem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+IoSubsystem::IoSubsystem(sim::Engine& engine, double bandwidth,
+                         AdmissionMode mode, InterferenceModel interference,
+                         double degradation_alpha,
+                         std::unique_ptr<TokenPolicy> policy)
+    : engine_(engine),
+      channel_(engine, bandwidth, interference, degradation_alpha),
+      mode_(mode),
+      policy_(std::move(policy)) {
+  if (mode_ == AdmissionMode::kSerial) {
+    COOPCR_CHECK(policy_ != nullptr, "serial admission needs a token policy");
+  }
+}
+
+RequestId IoSubsystem::submit(const IoRequest& request,
+                              RequestCallbacks callbacks,
+                              sim::Time last_checkpoint_end,
+                              double recovery_seconds) {
+  COOPCR_CHECK(request.volume >= 0.0, "request volume must be >= 0");
+  COOPCR_CHECK(request.nodes > 0, "request weight (nodes) must be positive");
+  const RequestId id = next_id_++;
+  Record rec;
+  rec.request = request;
+  rec.callbacks = std::move(callbacks);
+  rec.submitted = engine_.now();
+  rec.last_checkpoint_end = last_checkpoint_end;
+  rec.recovery_seconds = recovery_seconds;
+  records_.emplace(id, std::move(rec));
+  ++stats_.submitted;
+
+  if (mode_ == AdmissionMode::kConcurrent) {
+    grant(id);
+    return id;
+  }
+
+  // Serial: enqueue, then pump (grants immediately when the token is free
+  // and nothing older is waiting).
+  PendingEntry entry;
+  entry.id = id;
+  entry.request = request;
+  entry.enqueued_at = engine_.now();
+  entry.last_checkpoint_end = last_checkpoint_end;
+  entry.recovery_seconds = recovery_seconds;
+  pending_.push_back(entry);
+  pump();
+  return id;
+}
+
+void IoSubsystem::grant(RequestId id) {
+  auto it = records_.find(id);
+  COOPCR_ASSERT(it != records_.end(), "granting unknown request");
+  Record& rec = it->second;
+  COOPCR_ASSERT(!rec.active, "granting an already-active request");
+  rec.started = engine_.now();
+  rec.active = true;
+  stats_.total_wait_time += rec.started - rec.submitted;
+  active_.emplace(id, 0);
+  rec.flow = channel_.start(rec.request.volume, rec.request.nodes,
+                            [this, id](FlowId) { on_flow_complete(id); });
+  // Notify after internal state is consistent; the callback may re-enter
+  // submit()/cancel() on this subsystem.
+  if (rec.callbacks.on_start) rec.callbacks.on_start(id);
+}
+
+void IoSubsystem::pump() {
+  if (mode_ == AdmissionMode::kConcurrent) return;
+  if (pumping_) return;  // re-entrant submit() during a grant; outer loop wins
+  pumping_ = true;
+  while (active_.empty() && !pending_.empty()) {
+    const std::size_t pick = policy_->select(pending_, engine_.now());
+    COOPCR_ASSERT(pick < pending_.size(), "policy returned bad index");
+    const RequestId id = pending_[pick].id;
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+    grant(id);
+  }
+  pumping_ = false;
+}
+
+void IoSubsystem::on_flow_complete(RequestId id) {
+  auto it = records_.find(id);
+  COOPCR_ASSERT(it != records_.end(), "completion for unknown request");
+  Record rec = std::move(it->second);
+  records_.erase(it);
+  active_.erase(id);
+  ++stats_.completed;
+  stats_.total_transfer_time += engine_.now() - rec.started;
+  // Completion callback may submit follow-up requests; the token queue is
+  // already consistent (this request fully removed).
+  if (rec.callbacks.on_complete) rec.callbacks.on_complete(id);
+  pump();
+}
+
+bool IoSubsystem::cancel(RequestId id) {
+  auto it = records_.find(id);
+  if (it == records_.end() || it->second.active) return false;
+  const auto pending_it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [id](const PendingEntry& e) { return e.id == id; });
+  // In concurrent mode nothing is ever pending, so cancel() always fails.
+  if (pending_it == pending_.end()) return false;
+  pending_.erase(pending_it);
+  records_.erase(it);
+  ++stats_.cancelled;
+  return true;
+}
+
+bool IoSubsystem::abort(RequestId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  if (it->second.active) {
+    channel_.abort(it->second.flow);
+    active_.erase(id);
+    records_.erase(it);
+    ++stats_.aborted;
+    pump();  // token freed — hand it to the next candidate
+    return true;
+  }
+  const auto pending_it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [id](const PendingEntry& e) { return e.id == id; });
+  if (pending_it != pending_.end()) {
+    pending_.erase(pending_it);
+  }
+  records_.erase(it);
+  ++stats_.aborted;
+  return true;
+}
+
+bool IoSubsystem::is_pending(RequestId id) const {
+  const auto it = records_.find(id);
+  return it != records_.end() && !it->second.active;
+}
+
+bool IoSubsystem::is_active(RequestId id) const {
+  const auto it = records_.find(id);
+  return it != records_.end() && it->second.active;
+}
+
+sim::Time IoSubsystem::submitted_at(RequestId id) const {
+  const auto it = records_.find(id);
+  COOPCR_CHECK(it != records_.end(), "unknown request");
+  return it->second.submitted;
+}
+
+sim::Time IoSubsystem::started_at(RequestId id) const {
+  const auto it = records_.find(id);
+  COOPCR_CHECK(it != records_.end(), "unknown request");
+  return it->second.started;
+}
+
+}  // namespace coopcr

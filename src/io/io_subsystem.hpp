@@ -1,0 +1,124 @@
+// coopcr/io/io_subsystem.hpp
+//
+// Admission layer in front of the shared PFS channel.
+//
+// Two admission modes realise the paper's strategy families (§3):
+//  * kConcurrent (Oblivious): every request starts transferring immediately;
+//    the channel's interference model dilates everyone.
+//  * kSerial (Ordered / Ordered-NB / Least-Waste): a single I/O token exists;
+//    requests queue and a TokenPolicy decides who is granted when the
+//    channel frees. Granted requests run alone at full bandwidth.
+//
+// Whether a *waiting* job keeps computing (non-blocking variants) is the
+// simulator's concern; the subsystem only reports when a request starts and
+// completes.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "io/channel.hpp"
+#include "io/request.hpp"
+#include "io/token_policy.hpp"
+#include "sim/engine.hpp"
+
+namespace coopcr {
+
+/// How requests are admitted to the channel.
+enum class AdmissionMode {
+  kConcurrent,  ///< Oblivious: no coordination
+  kSerial,      ///< one-at-a-time with a token policy
+};
+
+/// Lifecycle notifications for a request.
+struct RequestCallbacks {
+  /// Transfer begins (token granted / admitted). Invoked synchronously from
+  /// submit() when admission is immediate, otherwise from the grant path.
+  std::function<void(RequestId)> on_start;
+  /// Last byte transferred.
+  std::function<void(RequestId)> on_complete;
+};
+
+/// Aggregate counters for diagnostics and tests.
+struct IoSubsystemStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t aborted = 0;
+  double total_wait_time = 0.0;      ///< Σ (start - submit) over started requests
+  double total_transfer_time = 0.0;  ///< Σ (complete - start)
+};
+
+/// The platform's I/O front-end: queue + token + shared channel.
+class IoSubsystem {
+ public:
+  /// `policy` is required for kSerial and ignored for kConcurrent.
+  IoSubsystem(sim::Engine& engine, double bandwidth, AdmissionMode mode,
+              InterferenceModel interference = InterferenceModel::kLinear,
+              double degradation_alpha = 0.0,
+              std::unique_ptr<TokenPolicy> policy = nullptr);
+
+  /// Submit a request. `last_checkpoint_end` / `recovery_seconds` feed the
+  /// Least-Waste candidate model (ignored by other policies).
+  RequestId submit(const IoRequest& request, RequestCallbacks callbacks,
+                   sim::Time last_checkpoint_end = 0.0,
+                   double recovery_seconds = 0.0);
+
+  /// Withdraw a *pending* request (e.g. a non-blocking checkpoint request
+  /// overtaken by job completion). Returns false when the request is already
+  /// active or finished.
+  bool cancel(RequestId id);
+
+  /// Abort a request in any state (job failure). Active transfers are torn
+  /// down without completion callbacks. Returns false when unknown.
+  bool abort(RequestId id);
+
+  /// State queries.
+  bool is_pending(RequestId id) const;
+  bool is_active(RequestId id) const;
+
+  /// Submission / grant timestamps (for dilation accounting). Throws when the
+  /// request is unknown.
+  sim::Time submitted_at(RequestId id) const;
+  sim::Time started_at(RequestId id) const;
+
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t active_count() const { return active_.size(); }
+
+  const IoSubsystemStats& stats() const { return stats_; }
+  SharedChannel& channel() { return channel_; }
+  AdmissionMode mode() const { return mode_; }
+
+ private:
+  struct Record {
+    IoRequest request;
+    RequestCallbacks callbacks;
+    sim::Time submitted = 0.0;
+    sim::Time started = sim::kTimeNever;
+    sim::Time last_checkpoint_end = 0.0;
+    double recovery_seconds = 0.0;
+    FlowId flow = kInvalidFlow;
+    bool active = false;
+  };
+
+  void grant(RequestId id);
+  void pump();
+  void on_flow_complete(RequestId id);
+
+  sim::Engine& engine_;
+  SharedChannel channel_;
+  AdmissionMode mode_;
+  std::unique_ptr<TokenPolicy> policy_;
+
+  std::unordered_map<RequestId, Record> records_;
+  std::vector<PendingEntry> pending_;  ///< arrival-ordered token queue
+  std::unordered_map<RequestId, std::size_t> active_;  ///< id -> dummy (set)
+  RequestId next_id_ = 1;
+  IoSubsystemStats stats_;
+  bool pumping_ = false;
+};
+
+}  // namespace coopcr

@@ -1,0 +1,25 @@
+#include "io/request.hpp"
+
+namespace coopcr {
+
+std::string to_string(IoKind kind) {
+  switch (kind) {
+    case IoKind::kInput:
+      return "input";
+    case IoKind::kOutput:
+      return "output";
+    case IoKind::kRecovery:
+      return "recovery";
+    case IoKind::kCheckpoint:
+      return "checkpoint";
+    case IoKind::kRoutine:
+      return "routine";
+  }
+  return "?";
+}
+
+bool is_inherently_blocking(IoKind kind) {
+  return kind != IoKind::kCheckpoint;
+}
+
+}  // namespace coopcr

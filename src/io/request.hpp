@@ -1,0 +1,51 @@
+// coopcr/io/request.hpp
+//
+// I/O request descriptor shared by the channel, the token policies and the
+// simulator. Every byte moved through the PFS — initial input, final output,
+// recovery (restart) reads, checkpoint commits and regular application I/O —
+// is one of these.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/node_pool.hpp"
+#include "sim/time.hpp"
+
+namespace coopcr {
+
+/// Category of an I/O operation.
+enum class IoKind : int {
+  kInput = 0,      ///< initial input of a fresh job (blocking)
+  kOutput = 1,     ///< final output (blocking)
+  kRecovery = 2,   ///< checkpoint read of a restarted job (blocking)
+  kCheckpoint = 3, ///< periodic checkpoint commit
+  kRoutine = 4,    ///< regular (non-CR) application I/O (blocking)
+};
+
+/// Human-readable name of an IoKind.
+std::string to_string(IoKind kind);
+
+/// True for operations during which the job cannot compute while *waiting*
+/// for the I/O token (paper §5: "initial inputs and final outputs are
+/// blocking ... but checkpoints are non-blocking" under the non-blocking
+/// strategies; under blocking strategies the simulator treats checkpoint
+/// waits as blocking too).
+bool is_inherently_blocking(IoKind kind);
+
+/// Identifier of a request within one IoSubsystem instance.
+using RequestId = std::uint64_t;
+
+/// Sentinel invalid request.
+inline constexpr RequestId kInvalidRequest = 0;
+
+/// One I/O operation submitted to the subsystem.
+struct IoRequest {
+  JobId job = kNoJob;
+  IoKind kind = IoKind::kInput;
+  double volume = 0.0;       ///< bytes to transfer
+  std::int64_t nodes = 0;    ///< q — the job's size (interference weight)
+};
+
+}  // namespace coopcr

@@ -1,0 +1,55 @@
+#include "platform/failure_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+std::vector<Failure> FailureModel::generate(const PlatformSpec& platform,
+                                            sim::Time horizon,
+                                            Rng& rng) const {
+  platform.validate();
+  COOPCR_CHECK(horizon >= 0.0 && std::isfinite(horizon),
+               "failure horizon must be finite and non-negative");
+  const double system_mtbf = platform.system_mtbf();
+  std::vector<Failure> trace;
+  // Reserve with the expected count plus slack to avoid rehash churn.
+  trace.reserve(static_cast<std::size_t>(horizon / system_mtbf * 1.25) + 8);
+
+  // For Weibull inter-arrivals, rescale so the mean stays the system MTBF:
+  // E[X] = scale * Gamma(1 + 1/shape)  =>  scale = mtbf / Gamma(1 + 1/shape).
+  double weibull_scale = 0.0;
+  if (law == FailureLaw::kWeibull) {
+    COOPCR_CHECK(weibull_shape > 0.0, "weibull shape must be positive");
+    weibull_scale = system_mtbf / std::tgamma(1.0 + 1.0 / weibull_shape);
+  }
+
+  sim::Time t = 0.0;
+  for (;;) {
+    const double gap = (law == FailureLaw::kExponential)
+                           ? rng.exponential(system_mtbf)
+                           : rng.weibull(weibull_shape, weibull_scale);
+    t += gap;
+    if (t >= horizon) break;
+    const auto victim = static_cast<std::int64_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(platform.nodes)));
+    trace.push_back(Failure{t, victim});
+  }
+  return trace;
+}
+
+FailureTraceStats summarize(const std::vector<Failure>& trace) {
+  FailureTraceStats stats;
+  stats.count = trace.size();
+  if (trace.empty()) return stats;
+  stats.first = trace.front().time;
+  stats.last = trace.back().time;
+  if (trace.size() >= 2) {
+    stats.mean_interarrival =
+        (stats.last - stats.first) / static_cast<double>(trace.size() - 1);
+  }
+  return stats;
+}
+
+}  // namespace coopcr

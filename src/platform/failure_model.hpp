@@ -1,0 +1,66 @@
+// coopcr/platform/failure_model.hpp
+//
+// Node-failure injection (paper §2, §5).
+//
+// The paper pre-computes, per simulation instance, "a set of node failure
+// times according to an exponential distribution with the specified MTBF"
+// and draws a uniformly random victim node for each strike. We reproduce
+// exactly that: `FailureTrace` is generated once per replica from the
+// replica's RNG stream, so all strategies simulated on the same initial
+// conditions see the same failures.
+//
+// An optional Weibull inter-arrival mode supports the non-exponential
+// failure statistics discussed in the paper's related work ([24], [41]).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace coopcr {
+
+/// One node failure: at `time`, failure unit `node` dies (and is immediately
+/// replaced by a hot spare; the platform node count stays constant).
+struct Failure {
+  sim::Time time = 0.0;
+  std::int64_t node = 0;
+};
+
+/// Inter-arrival law for platform-level failures.
+enum class FailureLaw {
+  kExponential,  ///< memoryless — the paper's model
+  kWeibull,      ///< related-work extension; infant mortality for shape < 1
+};
+
+/// Parameters of the failure process.
+struct FailureModel {
+  FailureLaw law = FailureLaw::kExponential;
+  /// Weibull shape parameter (ignored for exponential). shape < 1 models the
+  /// decreasing hazard rates reported on production systems.
+  double weibull_shape = 0.7;
+
+  /// Generate all failures in [0, horizon) for `platform`.
+  ///
+  /// Failures form a renewal process at platform level with mean inter-arrival
+  /// equal to the system MTBF (node_mtbf / nodes); each strike picks a
+  /// uniformly random victim unit. Times are strictly increasing.
+  std::vector<Failure> generate(const PlatformSpec& platform,
+                                sim::Time horizon, Rng& rng) const;
+};
+
+/// Empirical summary of a trace (used by tests and diagnostics).
+struct FailureTraceStats {
+  std::size_t count = 0;
+  double mean_interarrival = 0.0;
+  sim::Time first = 0.0;
+  sim::Time last = 0.0;
+};
+
+/// Compute summary statistics of a failure trace.
+FailureTraceStats summarize(const std::vector<Failure>& trace);
+
+}  // namespace coopcr

@@ -1,0 +1,70 @@
+#include "platform/node_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+const std::vector<std::int64_t> NodePool::kEmpty{};
+
+NodePool::NodePool(std::int64_t node_count) {
+  COOPCR_CHECK(node_count > 0, "node pool must have at least one unit");
+  owner_.assign(static_cast<std::size_t>(node_count), kNoJob);
+  free_list_.resize(static_cast<std::size_t>(node_count));
+  // Free list kept LIFO; initialised descending so that allocation hands out
+  // low indices first (purely cosmetic, but makes traces easy to read).
+  for (std::int64_t i = 0; i < node_count; ++i) {
+    free_list_[static_cast<std::size_t>(i)] = node_count - 1 - i;
+  }
+  free_count_ = node_count;
+}
+
+void NodePool::allocate(JobId job, std::int64_t count) {
+  COOPCR_CHECK(job >= 0, "invalid job id");
+  COOPCR_CHECK(count > 0, "allocation size must be positive");
+  COOPCR_CHECK(count <= free_count_, "not enough free nodes");
+  COOPCR_CHECK(allocations_.find(job) == allocations_.end(),
+               "job already holds an allocation");
+  std::vector<std::int64_t> taken;
+  taken.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t node = free_list_.back();
+    free_list_.pop_back();
+    owner_[static_cast<std::size_t>(node)] = job;
+    taken.push_back(node);
+  }
+  free_count_ -= count;
+  allocations_.emplace(job, std::move(taken));
+}
+
+void NodePool::release(JobId job) {
+  auto it = allocations_.find(job);
+  COOPCR_CHECK(it != allocations_.end(), "job holds no allocation");
+  for (const std::int64_t node : it->second) {
+    COOPCR_ASSERT(owner_[static_cast<std::size_t>(node)] == job,
+                  "ownership table corrupt");
+    owner_[static_cast<std::size_t>(node)] = kNoJob;
+    free_list_.push_back(node);
+  }
+  free_count_ += static_cast<std::int64_t>(it->second.size());
+  allocations_.erase(it);
+}
+
+JobId NodePool::owner_of(std::int64_t index) const {
+  COOPCR_CHECK(index >= 0 && index < total(), "node index out of range");
+  return owner_[static_cast<std::size_t>(index)];
+}
+
+const std::vector<std::int64_t>& NodePool::nodes_of(JobId job) const {
+  const auto it = allocations_.find(job);
+  if (it == allocations_.end()) return kEmpty;
+  return it->second;
+}
+
+double NodePool::utilization() const {
+  return static_cast<double>(allocated_count()) /
+         static_cast<double>(total());
+}
+
+}  // namespace coopcr

@@ -1,0 +1,66 @@
+// coopcr/platform/node_pool.hpp
+//
+// Allocation bookkeeping for the space-shared node partition.
+//
+// Nodes (failure units) are dedicated to at most one job at a time. The pool
+// tracks ownership so a failure strike can be mapped to its victim job, and
+// exposes the free count used by the first-fit job scheduler. Failed units
+// are assumed to be swapped for hot spares instantly (paper §2: "only one
+// node has failed and is replaced by a hot spare"), so the pool size is
+// constant for the whole simulation.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace coopcr {
+
+/// Identifier of a job instance within one simulation.
+using JobId = std::int64_t;
+
+/// Sentinel for "no job".
+inline constexpr JobId kNoJob = -1;
+
+/// Fixed-size pool of failure units with per-unit ownership.
+class NodePool {
+ public:
+  /// Create a pool of `node_count` units, all free.
+  explicit NodePool(std::int64_t node_count);
+
+  std::int64_t total() const { return static_cast<std::int64_t>(owner_.size()); }
+  std::int64_t free_count() const { return free_count_; }
+  std::int64_t allocated_count() const { return total() - free_count_; }
+
+  /// True when at least `count` units are free.
+  bool can_allocate(std::int64_t count) const { return count <= free_count_; }
+
+  /// Allocate `count` units to `job`. Throws if insufficient units are free
+  /// or the job already holds an allocation.
+  void allocate(JobId job, std::int64_t count);
+
+  /// Release all units held by `job`. Throws if the job holds none.
+  void release(JobId job);
+
+  /// Owner of node `index`, or kNoJob when free.
+  JobId owner_of(std::int64_t index) const;
+
+  /// Units currently held by `job` (empty vector if none).
+  const std::vector<std::int64_t>& nodes_of(JobId job) const;
+
+  /// Number of jobs currently holding allocations.
+  std::size_t job_count() const { return allocations_.size(); }
+
+  /// Fraction of units currently allocated, in [0, 1].
+  double utilization() const;
+
+ private:
+  std::vector<JobId> owner_;                 // per-unit owner
+  std::vector<std::int64_t> free_list_;      // indices of free units (LIFO)
+  std::unordered_map<JobId, std::vector<std::int64_t>> allocations_;
+  std::int64_t free_count_ = 0;
+  static const std::vector<std::int64_t> kEmpty;
+};
+
+}  // namespace coopcr

@@ -1,0 +1,54 @@
+#include "platform/platform.hpp"
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+double PlatformSpec::memory_per_node() const {
+  COOPCR_CHECK(nodes > 0, "platform has no nodes");
+  return memory_bytes / static_cast<double>(nodes);
+}
+
+double PlatformSpec::system_mtbf() const {
+  COOPCR_CHECK(nodes > 0, "platform has no nodes");
+  COOPCR_CHECK(node_mtbf > 0.0, "platform node MTBF must be positive");
+  return node_mtbf / static_cast<double>(nodes);
+}
+
+double PlatformSpec::failure_rate() const { return 1.0 / system_mtbf(); }
+
+void PlatformSpec::validate() const {
+  COOPCR_CHECK(nodes > 0, "platform '" + name + "': nodes must be positive");
+  COOPCR_CHECK(cores_per_node > 0,
+               "platform '" + name + "': cores_per_node must be positive");
+  COOPCR_CHECK(memory_bytes > 0.0,
+               "platform '" + name + "': memory must be positive");
+  COOPCR_CHECK(pfs_bandwidth > 0.0,
+               "platform '" + name + "': PFS bandwidth must be positive");
+  COOPCR_CHECK(node_mtbf > 0.0,
+               "platform '" + name + "': node MTBF must be positive");
+}
+
+PlatformSpec PlatformSpec::cielo() {
+  PlatformSpec spec;
+  spec.name = "Cielo";
+  spec.nodes = 17888;  // 143,104 cores / 8-core failure units
+  spec.cores_per_node = 8;
+  spec.memory_bytes = units::terabytes(286);
+  spec.pfs_bandwidth = units::gb_per_s(160);
+  spec.node_mtbf = units::years(2);
+  return spec;
+}
+
+PlatformSpec PlatformSpec::prospective() {
+  PlatformSpec spec;
+  spec.name = "Prospective";
+  spec.nodes = 50000;
+  spec.cores_per_node = 8;
+  spec.memory_bytes = units::petabytes(7);
+  spec.pfs_bandwidth = units::tb_per_s(10);
+  spec.node_mtbf = units::years(10);
+  return spec;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,62 @@
+// coopcr/platform/platform.hpp
+//
+// Shared-platform model (paper §2): N compute nodes dedicated (space-shared)
+// to jobs, one parallel file system whose aggregated bandwidth is time-shared
+// by every I/O operation, and independent exponential node failures.
+//
+// Failure unit. The paper states that on Cielo a per-"node" MTBF of 2 years
+// corresponds to a system MTBF of 1 hour, and 50 years to 24 hours. Both
+// identities hold only with N ≈ 17,900, i.e. the paper's failure unit is one
+// 8-core socket of the 143,104-core machine (143104 / 8 = 17,888). We adopt
+// that convention: `nodes` counts failure units; a job of `c` cores occupies
+// `c / cores_per_node` units. See DESIGN.md ("Modelling decisions").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace coopcr {
+
+/// Static description of a computational platform.
+struct PlatformSpec {
+  std::string name;            ///< human-readable identifier
+  std::int64_t nodes = 0;      ///< number of failure units (see header note)
+  int cores_per_node = 1;      ///< cores per failure unit
+  double memory_bytes = 0.0;   ///< total main memory of the machine
+  double pfs_bandwidth = 0.0;  ///< aggregated PFS bandwidth (bytes/s)
+  double node_mtbf = 0.0;      ///< per-unit MTBF (seconds); µ_ind in the paper
+
+  /// Total core count.
+  std::int64_t total_cores() const { return nodes * cores_per_node; }
+
+  /// Memory per failure unit (bytes).
+  double memory_per_node() const;
+
+  /// Platform (system) MTBF = node_mtbf / nodes (paper §1, µ = µ_ind / q with
+  /// q = N).
+  double system_mtbf() const;
+
+  /// Failure rate of the whole machine (failures per second).
+  double failure_rate() const;
+
+  /// Validate invariants; throws coopcr::Error on an ill-formed spec.
+  void validate() const;
+
+  // --- presets ---------------------------------------------------------------
+
+  /// Cielo (LANL, operated 2010-2016): 143,104 cores grouped in 17,888
+  /// 8-core failure units, 286 TB memory, 160 GB/s PFS (theoretical peak).
+  /// Default node MTBF is 2 years (the paper's Figure 1 setting).
+  static PlatformSpec cielo();
+
+  /// Prospective future system (§6.2): 50,000 nodes, 7 PB of memory.
+  /// The PFS bandwidth is the free variable of Figure 3; the preset carries
+  /// 10 TB/s as a placeholder and benches override it. Default node MTBF is
+  /// 10 years.
+  static PlatformSpec prospective();
+};
+
+}  // namespace coopcr

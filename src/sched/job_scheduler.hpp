@@ -1,0 +1,64 @@
+// coopcr/sched/job_scheduler.hpp
+//
+// Online greedy first-fit job scheduler (paper §2 "Job Scheduling Model",
+// §5 "Job Scheduling").
+//
+// All jobs are presented (shuffled) at t = 0; whenever nodes free up the
+// scheduler scans the pending queue in (priority desc, arrival asc) order and
+// starts every job that fits — a "simple, greedy first-fit algorithm".
+// Restarted jobs are submitted with the highest priority so they reclaim an
+// allocation immediately ("restarted jobs are set to the highest priority").
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+
+#include "platform/node_pool.hpp"
+#include "workload/job.hpp"
+
+namespace coopcr {
+
+/// Pending-queue manager with first-fit placement.
+class JobScheduler {
+ public:
+  /// Invoked for every job the scheduler decides to start; the callee is
+  /// responsible for the job's lifecycle from then on (nodes are already
+  /// allocated in the pool when the callback runs).
+  using StartFn = std::function<void(const Job&)>;
+
+  explicit JobScheduler(NodePool& pool);
+
+  /// Add a job to the pending queue. Position honours (priority desc,
+  /// submission order asc).
+  void submit(const Job& job);
+
+  /// Scan the queue first-fit and start everything that fits.
+  /// Returns the number of jobs started.
+  std::size_t pump(const StartFn& start);
+
+  std::size_t pending_count() const { return pending_.size(); }
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Sum of node requirements over pending jobs (diagnostics).
+  std::int64_t pending_nodes() const;
+
+  /// Total jobs ever submitted / started (diagnostics, tests).
+  std::size_t total_submitted() const { return submitted_; }
+  std::size_t total_started() const { return started_; }
+
+ private:
+  struct Entry {
+    Job job;
+    std::size_t seq;  ///< submission order — FCFS tie-break within a priority
+  };
+
+  NodePool& pool_;
+  std::list<Entry> pending_;
+  std::size_t seq_ = 0;
+  std::size_t submitted_ = 0;
+  std::size_t started_ = 0;
+};
+
+}  // namespace coopcr

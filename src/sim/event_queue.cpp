@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr::sim {
+
+EventId EventQueue::schedule(Time t, EventFn fn) {
+  COOPCR_CHECK(std::isfinite(t), "event time must be finite");
+  COOPCR_CHECK(t >= now_, "cannot schedule an event in the past");
+  COOPCR_CHECK(static_cast<bool>(fn), "event callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  ++live_count_;
+  return seq;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  COOPCR_ASSERT(live_count_ > 0, "live count underflow on cancel");
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) return kTimeNever;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  COOPCR_CHECK(!heap_.empty(), "pop() on empty event queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  COOPCR_ASSERT(it != callbacks_.end(), "live heap entry without callback");
+  Fired fired{top.time, top.seq, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace coopcr::sim

@@ -1,0 +1,94 @@
+// coopcr/sim/event_queue.hpp
+//
+// Cancellable pending-event set for the discrete-event engine.
+//
+// Design:
+//  * binary min-heap ordered by (time, sequence) — ties are broken by
+//    insertion order, so runs are fully deterministic;
+//  * O(log n) schedule, O(1) amortised lazy cancel (cancelled entries are
+//    skipped at pop time);
+//  * events carry a `std::function<void()>` callback: the simulator's state
+//    machine is written as plain member functions bound at schedule time.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coopcr::sim {
+
+/// Opaque handle identifying a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+/// Invalid event handle (never returned by schedule()).
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Priority queue of cancellable timed callbacks.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedule `fn` at absolute time `t`. Returns a handle for cancellation.
+  /// `t` must be finite; scheduling in the past is a caller bug and throws.
+  EventId schedule(Time t, EventFn fn);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True when no live event remains.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of live (scheduled, not yet fired/cancelled) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  Time next_time() const;
+
+  /// Pop and return the earliest live event. Caller must check !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+  /// Lower bound for schedule(): events may not be scheduled before this.
+  /// The engine advances it to the current simulation time.
+  void set_now(Time now) { now_ = now; }
+  Time now() const { return now_; }
+
+  /// Total events ever scheduled (monotone counter, for stats/tests).
+  std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // doubles as the EventId
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+      heap_;
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+  Time now_ = 0.0;
+};
+
+}  // namespace coopcr::sim

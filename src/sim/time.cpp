@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace coopcr::sim {
+
+std::string format_time(Time t) {
+  if (!std::isfinite(t)) return "never";
+  const bool negative = t < 0;
+  double seconds = std::abs(t);
+  const auto days = static_cast<long>(seconds / 86400.0);
+  seconds -= static_cast<double>(days) * 86400.0;
+  const auto hours = static_cast<int>(seconds / 3600.0);
+  seconds -= hours * 3600.0;
+  const auto minutes = static_cast<int>(seconds / 60.0);
+  seconds -= minutes * 60.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%ldd %02d:%02d:%06.3f",
+                negative ? "-" : "", days, hours, minutes, seconds);
+  return buf;
+}
+
+}  // namespace coopcr::sim

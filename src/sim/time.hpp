@@ -1,0 +1,29 @@
+// coopcr/sim/time.hpp
+//
+// Simulated time. One `Time` unit is one second (matching the paper's
+// formulas, where periods, checkpoint commit times and MTBFs are all in
+// seconds). Doubles carry sub-microsecond resolution over multi-month
+// horizons, which is far finer than any modelled quantity.
+
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace coopcr::sim {
+
+/// Simulated time in seconds since the start of the run.
+using Time = double;
+
+/// Sentinel "never" timestamp.
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::infinity();
+
+/// Comparison slack for "same instant" decisions. The simulator itself never
+/// compares with epsilon (event ordering is exact via sequence numbers); this
+/// is only for assertions and tests.
+inline constexpr Time kTimeEpsilon = 1e-6;
+
+/// Format seconds as "Dd HH:MM:SS" for logs and example output.
+std::string format_time(Time t);
+
+}  // namespace coopcr::sim

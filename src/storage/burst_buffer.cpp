@@ -1,0 +1,106 @@
+#include "storage/burst_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace coopcr::storage {
+
+void BurstBufferSpec::validate() const {
+  COOPCR_CHECK(buffer_bandwidth > 0.0, "burst buffer bandwidth must be > 0");
+  COOPCR_CHECK(pfs_bandwidth > 0.0, "PFS bandwidth must be > 0");
+  COOPCR_CHECK(capacity > 0.0, "burst buffer capacity must be > 0");
+}
+
+BurstBuffer::BurstBuffer(sim::Engine& engine, const BurstBufferSpec& spec)
+    : engine_(engine),
+      spec_(spec),
+      buffer_channel_(engine, spec.buffer_bandwidth,
+                      InterferenceModel::kLinear),
+      pfs_channel_(engine, spec.pfs_bandwidth, InterferenceModel::kLinear) {
+  spec_.validate();
+}
+
+WriteId BurstBuffer::submit(double volume, std::int64_t weight,
+                            CommitFn on_commit, DrainFn on_drain) {
+  COOPCR_CHECK(volume >= 0.0, "write volume must be non-negative");
+  COOPCR_CHECK(volume <= spec_.capacity,
+               "write larger than the whole burst buffer");
+  COOPCR_CHECK(weight > 0, "write weight must be positive");
+  COOPCR_CHECK(static_cast<bool>(on_commit), "write needs a commit callback");
+  const WriteId id = next_id_++;
+  Write w;
+  w.volume = volume;
+  w.weight = weight;
+  w.submitted = engine_.now();
+  w.on_commit = std::move(on_commit);
+  w.on_drain = std::move(on_drain);
+  writes_.emplace(id, std::move(w));
+  waiting_.push_back(id);
+  ++stats_.writes_submitted;
+  try_admit();
+  return id;
+}
+
+void BurstBuffer::try_admit() {
+  // FIFO admission: the head write must fit before anything younger is
+  // considered (prevents large-write starvation).
+  while (!waiting_.empty()) {
+    const WriteId id = waiting_.front();
+    Write& w = writes_.at(id);
+    if (w.volume > free_capacity()) break;
+    waiting_.pop_front();
+    w.admitted = engine_.now();
+    stats_.total_capacity_wait += w.admitted - w.submitted;
+    occupancy_ += w.volume;
+    stats_.peak_occupancy = std::max(stats_.peak_occupancy, occupancy_);
+    buffer_channel_.start(w.volume, w.weight,
+                          [this, id](FlowId) { on_commit_complete(id); });
+  }
+}
+
+void BurstBuffer::on_commit_complete(WriteId id) {
+  Write& w = writes_.at(id);
+  ++stats_.writes_completed;
+  stats_.total_commit_latency += engine_.now() - w.submitted;
+  drain_queue_.push_back(id);
+  if (w.on_commit) w.on_commit(id);
+  if (!draining_) {
+    draining_ = true;
+    start_drain(drain_queue_.front());
+    drain_queue_.pop_front();
+  }
+}
+
+void BurstBuffer::start_drain(WriteId id) {
+  const Write& w = writes_.at(id);
+  pfs_channel_.start(w.volume, w.weight,
+                     [this, id](FlowId) { on_drain_complete(id); });
+}
+
+void BurstBuffer::on_drain_complete(WriteId id) {
+  auto it = writes_.find(id);
+  COOPCR_ASSERT(it != writes_.end(), "drain for unknown write");
+  const double volume = it->second.volume;
+  DrainFn on_drain = std::move(it->second.on_drain);
+  writes_.erase(it);
+  occupancy_ -= volume;
+  // Volumes reach petabytes: allow the double-rounding residue of summing
+  // and subtracting large magnitudes in different orders (relative slack).
+  COOPCR_ASSERT(occupancy_ >= -1e-9 * spec_.capacity - 16.0,
+                "burst buffer occupancy underflow");
+  occupancy_ = std::max(0.0, occupancy_);
+  ++stats_.drains_completed;
+  if (!drain_queue_.empty()) {
+    const WriteId next = drain_queue_.front();
+    drain_queue_.pop_front();
+    start_drain(next);
+  } else {
+    draining_ = false;
+  }
+  // Freed space may unblock queued writes.
+  try_admit();
+  if (on_drain) on_drain(id);
+}
+
+}  // namespace coopcr::storage

@@ -1,0 +1,114 @@
+// coopcr/storage/burst_buffer.hpp
+//
+// Two-tier storage model — the burst-buffer extension sketched in the
+// paper's conclusion (§8): "As burst-buffers and other NVRAM storage
+// mechanisms become more common, a natural extension of this work would
+// consider their impact on I/O contention/interference."
+//
+// Model:
+//  * a fast tier (the burst buffer) of bandwidth β_bb and finite capacity K;
+//  * the parallel file system of bandwidth β_pfs behind it.
+//
+// A checkpoint commits to the fast tier (at β_bb, processor-shared among
+// concurrent writers) and is asynchronously drained to the PFS (at β_pfs,
+// one drain at a time, FIFO). The application is released as soon as the
+// fast-tier write completes — the drain happens in its shadow. When the
+// buffer lacks free capacity for an incoming write, the write waits until
+// drains release enough space (admission is FIFO to avoid starvation).
+//
+// This component is deliberately self-contained (it owns its two channels)
+// so the ablation bench and tests can study commit-latency behaviour in
+// isolation from the full platform simulation.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "io/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace coopcr::storage {
+
+/// Configuration of the two-tier store.
+struct BurstBufferSpec {
+  double buffer_bandwidth = 0.0;  ///< β_bb, bytes/s (fast tier)
+  double pfs_bandwidth = 0.0;     ///< β_pfs, bytes/s (drain target)
+  double capacity = 0.0;          ///< K, bytes of fast-tier space
+
+  void validate() const;
+};
+
+/// Identifier of a write admitted to the burst buffer.
+using WriteId = std::uint64_t;
+inline constexpr WriteId kInvalidWrite = 0;
+
+/// Aggregate statistics of the store.
+struct BurstBufferStats {
+  std::uint64_t writes_submitted = 0;
+  std::uint64_t writes_completed = 0;  ///< fast-tier commit finished
+  std::uint64_t drains_completed = 0;  ///< data safely on the PFS
+  double total_commit_latency = 0.0;   ///< Σ (commit end - submit)
+  double total_capacity_wait = 0.0;    ///< Σ time spent waiting for space
+  double peak_occupancy = 0.0;         ///< max bytes resident in the buffer
+};
+
+/// Event-driven burst buffer in front of a PFS.
+class BurstBuffer {
+ public:
+  /// Invoked when a write's fast-tier commit completes (the application's
+  /// blocking point) and when its drain to the PFS completes (the data's
+  /// durability point).
+  using CommitFn = std::function<void(WriteId)>;
+  using DrainFn = std::function<void(WriteId)>;
+
+  BurstBuffer(sim::Engine& engine, const BurstBufferSpec& spec);
+
+  /// Submit a checkpoint write of `volume` bytes with interference weight
+  /// `weight`. `on_commit` fires when the fast-tier write completes;
+  /// `on_drain` (optional) when the PFS drain completes.
+  WriteId submit(double volume, std::int64_t weight, CommitFn on_commit,
+                 DrainFn on_drain = nullptr);
+
+  /// Bytes currently resident (committed or committing, not yet drained).
+  double occupancy() const { return occupancy_; }
+  /// Free fast-tier capacity.
+  double free_capacity() const { return spec_.capacity - occupancy_; }
+  /// Writes waiting for capacity.
+  std::size_t queued() const { return waiting_.size(); }
+
+  const BurstBufferStats& stats() const { return stats_; }
+  const BurstBufferSpec& spec() const { return spec_; }
+
+ private:
+  struct Write {
+    double volume = 0.0;
+    std::int64_t weight = 0;
+    sim::Time submitted = 0.0;
+    sim::Time admitted = sim::kTimeNever;
+    CommitFn on_commit;
+    DrainFn on_drain;
+  };
+
+  void try_admit();
+  void on_commit_complete(WriteId id);
+  void start_drain(WriteId id);
+  void on_drain_complete(WriteId id);
+
+  sim::Engine& engine_;
+  BurstBufferSpec spec_;
+  SharedChannel buffer_channel_;  ///< fast tier (processor-shared)
+  SharedChannel pfs_channel_;     ///< drain target
+
+  std::unordered_map<WriteId, Write> writes_;
+  std::deque<WriteId> waiting_;      ///< FIFO capacity queue
+  std::deque<WriteId> drain_queue_;  ///< committed, awaiting drain
+  bool draining_ = false;
+  double occupancy_ = 0.0;
+  WriteId next_id_ = 1;
+  BurstBufferStats stats_;
+};
+
+}  // namespace coopcr::storage

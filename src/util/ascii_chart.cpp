@@ -1,0 +1,92 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace coopcr {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  COOPCR_CHECK(width >= 10 && height >= 4, "chart canvas too small");
+}
+
+void AsciiChart::add_series(const std::string& name,
+                            std::vector<std::pair<double, double>> points,
+                            char marker) {
+  COOPCR_CHECK(!points.empty(), "series must contain points");
+  series_.push_back(Series{name, std::move(points), marker});
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  COOPCR_CHECK(lo < hi, "invalid y range");
+  custom_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::render() const {
+  COOPCR_CHECK(!series_.empty(), "nothing to render");
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = custom_y_ ? y_lo_ : std::numeric_limits<double>::infinity();
+  double y_hi = custom_y_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!custom_y_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  auto col_of = [&](double x) {
+    const double f = (x - x_lo) / (x_hi - x_lo);
+    return std::clamp(static_cast<int>(std::lround(f * (width_ - 1))), 0,
+                      width_ - 1);
+  };
+  auto row_of = [&](double y) {
+    const double f = (y - y_lo) / (y_hi - y_lo);
+    // Row 0 is the top of the canvas.
+    return std::clamp(
+        height_ - 1 - static_cast<int>(std::lround(f * (height_ - 1))), 0,
+        height_ - 1);
+  };
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      canvas[static_cast<std::size_t>(row_of(y))]
+            [static_cast<std::size_t>(col_of(x))] = s.marker;
+    }
+  }
+
+  std::ostringstream out;
+  for (int r = 0; r < height_; ++r) {
+    const double y =
+        y_hi - (y_hi - y_lo) * static_cast<double>(r) /
+                   static_cast<double>(height_ - 1);
+    out << TablePrinter::fmt(y, 3) << " |"
+        << canvas[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(6, ' ') << '+' << std::string(
+             static_cast<std::size_t>(width_), '-')
+      << "\n";
+  out << "      x: " << TablePrinter::fmt(x_lo, 2) << " .. "
+      << TablePrinter::fmt(x_hi, 2) << "\n";
+  for (const auto& s : series_) {
+    out << "      " << s.marker << " = " << s.name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace coopcr

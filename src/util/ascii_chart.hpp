@@ -1,0 +1,48 @@
+// coopcr/util/ascii_chart.hpp
+//
+// Terminal chart renderer: plots (x, y) series on a character canvas with
+// axis labels and a legend. Used by the figure benches (COOPCR_PLOT=1) to
+// give a quick visual of the paper's curves without leaving the terminal.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coopcr {
+
+/// Scatter/line chart on a character grid.
+class AsciiChart {
+ public:
+  /// Canvas size in characters (plot area, excluding labels).
+  AsciiChart(int width, int height);
+
+  /// Add a named series; `marker` is the character plotted at each point.
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points, char marker);
+
+  /// Override the automatic y range (by default: min/max over all points).
+  void set_y_range(double lo, double hi);
+
+  /// Render the canvas with y-axis labels, x-range footer and legend.
+  std::string render() const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    char marker;
+  };
+
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+  bool custom_y_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+};
+
+}  // namespace coopcr

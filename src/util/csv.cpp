@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  COOPCR_CHECK(out_.good(), "cannot open CSV output file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << ',';
+    out_ << escape(f);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::vector<std::string>(fields));
+}
+
+void CsvWriter::write_row(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (const double v : values) {
+    std::ostringstream oss;
+    oss.precision(precision);
+    oss << v;
+    fields.push_back(oss.str());
+  }
+  write_row(fields);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+std::optional<std::string> CsvWriter::env_output_dir() {
+  const char* dir = std::getenv("COOPCR_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+}  // namespace coopcr

@@ -1,0 +1,49 @@
+// coopcr/util/csv.hpp
+//
+// Minimal CSV writer for bench output. Every bench can dump its series as a
+// CSV file (ready for gnuplot / pandas) when COOPCR_CSV_DIR is set, in
+// addition to the human-readable console table.
+
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coopcr {
+
+/// RFC-4180-ish CSV writer (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Open `path` for writing; throws coopcr::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header / data row from strings.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience: first field is a label, remaining are numeric.
+  void write_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 8);
+
+  /// Flush and close; destructor also closes.
+  void close();
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Quote a field per CSV rules (exposed for tests).
+  static std::string escape(const std::string& field);
+
+  /// Resolve the CSV output directory from COOPCR_CSV_DIR; nullopt when the
+  /// variable is unset or empty (benches then skip CSV output).
+  static std::optional<std::string> env_output_dir();
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace coopcr

@@ -1,0 +1,55 @@
+// coopcr/util/error.hpp
+//
+// Error handling primitives shared by all coopcr modules.
+//
+// The library throws `coopcr::Error` for contract violations that a caller
+// could plausibly trigger (bad configuration, inconsistent workload
+// definitions) and uses COOPCR_ASSERT for internal invariants whose failure
+// indicates a bug in the simulator itself.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coopcr {
+
+/// Exception type thrown by all coopcr components on contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": " << message;
+  throw Error(oss.str());
+}
+
+}  // namespace detail
+
+}  // namespace coopcr
+
+/// Throw coopcr::Error with file/line context when `cond` is false.
+/// Used for caller-facing contract checks; always enabled.
+#define COOPCR_CHECK(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::coopcr::detail::throw_error(__FILE__, __LINE__,         \
+                                    std::string("check failed: " #cond " — ") + (msg)); \
+    }                                                           \
+  } while (false)
+
+/// Internal invariant check. Enabled in all build types: the simulator is
+/// cheap enough that correctness beats the last few percent of speed.
+#define COOPCR_ASSERT(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::coopcr::detail::throw_error(__FILE__, __LINE__,         \
+                                    std::string("invariant violated: " #cond " — ") + (msg)); \
+    }                                                           \
+  } while (false)

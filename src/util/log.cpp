@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace coopcr {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialised
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+int init_from_env() {
+  const char* env = std::getenv("COOPCR_LOG");
+  const LogLevel level =
+      (env != nullptr) ? Log::parse(env) : LogLevel::kOff;
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+LogLevel Log::parse(const std::string& text) {
+  if (text == "debug" || text == "DEBUG") return LogLevel::kDebug;
+  if (text == "info" || text == "INFO") return LogLevel::kInfo;
+  if (text == "warn" || text == "WARN") return LogLevel::kWarn;
+  if (text == "error" || text == "ERROR") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel Log::level() {
+  int current = g_level.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = init_from_env();
+    g_level.store(current, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void Log::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool Log::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(Log::level());
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[coopcr %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace coopcr

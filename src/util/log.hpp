@@ -1,0 +1,60 @@
+// coopcr/util/log.hpp
+//
+// Lightweight leveled logger. Off by default so Monte Carlo sweeps stay
+// quiet; set COOPCR_LOG=debug|info|warn|error to enable. Intended for
+// simulator tracing during development and for examples that narrate the
+// simulated timeline.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace coopcr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration (process-wide).
+class Log {
+ public:
+  /// Current threshold; initialised from COOPCR_LOG on first use.
+  static LogLevel level();
+  /// Override the threshold programmatically.
+  static void set_level(LogLevel level);
+  /// True when `level` would be emitted.
+  static bool enabled(LogLevel level);
+  /// Emit a message (thread-safe line-buffered write to stderr).
+  static void write(LogLevel level, const std::string& message);
+  /// Parse "debug"/"info"/"warn"/"error"/"off"; defaults to kOff.
+  static LogLevel parse(const std::string& text);
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, oss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+}  // namespace coopcr
+
+#define COOPCR_LOG(level_enum)                                   \
+  if (!::coopcr::Log::enabled(level_enum)) {                     \
+  } else                                                         \
+    ::coopcr::detail::LogLine(level_enum)
+
+#define COOPCR_LOG_DEBUG COOPCR_LOG(::coopcr::LogLevel::kDebug)
+#define COOPCR_LOG_INFO COOPCR_LOG(::coopcr::LogLevel::kInfo)
+#define COOPCR_LOG_WARN COOPCR_LOG(::coopcr::LogLevel::kWarn)
+#define COOPCR_LOG_ERROR COOPCR_LOG(::coopcr::LogLevel::kError)

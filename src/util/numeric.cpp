@@ -1,0 +1,98 @@
+#include "util/numeric.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+SolveResult bisect_root(const std::function<double(double)>& f, double lo,
+                        double hi, double xtol, double ftol, int max_iter) {
+  COOPCR_CHECK(lo <= hi, "bisect_root requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  SolveResult result;
+  if (flo == 0.0) {
+    result = {lo, 0.0, 0, true};
+    return result;
+  }
+  if (fhi == 0.0) {
+    result = {hi, 0.0, 0, true};
+    return result;
+  }
+  COOPCR_CHECK(std::signbit(flo) != std::signbit(fhi),
+               "bisect_root requires a sign change over [lo, hi]");
+  for (int it = 0; it < max_iter; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.iterations = it + 1;
+    if (std::abs(fmid) <= ftol || (hi - lo) <= xtol) {
+      result.x = mid;
+      result.fx = fmid;
+      result.converged = true;
+      return result;
+    }
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.fx = f(result.x);
+  result.converged = (hi - lo) <= xtol;
+  return result;
+}
+
+double bisect_threshold(const std::function<bool(double)>& pred, double lo,
+                        double hi, double xtol, int max_iter) {
+  COOPCR_CHECK(lo <= hi, "bisect_threshold requires lo <= hi");
+  if (pred(lo)) return lo;
+  if (!pred(hi)) return hi;
+  for (int it = 0; it < max_iter && (hi - lo) > xtol; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (pred(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+SolveResult golden_section_min(const std::function<double(double)>& f,
+                               double lo, double hi, double xtol,
+                               int max_iter) {
+  COOPCR_CHECK(lo <= hi, "golden_section_min requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  SolveResult result;
+  for (int it = 0; it < max_iter && (b - a) > xtol; ++it) {
+    result.iterations = it + 1;
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  result.x = 0.5 * (a + b);
+  result.fx = f(result.x);
+  result.converged = (b - a) <= xtol;
+  return result;
+}
+
+}  // namespace coopcr

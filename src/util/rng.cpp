@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed into 256 bits of state; SplitMix64 guarantees the state
+  // is never all-zero (which would be a fixed point of xoshiro).
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng Rng::stream(std::uint64_t master_seed, std::uint64_t index) {
+  // Mix the index through SplitMix64 so that consecutive indices yield
+  // well-separated seeds, then long-jump for extra stream separation.
+  std::uint64_t sm = master_seed ^ (0xA0761D6478BD642Full * (index + 1));
+  Rng rng(splitmix64(sm));
+  rng.long_jump();
+  return rng;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Top 53 bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  COOPCR_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  COOPCR_CHECK(n > 0, "uniform_index(n) requires n > 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::exponential(double mean) {
+  COOPCR_CHECK(mean > 0.0, "exponential mean must be positive");
+  // Inverse CDF; 1 - uniform() is in (0, 1], so the log argument is nonzero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  COOPCR_CHECK(stddev >= 0.0, "normal stddev must be non-negative");
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::weibull(double shape, double scale) {
+  COOPCR_CHECK(shape > 0.0 && scale > 0.0,
+               "weibull shape and scale must be positive");
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
+void Rng::long_jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,
+      0x39109BB02ACBE635ull};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t jump : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump & (1ull << bit)) {
+        for (std::size_t w = 0; w < 4; ++w) acc[w] ^= state_[w];
+      }
+      (void)next_u64();
+    }
+  }
+  state_ = acc;
+}
+
+}  // namespace coopcr

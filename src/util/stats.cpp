@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+OnlineStats::OnlineStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+std::string Candlestick::to_string(int precision) const {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << std::fixed << mean << " [d1=" << d1 << " q1=" << q1 << " | q3=" << q3
+      << " d9=" << d9 << "]";
+  return oss.str();
+}
+
+SampleSet::SampleSet(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::quantile(double p) const {
+  COOPCR_CHECK(!samples_.empty(), "quantile of empty sample set");
+  COOPCR_CHECK(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double idx = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+Candlestick SampleSet::candlestick() const {
+  Candlestick c;
+  if (samples_.empty()) return c;
+  c.d1 = quantile(0.10);
+  c.q1 = quantile(0.25);
+  c.mean = mean();
+  c.median = quantile(0.50);
+  c.q3 = quantile(0.75);
+  c.d9 = quantile(0.90);
+  c.n = samples_.size();
+  return c;
+}
+
+}  // namespace coopcr

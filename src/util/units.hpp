@@ -1,0 +1,53 @@
+// coopcr/util/units.hpp
+//
+// Physical units used throughout the simulator.
+//
+// Conventions (identical to the paper's):
+//   * time        — seconds, stored as double (`Time` in sim/time.hpp)
+//   * data volume — bytes, stored as double (volumes reach petabytes; double
+//                   keeps 2^53 integer precision which is ~9 PB-exact and far
+//                   beyond the resolution any published number carries)
+//   * bandwidth   — bytes per second, double
+//
+// Decimal prefixes (GB = 1e9 B) are used because the paper quotes filesystem
+// bandwidths in decimal GB/s (e.g. Cielo's 160 GB/s PFS).
+
+#pragma once
+
+namespace coopcr::units {
+
+// --- time ------------------------------------------------------------------
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kYear = 365.0 * kDay;
+
+/// Convert hours to seconds.
+constexpr double hours(double h) { return h * kHour; }
+/// Convert days to seconds.
+constexpr double days(double d) { return d * kDay; }
+/// Convert years to seconds.
+constexpr double years(double y) { return y * kYear; }
+
+// --- data volume ------------------------------------------------------------
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+/// Convert decimal gigabytes to bytes.
+constexpr double gigabytes(double gb) { return gb * kGB; }
+/// Convert decimal terabytes to bytes.
+constexpr double terabytes(double tb) { return tb * kTB; }
+/// Convert decimal petabytes to bytes.
+constexpr double petabytes(double pb) { return pb * kPB; }
+
+// --- bandwidth ---------------------------------------------------------------
+/// Convert GB/s to bytes/s.
+constexpr double gb_per_s(double gbps) { return gbps * kGB; }
+/// Convert TB/s to bytes/s.
+constexpr double tb_per_s(double tbps) { return tbps * kTB; }
+
+}  // namespace coopcr::units

@@ -1,0 +1,77 @@
+#include "workload/apex.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace coopcr {
+
+ApplicationClass apex_eap() {
+  ApplicationClass c;
+  c.name = "EAP";
+  c.workload_share = 0.66;
+  c.work_seconds = units::hours(262.4);
+  c.cores = 16384;
+  c.input_fraction = 0.03;
+  c.output_fraction = 1.05;
+  c.checkpoint_fraction = 1.60;
+  return c;
+}
+
+ApplicationClass apex_lap() {
+  ApplicationClass c;
+  c.name = "LAP";
+  c.workload_share = 0.055;
+  c.work_seconds = units::hours(64);
+  c.cores = 4096;
+  c.input_fraction = 0.05;
+  c.output_fraction = 2.20;
+  c.checkpoint_fraction = 1.85;
+  return c;
+}
+
+ApplicationClass apex_silverton() {
+  ApplicationClass c;
+  c.name = "Silverton";
+  c.workload_share = 0.165;
+  c.work_seconds = units::hours(128);
+  c.cores = 32768;
+  c.input_fraction = 0.70;
+  c.output_fraction = 0.43;
+  c.checkpoint_fraction = 3.50;
+  return c;
+}
+
+ApplicationClass apex_vpic() {
+  ApplicationClass c;
+  c.name = "VPIC";
+  c.workload_share = 0.12;
+  c.work_seconds = units::hours(157.2);
+  c.cores = 30000;
+  c.input_fraction = 0.10;
+  c.output_fraction = 2.70;
+  c.checkpoint_fraction = 0.85;
+  return c;
+}
+
+std::vector<ApplicationClass> apex_lanl_classes() {
+  return {apex_eap(), apex_lap(), apex_silverton(), apex_vpic()};
+}
+
+std::vector<ApplicationClass> project_workload(
+    std::vector<ApplicationClass> apps, const PlatformSpec& from,
+    const PlatformSpec& to) {
+  const double core_ratio = static_cast<double>(to.total_cores()) /
+                            static_cast<double>(from.total_cores());
+  for (auto& app : apps) {
+    const double scaled = static_cast<double>(app.cores) * core_ratio;
+    // Round to a whole multiple of the target's cores-per-node so job sizes
+    // stay aligned with failure units.
+    const auto units =
+        static_cast<std::int64_t>(scaled / to.cores_per_node + 0.5);
+    app.cores = std::max<std::int64_t>(1, units) * to.cores_per_node;
+  }
+  return apps;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,42 @@
+// coopcr/workload/apex.hpp
+//
+// The LANL workload of the APEX Workflows report, as reproduced in Table 1 of
+// the paper: four application classes (EAP, LAP, Silverton, VPIC) with their
+// platform shares, work times, core counts and I/O volumes (percent of the
+// job's memory footprint).
+//
+//   Workflow                    EAP    LAP    Silverton  VPIC
+//   Workload percentage         66     5.5    16.5       12
+//   Work time (h)               262.4  64     128        157.2
+//   Number of cores             16384  4096   32768      30000
+//   Initial Input (% of mem)    3      5      70         10
+//   Final Output (% of mem)     105    220    43         270
+//   Checkpoint Size (% of mem)  160    185    350        85
+
+#pragma once
+
+#include <vector>
+
+#include "workload/app_class.hpp"
+
+namespace coopcr {
+
+/// The four LANL APEX application classes of Table 1.
+std::vector<ApplicationClass> apex_lanl_classes();
+
+/// Project application classes from `from` onto `to`, keeping each class's
+/// share of the machine: core counts scale with the total core count, so the
+/// memory footprints (core-share × machine memory) scale with the machine
+/// memory — §6.2's "scaling the problem size proportionally to the change in
+/// machine memory size". Work times and I/O percentages are unchanged.
+std::vector<ApplicationClass> project_workload(
+    std::vector<ApplicationClass> apps, const PlatformSpec& from,
+    const PlatformSpec& to);
+
+/// Convenience accessors for individual classes (by Table 1 column).
+ApplicationClass apex_eap();
+ApplicationClass apex_lap();
+ApplicationClass apex_silverton();
+ApplicationClass apex_vpic();
+
+}  // namespace coopcr

@@ -1,0 +1,71 @@
+#include "workload/app_class.hpp"
+
+#include <cmath>
+
+#include "core/daly.hpp"
+#include "util/error.hpp"
+
+namespace coopcr {
+
+void ApplicationClass::validate() const {
+  COOPCR_CHECK(!name.empty(), "application class must be named");
+  COOPCR_CHECK(workload_share > 0.0 && workload_share <= 1.0,
+               "class '" + name + "': workload share must be in (0, 1]");
+  COOPCR_CHECK(work_seconds > 0.0,
+               "class '" + name + "': work time must be positive");
+  COOPCR_CHECK(cores > 0, "class '" + name + "': cores must be positive");
+  COOPCR_CHECK(input_fraction >= 0.0,
+               "class '" + name + "': input fraction must be >= 0");
+  COOPCR_CHECK(output_fraction >= 0.0,
+               "class '" + name + "': output fraction must be >= 0");
+  COOPCR_CHECK(checkpoint_fraction > 0.0,
+               "class '" + name + "': checkpoint fraction must be > 0");
+  COOPCR_CHECK(routine_io_fraction >= 0.0,
+               "class '" + name + "': routine I/O fraction must be >= 0");
+}
+
+double ClassOnPlatform::steady_state_jobs(const PlatformSpec& platform) const {
+  return app.workload_share * static_cast<double>(platform.nodes) /
+         static_cast<double>(nodes);
+}
+
+ClassOnPlatform resolve(const ApplicationClass& app,
+                        const PlatformSpec& platform) {
+  app.validate();
+  platform.validate();
+  ClassOnPlatform c;
+  c.app = app;
+  // Round up so a job never occupies fewer failure units than its cores.
+  c.nodes = (app.cores + platform.cores_per_node - 1) / platform.cores_per_node;
+  COOPCR_CHECK(c.nodes <= platform.nodes,
+               "class '" + app.name + "' does not fit on the platform");
+  // Footprint: the job's core-share of the machine memory (DESIGN.md,
+  // "Modelling decisions").
+  c.footprint_bytes = platform.memory_bytes *
+                      static_cast<double>(app.cores) /
+                      static_cast<double>(platform.total_cores());
+  c.input_bytes = app.input_fraction * c.footprint_bytes;
+  c.output_bytes = app.output_fraction * c.footprint_bytes;
+  c.checkpoint_bytes = app.checkpoint_fraction * c.footprint_bytes;
+  c.routine_io_bytes = app.routine_io_fraction * c.footprint_bytes;
+  c.checkpoint_seconds = c.checkpoint_bytes / platform.pfs_bandwidth;
+  c.recovery_seconds = c.checkpoint_seconds;  // symmetric read/write (§5)
+  c.mtbf = job_mtbf(platform.node_mtbf, c.nodes);
+  c.daly_period = daly_period(c.checkpoint_seconds, c.mtbf);
+  return c;
+}
+
+std::vector<ClassOnPlatform> resolve_all(
+    const std::vector<ApplicationClass>& apps, const PlatformSpec& platform) {
+  COOPCR_CHECK(!apps.empty(), "workload must contain at least one class");
+  double share_sum = 0.0;
+  for (const auto& app : apps) share_sum += app.workload_share;
+  COOPCR_CHECK(share_sum <= 1.0 + 1e-9,
+               "workload shares exceed the platform (sum > 1)");
+  std::vector<ClassOnPlatform> resolved;
+  resolved.reserve(apps.size());
+  for (const auto& app : apps) resolved.push_back(resolve(app, platform));
+  return resolved;
+}
+
+}  // namespace coopcr

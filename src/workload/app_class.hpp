@@ -1,0 +1,83 @@
+// coopcr/workload/app_class.hpp
+//
+// Application-class model (paper §2, "Application Workload Model").
+//
+// A class groups applications with similar size, duration, memory footprint
+// and I/O needs. The I/O quantities are expressed — exactly as in the APEX
+// workflows report reproduced in Table 1 — as percentages of the class's
+// memory footprint; the footprint itself is the class's core-share of the
+// machine's memory. `ClassOnPlatform` resolves those percentages into bytes,
+// seconds and MTBFs for a concrete platform.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace coopcr {
+
+/// Platform-independent description of an application class.
+struct ApplicationClass {
+  std::string name;
+
+  /// Target fraction of the platform's nodes used by this class, in [0, 1]
+  /// ("Workload percentage" in Table 1, divided by 100).
+  double workload_share = 0.0;
+
+  /// Pure compute time of one job (seconds) — Table 1 "Work time".
+  double work_seconds = 0.0;
+
+  /// Cores used by one job — Table 1 "Number of cores".
+  std::int64_t cores = 0;
+
+  /// Initial input volume as a fraction of the memory footprint
+  /// (Table 1 "Initial Input (% of memory)" / 100).
+  double input_fraction = 0.0;
+
+  /// Final output volume as a fraction of the memory footprint.
+  double output_fraction = 0.0;
+
+  /// Checkpoint volume as a fraction of the memory footprint.
+  double checkpoint_fraction = 0.0;
+
+  /// Regular (non-CR) I/O volume over the whole makespan, as a fraction of
+  /// the memory footprint. Table 1 does not list this quantity, so it
+  /// defaults to 0; §2's model spreads it evenly over the makespan and the
+  /// simulator issues it in `routine_io_chunks` equal chunks.
+  double routine_io_fraction = 0.0;
+
+  /// Validate invariants; throws coopcr::Error when ill-formed.
+  void validate() const;
+};
+
+/// An application class resolved against a concrete platform: all paper
+/// symbols (q_i, C_i, R_i, µ_i, P_Daly) as concrete numbers.
+struct ClassOnPlatform {
+  ApplicationClass app;   ///< the source class
+  std::int64_t nodes = 0; ///< q_i — failure units per job (cores / cores_per_node)
+  double footprint_bytes = 0.0;   ///< job memory footprint
+  double input_bytes = 0.0;       ///< initial input volume
+  double output_bytes = 0.0;      ///< final output volume
+  double checkpoint_bytes = 0.0;  ///< per-checkpoint volume
+  double routine_io_bytes = 0.0;  ///< non-CR I/O volume over the makespan
+  double checkpoint_seconds = 0.0;  ///< C_i at full PFS bandwidth
+  double recovery_seconds = 0.0;    ///< R_i (= C_i, symmetric bandwidths, §5)
+  double mtbf = 0.0;                ///< µ_i = µ_ind / q_i
+  double daly_period = 0.0;         ///< P_Daly = sqrt(2 µ_i C_i)
+
+  /// Steady-state fractional number of concurrent jobs:
+  /// share_i * N / q_i (used by the analytical lower bound).
+  double steady_state_jobs(const PlatformSpec& platform) const;
+};
+
+/// Resolve `app` on `platform` (bandwidth taken from the platform spec).
+ClassOnPlatform resolve(const ApplicationClass& app,
+                        const PlatformSpec& platform);
+
+/// Resolve all classes; validates that shares sum to <= 1 + tolerance.
+std::vector<ClassOnPlatform> resolve_all(
+    const std::vector<ApplicationClass>& apps, const PlatformSpec& platform);
+
+}  // namespace coopcr

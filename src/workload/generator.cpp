@@ -1,0 +1,173 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<ClassOnPlatform> classes,
+                                     PlatformSpec platform,
+                                     WorkloadOptions options)
+    : classes_(std::move(classes)),
+      platform_(std::move(platform)),
+      options_(options) {
+  COOPCR_CHECK(!classes_.empty(), "generator needs at least one class");
+  platform_.validate();
+  COOPCR_CHECK(options_.min_makespan > 0.0, "min_makespan must be positive");
+  COOPCR_CHECK(options_.proportion_tolerance > 0.0,
+               "proportion tolerance must be positive");
+}
+
+double WorkloadGenerator::draw_duration(const ClassOnPlatform& cls,
+                                        Rng& rng) const {
+  const double w = cls.app.work_seconds;
+  switch (options_.jitter) {
+    case DurationJitter::kNone:
+      return w;
+    case DurationJitter::kUniform20:
+      return rng.uniform(0.8 * w, 1.2 * w);
+    case DurationJitter::kNormal20: {
+      // Truncate to keep durations physical; the paper's "small (20%)
+      // standard deviation" makes truncation extremely rare.
+      const double d = rng.normal(w, 0.2 * w);
+      return std::clamp(d, 0.5 * w, 2.0 * w);
+    }
+  }
+  return w;
+}
+
+std::vector<Job> WorkloadGenerator::generate(Rng& rng) const {
+  const std::size_t k = classes_.size();
+  std::vector<double> node_seconds(k, 0.0);
+  double total_node_seconds = 0.0;
+
+  // Normalised share targets (shares may sum below 1 when part of the
+  // machine is reserved; proportions are relative to the generated mix).
+  double share_sum = 0.0;
+  for (const auto& c : classes_) share_sum += c.app.workload_share;
+  std::vector<double> target(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    target[i] = classes_[i].app.workload_share / share_sum;
+  }
+
+  const double min_total =
+      options_.min_makespan * static_cast<double>(platform_.nodes);
+
+  std::vector<Job> jobs;
+  auto proportions_ok = [&]() {
+    if (total_node_seconds <= 0.0) return false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double share = node_seconds[i] / total_node_seconds;
+      if (std::abs(share - target[i]) > options_.proportion_tolerance) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Random instantiation. Classes are drawn with probability proportional to
+  // their current node-second deficit (target - achieved), which is both
+  // random (any under-represented class can be drawn) and convergent: a class
+  // at or above target is never drawn again until others catch up. This
+  // realises the paper's "count the resource allocated ... until within 1%"
+  // loop without rejection storms.
+  while ((total_node_seconds < min_total || !proportions_ok()) &&
+         jobs.size() < options_.max_jobs) {
+    std::vector<double> weight(k);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double achieved =
+          total_node_seconds > 0.0 ? node_seconds[i] / total_node_seconds : 0.0;
+      weight[i] = std::max(target[i] - achieved, 0.0);
+      weight_sum += weight[i];
+    }
+    std::size_t pick = 0;
+    if (weight_sum <= 0.0) {
+      // All classes at/above target but makespan still short: draw by target
+      // share to keep proportions stable while extending the horizon.
+      double r = rng.uniform() /* in [0,1) */;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (r < target[i] || i + 1 == k) {
+          pick = i;
+          break;
+        }
+        r -= target[i];
+      }
+    } else {
+      double r = rng.uniform() * weight_sum;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (r < weight[i] || i + 1 == k) {
+          pick = i;
+          break;
+        }
+        r -= weight[i];
+      }
+    }
+
+    const ClassOnPlatform& cls = classes_[pick];
+    Job job;
+    job.id = static_cast<JobId>(jobs.size());
+    job.class_index = static_cast<int>(pick);
+    job.nodes = cls.nodes;
+    job.total_work = draw_duration(cls, rng);
+    job.work_start = 0.0;
+    job.input_bytes = cls.input_bytes;
+    job.output_bytes = cls.output_bytes;
+    job.checkpoint_bytes = cls.checkpoint_bytes;
+    job.routine_io_bytes = cls.routine_io_bytes;
+    job.priority = 0;
+    job.is_restart = false;
+    job.root = job.id;
+    job.generation = 0;
+    jobs.push_back(job);
+
+    const double ns = job.total_work * static_cast<double>(job.nodes);
+    node_seconds[pick] += ns;
+    total_node_seconds += ns;
+  }
+  COOPCR_CHECK(jobs.size() < options_.max_jobs,
+               "workload generation did not converge (max_jobs reached)");
+
+  // Fisher-Yates shuffle, then re-number ids in arrival order so that
+  // priorities and ids agree with the presentation order.
+  for (std::size_t i = jobs.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform_index(static_cast<std::uint64_t>(i)));
+    std::swap(jobs[i - 1], jobs[j]);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].root = jobs[i].id;
+  }
+  return jobs;
+}
+
+WorkloadComposition WorkloadGenerator::compose(
+    const std::vector<Job>& jobs) const {
+  WorkloadComposition comp;
+  comp.node_seconds.assign(classes_.size(), 0.0);
+  comp.job_counts.assign(classes_.size(), 0);
+  for (const auto& job : jobs) {
+    COOPCR_CHECK(job.class_index >= 0 &&
+                     static_cast<std::size_t>(job.class_index) < classes_.size(),
+                 "job references unknown class");
+    const auto idx = static_cast<std::size_t>(job.class_index);
+    comp.node_seconds[idx] +=
+        job.remaining_work() * static_cast<double>(job.nodes);
+    comp.job_counts[idx] += 1;
+  }
+  for (const double ns : comp.node_seconds) comp.total_node_seconds += ns;
+  comp.shares.assign(classes_.size(), 0.0);
+  if (comp.total_node_seconds > 0.0) {
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      comp.shares[i] = comp.node_seconds[i] / comp.total_node_seconds;
+    }
+  }
+  comp.equivalent_makespan =
+      comp.total_node_seconds / static_cast<double>(platform_.nodes);
+  return comp;
+}
+
+}  // namespace coopcr

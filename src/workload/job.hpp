@@ -1,0 +1,59 @@
+// coopcr/workload/job.hpp
+//
+// A job is one application instance scheduled on the platform (paper §2).
+// Fresh jobs are produced by the workload generator; restart jobs are created
+// by the simulator when a failure kills a running job ("its initial input
+// corresponds to the restart size, and its work time corresponds to the
+// remaining work from the last successful checkpoint", §5).
+
+#pragma once
+
+#include <cstdint>
+
+#include "platform/node_pool.hpp"
+
+namespace coopcr {
+
+/// Static description of a job instance handed to the scheduler.
+struct Job {
+  JobId id = kNoJob;
+  int class_index = -1;      ///< index into the resolved class vector
+  std::int64_t nodes = 0;    ///< q — failure units required
+
+  /// Work is measured as an absolute position in seconds of compute within
+  /// the *original* job: a fresh job spans [0, total_work); a restart spans
+  /// [work_start, total_work) where work_start is the last snapshot.
+  double total_work = 0.0;
+  double work_start = 0.0;
+
+  double input_bytes = 0.0;   ///< initial input (fresh) or recovery volume (restart)
+  double output_bytes = 0.0;  ///< final output volume
+  double checkpoint_bytes = 0.0;
+  double routine_io_bytes = 0.0;  ///< non-CR I/O left to issue over the remaining work
+
+  /// Scheduling priority: higher runs first. Fresh jobs use 0; restarts use
+  /// 1 so they jump to the head of the queue (§2 "Job Scheduling Model").
+  int priority = 0;
+
+  bool is_restart = false;
+  /// True when the lineage has committed at least one checkpoint: the job's
+  /// initial read is then a recovery of `checkpoint_bytes` starting at
+  /// `work_start`; otherwise a restart re-reads the original input from
+  /// scratch.
+  bool has_checkpoint = false;
+  JobId root = kNoJob;  ///< original ancestor (== id for fresh jobs)
+  int generation = 0;   ///< number of restarts in the lineage
+
+  /// Remaining compute seconds.
+  double remaining_work() const { return total_work - work_start; }
+
+  /// True when the job instance is internally consistent.
+  bool well_formed() const {
+    return id >= 0 && class_index >= 0 && nodes > 0 && total_work > 0.0 &&
+           work_start >= 0.0 && work_start < total_work &&
+           input_bytes >= 0.0 && output_bytes >= 0.0 &&
+           checkpoint_bytes > 0.0 && routine_io_bytes >= 0.0;
+  }
+};
+
+}  // namespace coopcr

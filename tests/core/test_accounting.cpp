@@ -1,0 +1,86 @@
+// Unit tests for segment-clipped node-time accounting.
+
+#include "core/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(Accounting, AccumulatesNodeSeconds) {
+  Accounting acc(0.0, 100.0);
+  acc.add(4, TimeCategory::kUsefulCompute, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(acc.total(TimeCategory::kUsefulCompute), 40.0);
+}
+
+TEST(Accounting, ClipsToSegment) {
+  Accounting acc(10.0, 20.0);
+  acc.add(1, TimeCategory::kCheckpoint, 0.0, 15.0);   // clipped to [10,15]
+  acc.add(1, TimeCategory::kCheckpoint, 18.0, 30.0);  // clipped to [18,20]
+  acc.add(1, TimeCategory::kCheckpoint, 25.0, 40.0);  // fully outside
+  EXPECT_DOUBLE_EQ(acc.total(TimeCategory::kCheckpoint), 7.0);
+}
+
+TEST(Accounting, IntervalFullyInsideUnclipped) {
+  Accounting acc(0.0, 100.0);
+  acc.add(2, TimeCategory::kBlockedWait, 30.0, 40.0);
+  EXPECT_DOUBLE_EQ(acc.total(TimeCategory::kBlockedWait), 20.0);
+}
+
+TEST(Accounting, EmptyIntervalAddsNothing) {
+  Accounting acc(0.0, 100.0);
+  acc.add(5, TimeCategory::kRecovery, 50.0, 50.0);
+  EXPECT_DOUBLE_EQ(acc.total(TimeCategory::kRecovery), 0.0);
+}
+
+TEST(Accounting, WasteAndUsefulPartition) {
+  Accounting acc(0.0, 100.0);
+  acc.add(1, TimeCategory::kUsefulCompute, 0.0, 10.0);
+  acc.add(1, TimeCategory::kUsefulIo, 10.0, 12.0);
+  acc.add(1, TimeCategory::kCheckpoint, 12.0, 15.0);
+  acc.add(1, TimeCategory::kBlockedWait, 15.0, 16.0);
+  acc.add(1, TimeCategory::kIoDilation, 16.0, 18.0);
+  acc.add(1, TimeCategory::kRecovery, 18.0, 19.0);
+  acc.add(1, TimeCategory::kLostWork, 19.0, 21.0);
+  EXPECT_DOUBLE_EQ(acc.useful(), 12.0);
+  EXPECT_DOUBLE_EQ(acc.wasted(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.accounted(), 21.0);
+}
+
+TEST(Accounting, CategoryClassification) {
+  EXPECT_FALSE(is_waste(TimeCategory::kUsefulCompute));
+  EXPECT_FALSE(is_waste(TimeCategory::kUsefulIo));
+  EXPECT_TRUE(is_waste(TimeCategory::kIoDilation));
+  EXPECT_TRUE(is_waste(TimeCategory::kCheckpoint));
+  EXPECT_TRUE(is_waste(TimeCategory::kBlockedWait));
+  EXPECT_TRUE(is_waste(TimeCategory::kRecovery));
+  EXPECT_TRUE(is_waste(TimeCategory::kLostWork));
+}
+
+TEST(Accounting, CategoryNames) {
+  EXPECT_EQ(to_string(TimeCategory::kUsefulCompute), "useful-compute");
+  EXPECT_EQ(to_string(TimeCategory::kLostWork), "lost-work");
+  EXPECT_EQ(to_string(TimeCategory::kIoDilation), "io-dilation");
+}
+
+TEST(Accounting, SegmentAccessors) {
+  Accounting acc(5.0, 25.0);
+  EXPECT_DOUBLE_EQ(acc.segment_start(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.segment_end(), 25.0);
+  EXPECT_DOUBLE_EQ(acc.segment_length(), 20.0);
+}
+
+TEST(Accounting, RejectsBadArguments) {
+  EXPECT_THROW(Accounting(10.0, 10.0), Error);
+  EXPECT_THROW(Accounting(-1.0, 10.0), Error);
+  Accounting acc(0.0, 10.0);
+  EXPECT_THROW(acc.add(0, TimeCategory::kUsefulCompute, 0.0, 1.0), Error);
+  EXPECT_THROW(acc.add(1, TimeCategory::kUsefulCompute, 2.0, 1.0), Error);
+  EXPECT_THROW(acc.add(1, TimeCategory::kCount, 0.0, 1.0), Error);
+  EXPECT_THROW(acc.total(TimeCategory::kCount), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,180 @@
+// Unit tests for the Theorem 1 solver, pinned against hand-computed values
+// of the paper's formulas on the Cielo/APEX configuration.
+
+#include "core/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/daly.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+PlatformSpec cielo() { return PlatformSpec::cielo(); }
+
+TEST(LowerBound, UnconstrainedAtHighBandwidth) {
+  // At 160 GB/s the APEX workload has F(0) ≈ 0.669 < 1: Daly periods are
+  // feasible and λ = 0 (hand computation, see DESIGN.md).
+  const auto result =
+      solve_lower_bound(cielo(), apex_lanl_classes(), units::gb_per_s(160));
+  EXPECT_FALSE(result.io_constrained);
+  EXPECT_DOUBLE_EQ(result.lambda, 0.0);
+  EXPECT_NEAR(result.io_fraction, 0.669, 0.002);
+  EXPECT_NEAR(result.waste, 0.2176, 0.001);
+  // Optimal periods equal Daly periods when unconstrained.
+  for (const auto& cls : result.classes) {
+    EXPECT_NEAR(cls.period, cls.daly_period, 1e-6);
+  }
+}
+
+TEST(LowerBound, ConstrainedAtLowBandwidth) {
+  // At 40 GB/s, F(0) ≈ 1.34 > 1: λ ≈ 0.100 and the bound is ≈ 0.499.
+  const auto result =
+      solve_lower_bound(cielo(), apex_lanl_classes(), units::gb_per_s(40));
+  EXPECT_TRUE(result.io_constrained);
+  EXPECT_NEAR(result.lambda, 0.1003, 0.002);
+  EXPECT_NEAR(result.waste, 0.4987, 0.002);
+  // The I/O constraint is tight: F(λ) = 1.
+  EXPECT_NEAR(result.io_fraction, 1.0, 1e-6);
+  EXPECT_LE(result.io_fraction, 1.0 + 1e-9);
+  // Constrained periods exceed Daly periods.
+  for (const auto& cls : result.classes) {
+    EXPECT_GT(cls.period, cls.daly_period);
+  }
+}
+
+TEST(LowerBound, ConstrainedPeriodsFollowEquationEight) {
+  const auto result =
+      solve_lower_bound(cielo(), apex_lanl_classes(), units::gb_per_s(40));
+  const auto n_nodes = static_cast<double>(cielo().nodes);
+  const double mu = cielo().node_mtbf;
+  for (const auto& cls : result.classes) {
+    const double expected =
+        std::sqrt(2.0 * mu * n_nodes / (cls.nodes * cls.nodes) *
+                  (cls.nodes / n_nodes + result.lambda) *
+                  cls.checkpoint_seconds);
+    EXPECT_NEAR(cls.period, expected, expected * 1e-9) << cls.name;
+  }
+}
+
+TEST(LowerBound, PerClassWasteMatchesEquationThree) {
+  const auto result =
+      solve_lower_bound(cielo(), apex_lanl_classes(), units::gb_per_s(40));
+  for (const auto& cls : result.classes) {
+    const double mu_i = cielo().node_mtbf / cls.nodes;
+    EXPECT_NEAR(cls.waste,
+                periodic_waste(cls.period, cls.checkpoint_seconds,
+                               cls.checkpoint_seconds, mu_i),
+                1e-12)
+        << cls.name;
+  }
+}
+
+TEST(LowerBound, WasteDecreasesWithBandwidth) {
+  const auto apps = apex_lanl_classes();
+  double previous = 1e9;
+  for (const double gbps : {40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0}) {
+    const double waste =
+        lower_bound_waste(cielo(), apps, units::gb_per_s(gbps));
+    EXPECT_LT(waste, previous) << gbps << " GB/s";
+    previous = waste;
+  }
+}
+
+TEST(LowerBound, WasteDecreasesWithMtbf) {
+  const auto apps = apex_lanl_classes();
+  double previous = 1e9;
+  for (const double years : {2.0, 4.0, 8.0, 16.0, 32.0, 50.0}) {
+    PlatformSpec spec = cielo();
+    spec.node_mtbf = units::years(years);
+    const double waste = lower_bound_waste(spec, apps, units::gb_per_s(40));
+    EXPECT_LT(waste, previous) << years << " y";
+    previous = waste;
+  }
+}
+
+TEST(LowerBound, DefaultBandwidthIsPlatform) {
+  const auto a = solve_lower_bound(cielo(), apex_lanl_classes());
+  const auto b =
+      solve_lower_bound(cielo(), apex_lanl_classes(), units::gb_per_s(160));
+  EXPECT_DOUBLE_EQ(a.waste, b.waste);
+}
+
+TEST(LowerBound, SteadyJobsMatchShares) {
+  const auto result = solve_lower_bound(cielo(), apex_lanl_classes());
+  // EAP: 0.66 * 17888 / 2048 ≈ 5.765.
+  EXPECT_NEAR(result.classes[0].steady_jobs, 5.765, 0.005);
+  // LAP: 0.055 * 17888 / 512 ≈ 1.922.
+  EXPECT_NEAR(result.classes[1].steady_jobs, 1.922, 0.005);
+}
+
+TEST(LowerBound, MinBandwidthForWasteBisection) {
+  const auto apps = apex_lanl_classes();
+  const double target = 0.20;
+  const double beta = min_bandwidth_for_waste(cielo(), apps, target,
+                                              units::gb_per_s(1),
+                                              units::tb_per_s(10));
+  // The solution achieves the target...
+  EXPECT_LE(lower_bound_waste(cielo(), apps, beta), target + 1e-6);
+  // ...and slightly less bandwidth does not.
+  EXPECT_GT(lower_bound_waste(cielo(), apps, beta * 0.98), target);
+}
+
+TEST(LowerBound, MinBandwidthMonotoneInMtbf) {
+  const auto apps = apex_lanl_classes();
+  double previous = 1e30;
+  for (const double years : {2.0, 10.0, 25.0}) {
+    PlatformSpec spec = cielo();
+    spec.node_mtbf = units::years(years);
+    const double beta = min_bandwidth_for_waste(
+        spec, apps, 0.2, units::gb_per_s(1), units::tb_per_s(10));
+    EXPECT_LT(beta, previous) << years;
+    previous = beta;
+  }
+}
+
+TEST(LowerBound, ProspectiveSystemSanity) {
+  // The Figure 3 regime: the APEX classes projected onto the prospective
+  // system (§6.2) at 10 TB/s and 10 y node MTBF sit at ~10% waste (hand
+  // computation in DESIGN.md).
+  PlatformSpec sys = PlatformSpec::prospective();
+  sys.node_mtbf = units::years(10);
+  const auto apps =
+      project_workload(apex_lanl_classes(), PlatformSpec::cielo(), sys);
+  const double waste = lower_bound_waste(sys, apps, units::tb_per_s(10));
+  EXPECT_NEAR(waste, 0.10, 0.02);
+}
+
+TEST(LowerBound, ProjectionScalesFootprintWithMemory) {
+  // EAP on Cielo uses 11.45% of the cores; projected onto the prospective
+  // system it must keep that share, so its footprint grows with the memory
+  // ratio (7 PB / 286 TB ≈ 24.5x).
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  const PlatformSpec sys = PlatformSpec::prospective();
+  const auto apps = project_workload(apex_lanl_classes(), cielo, sys);
+  const auto on_cielo = resolve(apex_lanl_classes()[0], cielo);
+  const auto on_sys = resolve(apps[0], sys);
+  const double memory_ratio = sys.memory_bytes / cielo.memory_bytes;
+  EXPECT_NEAR(on_sys.footprint_bytes / on_cielo.footprint_bytes, memory_ratio,
+              memory_ratio * 0.01);
+  // EAP lands on ~5725 failure units of the 50k-node machine.
+  EXPECT_NEAR(static_cast<double>(on_sys.nodes), 5725.0, 5.0);
+}
+
+TEST(LowerBound, RejectsEmptyWorkload) {
+  EXPECT_THROW(solve_lower_bound(cielo(), {}), Error);
+}
+
+TEST(LowerBound, RejectsBadTargets) {
+  const auto apps = apex_lanl_classes();
+  EXPECT_THROW(min_bandwidth_for_waste(cielo(), apps, 0.0, 1.0, 2.0), Error);
+  EXPECT_THROW(min_bandwidth_for_waste(cielo(), apps, 0.2, 2.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,152 @@
+// Tests for the Monte Carlo harness: statistics plumbing, thread-count
+// independence, env-var options, report lookups.
+
+#include "core/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig sc;
+  sc.platform = PlatformSpec::cielo();
+  sc.platform.pfs_bandwidth = units::gb_per_s(80);
+  sc.applications = apex_lanl_classes();
+  sc.workload.min_makespan = units::days(6);
+  sc.simulation.segment_start = units::days(1);
+  sc.simulation.segment_end = units::days(5);
+  sc.seed = 99;
+  sc.finalize();
+  return sc;
+}
+
+TEST(MonteCarlo, CollectsOneSamplePerReplica) {
+  const auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 4;
+  options.threads = 2;
+  const auto report = run_monte_carlo(
+      scenario, {{IoMode::kLeastWaste, CheckpointPolicy::kDaly}}, options);
+  EXPECT_EQ(report.replicas, 4);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].waste_ratio.size(), 4u);
+  EXPECT_EQ(report.baseline_useful.size(), 4u);
+  for (const double w : report.outcomes[0].waste_ratio.samples()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1.5);
+  }
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
+  const auto scenario = tiny_scenario();
+  const std::vector<Strategy> strategies = {
+      {IoMode::kOblivious, CheckpointPolicy::kDaly},
+      {IoMode::kLeastWaste, CheckpointPolicy::kDaly}};
+  MonteCarloOptions serial;
+  serial.replicas = 4;
+  serial.threads = 1;
+  MonteCarloOptions parallel;
+  parallel.replicas = 4;
+  parallel.threads = 4;
+  const auto a = run_monte_carlo(scenario, strategies, serial);
+  const auto b = run_monte_carlo(scenario, strategies, parallel);
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const auto& sa = a.outcomes[s].waste_ratio.samples();
+    const auto& sb = b.outcomes[s].waste_ratio.samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa[i], sb[i]) << "strategy " << s << " replica " << i;
+    }
+  }
+}
+
+TEST(MonteCarlo, StrategiesShareInitialConditions) {
+  // Paired comparison: each replica's failure count must be similar across
+  // strategies (identical traces; only job lifetimes differ slightly).
+  const auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 2;
+  options.threads = 1;
+  const auto report = run_monte_carlo(scenario,
+                                      {{IoMode::kOrdered, CheckpointPolicy::kDaly},
+                                       {IoMode::kOrderedNb, CheckpointPolicy::kDaly}},
+                                      options);
+  const auto& fa = report.outcomes[0].failures_hit.samples();
+  const auto& fb = report.outcomes[1].failures_hit.samples();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_NEAR(fa[i], fb[i], 0.15 * std::max(fa[i], fb[i]) + 5.0);
+  }
+}
+
+TEST(MonteCarlo, OutcomeLookupByName) {
+  const auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 1;
+  options.threads = 1;
+  const auto report = run_monte_carlo(
+      scenario, {{IoMode::kLeastWaste, CheckpointPolicy::kDaly}}, options);
+  EXPECT_NO_THROW(report.outcome("Least-Waste"));
+  EXPECT_THROW(report.outcome("Nope"), Error);
+}
+
+TEST(MonteCarlo, KeepResultsRetainsPerReplicaDetail) {
+  const auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 2;
+  options.threads = 1;
+  options.keep_results = true;
+  const auto report = run_monte_carlo(
+      scenario, {{IoMode::kOblivious, CheckpointPolicy::kFixed}}, options);
+  ASSERT_EQ(report.outcomes[0].results.size(), 2u);
+  EXPECT_GT(report.outcomes[0].results[0].events, 0u);
+}
+
+TEST(MonteCarlo, OptionsFromEnvironment) {
+  ::setenv("COOPCR_REPLICAS", "17", 1);
+  ::setenv("COOPCR_THREADS", "3", 1);
+  const auto options = MonteCarloOptions::from_env(5, 1);
+  EXPECT_EQ(options.replicas, 17);
+  EXPECT_EQ(options.threads, 3);
+  ::unsetenv("COOPCR_REPLICAS");
+  ::unsetenv("COOPCR_THREADS");
+  const auto defaults = MonteCarloOptions::from_env(5, 1);
+  EXPECT_EQ(defaults.replicas, 5);
+  EXPECT_EQ(defaults.threads, 1);
+}
+
+TEST(MonteCarlo, RejectsBadArguments) {
+  const auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 0;
+  EXPECT_THROW(run_monte_carlo(scenario, paper_strategies(), options), Error);
+  options.replicas = 1;
+  EXPECT_THROW(run_monte_carlo(scenario, {}, options), Error);
+  ScenarioConfig unfinalized;
+  unfinalized.platform = PlatformSpec::cielo();
+  unfinalized.applications = apex_lanl_classes();
+  EXPECT_THROW(run_monte_carlo(unfinalized, paper_strategies(), options),
+               Error);
+}
+
+TEST(MonteCarlo, DifferentSeedsDifferentSamples) {
+  auto scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 1;
+  options.threads = 1;
+  const Strategy lw{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+  const auto a = run_monte_carlo(scenario, {lw}, options);
+  scenario.seed = 12345;
+  const auto b = run_monte_carlo(scenario, {lw}, options);
+  EXPECT_NE(a.outcomes[0].waste_ratio.samples()[0],
+            b.outcomes[0].waste_ratio.samples()[0]);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,124 @@
+// Unit tests for the exact / higher-order checkpoint-period optimisers,
+// cross-validated against the first-order Young/Daly formula in its validity
+// regime and against the Silverton C ~ µ regime where it breaks down.
+
+#include "core/optimal_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/daly.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(OptimalPeriod, YoungMatchesDalyHelper) {
+  EXPECT_DOUBLE_EQ(young_period(327.0, 30796.0), daly_period(327.0, 30796.0));
+}
+
+TEST(OptimalPeriod, AllAgreeWhenCommitIsTiny) {
+  // C << µ: all three periods coincide to first order.
+  const double c = 10.0;
+  const double mu = 1e6;
+  const double young = young_period(c, mu);
+  const double daly = daly_higher_order_period(c, mu);
+  const double exact = exact_optimal_period(c, c, mu);
+  EXPECT_NEAR(daly / young, 1.0, 0.01);
+  EXPECT_NEAR(exact / young, 1.0, 0.02);
+}
+
+TEST(OptimalPeriod, ExactOverheadIsUnimodalAroundOptimum) {
+  const double c = 300.0;
+  const double mu = 30000.0;
+  const double p_star = exact_optimal_period(c, c, mu);
+  const double h_star = exact_overhead(p_star, c, c, mu);
+  for (const double factor : {0.5, 0.7, 1.4, 2.0}) {
+    EXPECT_LE(h_star, exact_overhead(p_star * factor, c, c, mu) + 1e-12)
+        << factor;
+  }
+}
+
+TEST(OptimalPeriod, ExactBeatsYoungInHarshRegime) {
+  // Silverton on Cielo at 40 GB/s: C = 5734 s, µ = 15398 s — the first-order
+  // formula's waste estimate exceeds 1 (see EXPERIMENTS.md); the exact
+  // optimum must give a strictly lower exact overhead than the Young period.
+  const double c = 5734.0;
+  const double mu = 15398.0;
+  const auto cmp = compare_periods(c, c, mu);
+  EXPECT_LT(cmp.overhead_exact, cmp.overhead_young);
+  // The exact optimal period is longer than Young's in this regime.
+  EXPECT_GT(cmp.exact, cmp.young);
+}
+
+TEST(OptimalPeriod, DalyHigherOrderImprovesOnYoungInMidRegime) {
+  // Moderate C/µ: Daly's corrected period lies closer to the exact optimum
+  // than Young's, and the exact optimum dominates both under the exact
+  // overhead model.
+  const double c = 1000.0;
+  const double mu = 20000.0;
+  const auto cmp = compare_periods(c, c, mu);
+  EXPECT_LT(std::abs(cmp.daly - cmp.exact), std::abs(cmp.young - cmp.exact));
+  EXPECT_LE(cmp.overhead_exact, cmp.overhead_daly + 1e-9);
+  EXPECT_LE(cmp.overhead_exact, cmp.overhead_young + 1e-9);
+}
+
+TEST(OptimalPeriod, DalyDegeneratesToMtbfPlusCommitForHugeCommit) {
+  EXPECT_DOUBLE_EQ(daly_higher_order_period(3000.0, 1000.0), 4000.0);
+}
+
+TEST(OptimalPeriod, OverheadGrowsWithRecovery) {
+  const double c = 300.0;
+  const double mu = 30000.0;
+  const double p = 5000.0;
+  EXPECT_LT(exact_overhead(p, c, 0.0, mu), exact_overhead(p, c, 600.0, mu));
+}
+
+TEST(OptimalPeriod, OptimumIndependentOfRecovery) {
+  // R multiplies the expected time uniformly; the argmin must not move.
+  const double c = 300.0;
+  const double mu = 30000.0;
+  const double p0 = exact_optimal_period(c, 0.0, mu);
+  const double p1 = exact_optimal_period(c, 2000.0, mu);
+  EXPECT_NEAR(p0, p1, p0 * 1e-3);
+}
+
+TEST(OptimalPeriod, ExactOverheadMatchesClosedForm) {
+  // Spot-check the formula E = µ e^{R/µ} (e^{P/µ} − 1), H = E/(P−C) − 1.
+  const double c = 100.0;
+  const double r = 50.0;
+  const double mu = 1000.0;
+  const double p = 400.0;
+  const double expected =
+      mu * std::exp(r / mu) * (std::exp(p / mu) - 1.0) / (p - c) - 1.0;
+  EXPECT_NEAR(exact_overhead(p, c, r, mu), expected, 1e-12);
+}
+
+TEST(OptimalPeriod, FirstOrderWasteUnderestimatesAtLargeC) {
+  // Eq. (3) evaluated at its own optimum vs the exact overhead there: the
+  // first-order value is an *under*-estimate of the true overhead ratio in
+  // the small-C regime and diverges from it as C grows.
+  const double mu = 15398.0;
+  const double c_small = 100.0;
+  const double p_small = young_period(c_small, mu);
+  EXPECT_NEAR(periodic_waste(p_small, c_small, c_small, mu),
+              exact_overhead(p_small, c_small, c_small, mu), 0.03);
+  const double c_big = 5734.0;
+  const double p_big = young_period(c_big, mu);
+  const double first_order = periodic_waste(p_big, c_big, c_big, mu);
+  const double exact = exact_overhead(p_big, c_big, c_big, mu);
+  EXPECT_GT(std::abs(first_order - exact), 0.3);
+}
+
+TEST(OptimalPeriod, RejectsBadArguments) {
+  EXPECT_THROW(young_period(0.0, 1.0), Error);
+  EXPECT_THROW(daly_higher_order_period(1.0, 0.0), Error);
+  EXPECT_THROW(exact_overhead(1.0, 2.0, 0.0, 1.0), Error);
+  EXPECT_THROW(exact_overhead(3.0, 2.0, -1.0, 1.0), Error);
+  EXPECT_THROW(exact_optimal_period(0.0, 0.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

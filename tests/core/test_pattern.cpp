@@ -1,0 +1,116 @@
+// Unit tests for the §4 periodic-pattern orchestration checker.
+
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hpp"
+#include "platform/platform.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(Pattern, SingleStreamTrivriallyFeasible) {
+  PatternStream s{"solo", 1, 100.0, 10.0};
+  const auto result = orchestrate_pattern({s});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.achieved_period[0], 100.0, 1.0);
+  EXPECT_NEAR(result.demand, 0.1, 1e-12);
+  EXPECT_NEAR(result.channel_utilization, 0.1, 0.01);
+}
+
+TEST(Pattern, LowDemandManyStreamsFeasible) {
+  // 4 streams, each 10% demand: EDF trivially sustains all periods.
+  std::vector<PatternStream> streams;
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(
+        {"s" + std::to_string(i), 2, 1000.0 + 100.0 * i, 50.0});
+  }
+  const auto result = orchestrate_pattern(streams);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LT(result.demand, 0.5);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_NEAR(result.achieved_period[i], streams[i].period,
+                streams[i].period * 0.05)
+        << i;
+  }
+}
+
+TEST(Pattern, OverloadedChannelInfeasible) {
+  // Demand 1.5 > 1: the periods cannot be sustained.
+  PatternStream a{"a", 3, 100.0, 25.0};  // 0.75
+  PatternStream b{"b", 3, 100.0, 25.0};  // 0.75
+  const auto result = orchestrate_pattern({a, b});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NEAR(result.demand, 1.5, 1e-12);
+  // Achieved periods stretch to ~demand x target.
+  EXPECT_GT(result.achieved_period[0], 100.0 * 1.2);
+  // The channel itself saturates.
+  EXPECT_GT(result.channel_utilization, 0.95);
+}
+
+TEST(Pattern, NearUnitDemandStillOrchestrable) {
+  // The §4 question: demand just below 1. EDF sustains it (periods stretch
+  // by less than the 5% tolerance).
+  PatternStream a{"a", 2, 100.0, 30.0};  // 0.60
+  PatternStream b{"b", 1, 100.0, 35.0};  // 0.35 -> total 0.95
+  const auto result = orchestrate_pattern({a, b}, 0.05, 200);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.demand, 0.95, 1e-12);
+}
+
+TEST(Pattern, TheoremOnePeriodsAreAchievableOnCielo) {
+  // Close the paper's §4 loop: take the constrained Theorem 1 solution at
+  // 40 GB/s (F(λ) = 1) and verify a periodic pattern actually exists, i.e.
+  // the lower bound is (near-)achievable — which is exactly what the
+  // Least-Waste simulation results suggest.
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  const auto bound =
+      solve_lower_bound(cielo, apex_lanl_classes(), units::gb_per_s(40));
+  std::vector<PatternStream> streams;
+  for (const auto& cls : bound.classes) {
+    PatternStream s;
+    s.name = cls.name;
+    s.jobs = static_cast<int>(cls.steady_jobs + 0.5);
+    s.period = cls.period;
+    s.commit = cls.checkpoint_seconds;
+    if (s.jobs > 0) streams.push_back(s);
+  }
+  // The Theorem 1 solution makes the *fractional* demand exactly 1; rounding
+  // n_i to whole jobs perturbs it. Renormalise the periods so the integer
+  // demand sits at 0.98 and ask whether an EDF pattern sustains them — the
+  // constructive answer to §4's "orchestrate these checkpoints into an
+  // appropriate, periodic, repeating pattern".
+  double demand = 0.0;
+  for (const auto& s : streams) {
+    demand += static_cast<double>(s.jobs) * s.commit / s.period;
+  }
+  for (auto& s : streams) s.period *= demand / 0.98;
+  const auto result = orchestrate_pattern(streams, 0.10, 100);
+  EXPECT_NEAR(result.demand, 0.98, 1e-9);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(Pattern, WorstStretchReportsLateness) {
+  PatternStream a{"a", 4, 100.0, 24.0};  // demand 0.96, bursty
+  const auto result = orchestrate_pattern({a}, 0.10, 100);
+  ASSERT_EQ(result.worst_stretch.size(), 1u);
+  EXPECT_GE(result.worst_stretch[0], 0.0);
+}
+
+TEST(Pattern, RejectsBadArguments) {
+  EXPECT_THROW(orchestrate_pattern({}), Error);
+  PatternStream bad{"bad", 0, 100.0, 10.0};
+  EXPECT_THROW(orchestrate_pattern({bad}), Error);
+  PatternStream bad2{"bad2", 1, 10.0, 20.0};  // commit > period
+  EXPECT_THROW(orchestrate_pattern({bad2}), Error);
+  PatternStream ok{"ok", 1, 100.0, 10.0};
+  EXPECT_THROW(orchestrate_pattern({ok}, 0.0), Error);
+  EXPECT_THROW(orchestrate_pattern({ok}, 0.05, 0), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

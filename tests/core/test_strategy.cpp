@@ -1,0 +1,78 @@
+// Unit tests for the strategy registry.
+
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(Strategy, PaperListHasSevenInLegendOrder) {
+  const auto& list = paper_strategies();
+  ASSERT_EQ(list.size(), 7u);
+  EXPECT_EQ(list[0].name(), "Oblivious-Fixed");
+  EXPECT_EQ(list[1].name(), "Oblivious-Daly");
+  EXPECT_EQ(list[2].name(), "Ordered-Fixed");
+  EXPECT_EQ(list[3].name(), "Ordered-Daly");
+  EXPECT_EQ(list[4].name(), "Ordered-NB-Fixed");
+  EXPECT_EQ(list[5].name(), "Ordered-NB-Daly");
+  EXPECT_EQ(list[6].name(), "Least-Waste");
+}
+
+TEST(Strategy, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& s : paper_strategies()) names.insert(s.name());
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Strategy, NonBlockingClassification) {
+  EXPECT_FALSE((Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly})
+                   .non_blocking_wait());
+  EXPECT_FALSE((Strategy{IoMode::kOrdered, CheckpointPolicy::kDaly})
+                   .non_blocking_wait());
+  EXPECT_TRUE((Strategy{IoMode::kOrderedNb, CheckpointPolicy::kDaly})
+                  .non_blocking_wait());
+  EXPECT_TRUE((Strategy{IoMode::kLeastWaste, CheckpointPolicy::kDaly})
+                  .non_blocking_wait());
+}
+
+TEST(Strategy, SerializedClassification) {
+  EXPECT_FALSE(
+      (Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly}).serialized());
+  EXPECT_TRUE(
+      (Strategy{IoMode::kOrdered, CheckpointPolicy::kDaly}).serialized());
+  EXPECT_TRUE(
+      (Strategy{IoMode::kOrderedNb, CheckpointPolicy::kFixed}).serialized());
+  EXPECT_TRUE(
+      (Strategy{IoMode::kLeastWaste, CheckpointPolicy::kDaly}).serialized());
+}
+
+TEST(Strategy, LeastWasteNameIgnoresPolicy) {
+  EXPECT_EQ((Strategy{IoMode::kLeastWaste, CheckpointPolicy::kFixed}.name()),
+            "Least-Waste");
+}
+
+TEST(Strategy, RoundTripFromName) {
+  for (const auto& s : paper_strategies()) {
+    const Strategy parsed = strategy_from_name(s.name());
+    EXPECT_EQ(parsed, s) << s.name();
+  }
+}
+
+TEST(Strategy, FromNameRejectsUnknown) {
+  EXPECT_THROW(strategy_from_name("Magic"), Error);
+}
+
+TEST(Strategy, ToStringHelpers) {
+  EXPECT_EQ(to_string(IoMode::kOblivious), "Oblivious");
+  EXPECT_EQ(to_string(IoMode::kOrderedNb), "Ordered-NB");
+  EXPECT_EQ(to_string(CheckpointPolicy::kFixed), "Fixed");
+  EXPECT_EQ(to_string(CheckpointPolicy::kDaly), "Daly");
+}
+
+}  // namespace
+}  // namespace coopcr

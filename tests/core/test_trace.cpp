@@ -1,0 +1,192 @@
+// Unit tests for the execution trace recorder and Gantt renderer.
+
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/simulation.hpp"
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+// Reuse the toy scenario builders from the simulation tests.
+PlatformSpec toy_platform() {
+  PlatformSpec p;
+  p.name = "toy";
+  p.nodes = 10;
+  p.cores_per_node = 1;
+  p.memory_bytes = 1000.0;
+  p.pfs_bandwidth = 100.0;
+  p.node_mtbf = 1e9;
+  return p;
+}
+
+ClassOnPlatform toy_class(double work, double ckpt_bytes, double daly) {
+  ClassOnPlatform c;
+  c.app.name = "toy";
+  c.app.workload_share = 0.5;
+  c.app.work_seconds = work;
+  c.app.cores = 10;
+  c.app.checkpoint_fraction = 0.5;
+  c.nodes = 10;
+  c.footprint_bytes = 1000.0;
+  c.input_bytes = 100.0;
+  c.output_bytes = 100.0;
+  c.checkpoint_bytes = ckpt_bytes;
+  c.routine_io_bytes = 0.0;
+  c.checkpoint_seconds = ckpt_bytes / 100.0;
+  c.recovery_seconds = c.checkpoint_seconds;
+  c.mtbf = 1e8;
+  c.daly_period = daly;
+  return c;
+}
+
+Job job_of(const ClassOnPlatform& cls, JobId id) {
+  Job j;
+  j.id = id;
+  j.class_index = 0;
+  j.nodes = cls.nodes;
+  j.total_work = cls.app.work_seconds;
+  j.input_bytes = cls.input_bytes;
+  j.output_bytes = cls.output_bytes;
+  j.checkpoint_bytes = cls.checkpoint_bytes;
+  j.root = id;
+  return j;
+}
+
+TEST(Trace, RecordsLifecycleInOrder) {
+  const auto cls = toy_class(300.0, 500.0, 105.0);
+  SimulationConfig cfg;
+  cfg.platform = toy_platform();
+  cfg.classes = {cls};
+  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.segment_start = 0.0;
+  cfg.segment_end = 1e5;
+  cfg.horizon = 1e5;
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  simulate(cfg, {job_of(cls, 0)}, {});
+  ASSERT_GT(trace.size(), 0u);
+  // First event: job start at t=0; last: job completion.
+  EXPECT_EQ(trace.events().front().kind, TraceKind::kJobStart);
+  EXPECT_EQ(trace.events().back().kind, TraceKind::kJobComplete);
+  // Timestamps are non-decreasing.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace.events()[i].time, trace.events()[i - 1].time);
+  }
+  // Work 300 s, P - C = 100 -> two checkpoint request/commit pairs.
+  int requests = 0;
+  int commits = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceKind::kCkptRequest) ++requests;
+    if (e.kind == TraceKind::kIoEnd && e.io == IoKind::kCheckpoint) ++commits;
+  }
+  EXPECT_EQ(requests, 2);
+  EXPECT_EQ(commits, 2);
+}
+
+TEST(Trace, FailureAndRestartAreRecorded) {
+  const auto cls = toy_class(300.0, 500.0, 105.0);
+  SimulationConfig cfg;
+  cfg.platform = toy_platform();
+  cfg.classes = {cls};
+  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.segment_start = 0.0;
+  cfg.segment_end = 1e5;
+  cfg.horizon = 1e5;
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  simulate(cfg, {job_of(cls, 0)}, {{150.0, 0}});
+  bool saw_failure = false;
+  bool saw_restart = false;
+  JobId restart_id = kNoJob;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceKind::kFailure) {
+      saw_failure = true;
+      EXPECT_DOUBLE_EQ(e.time, 150.0);
+    }
+    if (e.kind == TraceKind::kRestartSubmit) {
+      saw_restart = true;
+      restart_id = static_cast<JobId>(e.detail);
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_restart);
+  // The restart job's own lifecycle also appears.
+  EXPECT_FALSE(trace.for_job(restart_id).empty());
+}
+
+TEST(Trace, ForJobFiltersAndPreservesOrder) {
+  TraceRecorder trace;
+  trace.record(1.0, 7, TraceKind::kJobStart);
+  trace.record(2.0, 8, TraceKind::kJobStart);
+  trace.record(3.0, 7, TraceKind::kJobComplete);
+  const auto events = trace.for_job(7);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::kJobStart);
+  EXPECT_EQ(events[1].kind, TraceKind::kJobComplete);
+}
+
+TEST(Trace, CsvExport) {
+  TraceRecorder trace;
+  trace.record(1.5, 3, TraceKind::kIoStart, IoKind::kCheckpoint, 500.0);
+  const std::string path = testing::TempDir() + "/coopcr_trace.csv";
+  trace.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(header, "time,job,kind,io,detail");
+  EXPECT_NE(row.find("io-start"), std::string::npos);
+  EXPECT_NE(row.find("checkpoint"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, GanttRendersStates) {
+  const auto cls = toy_class(300.0, 500.0, 105.0);
+  SimulationConfig cfg;
+  cfg.platform = toy_platform();
+  cfg.classes = {cls};
+  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.segment_start = 0.0;
+  cfg.segment_end = 1e5;
+  cfg.horizon = 1e5;
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  simulate(cfg, {job_of(cls, 0)}, {});
+  const std::string gantt = render_gantt(trace, 0.0, 320.0, 64);
+  EXPECT_NE(gantt.find("job 0"), std::string::npos);
+  EXPECT_NE(gantt.find('='), std::string::npos);  // compute
+  EXPECT_NE(gantt.find('K'), std::string::npos);  // checkpoint commits
+  EXPECT_NE(gantt.find('i'), std::string::npos);  // input
+}
+
+TEST(Trace, GanttShowsFailure) {
+  const auto cls = toy_class(300.0, 500.0, 105.0);
+  SimulationConfig cfg;
+  cfg.platform = toy_platform();
+  cfg.classes = {cls};
+  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.segment_start = 0.0;
+  cfg.segment_end = 1e5;
+  cfg.horizon = 1e5;
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  simulate(cfg, {job_of(cls, 0)}, {{150.0, 0}});
+  const std::string gantt = render_gantt(trace, 0.0, 200.0, 50);
+  EXPECT_NE(gantt.find('X'), std::string::npos);
+}
+
+TEST(Trace, GanttRejectsBadWindow) {
+  TraceRecorder trace;
+  EXPECT_THROW(render_gantt(trace, 10.0, 10.0, 50), Error);
+  EXPECT_THROW(render_gantt(trace, 0.0, 10.0, 2), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

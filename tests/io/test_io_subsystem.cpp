@@ -1,0 +1,220 @@
+// Unit tests for the I/O admission layer: concurrent vs serial admission,
+// FCFS token order, cancel/abort semantics, wait/transfer bookkeeping.
+
+#include "io/io_subsystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+IoRequest req(JobId job, IoKind kind, double volume, std::int64_t nodes) {
+  IoRequest r;
+  r.job = job;
+  r.kind = kind;
+  r.volume = volume;
+  r.nodes = nodes;
+  return r;
+}
+
+struct Probe {
+  std::vector<std::pair<RequestId, double>> starts;
+  std::vector<std::pair<RequestId, double>> completes;
+
+  RequestCallbacks callbacks(sim::Engine& engine) {
+    RequestCallbacks cb;
+    cb.on_start = [this, &engine](RequestId id) {
+      starts.emplace_back(id, engine.now());
+    };
+    cb.on_complete = [this, &engine](RequestId id) {
+      completes.emplace_back(id, engine.now());
+    };
+    return cb;
+  }
+};
+
+TEST(IoSubsystem, ConcurrentAdmitsImmediately) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kConcurrent);
+  Probe probe;
+  io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  io.submit(req(2, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  ASSERT_EQ(probe.starts.size(), 2u);  // both started synchronously
+  EXPECT_EQ(io.active_count(), 2u);
+  engine.run();
+  ASSERT_EQ(probe.completes.size(), 2u);
+  // Linear sharing: each 200 B at 50 B/s -> both done at t=4.
+  EXPECT_DOUBLE_EQ(probe.completes[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(probe.completes[1].second, 4.0);
+}
+
+TEST(IoSubsystem, SerialRunsOneAtATime) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  io.submit(req(2, IoKind::kInput, 300.0, 1), probe.callbacks(engine));
+  io.submit(req(3, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  EXPECT_EQ(io.active_count(), 1u);
+  EXPECT_EQ(io.pending_count(), 2u);
+  engine.run();
+  ASSERT_EQ(probe.completes.size(), 3u);
+  // FCFS at full bandwidth: 2 s, then 3 s, then 1 s.
+  EXPECT_DOUBLE_EQ(probe.completes[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(probe.completes[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(probe.completes[2].second, 6.0);
+  // Waits: 0, 2, 5 -> total 7. Transfers: 2 + 3 + 1 = 6.
+  EXPECT_DOUBLE_EQ(io.stats().total_wait_time, 7.0);
+  EXPECT_DOUBLE_EQ(io.stats().total_transfer_time, 6.0);
+}
+
+TEST(IoSubsystem, SerialGrantTimesAreRecorded) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  const RequestId a =
+      io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  const RequestId b =
+      io.submit(req(2, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  EXPECT_TRUE(io.is_active(a));
+  EXPECT_TRUE(io.is_pending(b));
+  EXPECT_DOUBLE_EQ(io.submitted_at(b), 0.0);
+  engine.run_steps(1);  // completes a, grants b
+  EXPECT_TRUE(io.is_active(b));
+  EXPECT_DOUBLE_EQ(io.started_at(b), 2.0);
+}
+
+TEST(IoSubsystem, CancelPendingWorks) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  const RequestId b =
+      io.submit(req(2, IoKind::kCheckpoint, 100.0, 1), probe.callbacks(engine));
+  EXPECT_TRUE(io.cancel(b));
+  EXPECT_EQ(io.pending_count(), 0u);
+  engine.run();
+  EXPECT_EQ(probe.completes.size(), 1u);
+  EXPECT_EQ(io.stats().cancelled, 1u);
+}
+
+TEST(IoSubsystem, CancelActiveFails) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  const RequestId a =
+      io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  EXPECT_FALSE(io.cancel(a));
+  engine.run();
+  EXPECT_EQ(probe.completes.size(), 1u);
+}
+
+TEST(IoSubsystem, AbortActiveFreesTokenForNext) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  const RequestId a =
+      io.submit(req(1, IoKind::kInput, 1000.0, 1), probe.callbacks(engine));
+  io.submit(req(2, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  engine.at(1.0, [&] { EXPECT_TRUE(io.abort(a)); });
+  engine.run();
+  ASSERT_EQ(probe.completes.size(), 1u);
+  // b granted at t=1, transfers 1 s at full bandwidth.
+  EXPECT_DOUBLE_EQ(probe.completes[0].second, 2.0);
+  EXPECT_EQ(io.stats().aborted, 1u);
+}
+
+TEST(IoSubsystem, AbortPendingWorks) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  Probe probe;
+  io.submit(req(1, IoKind::kInput, 200.0, 1), probe.callbacks(engine));
+  const RequestId b =
+      io.submit(req(2, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  EXPECT_TRUE(io.abort(b));
+  engine.run();
+  EXPECT_EQ(probe.completes.size(), 1u);
+}
+
+TEST(IoSubsystem, AbortUnknownReturnsFalse) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kConcurrent);
+  EXPECT_FALSE(io.abort(999));
+  EXPECT_FALSE(io.cancel(999));
+}
+
+TEST(IoSubsystem, CompletionCallbackCanSubmitFollowUp) {
+  // Regression test for re-entrancy: a completion handler submits a new
+  // request on the same subsystem.
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  std::vector<double> completes;
+  RequestCallbacks second;
+  second.on_complete = [&](RequestId) { completes.push_back(engine.now()); };
+  RequestCallbacks first;
+  first.on_complete = [&](RequestId) {
+    completes.push_back(engine.now());
+    io.submit(req(2, IoKind::kOutput, 300.0, 1), second);
+  };
+  io.submit(req(1, IoKind::kInput, 200.0, 1), first);
+  engine.run();
+  ASSERT_EQ(completes.size(), 2u);
+  EXPECT_DOUBLE_EQ(completes[0], 2.0);
+  EXPECT_DOUBLE_EQ(completes[1], 5.0);
+}
+
+TEST(IoSubsystem, SerialNeedsPolicy) {
+  sim::Engine engine;
+  EXPECT_THROW(IoSubsystem(engine, 100.0, AdmissionMode::kSerial), Error);
+}
+
+TEST(IoSubsystem, RejectsMalformedRequests) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kConcurrent);
+  EXPECT_THROW(io.submit(req(1, IoKind::kInput, -1.0, 1), {}), Error);
+  EXPECT_THROW(io.submit(req(1, IoKind::kInput, 1.0, 0), {}), Error);
+}
+
+TEST(IoSubsystem, StatsCountSubmissions) {
+  sim::Engine engine;
+  IoSubsystem io(engine, 100.0, AdmissionMode::kConcurrent);
+  Probe probe;
+  io.submit(req(1, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  io.submit(req(2, IoKind::kInput, 100.0, 1), probe.callbacks(engine));
+  engine.run();
+  EXPECT_EQ(io.stats().submitted, 2u);
+  EXPECT_EQ(io.stats().completed, 2u);
+}
+
+TEST(IoKindHelpers, NamesAndBlocking) {
+  EXPECT_EQ(to_string(IoKind::kInput), "input");
+  EXPECT_EQ(to_string(IoKind::kOutput), "output");
+  EXPECT_EQ(to_string(IoKind::kRecovery), "recovery");
+  EXPECT_EQ(to_string(IoKind::kCheckpoint), "checkpoint");
+  EXPECT_EQ(to_string(IoKind::kRoutine), "routine");
+  EXPECT_TRUE(is_inherently_blocking(IoKind::kInput));
+  EXPECT_FALSE(is_inherently_blocking(IoKind::kCheckpoint));
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,149 @@
+// Unit tests for failure trace generation: inter-arrival statistics, victim
+// distribution, reproducibility, Weibull extension.
+
+#include "platform/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace coopcr {
+namespace {
+
+PlatformSpec small_platform() {
+  PlatformSpec spec;
+  spec.name = "test";
+  spec.nodes = 100;
+  spec.cores_per_node = 8;
+  spec.memory_bytes = units::terabytes(1);
+  spec.pfs_bandwidth = units::gb_per_s(10);
+  spec.node_mtbf = units::hours(1000);  // system MTBF = 10 h
+  return spec;
+}
+
+TEST(FailureModel, TimesAreStrictlyIncreasing) {
+  Rng rng(1);
+  FailureModel model;
+  const auto trace = model.generate(small_platform(), units::days(30), rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].time, trace[i - 1].time);
+  }
+}
+
+TEST(FailureModel, AllWithinHorizon) {
+  Rng rng(2);
+  FailureModel model;
+  const double horizon = units::days(10);
+  const auto trace = model.generate(small_platform(), horizon, rng);
+  for (const auto& f : trace) {
+    EXPECT_GE(f.time, 0.0);
+    EXPECT_LT(f.time, horizon);
+  }
+}
+
+TEST(FailureModel, CountMatchesSystemMtbf) {
+  Rng rng(3);
+  FailureModel model;
+  const PlatformSpec spec = small_platform();
+  const double horizon = units::days(300);
+  const auto trace = model.generate(spec, horizon, rng);
+  const double expected = horizon / spec.system_mtbf();
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected,
+              4.0 * std::sqrt(expected));  // 4 sigma of Poisson
+}
+
+TEST(FailureModel, InterarrivalMeanMatches) {
+  Rng rng(4);
+  FailureModel model;
+  const PlatformSpec spec = small_platform();
+  const auto trace = model.generate(spec, units::days(1000), rng);
+  const auto stats = summarize(trace);
+  EXPECT_NEAR(stats.mean_interarrival, spec.system_mtbf(),
+              spec.system_mtbf() * 0.1);
+}
+
+TEST(FailureModel, VictimsCoverAllNodes) {
+  Rng rng(5);
+  FailureModel model;
+  const PlatformSpec spec = small_platform();
+  const auto trace = model.generate(spec, units::days(2000), rng);
+  std::vector<int> hits(static_cast<std::size_t>(spec.nodes), 0);
+  for (const auto& f : trace) {
+    ASSERT_GE(f.node, 0);
+    ASSERT_LT(f.node, spec.nodes);
+    ++hits[static_cast<std::size_t>(f.node)];
+  }
+  int never_hit = 0;
+  for (const int h : hits) {
+    if (h == 0) ++never_hit;
+  }
+  // ~4800 failures over 100 nodes: every node should be struck.
+  EXPECT_EQ(never_hit, 0);
+}
+
+TEST(FailureModel, Reproducible) {
+  FailureModel model;
+  Rng a(42);
+  Rng b(42);
+  const auto ta = model.generate(small_platform(), units::days(30), a);
+  const auto tb = model.generate(small_platform(), units::days(30), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i].time, tb[i].time);
+    EXPECT_EQ(ta[i].node, tb[i].node);
+  }
+}
+
+TEST(FailureModel, ZeroHorizonGivesEmptyTrace) {
+  Rng rng(6);
+  FailureModel model;
+  EXPECT_TRUE(model.generate(small_platform(), 0.0, rng).empty());
+}
+
+TEST(FailureModel, WeibullKeepsMeanInterarrival) {
+  // The Weibull scale is renormalised so the mean inter-arrival stays the
+  // system MTBF regardless of shape.
+  Rng rng(7);
+  FailureModel model;
+  model.law = FailureLaw::kWeibull;
+  model.weibull_shape = 0.7;
+  const PlatformSpec spec = small_platform();
+  const auto trace = model.generate(spec, units::days(2000), rng);
+  const auto stats = summarize(trace);
+  EXPECT_NEAR(stats.mean_interarrival, spec.system_mtbf(),
+              spec.system_mtbf() * 0.1);
+}
+
+TEST(FailureModel, WeibullBurstier) {
+  // Shape < 1 gives a heavier tail and more short gaps: the coefficient of
+  // variation exceeds the exponential's 1.
+  const PlatformSpec spec = small_platform();
+  auto cv = [&](FailureLaw law) {
+    Rng rng(8);
+    FailureModel model;
+    model.law = law;
+    model.weibull_shape = 0.5;
+    const auto trace = model.generate(spec, units::days(3000), rng);
+    OnlineStats gaps;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      gaps.add(trace[i].time - trace[i - 1].time);
+    }
+    return gaps.stddev() / gaps.mean();
+  };
+  EXPECT_NEAR(cv(FailureLaw::kExponential), 1.0, 0.1);
+  EXPECT_GT(cv(FailureLaw::kWeibull), 1.4);
+}
+
+TEST(FailureModel, SummarizeEmptyTrace) {
+  const auto stats = summarize({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_interarrival, 0.0);
+}
+
+}  // namespace
+}  // namespace coopcr

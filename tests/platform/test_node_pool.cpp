@@ -1,0 +1,115 @@
+// Unit tests for node allocation bookkeeping.
+
+#include "platform/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(NodePool, StartsAllFree) {
+  NodePool pool(10);
+  EXPECT_EQ(pool.total(), 10);
+  EXPECT_EQ(pool.free_count(), 10);
+  EXPECT_EQ(pool.allocated_count(), 0);
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+}
+
+TEST(NodePool, AllocateAndRelease) {
+  NodePool pool(10);
+  pool.allocate(1, 4);
+  EXPECT_EQ(pool.free_count(), 6);
+  EXPECT_EQ(pool.nodes_of(1).size(), 4u);
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.4);
+  pool.release(1);
+  EXPECT_EQ(pool.free_count(), 10);
+  EXPECT_TRUE(pool.nodes_of(1).empty());
+}
+
+TEST(NodePool, OwnershipIsTracked) {
+  NodePool pool(10);
+  pool.allocate(7, 3);
+  int owned = 0;
+  for (std::int64_t n = 0; n < pool.total(); ++n) {
+    if (pool.owner_of(n) == 7) ++owned;
+  }
+  EXPECT_EQ(owned, 3);
+  for (const std::int64_t n : pool.nodes_of(7)) {
+    EXPECT_EQ(pool.owner_of(n), 7);
+  }
+}
+
+TEST(NodePool, FreeNodesHaveNoOwner) {
+  NodePool pool(5);
+  pool.allocate(1, 2);
+  int free_nodes = 0;
+  for (std::int64_t n = 0; n < pool.total(); ++n) {
+    if (pool.owner_of(n) == kNoJob) ++free_nodes;
+  }
+  EXPECT_EQ(free_nodes, 3);
+}
+
+TEST(NodePool, CanAllocateChecksCapacity) {
+  NodePool pool(10);
+  pool.allocate(1, 7);
+  EXPECT_TRUE(pool.can_allocate(3));
+  EXPECT_FALSE(pool.can_allocate(4));
+}
+
+TEST(NodePool, OverAllocationThrows) {
+  NodePool pool(10);
+  EXPECT_THROW(pool.allocate(1, 11), Error);
+  pool.allocate(1, 10);
+  EXPECT_THROW(pool.allocate(2, 1), Error);
+}
+
+TEST(NodePool, DoubleAllocationThrows) {
+  NodePool pool(10);
+  pool.allocate(1, 2);
+  EXPECT_THROW(pool.allocate(1, 2), Error);
+}
+
+TEST(NodePool, ReleaseWithoutAllocationThrows) {
+  NodePool pool(10);
+  EXPECT_THROW(pool.release(1), Error);
+}
+
+TEST(NodePool, ReallocationAfterReleaseReusesNodes) {
+  NodePool pool(4);
+  pool.allocate(1, 4);
+  pool.release(1);
+  pool.allocate(2, 4);
+  EXPECT_EQ(pool.free_count(), 0);
+  for (std::int64_t n = 0; n < pool.total(); ++n) {
+    EXPECT_EQ(pool.owner_of(n), 2);
+  }
+}
+
+TEST(NodePool, MultipleJobsDisjointNodes) {
+  NodePool pool(10);
+  pool.allocate(1, 3);
+  pool.allocate(2, 3);
+  pool.allocate(3, 4);
+  EXPECT_EQ(pool.job_count(), 3u);
+  EXPECT_EQ(pool.free_count(), 0);
+  for (const std::int64_t n : pool.nodes_of(1)) {
+    EXPECT_EQ(pool.owner_of(n), 1);
+  }
+  for (const std::int64_t n : pool.nodes_of(2)) {
+    EXPECT_EQ(pool.owner_of(n), 2);
+  }
+}
+
+TEST(NodePool, InvalidQueriesThrow) {
+  NodePool pool(10);
+  EXPECT_THROW(pool.owner_of(-1), Error);
+  EXPECT_THROW(pool.owner_of(10), Error);
+  EXPECT_THROW(NodePool(0), Error);
+  EXPECT_THROW(pool.allocate(-1, 1), Error);
+  EXPECT_THROW(pool.allocate(1, 0), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,143 @@
+// Unit tests for the discrete-event engine run loop.
+
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, RunsEventsAndAdvancesClock) {
+  Engine e;
+  std::vector<double> times;
+  e.at(5.0, [&] { times.push_back(e.now()); });
+  e.at(1.0, [&] { times.push_back(e.now()); });
+  const auto n = e.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 5.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.at(10.0, [&] { e.after(2.5, [&] { fired_at = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.5);
+}
+
+TEST(Engine, AfterRejectsNegativeDelay) {
+  Engine e;
+  EXPECT_THROW(e.after(-1.0, [] {}), Error);
+}
+
+TEST(Engine, HorizonStopsExecution) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(2.0, [&] { ++fired; });
+  e.at(3.0, [&] { ++fired; });
+  e.run(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the horizon still fire
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, DrainedRunAdvancesToHorizon) {
+  Engine e;
+  e.at(1.0, [] {});
+  e.run(100.0);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, StopRequestHaltsLoop) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.at(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunStepsLimitsEvents) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    e.at(static_cast<Time>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(e.run_steps(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EventsCanScheduleAtSameInstant) {
+  Engine e;
+  std::vector<int> order;
+  e.at(1.0, [&] {
+    order.push_back(0);
+    e.after(0.0, [&] { order.push_back(1); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, EventCancelsLaterEvent) {
+  Engine e;
+  bool fired = false;
+  const EventId victim = e.at(5.0, [&] { fired = true; });
+  e.at(1.0, [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, EventsExecutedAccumulates) {
+  Engine e;
+  e.at(1.0, [] {});
+  e.run();
+  e.at(2.0, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+TEST(Engine, NextEventTime) {
+  Engine e;
+  EXPECT_EQ(e.next_event_time(), kTimeNever);
+  e.at(4.0, [] {});
+  EXPECT_DOUBLE_EQ(e.next_event_time(), 4.0);
+}
+
+TEST(TimeFormat, FormatsDaysHoursMinutes) {
+  EXPECT_EQ(format_time(0.0), "0d 00:00:00.000");
+  EXPECT_EQ(format_time(90061.5), "1d 01:01:01.500");
+  EXPECT_EQ(format_time(kTimeNever), "never");
+}
+
+}  // namespace
+}  // namespace coopcr::sim

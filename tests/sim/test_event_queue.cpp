@@ -1,0 +1,139 @@
+// Unit tests for the cancellable event queue: ordering, cancellation,
+// determinism.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace coopcr::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelMiddleOfTies) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.schedule(1.0, [&] { order.push_back(0); });
+  const EventId b = q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId c = q.schedule(1.0, [&] { order.push_back(2); });
+  (void)a;
+  (void)c;
+  q.cancel(b);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.set_now(10.0);
+  EXPECT_THROW(q.schedule(9.9, [] {}), Error);
+  EXPECT_NO_THROW(q.schedule(10.0, [] {}));
+}
+
+TEST(EventQueue, RejectsNonFiniteTime) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(kTimeNever, [] {}), Error);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               Error);
+}
+
+TEST(EventQueue, RejectsEmptyCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventFn{}), Error);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), Error);
+}
+
+TEST(EventQueue, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [] {});
+  EXPECT_EQ(q.total_scheduled(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Pseudo-random times; verify non-decreasing pop order.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double t = static_cast<double>(x >> 40);
+    q.schedule(t, [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace coopcr::sim

@@ -1,0 +1,168 @@
+// Unit tests for the two-tier burst-buffer extension (paper §8).
+
+#include "storage/burst_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::storage {
+namespace {
+
+BurstBufferSpec spec(double bb_bw, double pfs_bw, double capacity) {
+  BurstBufferSpec s;
+  s.buffer_bandwidth = bb_bw;
+  s.pfs_bandwidth = pfs_bw;
+  s.capacity = capacity;
+  return s;
+}
+
+TEST(BurstBuffer, CommitAtBufferSpeedDrainAtPfsSpeed) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1e6));
+  double commit_at = -1.0;
+  double drain_at = -1.0;
+  bb.submit(2000.0, 1, [&](WriteId) { commit_at = engine.now(); },
+            [&](WriteId) { drain_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(commit_at, 2.0);   // 2000 B at 1000 B/s
+  EXPECT_DOUBLE_EQ(drain_at, 22.0);   // drain starts at 2, 2000 B at 100 B/s
+  EXPECT_DOUBLE_EQ(bb.occupancy(), 0.0);
+}
+
+TEST(BurstBuffer, ApplicationReleasedBeforeDrainCompletes) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 10.0, 1e6));
+  double commit_at = -1.0;
+  bb.submit(1000.0, 1, [&](WriteId) { commit_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(commit_at, 1.0);  // not 100 s (the PFS drain time)
+  EXPECT_EQ(bb.stats().drains_completed, 1u);
+}
+
+TEST(BurstBuffer, ConcurrentWritesShareFastTier) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1e6));
+  std::vector<double> commits;
+  bb.submit(1000.0, 1, [&](WriteId) { commits.push_back(engine.now()); });
+  bb.submit(1000.0, 1, [&](WriteId) { commits.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(commits.size(), 2u);
+  // Linear sharing on the fast tier: both take 2 s.
+  EXPECT_DOUBLE_EQ(commits[0], 2.0);
+  EXPECT_DOUBLE_EQ(commits[1], 2.0);
+}
+
+TEST(BurstBuffer, CapacityBlocksAdmission) {
+  sim::Engine engine;
+  // Capacity fits exactly one 1000 B write.
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1000.0));
+  std::vector<double> commits;
+  bb.submit(1000.0, 1, [&](WriteId) { commits.push_back(engine.now()); });
+  bb.submit(1000.0, 1, [&](WriteId) { commits.push_back(engine.now()); });
+  EXPECT_EQ(bb.queued(), 1u);
+  engine.run();
+  ASSERT_EQ(commits.size(), 2u);
+  EXPECT_DOUBLE_EQ(commits[0], 1.0);
+  // Second admitted when the first drain completes at 1 + 10 = 11, commits
+  // at 12.
+  EXPECT_DOUBLE_EQ(commits[1], 12.0);
+  EXPECT_DOUBLE_EQ(bb.stats().total_capacity_wait, 11.0);
+}
+
+TEST(BurstBuffer, FifoAdmissionPreventsStarvation) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1000.0));
+  std::vector<std::pair<int, double>> commits;
+  auto track = [&](int tag) {
+    return [&, tag](WriteId) { commits.emplace_back(tag, engine.now()); };
+  };
+  bb.submit(900.0, 1, track(0));
+  bb.submit(800.0, 1, track(1));  // waits for A's drain
+  bb.submit(50.0, 1, track(2));   // would fit immediately, but must queue
+                                  // behind the 800 B head-of-line write
+  engine.run();
+  ASSERT_EQ(commits.size(), 3u);
+  EXPECT_EQ(commits[0].first, 0);
+  EXPECT_DOUBLE_EQ(commits[0].second, 0.9);
+  // Without FIFO admission the 50 B write would commit at ~0.05 s; with it,
+  // nothing is admitted before A's drain completes at t = 9.9.
+  for (std::size_t i = 1; i < commits.size(); ++i) {
+    EXPECT_GE(commits[i].second, 9.9);
+  }
+}
+
+TEST(BurstBuffer, DrainsAreSerializedFifo) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1e6));
+  std::vector<int> drains;
+  bb.submit(1000.0, 1, [](WriteId) {}, [&](WriteId) { drains.push_back(0); });
+  bb.submit(500.0, 1, [](WriteId) {}, [&](WriteId) { drains.push_back(1); });
+  engine.run();
+  EXPECT_EQ(drains, (std::vector<int>{1, 0}));
+  // 500 B commits first (0.5 s < 1 s? no: both start at 0, shared 500 B/s
+  // each; 500 B done at 1, 1000 B done at... flows share: at t=1 the small
+  // write finishes (500 B at 500 B/s); its drain starts first.
+}
+
+TEST(BurstBuffer, PeakOccupancyTracked) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 5000.0));
+  bb.submit(2000.0, 1, [](WriteId) {});
+  bb.submit(1500.0, 1, [](WriteId) {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(bb.stats().peak_occupancy, 3500.0);
+  EXPECT_DOUBLE_EQ(bb.occupancy(), 0.0);
+  EXPECT_EQ(bb.stats().writes_submitted, 2u);
+  EXPECT_EQ(bb.stats().writes_completed, 2u);
+  EXPECT_EQ(bb.stats().drains_completed, 2u);
+}
+
+TEST(BurstBuffer, CommitLatencyAccumulates) {
+  sim::Engine engine;
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1e6));
+  bb.submit(1000.0, 1, [](WriteId) {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(bb.stats().total_commit_latency, 1.0);
+}
+
+TEST(BurstBuffer, RejectsBadArguments) {
+  sim::Engine engine;
+  EXPECT_THROW(BurstBuffer(engine, spec(0.0, 100.0, 1.0)), coopcr::Error);
+  EXPECT_THROW(BurstBuffer(engine, spec(100.0, 0.0, 1.0)), coopcr::Error);
+  EXPECT_THROW(BurstBuffer(engine, spec(100.0, 100.0, 0.0)), coopcr::Error);
+  BurstBuffer bb(engine, spec(1000.0, 100.0, 1000.0));
+  EXPECT_THROW(bb.submit(2000.0, 1, [](WriteId) {}), coopcr::Error);
+  EXPECT_THROW(bb.submit(100.0, 0, [](WriteId) {}), coopcr::Error);
+  EXPECT_THROW(bb.submit(100.0, 1, nullptr), coopcr::Error);
+}
+
+TEST(BurstBuffer, FasterThanDirectPfsUnderBurst) {
+  // The headline property of §8: N simultaneous checkpoint writes commit
+  // far faster through the buffer than through the PFS directly.
+  sim::Engine engine_bb;
+  BurstBuffer bb(engine_bb, spec(10000.0, 100.0, 1e9));
+  double last_commit_bb = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    bb.submit(1000.0, 1,
+              [&](WriteId) { last_commit_bb = engine_bb.now(); });
+  }
+  engine_bb.run();
+
+  sim::Engine engine_pfs;
+  coopcr::SharedChannel pfs(engine_pfs, 100.0);
+  double last_commit_pfs = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    pfs.start(1000.0, 1,
+              [&](coopcr::FlowId) { last_commit_pfs = engine_pfs.now(); });
+  }
+  engine_pfs.run();
+
+  EXPECT_LT(last_commit_bb, last_commit_pfs / 10.0);
+}
+
+}  // namespace
+}  // namespace coopcr::storage

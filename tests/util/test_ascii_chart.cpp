@@ -1,0 +1,65 @@
+// Unit tests for the terminal chart renderer.
+
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.add_series("up", {{0.0, 0.0}, {1.0, 1.0}}, '*');
+  chart.add_series("down", {{0.0, 1.0}, {1.0, 0.0}}, 'o');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+  EXPECT_NE(out.find("o = down"), std::string::npos);
+  EXPECT_EQ(chart.series_count(), 2u);
+}
+
+TEST(AsciiChart, ExtremesLandOnCorners) {
+  AsciiChart chart(20, 5);
+  chart.add_series("s", {{0.0, 0.0}, {1.0, 1.0}}, '#');
+  const std::string out = chart.render();
+  // The y=1 point is in the first canvas row, the y=0 point in the last.
+  const auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  chart.add_series("dot", {{3.0, 7.0}}, '+');
+  EXPECT_NO_THROW(chart.render());
+  EXPECT_NE(chart.render().find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, CustomYRangeClamps) {
+  AsciiChart chart(20, 5);
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series("s", {{0.0, 5.0}, {1.0, -3.0}}, 'x');  // outside range
+  EXPECT_NO_THROW(chart.render());
+}
+
+TEST(AsciiChart, XRangeInFooter) {
+  AsciiChart chart(20, 5);
+  chart.add_series("s", {{40.0, 0.5}, {160.0, 0.2}}, '*');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("40.00"), std::string::npos);
+  EXPECT_NE(out.find("160.00"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadUse) {
+  EXPECT_THROW(AsciiChart(5, 5), Error);
+  EXPECT_THROW(AsciiChart(20, 2), Error);
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.add_series("empty", {}, '*'), Error);
+  EXPECT_THROW(chart.render(), Error);
+  EXPECT_THROW(chart.set_y_range(1.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

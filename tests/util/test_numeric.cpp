@@ -1,0 +1,88 @@
+// Unit tests for the numerical toolbox (bisection root/threshold search,
+// golden-section minimisation).
+
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(BisectRoot, FindsSqrtTwo) {
+  const auto result =
+      bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectRoot, HandlesDecreasingFunction) {
+  const auto result =
+      bisect_root([](double x) { return 5.0 - x; }, 0.0, 10.0, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 5.0, 1e-10);
+}
+
+TEST(BisectRoot, ExactRootAtEndpoint) {
+  const auto lo = bisect_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(lo.converged);
+  EXPECT_DOUBLE_EQ(lo.x, 0.0);
+  const auto hi = bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(hi.converged);
+  EXPECT_DOUBLE_EQ(hi.x, 1.0);
+}
+
+TEST(BisectRoot, RequiresSignChange) {
+  EXPECT_THROW(
+      bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0), Error);
+}
+
+TEST(BisectRoot, RequiresOrderedBracket) {
+  EXPECT_THROW(bisect_root([](double x) { return x; }, 1.0, 0.0), Error);
+}
+
+TEST(BisectThreshold, FindsStep) {
+  // pred true iff x >= 3.7.
+  const double x = bisect_threshold([](double v) { return v >= 3.7; }, 0.0,
+                                    10.0, 1e-9);
+  EXPECT_NEAR(x, 3.7, 1e-7);
+}
+
+TEST(BisectThreshold, AlwaysTrueReturnsLo) {
+  EXPECT_DOUBLE_EQ(
+      bisect_threshold([](double) { return true; }, 2.0, 10.0), 2.0);
+}
+
+TEST(BisectThreshold, NeverTrueReturnsHi) {
+  EXPECT_DOUBLE_EQ(
+      bisect_threshold([](double) { return false; }, 2.0, 10.0), 10.0);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto result = golden_section_min(
+      [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; }, 0.0, 10.0, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.5, 1e-7);
+  EXPECT_NEAR(result.fx, 1.0, 1e-12);
+}
+
+TEST(GoldenSection, FindsDalyShapedMinimum) {
+  // W(P) = C/P + P/(2 mu) has its minimum at P = sqrt(2 mu C).
+  const double c = 300.0;
+  const double mu = 30000.0;
+  const auto result = golden_section_min(
+      [&](double p) { return c / p + p / (2.0 * mu); }, 1.0, 1e6, 1e-6);
+  EXPECT_NEAR(result.x, std::sqrt(2.0 * mu * c), 1.0);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const auto result =
+      golden_section_min([](double x) { return x; }, 1.0, 2.0, 1e-10);
+  EXPECT_NEAR(result.x, 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,155 @@
+// Unit tests for the deterministic RNG and its distributions.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamsAreReproducible) {
+  Rng a = Rng::stream(99, 17);
+  Rng b = Rng::stream(99, 17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIndexOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(8);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(9);
+  OnlineStats stats;
+  const double mean = 3.5;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(mean));
+  EXPECT_NEAR(stats.mean(), mean, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng rng(11);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(12);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, λ) is Exponential(mean λ).
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.weibull(1.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, WeibullMeanMatchesGammaFormula) {
+  // E[X] = λ Γ(1 + 1/k).
+  Rng rng(14);
+  const double shape = 0.7;
+  const double scale = 5.0;
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.weibull(shape, scale));
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(stats.mean(), expected, expected * 0.02);
+}
+
+TEST(Rng, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // seed 0: first three outputs.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454Full);
+}
+
+}  // namespace
+}  // namespace coopcr

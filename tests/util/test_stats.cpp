@@ -1,0 +1,153 @@
+// Unit tests for OnlineStats (Welford) and SampleSet (quantiles /
+// candlesticks).
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(1);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    if (i % 2 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SampleSet, QuantileOfSingleton) {
+  SampleSet s({7.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(SampleSet, QuantileEndpoints) {
+  SampleSet s({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SampleSet, QuantileThrowsOnEmpty) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), Error);
+}
+
+TEST(SampleSet, QuantileRejectsOutOfRange) {
+  SampleSet s({1.0});
+  EXPECT_THROW(s.quantile(-0.1), Error);
+  EXPECT_THROW(s.quantile(1.1), Error);
+}
+
+TEST(SampleSet, MeanAndStddev) {
+  SampleSet s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleSet, CandlestickOrdering) {
+  Rng rng(2);
+  SampleSet s;
+  for (int i = 0; i < 5000; ++i) s.add(rng.uniform());
+  const Candlestick c = s.candlestick();
+  EXPECT_LE(c.d1, c.q1);
+  EXPECT_LE(c.q1, c.median);
+  EXPECT_LE(c.median, c.q3);
+  EXPECT_LE(c.q3, c.d9);
+  EXPECT_EQ(c.n, 5000u);
+  // Uniform: quantiles land near their nominal positions.
+  EXPECT_NEAR(c.d1, 0.1, 0.02);
+  EXPECT_NEAR(c.q1, 0.25, 0.02);
+  EXPECT_NEAR(c.q3, 0.75, 0.02);
+  EXPECT_NEAR(c.d9, 0.9, 0.02);
+  EXPECT_NEAR(c.mean, 0.5, 0.02);
+}
+
+TEST(SampleSet, AddAfterQuantileInvalidatesCache) {
+  SampleSet s({5.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(SampleSet, MergeConcatenates) {
+  SampleSet a({1.0, 2.0});
+  SampleSet b({3.0});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 3.0);
+}
+
+TEST(Candlestick, ToStringContainsMean) {
+  SampleSet s({1.0, 2.0, 3.0});
+  const std::string text = s.candlestick().to_string(2);
+  EXPECT_NE(text.find("2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,101 @@
+// Pins the APEX Table 1 data and the paper-level derived quantities on
+// Cielo (checked against hand calculations from the paper's formulas).
+
+#include "workload/apex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hpp"
+#include "util/units.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(Apex, TableOneValues) {
+  const auto classes = apex_lanl_classes();
+  ASSERT_EQ(classes.size(), 4u);
+
+  const auto& eap = classes[0];
+  EXPECT_EQ(eap.name, "EAP");
+  EXPECT_DOUBLE_EQ(eap.workload_share, 0.66);
+  EXPECT_DOUBLE_EQ(eap.work_seconds, units::hours(262.4));
+  EXPECT_EQ(eap.cores, 16384);
+  EXPECT_DOUBLE_EQ(eap.input_fraction, 0.03);
+  EXPECT_DOUBLE_EQ(eap.output_fraction, 1.05);
+  EXPECT_DOUBLE_EQ(eap.checkpoint_fraction, 1.60);
+
+  const auto& lap = classes[1];
+  EXPECT_EQ(lap.name, "LAP");
+  EXPECT_DOUBLE_EQ(lap.workload_share, 0.055);
+  EXPECT_DOUBLE_EQ(lap.work_seconds, units::hours(64));
+  EXPECT_EQ(lap.cores, 4096);
+  EXPECT_DOUBLE_EQ(lap.input_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(lap.output_fraction, 2.20);
+  EXPECT_DOUBLE_EQ(lap.checkpoint_fraction, 1.85);
+
+  const auto& silverton = classes[2];
+  EXPECT_EQ(silverton.name, "Silverton");
+  EXPECT_DOUBLE_EQ(silverton.workload_share, 0.165);
+  EXPECT_DOUBLE_EQ(silverton.work_seconds, units::hours(128));
+  EXPECT_EQ(silverton.cores, 32768);
+  EXPECT_DOUBLE_EQ(silverton.input_fraction, 0.70);
+  EXPECT_DOUBLE_EQ(silverton.output_fraction, 0.43);
+  EXPECT_DOUBLE_EQ(silverton.checkpoint_fraction, 3.50);
+
+  const auto& vpic = classes[3];
+  EXPECT_EQ(vpic.name, "VPIC");
+  EXPECT_DOUBLE_EQ(vpic.workload_share, 0.12);
+  EXPECT_DOUBLE_EQ(vpic.work_seconds, units::hours(157.2));
+  EXPECT_EQ(vpic.cores, 30000);
+  EXPECT_DOUBLE_EQ(vpic.input_fraction, 0.10);
+  EXPECT_DOUBLE_EQ(vpic.output_fraction, 2.70);
+  EXPECT_DOUBLE_EQ(vpic.checkpoint_fraction, 0.85);
+}
+
+TEST(Apex, SharesSumToWholePlatform) {
+  double sum = 0.0;
+  for (const auto& c : apex_lanl_classes()) sum += c.workload_share;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // 66 + 5.5 + 16.5 + 12 = 100 %
+}
+
+TEST(Apex, DerivedQuantitiesOnCielo) {
+  // Hand-checked against the paper's formulas (see DESIGN.md):
+  // EAP: q = 2048 units, footprint ~32.7 TB, ckpt ~52.4 TB, C(160 GB/s)
+  // ~327 s, µ ~8.55 h, P_Daly ~4490 s.
+  const auto resolved = resolve_all(apex_lanl_classes(), PlatformSpec::cielo());
+  const auto& eap = resolved[0];
+  EXPECT_EQ(eap.nodes, 2048);
+  EXPECT_NEAR(eap.footprint_bytes / units::kTB, 32.74, 0.05);
+  EXPECT_NEAR(eap.checkpoint_bytes / units::kTB, 52.39, 0.05);
+  EXPECT_NEAR(eap.checkpoint_seconds, 327.4, 0.5);
+  EXPECT_NEAR(eap.mtbf / units::kHour, 8.55, 0.01);
+  EXPECT_NEAR(eap.daly_period, 4491, 2.0);
+
+  const auto& silverton = resolved[2];
+  EXPECT_EQ(silverton.nodes, 4096);
+  EXPECT_NEAR(silverton.checkpoint_bytes / units::kTB, 229.2, 0.3);
+  EXPECT_NEAR(silverton.checkpoint_seconds, 1432.6, 1.0);
+
+  const auto& vpic = resolved[3];
+  EXPECT_EQ(vpic.nodes, 3750);
+  const auto& lap = resolved[1];
+  EXPECT_EQ(lap.nodes, 512);
+}
+
+TEST(Apex, IndividualAccessorsMatchList) {
+  const auto list = apex_lanl_classes();
+  EXPECT_EQ(apex_eap().name, list[0].name);
+  EXPECT_EQ(apex_lap().cores, list[1].cores);
+  EXPECT_EQ(apex_silverton().checkpoint_fraction,
+            list[2].checkpoint_fraction);
+  EXPECT_EQ(apex_vpic().work_seconds, list[3].work_seconds);
+}
+
+TEST(Apex, AllValidate) {
+  for (const auto& c : apex_lanl_classes()) {
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,138 @@
+// Unit tests for application classes and their resolution on platforms.
+
+#include "workload/app_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+ApplicationClass toy_class() {
+  ApplicationClass c;
+  c.name = "toy";
+  c.workload_share = 0.5;
+  c.work_seconds = units::hours(10);
+  c.cores = 800;
+  c.input_fraction = 0.1;
+  c.output_fraction = 0.2;
+  c.checkpoint_fraction = 0.5;
+  return c;
+}
+
+PlatformSpec toy_platform() {
+  PlatformSpec p;
+  p.name = "toy";
+  p.nodes = 1000;
+  p.cores_per_node = 8;
+  p.memory_bytes = units::terabytes(8);  // 8 GB per node
+  p.pfs_bandwidth = units::gb_per_s(100);
+  p.node_mtbf = units::years(5);
+  return p;
+}
+
+TEST(AppClass, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(toy_class().validate());
+}
+
+TEST(AppClass, ValidateRejectsBadFields) {
+  auto c = toy_class();
+  c.name.clear();
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.workload_share = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.workload_share = 1.5;
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.work_seconds = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.cores = 0;
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.checkpoint_fraction = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = toy_class();
+  c.input_fraction = -0.1;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(AppClass, ResolveNodesRoundsUp) {
+  auto c = toy_class();
+  c.cores = 801;  // 801/8 = 100.125 -> 101 units
+  const auto resolved = resolve(c, toy_platform());
+  EXPECT_EQ(resolved.nodes, 101);
+  c.cores = 800;
+  EXPECT_EQ(resolve(c, toy_platform()).nodes, 100);
+}
+
+TEST(AppClass, ResolveFootprintIsCoreShare) {
+  const auto resolved = resolve(toy_class(), toy_platform());
+  // 800 of 8000 cores -> 10% of 8 TB = 0.8 TB.
+  EXPECT_NEAR(resolved.footprint_bytes, units::terabytes(0.8), 1.0);
+}
+
+TEST(AppClass, ResolveVolumesFollowFractions) {
+  const auto r = resolve(toy_class(), toy_platform());
+  EXPECT_NEAR(r.input_bytes, 0.1 * r.footprint_bytes, 1.0);
+  EXPECT_NEAR(r.output_bytes, 0.2 * r.footprint_bytes, 1.0);
+  EXPECT_NEAR(r.checkpoint_bytes, 0.5 * r.footprint_bytes, 1.0);
+}
+
+TEST(AppClass, CheckpointSecondsAtFullBandwidth) {
+  const auto r = resolve(toy_class(), toy_platform());
+  EXPECT_NEAR(r.checkpoint_seconds,
+              r.checkpoint_bytes / units::gb_per_s(100), 1e-9);
+  EXPECT_DOUBLE_EQ(r.recovery_seconds, r.checkpoint_seconds);
+}
+
+TEST(AppClass, MtbfScalesWithNodes) {
+  const auto r = resolve(toy_class(), toy_platform());
+  EXPECT_NEAR(r.mtbf, units::years(5) / 100.0, 1e-6);
+}
+
+TEST(AppClass, DalyPeriodFormula) {
+  const auto r = resolve(toy_class(), toy_platform());
+  EXPECT_NEAR(r.daly_period, std::sqrt(2.0 * r.mtbf * r.checkpoint_seconds),
+              1e-9);
+}
+
+TEST(AppClass, SteadyStateJobs) {
+  const auto r = resolve(toy_class(), toy_platform());
+  // share 0.5 of 1000 nodes / 100 nodes per job = 5 concurrent jobs.
+  EXPECT_NEAR(r.steady_state_jobs(toy_platform()), 5.0, 1e-12);
+}
+
+TEST(AppClass, ResolveRejectsOversizedJob) {
+  auto c = toy_class();
+  c.cores = 8001;  // larger than the machine
+  EXPECT_THROW(resolve(c, toy_platform()), Error);
+}
+
+TEST(AppClass, ResolveAllRejectsOverSubscription) {
+  auto a = toy_class();
+  auto b = toy_class();
+  b.name = "toy2";
+  a.workload_share = 0.6;
+  b.workload_share = 0.6;
+  EXPECT_THROW(resolve_all({a, b}, toy_platform()), Error);
+}
+
+TEST(AppClass, ResolveAllKeepsOrder) {
+  const auto resolved = resolve_all(apex_lanl_classes(), PlatformSpec::cielo());
+  ASSERT_EQ(resolved.size(), 4u);
+  EXPECT_EQ(resolved[0].app.name, "EAP");
+  EXPECT_EQ(resolved[1].app.name, "LAP");
+  EXPECT_EQ(resolved[2].app.name, "Silverton");
+  EXPECT_EQ(resolved[3].app.name, "VPIC");
+}
+
+}  // namespace
+}  // namespace coopcr

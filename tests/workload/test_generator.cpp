@@ -1,0 +1,187 @@
+// Unit and property tests for workload generation: the two §5 stopping
+// constraints (>= 60 days of node-seconds, per-class share within 1%),
+// duration jitter laws, shuffling and reproducibility.
+
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/platform.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+WorkloadGenerator cielo_generator(WorkloadOptions options = {}) {
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  return WorkloadGenerator(resolve_all(apex_lanl_classes(), cielo), cielo,
+                           options);
+}
+
+TEST(Generator, MeetsMakespanConstraint) {
+  auto gen = cielo_generator();
+  Rng rng(1);
+  const auto jobs = gen.generate(rng);
+  const auto comp = gen.compose(jobs);
+  EXPECT_GE(comp.equivalent_makespan, units::days(60));
+}
+
+TEST(Generator, MeetsProportionConstraint) {
+  auto gen = cielo_generator();
+  Rng rng(2);
+  const auto jobs = gen.generate(rng);
+  const auto comp = gen.compose(jobs);
+  // Targets normalised to the 99.5% share sum.
+  const double share_sum = 0.995;
+  const std::vector<double> targets = {0.66, 0.055, 0.165, 0.12};
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(comp.shares[i], targets[i] / share_sum, 0.0101)
+        << "class " << i;
+  }
+}
+
+TEST(Generator, JobsAreFreshAndWellFormed) {
+  auto gen = cielo_generator();
+  Rng rng(3);
+  const auto jobs = gen.generate(rng);
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(job.well_formed());
+    EXPECT_FALSE(job.is_restart);
+    EXPECT_FALSE(job.has_checkpoint);
+    EXPECT_EQ(job.generation, 0);
+    EXPECT_EQ(job.work_start, 0.0);
+    EXPECT_EQ(job.root, job.id);
+    EXPECT_EQ(job.priority, 0);
+  }
+}
+
+TEST(Generator, IdsAreArrivalOrdered) {
+  auto gen = cielo_generator();
+  Rng rng(4);
+  const auto jobs = gen.generate(rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<JobId>(i));
+  }
+}
+
+TEST(Generator, UniformJitterStaysInBounds) {
+  WorkloadOptions options;
+  options.jitter = DurationJitter::kUniform20;
+  auto gen = cielo_generator(options);
+  Rng rng(5);
+  const auto jobs = gen.generate(rng);
+  for (const auto& job : jobs) {
+    const auto& cls = gen.classes()[static_cast<std::size_t>(job.class_index)];
+    EXPECT_GE(job.total_work, 0.8 * cls.app.work_seconds - 1e-6);
+    EXPECT_LE(job.total_work, 1.2 * cls.app.work_seconds + 1e-6);
+  }
+}
+
+TEST(Generator, NoJitterGivesExactDurations) {
+  WorkloadOptions options;
+  options.jitter = DurationJitter::kNone;
+  auto gen = cielo_generator(options);
+  Rng rng(6);
+  const auto jobs = gen.generate(rng);
+  for (const auto& job : jobs) {
+    const auto& cls = gen.classes()[static_cast<std::size_t>(job.class_index)];
+    EXPECT_DOUBLE_EQ(job.total_work, cls.app.work_seconds);
+  }
+}
+
+TEST(Generator, NormalJitterIsTruncated) {
+  WorkloadOptions options;
+  options.jitter = DurationJitter::kNormal20;
+  auto gen = cielo_generator(options);
+  Rng rng(7);
+  const auto jobs = gen.generate(rng);
+  for (const auto& job : jobs) {
+    const auto& cls = gen.classes()[static_cast<std::size_t>(job.class_index)];
+    EXPECT_GE(job.total_work, 0.5 * cls.app.work_seconds - 1e-6);
+    EXPECT_LE(job.total_work, 2.0 * cls.app.work_seconds + 1e-6);
+  }
+}
+
+TEST(Generator, Reproducible) {
+  auto gen = cielo_generator();
+  Rng a(42);
+  Rng b(42);
+  const auto ja = gen.generate(a);
+  const auto jb = gen.generate(b);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].class_index, jb[i].class_index);
+    EXPECT_DOUBLE_EQ(ja[i].total_work, jb[i].total_work);
+  }
+}
+
+TEST(Generator, DifferentSeedsShuffleDifferently) {
+  auto gen = cielo_generator();
+  Rng a(1);
+  Rng b(2);
+  const auto ja = gen.generate(a);
+  const auto jb = gen.generate(b);
+  bool any_difference = ja.size() != jb.size();
+  for (std::size_t i = 0; i < std::min(ja.size(), jb.size()); ++i) {
+    if (ja[i].class_index != jb[i].class_index) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, ShorterHorizonGivesFewerJobs) {
+  WorkloadOptions long_opts;
+  long_opts.min_makespan = units::days(60);
+  WorkloadOptions short_opts;
+  short_opts.min_makespan = units::days(10);
+  auto gen_long = cielo_generator(long_opts);
+  auto gen_short = cielo_generator(short_opts);
+  Rng a(8);
+  Rng b(8);
+  EXPECT_GT(gen_long.generate(a).size(), gen_short.generate(b).size());
+}
+
+TEST(Generator, SingleClassWorkload) {
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  auto eap = apex_eap();
+  eap.workload_share = 0.9;
+  WorkloadGenerator gen(resolve_all({eap}, cielo), cielo);
+  Rng rng(9);
+  const auto jobs = gen.generate(rng);
+  EXPECT_FALSE(jobs.empty());
+  const auto comp = gen.compose(jobs);
+  EXPECT_NEAR(comp.shares[0], 1.0, 1e-12);
+  EXPECT_GE(comp.equivalent_makespan, units::days(60));
+}
+
+TEST(Generator, ComposeCountsMatch) {
+  auto gen = cielo_generator();
+  Rng rng(10);
+  const auto jobs = gen.generate(rng);
+  const auto comp = gen.compose(jobs);
+  std::size_t total = 0;
+  for (const auto n : comp.job_counts) total += n;
+  EXPECT_EQ(total, jobs.size());
+}
+
+TEST(Generator, RejectsBadOptions) {
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  const auto classes = resolve_all(apex_lanl_classes(), cielo);
+  WorkloadOptions options;
+  options.min_makespan = 0.0;
+  EXPECT_THROW(WorkloadGenerator(classes, cielo, options), Error);
+  options = {};
+  options.proportion_tolerance = 0.0;
+  EXPECT_THROW(WorkloadGenerator(classes, cielo, options), Error);
+  EXPECT_THROW(WorkloadGenerator({}, cielo, {}), Error);
+}
+
+}  // namespace
+}  // namespace coopcr
