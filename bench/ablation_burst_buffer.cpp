@@ -13,10 +13,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "io/channel.hpp"
+
 #include "sim/engine.hpp"
 #include "storage/burst_buffer.hpp"
-#include "workload/apex.hpp"
 
 using namespace coopcr;
 

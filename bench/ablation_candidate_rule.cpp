@@ -17,32 +17,32 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/20);
+  // Each case is a Least-Waste composition with an explicit request-offset
+  // policy and waste-formula variant — the 2x2 grid is pure StrategySpec
+  // composition, no simulation-config knobs involved.
   struct Case {
     const char* name;
-    CheckpointRequestOffset offset;
+    std::shared_ptr<const RequestOffsetPolicy> offset;
     LeastWasteVariant variant;
   };
   const std::vector<Case> cases = {
-      {"P-offset, Eq.(1)/(2)", CheckpointRequestOffset::kFullPeriod,
+      {"P-offset, Eq.(1)/(2)", full_period_offset(),
        LeastWasteVariant::kPaperEq12},
-      {"P-offset, marginal", CheckpointRequestOffset::kFullPeriod,
+      {"P-offset, marginal", full_period_offset(),
        LeastWasteVariant::kMarginal},
-      {"(P-C)-offset, Eq.(1)/(2)",
-       CheckpointRequestOffset::kPeriodMinusCommit,
+      {"(P-C)-offset, Eq.(1)/(2)", period_minus_commit_offset(),
        LeastWasteVariant::kPaperEq12},
-      {"(P-C)-offset, marginal",
-       CheckpointRequestOffset::kPeriodMinusCommit,
+      {"(P-C)-offset, marginal", period_minus_commit_offset(),
        LeastWasteVariant::kMarginal},
   };
 
   std::vector<bench::FigureRow> rows;
   int index = 0;
   for (const auto& c : cases) {
-    auto scenario =
+    const auto scenario =
         bench::cielo_scenario(units::gb_per_s(40), units::years(2));
-    scenario.simulation.request_offset = c.offset;
-    scenario.simulation.least_waste_variant = c.variant;
-    const Strategy lw{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+    const StrategySpec lw{least_waste_coordination(c.variant), daly_period(),
+                          c.offset, "Least-Waste"};
     const auto report = run_monte_carlo(scenario, {lw}, options);
     rows.push_back(bench::FigureRow{static_cast<double>(index++), c.name,
                                     report.outcomes[0].waste_ratio

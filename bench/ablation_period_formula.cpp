@@ -13,13 +13,7 @@
 
 #include <iostream>
 
-#include "core/daly.hpp"
-#include "core/optimal_period.hpp"
-#include "platform/platform.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 

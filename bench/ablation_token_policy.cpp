@@ -14,25 +14,28 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/20);
+  // Chassis: non-blocking serialized coordination with Daly periods and the
+  // (P - C) request offset; only the token arbiter changes per case. Each
+  // case is a StrategySpec composed from a coordination policy — exactly how
+  // downstream code defines custom strategies.
   struct Case {
     const char* name;
-    SerialPolicyOverride policy;
+    std::shared_ptr<const IoCoordinationPolicy> coordination;
   };
   const std::vector<Case> cases = {
-      {"fcfs", SerialPolicyOverride::kFcfs},
-      {"random", SerialPolicyOverride::kRandom},
-      {"smallest-first", SerialPolicyOverride::kSmallestFirst},
-      {"least-waste", SerialPolicyOverride::kLeastWaste},
+      {"fcfs", ordered_nb_coordination()},
+      {"random", random_coordination()},
+      {"smallest-first", smallest_first_coordination()},
+      {"least-waste", least_waste_coordination()},
   };
 
   std::vector<bench::FigureRow> rows;
   int index = 0;
   for (const auto& c : cases) {
-    auto scenario =
+    const auto scenario =
         bench::cielo_scenario(units::gb_per_s(40), units::years(2));
-    scenario.simulation.policy_override = c.policy;
-    // Chassis: non-blocking serialized strategy with Daly periods.
-    const Strategy chassis{IoMode::kOrderedNb, CheckpointPolicy::kDaly};
+    const StrategySpec chassis{c.coordination, daly_period(),
+                               period_minus_commit_offset()};
     const auto report = run_monte_carlo(scenario, {chassis}, options);
     rows.push_back(bench::FigureRow{static_cast<double>(index++), c.name,
                                     report.outcomes[0].waste_ratio

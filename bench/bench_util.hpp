@@ -13,28 +13,19 @@
 #include <string>
 #include <vector>
 
-#include "core/config.hpp"
-#include "core/monte_carlo.hpp"
-#include "util/ascii_chart.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 namespace coopcr::bench {
 
-/// The Cielo + APEX scenario every §6.1 experiment starts from.
+/// The Cielo + APEX scenario every §6.1 experiment starts from, routed
+/// through the shared ScenarioBuilder preset (examples use the same one).
 inline ScenarioConfig cielo_scenario(double bandwidth_bytes_s,
                                      double node_mtbf_seconds,
                                      std::uint64_t seed = 0xC1E10ull) {
-  ScenarioConfig sc;
-  sc.platform = PlatformSpec::cielo();
-  sc.platform.pfs_bandwidth = bandwidth_bytes_s;
-  sc.platform.node_mtbf = node_mtbf_seconds;
-  sc.applications = apex_lanl_classes();
-  sc.seed = seed;
-  sc.finalize();
-  return sc;
+  return ScenarioBuilder::cielo_apex(seed)
+      .pfs_bandwidth(bandwidth_bytes_s)
+      .node_mtbf(node_mtbf_seconds)
+      .build();
 }
 
 /// The §6.2 prospective-system scenario with the APEX workload projected
@@ -42,15 +33,10 @@ inline ScenarioConfig cielo_scenario(double bandwidth_bytes_s,
 inline ScenarioConfig prospective_scenario(double bandwidth_bytes_s,
                                            double node_mtbf_seconds,
                                            std::uint64_t seed = 0xF07EC457ull) {
-  ScenarioConfig sc;
-  sc.platform = PlatformSpec::prospective();
-  sc.platform.pfs_bandwidth = bandwidth_bytes_s;
-  sc.platform.node_mtbf = node_mtbf_seconds;
-  sc.applications = project_workload(apex_lanl_classes(),
-                                     PlatformSpec::cielo(), sc.platform);
-  sc.seed = seed;
-  sc.finalize();
-  return sc;
+  return ScenarioBuilder::prospective_apex(seed)
+      .pfs_bandwidth(bandwidth_bytes_s)
+      .node_mtbf(node_mtbf_seconds)
+      .build();
 }
 
 /// One (x, strategy) data point of a figure.

@@ -13,7 +13,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/lower_bound.hpp"
 
 using namespace coopcr;
 

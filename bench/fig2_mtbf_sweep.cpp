@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/lower_bound.hpp"
 
 using namespace coopcr;
 

@@ -15,8 +15,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/lower_bound.hpp"
-#include "util/numeric.hpp"
 
 using namespace coopcr;
 

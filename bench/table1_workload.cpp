@@ -7,12 +7,7 @@
 
 #include <iostream>
 
-#include "core/lower_bound.hpp"
-#include "platform/platform.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 

@@ -16,11 +16,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/lower_bound.hpp"
-#include "core/monte_carlo.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 
@@ -45,13 +41,11 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(
       arg_double(argc, argv, "--seed", 42.0));
 
-  ScenarioConfig scenario;
-  scenario.platform = PlatformSpec::cielo();
-  scenario.platform.pfs_bandwidth = units::gb_per_s(bandwidth_gbps);
-  scenario.platform.node_mtbf = units::years(mtbf_years);
-  scenario.applications = apex_lanl_classes();
-  scenario.seed = seed;
-  scenario.finalize();
+  const ScenarioConfig scenario =
+      ScenarioBuilder::cielo_apex(seed)
+          .pfs_bandwidth(units::gb_per_s(bandwidth_gbps))
+          .node_mtbf(units::years(mtbf_years))
+          .build();
 
   std::cout << "Cielo / APEX study — " << bandwidth_gbps
             << " GB/s aggregated PFS, node MTBF " << mtbf_years

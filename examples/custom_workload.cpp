@@ -12,10 +12,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/lower_bound.hpp"
-#include "core/monte_carlo.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 
@@ -66,14 +63,14 @@ int main(int argc, char** argv) {
   analytics.output_fraction = 0.80;
   analytics.checkpoint_fraction = 0.40;
 
-  ScenarioConfig scenario;
-  scenario.platform = cluster;
-  scenario.applications = {training, analytics};
-  scenario.workload.min_makespan = units::days(30);
-  scenario.simulation.segment_start = units::days(1);
-  scenario.simulation.segment_end = units::days(29);
-  scenario.seed = 2024;
-  scenario.finalize();
+  const ScenarioConfig scenario = ScenarioBuilder()
+                                      .platform(cluster)
+                                      .add_application(training)
+                                      .add_application(analytics)
+                                      .min_makespan(units::days(30))
+                                      .segment(units::days(1), units::days(29))
+                                      .seed(2024)
+                                      .build();
 
   std::cout << "Custom workload on '" << cluster.name << "' (" << cluster.nodes
             << " nodes, " << cluster.pfs_bandwidth / units::kGB

@@ -16,12 +16,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/lower_bound.hpp"
-#include "core/monte_carlo.hpp"
-#include "util/numeric.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 
@@ -41,12 +36,12 @@ double simulated_min_bandwidth(const PlatformSpec& base,
                                const MonteCarloOptions& options) {
   return bisect_threshold(
       [&](double bw) {
-        ScenarioConfig sc;
-        sc.platform = base;
-        sc.platform.pfs_bandwidth = bw;
-        sc.applications = apps;
-        sc.seed = 0xCAFEull;
-        sc.finalize();
+        const ScenarioConfig sc = ScenarioBuilder()
+                                      .platform(base)
+                                      .pfs_bandwidth(bw)
+                                      .applications(apps)
+                                      .seed(0xCAFEull)
+                                      .build();
         const auto report = run_monte_carlo(sc, {strategy}, options);
         return report.outcomes[0].waste_ratio.mean() <= target_waste;
       },
@@ -84,11 +79,9 @@ int main(int argc, char** argv) {
 
   const MonteCarloOptions options = MonteCarloOptions::from_env(replicas);
   const double lw_beta = simulated_min_bandwidth(
-      platform, apps, {IoMode::kLeastWaste, CheckpointPolicy::kDaly},
-      target_waste, options);
+      platform, apps, least_waste(), target_waste, options);
   const double status_quo_beta = simulated_min_bandwidth(
-      platform, apps, {IoMode::kOblivious, CheckpointPolicy::kFixed},
-      target_waste, options);
+      platform, apps, oblivious_fixed(), target_waste, options);
 
   TablePrinter table({"approach", "min bandwidth (TB/s)"});
   table.add_row({"Theorem 1 model (lower bound)",

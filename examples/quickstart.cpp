@@ -1,42 +1,55 @@
 // quickstart — the smallest end-to-end use of the coopcr public API.
 //
-// Builds the Cielo/APEX scenario of the paper, runs one Monte Carlo replica
-// of two strategies (the status quo and the paper's contribution), and
-// prints their waste ratios next to the analytical lower bound.
+// The whole public surface comes in through one facade header, coopcr.hpp:
+//
+//  * ScenarioBuilder       — fluent scenario construction; presets
+//                            (cielo_apex, prospective_apex) give the paper's
+//                            settings, chainable setters tweak them, and
+//                            build() validates + resolves everything.
+//  * StrategySpec          — a strategy is a composition of three policy
+//                            objects (I/O coordination, checkpoint period,
+//                            request offset). The paper's seven strategies
+//                            are prebuilt (paper_strategies(), or factories
+//                            such as oblivious_fixed() / least_waste());
+//                            custom ones compose policies from the
+//                            registries in core/policy.hpp.
+//  * run_replica /         — paired Monte Carlo evaluation: all strategies
+//    run_monte_carlo         of a replica share initial conditions.
+//
+// This example builds the Cielo/APEX scenario of the paper, runs one Monte
+// Carlo replica of two strategies (the status quo and the paper's
+// contribution), and prints their waste ratios next to the analytical lower
+// bound.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 
 #include <iostream>
 
-#include "core/lower_bound.hpp"
-#include "core/monte_carlo.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 
 int main() {
   // 1. Describe the platform and the workload (paper Table 1 on Cielo, with
   //    the bandwidth-starved 40 GB/s operating point of Figure 2).
-  ScenarioConfig scenario;
-  scenario.platform = PlatformSpec::cielo();
-  scenario.platform.pfs_bandwidth = units::gb_per_s(40);
-  scenario.applications = apex_lanl_classes();
-  scenario.seed = 42;
-  scenario.finalize();
+  const ScenarioConfig scenario = ScenarioBuilder::cielo_apex()
+                                      .pfs_bandwidth(units::gb_per_s(40))
+                                      .seed(42)
+                                      .build();
 
   // 2. Pick strategies: the uncoordinated status quo vs the paper's
-  //    cooperative Least-Waste scheduler.
-  const Strategy oblivious{IoMode::kOblivious, CheckpointPolicy::kFixed};
-  const Strategy least_waste{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+  //    cooperative Least-Waste scheduler. (These are registry-backed
+  //    compositions — strategy_from_name("Least-Waste") works too.)
+  const StrategySpec status_quo_spec = oblivious_fixed();
+  const StrategySpec cooperative_spec = least_waste();
 
   // 3. Run one replica each (same initial conditions — paired comparison).
-  const ReplicaRun status_quo = run_replica(scenario, oblivious, /*replica=*/0);
+  const ReplicaRun status_quo =
+      run_replica(scenario, status_quo_spec, /*replica=*/0);
   const ReplicaRun cooperative =
-      run_replica(scenario, least_waste, /*replica=*/0);
+      run_replica(scenario, cooperative_spec, /*replica=*/0);
 
   // 4. Compare against the Theorem 1 analytical bound.
   const double bound = lower_bound_waste(scenario.platform,
@@ -51,8 +64,8 @@ int main() {
                    std::to_string(run.result.counters.failures_on_jobs),
                    std::to_string(run.result.counters.checkpoints_completed)});
   };
-  row(oblivious.name(), status_quo);
-  row(least_waste.name(), cooperative);
+  row(status_quo_spec.name(), status_quo);
+  row(cooperative_spec.name(), cooperative);
   table.add_row({"Theoretical Model", TablePrinter::fmt(bound, 4), "-", "-",
                  "-"});
 

@@ -12,10 +12,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/simulation.hpp"
-#include "core/trace.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
+#include "coopcr.hpp"
 
 using namespace coopcr;
 
@@ -120,8 +117,8 @@ int main(int argc, char** argv) {
   const double hours = arg_double(argc, argv, "--hours", 8.0);
   std::cout << "Timeline inspector — 16-unit demo platform, 10 GB/s PFS, "
                "failure injected at t = 2 h on node 0\n\n";
-  show({IoMode::kOrdered, CheckpointPolicy::kDaly}, hours);
-  show({IoMode::kLeastWaste, CheckpointPolicy::kDaly}, hours);
+  show(ordered_daly(), hours);
+  show(least_waste(), hours);
   std::cout << "Note how the blocking Ordered run shows 'w' stretches where\n"
                "jobs idle for the I/O token, while Least-Waste keeps them\n"
                "computing ('=') until their commit ('K') is granted.\n";

@@ -1,0 +1,60 @@
+// coopcr.hpp — the single public facade header.
+//
+// Everything an application, example or bench needs to define scenarios,
+// compose strategies and run simulations:
+//
+//   #include "coopcr.hpp"
+//
+//   using namespace coopcr;
+//   const ScenarioConfig sc = ScenarioBuilder::cielo_apex()
+//                                 .pfs_bandwidth(units::gb_per_s(40))
+//                                 .build();
+//   const auto report = run_monte_carlo(sc, paper_strategies(),
+//                                       MonteCarloOptions::from_env(10));
+//
+// Extension points (no core edits required):
+//  * core/policy.hpp   — implement IoCoordinationPolicy /
+//                        CheckpointPeriodPolicy / RequestOffsetPolicy and
+//                        add them to the axis registries;
+//  * core/strategy.hpp — compose a StrategySpec from policies and add it to
+//                        strategy_registry() to make it reachable by name.
+
+#pragma once
+
+// Core: strategies, policies, scenarios, simulation, statistics harness.
+#include "core/accounting.hpp"
+#include "core/config.hpp"
+#include "core/daly.hpp"
+#include "core/lower_bound.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/optimal_period.hpp"
+#include "core/pattern.hpp"
+#include "core/policy.hpp"
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "core/strategy.hpp"
+#include "core/trace.hpp"
+
+// I/O subsystem: channel, requests, token policies.
+#include "io/channel.hpp"
+#include "io/io_subsystem.hpp"
+#include "io/request.hpp"
+#include "io/token_policy.hpp"
+
+// Platform and workload models.
+#include "platform/failure_model.hpp"
+#include "platform/node_pool.hpp"
+#include "platform/platform.hpp"
+#include "workload/apex.hpp"
+#include "workload/app_class.hpp"
+#include "workload/generator.hpp"
+#include "workload/job.hpp"
+
+// Presentation and numeric utilities used by the examples and benches.
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"

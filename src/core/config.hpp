@@ -1,6 +1,13 @@
 // coopcr/core/config.hpp
 //
 // Configuration records for single simulations and Monte Carlo scenarios.
+//
+// All strategy behaviour (I/O coordination, checkpoint periods, request
+// offsets, token-policy choice) lives in the composable StrategySpec
+// (core/strategy.hpp); SimulationConfig carries only the platform, the
+// resolved workload classes and engine-level knobs. ScenarioConfig is the
+// *built* artifact of a ScenarioBuilder (core/scenario.hpp) — construct it
+// through the builder, which validates and resolves classes at build() time.
 
 #pragma once
 
@@ -10,7 +17,6 @@
 #include "core/strategy.hpp"
 #include "core/trace.hpp"
 #include "io/channel.hpp"
-#include "io/token_policy.hpp"
 #include "platform/failure_model.hpp"
 #include "platform/platform.hpp"
 #include "util/units.hpp"
@@ -19,40 +25,11 @@
 
 namespace coopcr {
 
-/// Token-policy override for serialized strategies (ablation A2). The
-/// default derives the policy from the strategy (FCFS for Ordered /
-/// Ordered-NB, Least-Waste for Least-Waste).
-enum class SerialPolicyOverride {
-  kStrategyDefault,
-  kFcfs,
-  kRandom,
-  kSmallestFirst,
-  kLeastWaste,
-};
-
-/// When, relative to the previous checkpoint's completion, the next
-/// checkpoint *request* is issued.
-enum class CheckpointRequestOffset {
-  /// At max(0, P - C): completions land exactly P apart in an
-  /// interference-free run (§2). Used by Oblivious / Ordered / Ordered-NB.
-  kPeriodMinusCommit,
-  /// At P: matches §3.5's Least-Waste candidate definition, where a pending
-  /// checkpoint candidate always satisfies d_i >= P_Daly(J_i).
-  kFullPeriod,
-  /// Per the paper: kFullPeriod for Least-Waste, kPeriodMinusCommit for the
-  /// other strategies. This is the default.
-  kPaper,
-};
-
 /// Everything one simulation run needs besides the job list and failures.
 struct SimulationConfig {
   PlatformSpec platform;
   std::vector<ClassOnPlatform> classes;
-  Strategy strategy;
-
-  /// Fixed checkpoint period (seconds) for CheckpointPolicy::kFixed.
-  /// "a common heuristic is to take a checkpoint every hour" (§1).
-  double fixed_period = units::kHour;
+  StrategySpec strategy;  ///< defaults to the Oblivious-Daly baseline
 
   /// Measurement segment: statistics are collected on
   /// [segment_start, segment_end] only — "The segment excludes the first and
@@ -69,14 +46,6 @@ struct SimulationConfig {
   InterferenceModel interference = InterferenceModel::kLinear;
   double degradation_alpha = 0.0;
 
-  CheckpointRequestOffset request_offset = CheckpointRequestOffset::kPaper;
-
-  /// Least-Waste formula variant (ablation A3 in DESIGN.md).
-  LeastWasteVariant least_waste_variant = LeastWasteVariant::kPaperEq12;
-
-  /// Token-policy override for serialized strategies (ablation A2).
-  SerialPolicyOverride policy_override = SerialPolicyOverride::kStrategyDefault;
-
   /// Number of chunks the per-job routine (non-CR) I/O volume is split into,
   /// issued evenly across the job's work (§2). Only used when a class
   /// declares routine I/O.
@@ -85,7 +54,7 @@ struct SimulationConfig {
   /// Disable checkpointing entirely (baseline runs).
   bool checkpoints_enabled = true;
 
-  /// Seed for strategy-internal randomness (RandomPolicy only).
+  /// Seed for strategy-internal randomness (e.g. the Random token policy).
   std::uint64_t policy_seed = 0x5EEDull;
 
   /// Optional, non-owning execution trace sink (see core/trace.hpp). When
@@ -96,7 +65,8 @@ struct SimulationConfig {
 
 /// A Monte Carlo scenario: the invariant part shared by all strategies and
 /// replicas. Per-replica initial conditions (job list, failure trace) derive
-/// from `seed` + the replica index.
+/// from `seed` + the replica index. Build through ScenarioBuilder
+/// (core/scenario.hpp), which resolves classes and validates invariants.
 struct ScenarioConfig {
   PlatformSpec platform;
   std::vector<ApplicationClass> applications;
@@ -104,10 +74,6 @@ struct ScenarioConfig {
   FailureModel failures;
   SimulationConfig simulation;  ///< strategy field is overridden per run
   std::uint64_t seed = 0xC0FFEEull;
-
-  /// Resolve classes and propagate the platform into `simulation`.
-  /// Call after mutating platform/applications.
-  void finalize();
 };
 
 }  // namespace coopcr

@@ -90,7 +90,8 @@ MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
   COOPCR_CHECK(!strategies.empty(), "no strategies requested");
   COOPCR_CHECK(options.replicas > 0, "replicas must be positive");
   COOPCR_CHECK(!scenario.simulation.classes.empty(),
-               "scenario not finalized (call ScenarioConfig::finalize)");
+               "scenario has no resolved classes (build it with "
+               "ScenarioBuilder::build)");
 
   const int replicas = options.replicas;
   unsigned thread_count =

@@ -56,7 +56,7 @@ struct MonteCarloReport {
 };
 
 /// Run `options.replicas` replicas of `scenario` under each strategy.
-/// `scenario` must be finalized (classes resolved).
+/// `scenario` must come out of ScenarioBuilder::build (classes resolved).
 MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
                                  const std::vector<Strategy>& strategies,
                                  const MonteCarloOptions& options);

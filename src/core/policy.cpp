@@ -1,0 +1,170 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+namespace coopcr {
+
+// --- coordination -----------------------------------------------------------
+
+std::string IoCoordinationPolicy::default_offset_name() const {
+  return "P-minus-C";
+}
+
+SerialCoordination::SerialCoordination(std::string name,
+                                       bool non_blocking_wait,
+                                       TokenFactory factory,
+                                       std::string default_offset)
+    : name_(std::move(name)),
+      non_blocking_wait_(non_blocking_wait),
+      factory_(std::move(factory)),
+      default_offset_(std::move(default_offset)) {
+  COOPCR_CHECK(!name_.empty(), "coordination policy name must not be empty");
+  COOPCR_CHECK(factory_ != nullptr,
+               "serialized coordination needs a token-policy factory");
+}
+
+std::string SerialCoordination::default_offset_name() const {
+  return default_offset_.empty() ? IoCoordinationPolicy::default_offset_name()
+                                 : default_offset_;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> oblivious_coordination() {
+  static const auto policy = std::make_shared<const ObliviousCoordination>();
+  return policy;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> ordered_coordination() {
+  static const auto policy = std::make_shared<const SerialCoordination>(
+      "Ordered", /*non_blocking_wait=*/false, [](const TokenPolicyContext&) {
+        return std::make_unique<FcfsPolicy>();
+      });
+  return policy;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> ordered_nb_coordination() {
+  static const auto policy = std::make_shared<const SerialCoordination>(
+      "Ordered-NB", /*non_blocking_wait=*/true, [](const TokenPolicyContext&) {
+        return std::make_unique<FcfsPolicy>();
+      });
+  return policy;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> least_waste_coordination(
+    LeastWasteVariant variant) {
+  // The variant is part of the name so the two compositions never alias;
+  // the paper variant keeps the paper's plain spelling and is the one the
+  // registry serves.
+  static const auto paper = std::make_shared<const SerialCoordination>(
+      "Least-Waste", /*non_blocking_wait=*/true,
+      [](const TokenPolicyContext& ctx) {
+        return std::make_unique<LeastWastePolicy>(
+            ctx.node_mtbf, ctx.pfs_bandwidth, LeastWasteVariant::kPaperEq12);
+      },
+      /*default_offset=*/"full-period");
+  static const auto marginal = std::make_shared<const SerialCoordination>(
+      "Least-Waste:marginal", /*non_blocking_wait=*/true,
+      [](const TokenPolicyContext& ctx) {
+        return std::make_unique<LeastWastePolicy>(
+            ctx.node_mtbf, ctx.pfs_bandwidth, LeastWasteVariant::kMarginal);
+      },
+      /*default_offset=*/"full-period");
+  return variant == LeastWasteVariant::kPaperEq12 ? paper : marginal;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> random_coordination() {
+  static const auto policy = std::make_shared<const SerialCoordination>(
+      "Random", /*non_blocking_wait=*/true, [](const TokenPolicyContext& ctx) {
+        return std::make_unique<RandomPolicy>(ctx.seed);
+      });
+  return policy;
+}
+
+std::shared_ptr<const IoCoordinationPolicy> smallest_first_coordination() {
+  static const auto policy = std::make_shared<const SerialCoordination>(
+      "Smallest-First", /*non_blocking_wait=*/true,
+      [](const TokenPolicyContext&) {
+        return std::make_unique<SmallestFirstPolicy>();
+      });
+  return policy;
+}
+
+// --- period -----------------------------------------------------------------
+
+std::string FixedPeriodPolicy::name() const {
+  if (seconds_ == units::kHour) return "Fixed";
+  // Compact spelling: integral second counts print without a fraction.
+  const auto whole = static_cast<long long>(seconds_);
+  std::string value = static_cast<double>(whole) == seconds_
+                          ? std::to_string(whole)
+                          : std::to_string(seconds_);
+  return "Fixed@" + value + "s";
+}
+
+double DalyPeriodPolicy::period_for(const ClassOnPlatform& cls) const {
+  return cls.daly_period;
+}
+
+std::shared_ptr<const CheckpointPeriodPolicy> fixed_period(double seconds) {
+  return std::make_shared<const FixedPeriodPolicy>(seconds);
+}
+
+std::shared_ptr<const CheckpointPeriodPolicy> daly_period() {
+  static const auto policy = std::make_shared<const DalyPeriodPolicy>();
+  return policy;
+}
+
+// --- offset -----------------------------------------------------------------
+
+double PeriodMinusCommitOffset::request_delay(double period,
+                                              double commit_seconds) const {
+  return std::max(0.0, period - commit_seconds);
+}
+
+std::shared_ptr<const RequestOffsetPolicy> period_minus_commit_offset() {
+  static const auto policy =
+      std::make_shared<const PeriodMinusCommitOffset>();
+  return policy;
+}
+
+std::shared_ptr<const RequestOffsetPolicy> full_period_offset() {
+  static const auto policy = std::make_shared<const FullPeriodOffset>();
+  return policy;
+}
+
+// --- registries -------------------------------------------------------------
+
+PolicyRegistry<IoCoordinationPolicy>& coordination_registry() {
+  static PolicyRegistry<IoCoordinationPolicy>* registry = [] {
+    auto* r = new PolicyRegistry<IoCoordinationPolicy>();
+    r->add(oblivious_coordination());
+    r->add(ordered_coordination());
+    r->add(ordered_nb_coordination());
+    r->add(least_waste_coordination());
+    r->add(random_coordination());
+    r->add(smallest_first_coordination());
+    return r;
+  }();
+  return *registry;
+}
+
+PolicyRegistry<CheckpointPeriodPolicy>& period_registry() {
+  static PolicyRegistry<CheckpointPeriodPolicy>* registry = [] {
+    auto* r = new PolicyRegistry<CheckpointPeriodPolicy>();
+    r->add("Fixed", [] { return fixed_period(); });
+    r->add(daly_period());
+    return r;
+  }();
+  return *registry;
+}
+
+PolicyRegistry<RequestOffsetPolicy>& offset_registry() {
+  static PolicyRegistry<RequestOffsetPolicy>* registry = [] {
+    auto* r = new PolicyRegistry<RequestOffsetPolicy>();
+    r->add(period_minus_commit_offset());
+    r->add(full_period_offset());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace coopcr

@@ -1,0 +1,267 @@
+// coopcr/core/policy.hpp
+//
+// The three orthogonal policy axes a checkpoint/IO scheduling strategy is
+// composed of (paper §3, decomposed):
+//
+//  * IoCoordinationPolicy   — how I/O is admitted to the PFS (concurrent vs
+//                             token-serialized), whether a job keeps computing
+//                             while its checkpoint request waits, and which
+//                             TokenPolicy arbitrates the token.
+//  * CheckpointPeriodPolicy — how each job's checkpoint period P_i is chosen
+//                             (fixed interval, Young/Daly, ...).
+//  * RequestOffsetPolicy    — when, relative to the previous checkpoint's
+//                             completion, the next checkpoint *request* is
+//                             issued (P - C per §2, or the full period per the
+//                             §3.5 Least-Waste candidate definition).
+//
+// Each axis is an interface with a name-keyed factory registry, so new
+// strategies are *registered*, not enumerated: client code (examples, benches,
+// downstream users) can add policies without touching this file or
+// core/strategy.*. A StrategySpec (core/strategy.hpp) composes one policy per
+// axis.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/token_policy.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/app_class.hpp"
+
+namespace coopcr {
+
+// ---------------------------------------------------------------------------
+// I/O coordination
+// ---------------------------------------------------------------------------
+
+/// Platform context handed to a coordination policy when the simulation
+/// instantiates its TokenPolicy (one fresh instance per run, so stateful
+/// policies such as RandomPolicy never share state across replicas).
+struct TokenPolicyContext {
+  double node_mtbf = 0.0;      ///< µ_ind (seconds)
+  double pfs_bandwidth = 0.0;  ///< full PFS bandwidth (bytes/s)
+  std::uint64_t seed = 0;      ///< strategy-internal randomness seed
+};
+
+/// How I/O is coordinated platform-wide (§3.1-3.5).
+class IoCoordinationPolicy {
+ public:
+  virtual ~IoCoordinationPolicy() = default;
+
+  /// Registry key and display-name component, e.g. "Ordered-NB".
+  virtual std::string name() const = 0;
+
+  /// True when at most one I/O operation owns the PFS at a time.
+  virtual bool serialized() const = 0;
+
+  /// True when a job keeps computing while its *checkpoint* request waits
+  /// for the I/O token (§3.3, §3.5).
+  virtual bool non_blocking_wait() const = 0;
+
+  /// Build the token arbiter for one simulation run. Must return non-null
+  /// for serialized policies; ignored (may return null) for concurrent ones.
+  virtual std::unique_ptr<TokenPolicy> make_token_policy(
+      const TokenPolicyContext& ctx) const = 0;
+
+  /// Registry key of the RequestOffsetPolicy this coordination implies when
+  /// a strategy is assembled by name ("the paper rule": full-period for
+  /// Least-Waste, period-minus-commit for everything else).
+  virtual std::string default_offset_name() const;
+};
+
+/// Oblivious (§3.1): no coordination; the channel's interference model
+/// dilates all concurrent transfers.
+class ObliviousCoordination final : public IoCoordinationPolicy {
+ public:
+  std::string name() const override { return "Oblivious"; }
+  bool serialized() const override { return false; }
+  bool non_blocking_wait() const override { return false; }
+  std::unique_ptr<TokenPolicy> make_token_policy(
+      const TokenPolicyContext&) const override {
+    return nullptr;
+  }
+};
+
+/// Generic token-serialized coordination: a display name, a wait behaviour
+/// and a TokenPolicy factory. All serialized strategies — the paper's and
+/// custom ones — are instances of this class, so defining a new serialized
+/// strategy requires no new coordination subclass.
+class SerialCoordination final : public IoCoordinationPolicy {
+ public:
+  using TokenFactory =
+      std::function<std::unique_ptr<TokenPolicy>(const TokenPolicyContext&)>;
+
+  SerialCoordination(std::string name, bool non_blocking_wait,
+                     TokenFactory factory,
+                     std::string default_offset = "");
+
+  std::string name() const override { return name_; }
+  bool serialized() const override { return true; }
+  bool non_blocking_wait() const override { return non_blocking_wait_; }
+  std::unique_ptr<TokenPolicy> make_token_policy(
+      const TokenPolicyContext& ctx) const override {
+    return factory_(ctx);
+  }
+  std::string default_offset_name() const override;
+
+ private:
+  std::string name_;
+  bool non_blocking_wait_;
+  TokenFactory factory_;
+  std::string default_offset_;
+};
+
+/// Built-in coordination policies (shared, immutable — cheap to copy around).
+std::shared_ptr<const IoCoordinationPolicy> oblivious_coordination();
+std::shared_ptr<const IoCoordinationPolicy> ordered_coordination();
+std::shared_ptr<const IoCoordinationPolicy> ordered_nb_coordination();
+std::shared_ptr<const IoCoordinationPolicy> least_waste_coordination(
+    LeastWasteVariant variant = LeastWasteVariant::kPaperEq12);
+/// Ablation baselines (serialized, non-blocking waits).
+std::shared_ptr<const IoCoordinationPolicy> random_coordination();
+std::shared_ptr<const IoCoordinationPolicy> smallest_first_coordination();
+
+// ---------------------------------------------------------------------------
+// Checkpoint period
+// ---------------------------------------------------------------------------
+
+/// How each job's checkpoint period P_i is chosen (§3.4).
+class CheckpointPeriodPolicy {
+ public:
+  virtual ~CheckpointPeriodPolicy() = default;
+
+  /// Registry key and display-name component, e.g. "Daly".
+  virtual std::string name() const = 0;
+
+  /// Checkpoint period (seconds) for a job of the given resolved class.
+  virtual double period_for(const ClassOnPlatform& cls) const = 0;
+};
+
+/// A fixed interval for every class — "a common heuristic is to take a
+/// checkpoint every hour" (§1). The default one-hour interval is named
+/// "Fixed" (the paper's spelling); any other interval carries it in the
+/// name ("Fixed@200s") so differently-parameterised policies never alias.
+class FixedPeriodPolicy final : public CheckpointPeriodPolicy {
+ public:
+  explicit FixedPeriodPolicy(double seconds = units::kHour)
+      : seconds_(seconds) {}
+  std::string name() const override;
+  double period_for(const ClassOnPlatform&) const override { return seconds_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  double seconds_;
+};
+
+/// P_Daly(J_i) = sqrt(2 µ_i C_i), precomputed per class at resolve time.
+class DalyPeriodPolicy final : public CheckpointPeriodPolicy {
+ public:
+  std::string name() const override { return "Daly"; }
+  double period_for(const ClassOnPlatform& cls) const override;
+};
+
+std::shared_ptr<const CheckpointPeriodPolicy> fixed_period(
+    double seconds = units::kHour);
+std::shared_ptr<const CheckpointPeriodPolicy> daly_period();
+
+// ---------------------------------------------------------------------------
+// Checkpoint request offset
+// ---------------------------------------------------------------------------
+
+/// When, relative to the previous checkpoint's completion (or compute
+/// start), the next checkpoint *request* is issued.
+class RequestOffsetPolicy {
+ public:
+  virtual ~RequestOffsetPolicy() = default;
+
+  /// Registry key, e.g. "P-minus-C".
+  virtual std::string name() const = 0;
+
+  /// Delay (seconds) until the next request, given the job's period P and
+  /// commit time C.
+  virtual double request_delay(double period, double commit_seconds) const = 0;
+};
+
+/// max(0, P - C): completions land exactly P apart in an interference-free
+/// run (§2). Used by Oblivious / Ordered / Ordered-NB.
+class PeriodMinusCommitOffset final : public RequestOffsetPolicy {
+ public:
+  std::string name() const override { return "P-minus-C"; }
+  double request_delay(double period, double commit_seconds) const override;
+};
+
+/// P: matches §3.5's Least-Waste candidate definition, where a pending
+/// checkpoint candidate always satisfies d_i >= P_Daly(J_i).
+class FullPeriodOffset final : public RequestOffsetPolicy {
+ public:
+  std::string name() const override { return "full-period"; }
+  double request_delay(double period, double) const override { return period; }
+};
+
+std::shared_ptr<const RequestOffsetPolicy> period_minus_commit_offset();
+std::shared_ptr<const RequestOffsetPolicy> full_period_offset();
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+/// Name-keyed factory registry for one policy axis. Registering an existing
+/// name replaces the factory (last writer wins), so tests and downstream
+/// code can shadow built-ins.
+template <typename Policy>
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const Policy>()>;
+
+  void add(const std::string& name, Factory factory) {
+    COOPCR_CHECK(!name.empty(), "policy name must not be empty");
+    COOPCR_CHECK(factory != nullptr, "policy factory must not be null");
+    factories_[name] = std::move(factory);
+  }
+
+  /// Register a ready-made instance under its own name().
+  void add(std::shared_ptr<const Policy> policy) {
+    COOPCR_CHECK(policy != nullptr, "policy must not be null");
+    const std::string key = policy->name();
+    add(key, [policy] { return policy; });
+  }
+
+  bool contains(const std::string& name) const {
+    return factories_.count(name) != 0;
+  }
+
+  std::shared_ptr<const Policy> make(const std::string& name) const {
+    const auto it = factories_.find(name);
+    COOPCR_CHECK(it != factories_.end(), "unknown policy name: " + name);
+    auto policy = it->second();
+    COOPCR_CHECK(policy != nullptr, "factory for '" + name + "' returned null");
+    return policy;
+  }
+
+  /// Registered names in lexicographic order (stable for tables/tests).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Process-wide registries, pre-seeded with the built-in policies above.
+/// Not synchronized: register custom policies up front, before spawning
+/// Monte Carlo worker threads.
+PolicyRegistry<IoCoordinationPolicy>& coordination_registry();
+PolicyRegistry<CheckpointPeriodPolicy>& period_registry();
+PolicyRegistry<RequestOffsetPolicy>& offset_registry();
+
+}  // namespace coopcr

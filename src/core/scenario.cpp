@@ -1,0 +1,147 @@
+#include "core/scenario.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+
+ScenarioBuilder& ScenarioBuilder::platform(const PlatformSpec& spec) {
+  config_.platform = spec;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pfs_bandwidth(double bytes_per_second) {
+  config_.platform.pfs_bandwidth = bytes_per_second;
+  bandwidth_override_ = bytes_per_second;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::node_mtbf(double seconds) {
+  config_.platform.node_mtbf = seconds;
+  mtbf_override_ = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::applications(
+    std::vector<ApplicationClass> apps) {
+  config_.applications = std::move(apps);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::add_application(const ApplicationClass& app) {
+  config_.applications.push_back(app);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::project_applications_from(
+    const PlatformSpec& from) {
+  project_from_set_ = true;
+  project_from_ = from;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload(const WorkloadOptions& options) {
+  config_.workload = options;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::min_makespan(double seconds) {
+  config_.workload.min_makespan = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::failures(const FailureModel& model) {
+  config_.failures = model;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::segment(double start_seconds,
+                                          double end_seconds) {
+  config_.simulation.segment_start = start_seconds;
+  config_.simulation.segment_end = end_seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::horizon(double seconds) {
+  config_.simulation.horizon = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::interference(InterferenceModel model,
+                                               double alpha) {
+  config_.simulation.interference = model;
+  config_.simulation.degradation_alpha = alpha;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::routine_io_chunks(int chunks) {
+  config_.simulation.routine_io_chunks = chunks;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::checkpoints_enabled(bool enabled) {
+  config_.simulation.checkpoints_enabled = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::strategy(const StrategySpec& spec) {
+  config_.simulation.strategy = spec;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::policy_seed(std::uint64_t seed) {
+  config_.simulation.policy_seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trace(TraceRecorder* recorder) {
+  config_.simulation.trace = recorder;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+ScenarioConfig ScenarioBuilder::build() const {
+  ScenarioConfig built = config_;
+  // Re-apply explicit bandwidth/MTBF overrides so a platform() call after
+  // them cannot silently discard the tweak (setter order never matters).
+  if (bandwidth_override_) built.platform.pfs_bandwidth = *bandwidth_override_;
+  if (mtbf_override_) built.platform.node_mtbf = *mtbf_override_;
+  built.platform.validate();
+  COOPCR_CHECK(!built.applications.empty(),
+               "scenario needs application classes");
+  if (project_from_set_) {
+    built.applications =
+        project_workload(built.applications, project_from_, built.platform);
+  }
+  COOPCR_CHECK(
+      built.simulation.segment_start < built.simulation.segment_end,
+      "measurement segment is empty");
+  COOPCR_CHECK(built.simulation.segment_end <= built.simulation.horizon,
+               "segment extends past the horizon");
+  built.simulation.platform = built.platform;
+  built.simulation.classes = resolve_all(built.applications, built.platform);
+  return built;
+}
+
+ScenarioBuilder ScenarioBuilder::cielo_apex(std::uint64_t seed) {
+  return ScenarioBuilder()
+      .platform(PlatformSpec::cielo())
+      .applications(apex_lanl_classes())
+      .seed(seed);
+}
+
+ScenarioBuilder ScenarioBuilder::prospective_apex(std::uint64_t seed) {
+  return ScenarioBuilder()
+      .platform(PlatformSpec::prospective())
+      .applications(apex_lanl_classes())
+      .project_applications_from(PlatformSpec::cielo())
+      .seed(seed);
+}
+
+}  // namespace coopcr

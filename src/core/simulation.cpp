@@ -113,26 +113,15 @@ class Runner {
 
   std::unique_ptr<TokenPolicy> make_policy() const {
     if (!cfg_.strategy.serialized()) return nullptr;
-    switch (cfg_.policy_override) {
-      case SerialPolicyOverride::kFcfs:
-        return std::make_unique<FcfsPolicy>();
-      case SerialPolicyOverride::kRandom:
-        return std::make_unique<RandomPolicy>(cfg_.policy_seed);
-      case SerialPolicyOverride::kSmallestFirst:
-        return std::make_unique<SmallestFirstPolicy>();
-      case SerialPolicyOverride::kLeastWaste:
-        return std::make_unique<LeastWastePolicy>(cfg_.platform.node_mtbf,
-                                                  cfg_.platform.pfs_bandwidth,
-                                                  cfg_.least_waste_variant);
-      case SerialPolicyOverride::kStrategyDefault:
-        break;
-    }
-    if (cfg_.strategy.mode == IoMode::kLeastWaste) {
-      return std::make_unique<LeastWastePolicy>(cfg_.platform.node_mtbf,
-                                                cfg_.platform.pfs_bandwidth,
-                                                cfg_.least_waste_variant);
-    }
-    return std::make_unique<FcfsPolicy>();
+    const TokenPolicyContext ctx{cfg_.platform.node_mtbf,
+                                 cfg_.platform.pfs_bandwidth,
+                                 cfg_.policy_seed};
+    auto policy = cfg_.strategy.coordination().make_token_policy(ctx);
+    COOPCR_CHECK(policy != nullptr,
+                 "serialized coordination policy '" +
+                     cfg_.strategy.coordination().name() +
+                     "' produced no token policy");
+    return policy;
   }
 
   const ClassOnPlatform& cls_of(const Job& job) const {
@@ -147,27 +136,14 @@ class Runner {
   }
 
   double period_of(const JobRt& rt) const {
-    return cfg_.strategy.policy == CheckpointPolicy::kFixed
-               ? cfg_.fixed_period
-               : rt.cls->daly_period;
+    return cfg_.strategy.period().period_for(*rt.cls);
   }
 
   /// Delay from checkpoint completion (or compute start) to the next
   /// checkpoint *request* (DESIGN.md "Checkpoint scheduling").
   double request_delay(const JobRt& rt) const {
-    const double period = period_of(rt);
-    const double commit = rt.cls->checkpoint_seconds;
-    switch (cfg_.request_offset) {
-      case CheckpointRequestOffset::kPeriodMinusCommit:
-        return std::max(0.0, period - commit);
-      case CheckpointRequestOffset::kFullPeriod:
-        return period;
-      case CheckpointRequestOffset::kPaper:
-        return cfg_.strategy.mode == IoMode::kLeastWaste
-                   ? period
-                   : std::max(0.0, period - commit);
-    }
-    return period;
+    return cfg_.strategy.offset().request_delay(period_of(rt),
+                                                rt.cls->checkpoint_seconds);
   }
 
   int routine_chunks(const JobRt& rt) const {
@@ -683,7 +659,7 @@ SimulationResult simulate(const SimulationConfig& config,
 SimulationResult simulate_baseline(const SimulationConfig& config,
                                    const std::vector<Job>& jobs) {
   SimulationConfig baseline = config;
-  baseline.strategy = Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly};
+  baseline.strategy = oblivious_daly();
   baseline.checkpoints_enabled = false;
   baseline.interference = InterferenceModel::kNone;
   Runner runner(baseline, jobs, /*failures=*/{});

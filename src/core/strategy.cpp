@@ -1,62 +1,157 @@
 #include "core/strategy.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace coopcr {
 
-std::string to_string(IoMode mode) {
-  switch (mode) {
-    case IoMode::kOblivious:
-      return "Oblivious";
-    case IoMode::kOrdered:
-      return "Ordered";
-    case IoMode::kOrderedNb:
-      return "Ordered-NB";
-    case IoMode::kLeastWaste:
-      return "Least-Waste";
-  }
-  return "?";
+// --- StrategySpec -----------------------------------------------------------
+
+StrategySpec::StrategySpec()
+    : StrategySpec(oblivious_coordination(), daly_period(),
+                   period_minus_commit_offset()) {}
+
+StrategySpec::StrategySpec(
+    std::shared_ptr<const IoCoordinationPolicy> coordination,
+    std::shared_ptr<const CheckpointPeriodPolicy> period,
+    std::shared_ptr<const RequestOffsetPolicy> offset,
+    std::string display_name)
+    : coordination_(std::move(coordination)),
+      period_(std::move(period)),
+      offset_(std::move(offset)),
+      display_name_(std::move(display_name)) {
+  COOPCR_CHECK(coordination_ != nullptr, "strategy needs a coordination policy");
+  COOPCR_CHECK(period_ != nullptr, "strategy needs a period policy");
+  COOPCR_CHECK(offset_ != nullptr, "strategy needs a request-offset policy");
 }
 
-std::string to_string(CheckpointPolicy policy) {
-  switch (policy) {
-    case CheckpointPolicy::kFixed:
-      return "Fixed";
-    case CheckpointPolicy::kDaly:
-      return "Daly";
-  }
-  return "?";
+std::string StrategySpec::name() const {
+  if (!display_name_.empty()) return display_name_;
+  return coordination_->name() + "-" + period_->name();
 }
 
-std::string Strategy::name() const {
-  if (mode == IoMode::kLeastWaste) {
-    // The paper's Least-Waste always uses Daly periods ("Fixed checkpointing
-    // makes little sense in the Least-Waste strategy", §3.5 footnote).
-    return "Least-Waste";
-  }
-  return to_string(mode) + "-" + to_string(policy);
+StrategySpec StrategySpec::named(std::string display_name) const {
+  StrategySpec copy = *this;
+  copy.display_name_ = std::move(display_name);
+  return copy;
 }
 
-const std::vector<Strategy>& paper_strategies() {
-  static const std::vector<Strategy> kStrategies = {
-      {IoMode::kOblivious, CheckpointPolicy::kFixed},
-      {IoMode::kOblivious, CheckpointPolicy::kDaly},
-      {IoMode::kOrdered, CheckpointPolicy::kFixed},
-      {IoMode::kOrdered, CheckpointPolicy::kDaly},
-      {IoMode::kOrderedNb, CheckpointPolicy::kFixed},
-      {IoMode::kOrderedNb, CheckpointPolicy::kDaly},
-      {IoMode::kLeastWaste, CheckpointPolicy::kDaly},
+bool StrategySpec::operator==(const StrategySpec& other) const {
+  return coordination_->name() == other.coordination_->name() &&
+         period_->name() == other.period_->name() &&
+         offset_->name() == other.offset_->name() && name() == other.name();
+}
+
+// --- paper strategy constructors --------------------------------------------
+
+StrategySpec oblivious_fixed(double period_seconds) {
+  return {oblivious_coordination(), fixed_period(period_seconds),
+          period_minus_commit_offset()};
+}
+
+StrategySpec oblivious_daly() {
+  return {oblivious_coordination(), daly_period(),
+          period_minus_commit_offset()};
+}
+
+StrategySpec ordered_fixed(double period_seconds) {
+  return {ordered_coordination(), fixed_period(period_seconds),
+          period_minus_commit_offset()};
+}
+
+StrategySpec ordered_daly() {
+  return {ordered_coordination(), daly_period(), period_minus_commit_offset()};
+}
+
+StrategySpec ordered_nb_fixed(double period_seconds) {
+  return {ordered_nb_coordination(), fixed_period(period_seconds),
+          period_minus_commit_offset()};
+}
+
+StrategySpec ordered_nb_daly() {
+  return {ordered_nb_coordination(), daly_period(),
+          period_minus_commit_offset()};
+}
+
+StrategySpec least_waste(LeastWasteVariant variant) {
+  // "Fixed checkpointing makes little sense in the Least-Waste strategy"
+  // (§3.5 footnote): the paper's Least-Waste always uses Daly periods, and
+  // its display name drops the period suffix. The non-paper marginal
+  // variant keeps its own name so the two never alias.
+  const bool paper = variant == LeastWasteVariant::kPaperEq12;
+  return StrategySpec{least_waste_coordination(variant), daly_period(),
+                      full_period_offset(),
+                      paper ? "Least-Waste" : "Least-Waste:marginal"};
+}
+
+const std::vector<StrategySpec>& paper_strategies() {
+  static const std::vector<StrategySpec> kStrategies = {
+      oblivious_fixed(), oblivious_daly(),  ordered_fixed(), ordered_daly(),
+      ordered_nb_fixed(), ordered_nb_daly(), least_waste(),
   };
   return kStrategies;
 }
 
-Strategy strategy_from_name(const std::string& name) {
-  for (const Strategy& s : paper_strategies()) {
-    if (s.name() == name) return s;
+// --- registry ---------------------------------------------------------------
+
+void StrategyRegistry::add(const std::string& name, Factory factory) {
+  COOPCR_CHECK(!name.empty(), "strategy name must not be empty");
+  COOPCR_CHECK(factory != nullptr, "strategy factory must not be null");
+  factories_[name] = std::move(factory);
+}
+
+void StrategyRegistry::add(const StrategySpec& spec) {
+  add(spec.name(), [spec] { return spec; });
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+StrategySpec StrategyRegistry::make(const std::string& name) const {
+  const auto it = factories_.find(name);
+  COOPCR_CHECK(it != factories_.end(), "unknown strategy name: " + name);
+  return it->second();
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+StrategyRegistry& strategy_registry() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    for (const StrategySpec& s : paper_strategies()) r->add(s);
+    // The two non-canonical spellings of the NB variants, kept for CLIs.
+    r->add("OrderedNB-Fixed", [] { return ordered_nb_fixed(); });
+    r->add("OrderedNB-Daly", [] { return ordered_nb_daly(); });
+    return r;
+  }();
+  return *registry;
+}
+
+StrategySpec strategy_from_name(const std::string& name) {
+  if (strategy_registry().contains(name)) {
+    return strategy_registry().make(name);
   }
-  // Accept the two non-canonical spellings of the NB variants.
-  if (name == "OrderedNB-Fixed") return {IoMode::kOrderedNb, CheckpointPolicy::kFixed};
-  if (name == "OrderedNB-Daly") return {IoMode::kOrderedNb, CheckpointPolicy::kDaly};
+  // Compositional fallback: "<coordination>-<period>", split at the last '-'
+  // so multi-part coordination names ("Ordered-NB", "Smallest-First") work.
+  const auto dash = name.rfind('-');
+  if (dash != std::string::npos && dash > 0 && dash + 1 < name.size()) {
+    const std::string coord_name = name.substr(0, dash);
+    const std::string period_name = name.substr(dash + 1);
+    if (coordination_registry().contains(coord_name) &&
+        period_registry().contains(period_name)) {
+      const auto coordination = coordination_registry().make(coord_name);
+      const auto offset =
+          offset_registry().make(coordination->default_offset_name());
+      return {coordination, period_registry().make(period_name), offset};
+    }
+  }
   COOPCR_CHECK(false, "unknown strategy name: " + name);
   return {};
 }

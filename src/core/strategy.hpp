@@ -1,6 +1,9 @@
 // coopcr/core/strategy.hpp
 //
-// The checkpoint / I/O scheduling strategies studied by the paper (§3):
+// A checkpoint/I/O scheduling strategy is the composition of three policy
+// objects (core/policy.hpp): an I/O-coordination policy, a checkpoint-period
+// policy and a request-offset policy. The paper's seven strategies (§3) are
+// prebuilt compositions:
 //
 //   Oblivious-Fixed   Oblivious-Daly     — uncoordinated, linear interference
 //   Ordered-Fixed     Ordered-Daly       — serialized FCFS, blocking wait
@@ -8,63 +11,117 @@
 //   Least-Waste                          — serialized, Eq. (1)/(2) selection,
 //                                          compute while waiting, Daly periods
 //
-// A strategy is the triple (admission/interference mode, waiting behaviour,
-// checkpoint-period policy); this header is the single source of truth for
-// the mapping.
+// New strategies are *registered*, not enumerated: compose a StrategySpec
+// from registry-backed (or custom) policies and add it to strategy_registry()
+// to make it reachable by name — no edits to this file required.
 
 #pragma once
 
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/policy.hpp"
+
 namespace coopcr {
 
-/// How each job's checkpoint period P_i is chosen (§3.4).
-enum class CheckpointPolicy {
-  kFixed,  ///< a fixed period, 1 hour unless configured otherwise
-  kDaly,   ///< P_Daly(J_i) = sqrt(2 µ_i C_i)
-};
+/// One fully-specified scheduling strategy: a coordination policy, a period
+/// policy, a request-offset policy and an optional display-name override
+/// (the paper calls "Least-Waste + Daly periods" just "Least-Waste").
+/// Policies are immutable and shared, so copies are cheap and thread-safe.
+class StrategySpec {
+ public:
+  /// The baseline composition: Oblivious coordination with Daly periods.
+  StrategySpec();
 
-/// I/O coordination mode (§3.1-3.5).
-enum class IoMode {
-  kOblivious,  ///< no coordination; linear interference dilates transfers
-  kOrdered,    ///< FCFS token; jobs block (idle) while waiting
-  kOrderedNb,  ///< FCFS token; jobs compute while waiting for a checkpoint
-  kLeastWaste, ///< waste-minimising token (Eq. (1)/(2)); non-blocking waits
-};
+  StrategySpec(std::shared_ptr<const IoCoordinationPolicy> coordination,
+               std::shared_ptr<const CheckpointPeriodPolicy> period,
+               std::shared_ptr<const RequestOffsetPolicy> offset,
+               std::string display_name = "");
 
-/// One of the paper's strategies.
-struct Strategy {
-  IoMode mode = IoMode::kOblivious;
-  CheckpointPolicy policy = CheckpointPolicy::kDaly;
-
-  /// Canonical display name, e.g. "Ordered-NB-Daly" or "Least-Waste".
+  /// Canonical display name: the override when set, otherwise
+  /// "<coordination>-<period>", e.g. "Ordered-NB-Daly".
   std::string name() const;
+
+  const IoCoordinationPolicy& coordination() const { return *coordination_; }
+  const CheckpointPeriodPolicy& period() const { return *period_; }
+  const RequestOffsetPolicy& offset() const { return *offset_; }
+
+  /// True when the strategy serialises I/O behind a token.
+  bool serialized() const { return coordination_->serialized(); }
 
   /// True when a job keeps computing while its *checkpoint* request waits
   /// for the I/O token (§3.3, §3.5).
-  bool non_blocking_wait() const {
-    return mode == IoMode::kOrderedNb || mode == IoMode::kLeastWaste;
-  }
+  bool non_blocking_wait() const { return coordination_->non_blocking_wait(); }
 
-  /// True when the strategy serialises I/O behind a token.
-  bool serialized() const { return mode != IoMode::kOblivious; }
+  /// Same-composition copy with a different display name.
+  StrategySpec named(std::string display_name) const;
 
-  bool operator==(const Strategy& other) const {
-    return mode == other.mode && policy == other.policy;
-  }
+  /// Equality is by composition identity: the three policy names plus the
+  /// resolved display name (policies are registered by name, so the name
+  /// triple identifies the composition).
+  bool operator==(const StrategySpec& other) const;
+  bool operator!=(const StrategySpec& other) const { return !(*this == other); }
+
+ private:
+  std::shared_ptr<const IoCoordinationPolicy> coordination_;
+  std::shared_ptr<const CheckpointPeriodPolicy> period_;
+  std::shared_ptr<const RequestOffsetPolicy> offset_;
+  std::string display_name_;
 };
+
+/// Historical alias — most call sites read better with "Strategy".
+using Strategy = StrategySpec;
+
+// --- paper strategy constructors --------------------------------------------
+
+StrategySpec oblivious_fixed(double period_seconds = units::kHour);
+StrategySpec oblivious_daly();
+StrategySpec ordered_fixed(double period_seconds = units::kHour);
+StrategySpec ordered_daly();
+StrategySpec ordered_nb_fixed(double period_seconds = units::kHour);
+StrategySpec ordered_nb_daly();
+StrategySpec least_waste(
+    LeastWasteVariant variant = LeastWasteVariant::kPaperEq12);
 
 /// The seven strategies evaluated in every figure of the paper, in the
 /// paper's legend order: Oblivious-Fixed, Oblivious-Daly, Ordered-Fixed,
 /// Ordered-Daly, Ordered-NB-Fixed, Ordered-NB-Daly, Least-Waste.
-const std::vector<Strategy>& paper_strategies();
+const std::vector<StrategySpec>& paper_strategies();
 
-/// Parse a canonical name back into a Strategy (exact match; throws on
-/// unknown names). Useful for example CLIs.
-Strategy strategy_from_name(const std::string& name);
+// --- strategy registry ------------------------------------------------------
 
-std::string to_string(IoMode mode);
-std::string to_string(CheckpointPolicy policy);
+/// Name-keyed registry of complete strategies. Pre-seeded with the seven
+/// paper strategies (plus the "OrderedNB-*" alias spellings); registering an
+/// existing name replaces it.
+class StrategyRegistry {
+ public:
+  using Factory = std::function<StrategySpec()>;
+
+  void add(const std::string& name, Factory factory);
+  /// Register a ready-made spec under its own name().
+  void add(const StrategySpec& spec);
+
+  bool contains(const std::string& name) const;
+  StrategySpec make(const std::string& name) const;
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Process-wide strategy registry. Not synchronized: register custom
+/// strategies up front, before spawning Monte Carlo worker threads.
+StrategyRegistry& strategy_registry();
+
+/// Resolve a name into a StrategySpec. Looks up strategy_registry() first;
+/// unregistered names of the form "<coordination>-<period>" (split at the
+/// last '-') are composed from the axis registries with the coordination's
+/// default request offset. Throws on unknown names.
+StrategySpec strategy_from_name(const std::string& name);
 
 }  // namespace coopcr

@@ -1,0 +1,112 @@
+// Determinism regression guard for the strategy/scenario API migration.
+//
+// One fixed-seed run_replica per paper strategy on a reduced Cielo/APEX
+// scenario, with every SimulationCounters field (and the waste ratio) pinned
+// to the values produced by the pre-refactor enum-based implementation.
+// Any behavioural drift in the strategy composition, the scenario builder,
+// the workload generator or the simulator shows up here as an exact-count
+// mismatch — not as statistical noise.
+//
+// If a *deliberate* behaviour change invalidates these numbers, re-pin them
+// and say so explicitly in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "core/scenario.hpp"
+#include "util/units.hpp"
+
+namespace coopcr {
+namespace {
+
+ScenarioConfig pinned_scenario() {
+  return ScenarioBuilder::cielo_apex(/*seed=*/0xD373C7ull)
+      .pfs_bandwidth(units::gb_per_s(40))
+      .node_mtbf(units::years(2))
+      .min_makespan(units::days(10))
+      .segment(units::days(1), units::days(9))
+      .build();
+}
+
+struct Pinned {
+  const char* strategy;
+  std::uint64_t failures_total;
+  std::uint64_t failures_on_jobs;
+  std::uint64_t checkpoint_requests;
+  std::uint64_t checkpoints_completed;
+  std::uint64_t checkpoints_aborted;
+  std::uint64_t checkpoints_cancelled;
+  std::uint64_t jobs_started;
+  std::uint64_t jobs_completed;
+  std::uint64_t restarts_submitted;
+  std::uint64_t io_requests;
+  double waste_ratio;
+};
+
+// Captured from the pre-migration seed implementation (replica 0, seed
+// 0xD373C7, Cielo/APEX @ 40 GB/s, node MTBF 2 y, 8-day segment).
+const std::vector<Pinned>& pinned_counters() {
+  static const std::vector<Pinned> kPinned = {
+      {"Oblivious-Fixed", 223, 217, 788, 664, 112, 0, 232, 0, 217, 1020,
+       0.88189341691363177},
+      {"Oblivious-Daly", 223, 215, 631, 556, 67, 0, 240, 13, 215, 886,
+       0.61615430147532735},
+      {"Ordered-Fixed", 223, 217, 867, 729, 23, 0, 232, 0, 217, 1099,
+       0.91958779967176496},
+      {"Ordered-Daly", 223, 214, 641, 573, 19, 0, 239, 13, 214, 893,
+       0.64902964336600144},
+      {"Ordered-NB-Fixed", 223, 208, 671, 547, 22, 12, 234, 20, 208, 926,
+       0.50756440822596161},
+      {"Ordered-NB-Daly", 223, 207, 518, 446, 15, 6, 233, 20, 207, 771,
+       0.47182962864037903},
+      {"Least-Waste", 223, 204, 513, 439, 22, 8, 230, 20, 204, 763,
+       0.41851283571265474},
+  };
+  return kPinned;
+}
+
+class DeterminismRegression : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeterminismRegression, CountersMatchPreMigrationCapture) {
+  const Pinned& expected = pinned_counters()[GetParam()];
+  const ScenarioConfig scenario = pinned_scenario();
+  const StrategySpec strategy = strategy_from_name(expected.strategy);
+  const ReplicaRun run = run_replica(scenario, strategy, /*replica=*/0);
+  const SimulationCounters& c = run.result.counters;
+  EXPECT_EQ(c.failures_total, expected.failures_total);
+  EXPECT_EQ(c.failures_on_jobs, expected.failures_on_jobs);
+  EXPECT_EQ(c.checkpoint_requests, expected.checkpoint_requests);
+  EXPECT_EQ(c.checkpoints_completed, expected.checkpoints_completed);
+  EXPECT_EQ(c.checkpoints_aborted, expected.checkpoints_aborted);
+  EXPECT_EQ(c.checkpoints_cancelled, expected.checkpoints_cancelled);
+  EXPECT_EQ(c.jobs_started, expected.jobs_started);
+  EXPECT_EQ(c.jobs_completed, expected.jobs_completed);
+  EXPECT_EQ(c.restarts_submitted, expected.restarts_submitted);
+  EXPECT_EQ(c.io_requests, expected.io_requests);
+  EXPECT_DOUBLE_EQ(run.waste_ratio, expected.waste_ratio);
+}
+
+std::string pinned_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = pinned_counters()[info.param].strategy;
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperStrategies, DeterminismRegression,
+                         ::testing::Range<std::size_t>(0, 7), pinned_name);
+
+TEST(DeterminismRegression, CoversEveryPaperStrategy) {
+  ASSERT_EQ(pinned_counters().size(), paper_strategies().size());
+  for (std::size_t i = 0; i < pinned_counters().size(); ++i) {
+    EXPECT_EQ(pinned_counters()[i].strategy, paper_strategies()[i].name());
+  }
+}
+
+}  // namespace
+}  // namespace coopcr

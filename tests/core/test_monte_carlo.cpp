@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 
+#include "core/scenario.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 #include "workload/apex.hpp"
@@ -15,16 +16,11 @@ namespace coopcr {
 namespace {
 
 ScenarioConfig tiny_scenario() {
-  ScenarioConfig sc;
-  sc.platform = PlatformSpec::cielo();
-  sc.platform.pfs_bandwidth = units::gb_per_s(80);
-  sc.applications = apex_lanl_classes();
-  sc.workload.min_makespan = units::days(6);
-  sc.simulation.segment_start = units::days(1);
-  sc.simulation.segment_end = units::days(5);
-  sc.seed = 99;
-  sc.finalize();
-  return sc;
+  return ScenarioBuilder::cielo_apex(/*seed=*/99)
+      .pfs_bandwidth(units::gb_per_s(80))
+      .min_makespan(units::days(6))
+      .segment(units::days(1), units::days(5))
+      .build();
 }
 
 TEST(MonteCarlo, CollectsOneSamplePerReplica) {
@@ -33,7 +29,7 @@ TEST(MonteCarlo, CollectsOneSamplePerReplica) {
   options.replicas = 4;
   options.threads = 2;
   const auto report = run_monte_carlo(
-      scenario, {{IoMode::kLeastWaste, CheckpointPolicy::kDaly}}, options);
+      scenario, {least_waste()}, options);
   EXPECT_EQ(report.replicas, 4);
   ASSERT_EQ(report.outcomes.size(), 1u);
   EXPECT_EQ(report.outcomes[0].waste_ratio.size(), 4u);
@@ -46,9 +42,8 @@ TEST(MonteCarlo, CollectsOneSamplePerReplica) {
 
 TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
   const auto scenario = tiny_scenario();
-  const std::vector<Strategy> strategies = {
-      {IoMode::kOblivious, CheckpointPolicy::kDaly},
-      {IoMode::kLeastWaste, CheckpointPolicy::kDaly}};
+  const std::vector<Strategy> strategies = {oblivious_daly(),
+                                            least_waste()};
   MonteCarloOptions serial;
   serial.replicas = 4;
   serial.threads = 1;
@@ -75,8 +70,7 @@ TEST(MonteCarlo, StrategiesShareInitialConditions) {
   options.replicas = 2;
   options.threads = 1;
   const auto report = run_monte_carlo(scenario,
-                                      {{IoMode::kOrdered, CheckpointPolicy::kDaly},
-                                       {IoMode::kOrderedNb, CheckpointPolicy::kDaly}},
+                                      {ordered_daly(), ordered_nb_daly()},
                                       options);
   const auto& fa = report.outcomes[0].failures_hit.samples();
   const auto& fb = report.outcomes[1].failures_hit.samples();
@@ -91,7 +85,7 @@ TEST(MonteCarlo, OutcomeLookupByName) {
   options.replicas = 1;
   options.threads = 1;
   const auto report = run_monte_carlo(
-      scenario, {{IoMode::kLeastWaste, CheckpointPolicy::kDaly}}, options);
+      scenario, {least_waste()}, options);
   EXPECT_NO_THROW(report.outcome("Least-Waste"));
   EXPECT_THROW(report.outcome("Nope"), Error);
 }
@@ -103,7 +97,7 @@ TEST(MonteCarlo, KeepResultsRetainsPerReplicaDetail) {
   options.threads = 1;
   options.keep_results = true;
   const auto report = run_monte_carlo(
-      scenario, {{IoMode::kOblivious, CheckpointPolicy::kFixed}}, options);
+      scenario, {oblivious_fixed()}, options);
   ASSERT_EQ(report.outcomes[0].results.size(), 2u);
   EXPECT_GT(report.outcomes[0].results[0].events, 0u);
 }
@@ -128,11 +122,12 @@ TEST(MonteCarlo, RejectsBadArguments) {
   EXPECT_THROW(run_monte_carlo(scenario, paper_strategies(), options), Error);
   options.replicas = 1;
   EXPECT_THROW(run_monte_carlo(scenario, {}, options), Error);
-  ScenarioConfig unfinalized;
-  unfinalized.platform = PlatformSpec::cielo();
-  unfinalized.applications = apex_lanl_classes();
-  EXPECT_THROW(run_monte_carlo(unfinalized, paper_strategies(), options),
-               Error);
+  // A scenario assembled by hand (bypassing ScenarioBuilder::build) has no
+  // resolved classes and must be rejected.
+  ScenarioConfig unbuilt;
+  unbuilt.platform = PlatformSpec::cielo();
+  unbuilt.applications = apex_lanl_classes();
+  EXPECT_THROW(run_monte_carlo(unbuilt, paper_strategies(), options), Error);
 }
 
 TEST(MonteCarlo, DifferentSeedsDifferentSamples) {
@@ -140,7 +135,7 @@ TEST(MonteCarlo, DifferentSeedsDifferentSamples) {
   MonteCarloOptions options;
   options.replicas = 1;
   options.threads = 1;
-  const Strategy lw{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+  const Strategy lw = least_waste();
   const auto a = run_monte_carlo(scenario, {lw}, options);
   scenario.seed = 12345;
   const auto b = run_monte_carlo(scenario, {lw}, options);

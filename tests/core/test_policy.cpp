@@ -1,0 +1,140 @@
+// Unit tests for the policy axes (core/policy.hpp): built-in behaviour,
+// token-policy construction, and the name-keyed axis registries.
+
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace coopcr {
+namespace {
+
+ClassOnPlatform stub_class(double daly, double commit) {
+  ClassOnPlatform cls;
+  cls.daly_period = daly;
+  cls.checkpoint_seconds = commit;
+  return cls;
+}
+
+// --- period policies --------------------------------------------------------
+
+TEST(PeriodPolicy, FixedReturnsConfiguredSeconds) {
+  const FixedPeriodPolicy hourly;
+  EXPECT_EQ(hourly.name(), "Fixed");
+  EXPECT_DOUBLE_EQ(hourly.period_for(stub_class(123.0, 5.0)), units::kHour);
+  const FixedPeriodPolicy custom(200.0);
+  EXPECT_DOUBLE_EQ(custom.period_for(stub_class(123.0, 5.0)), 200.0);
+}
+
+TEST(PeriodPolicy, NonDefaultFixedPeriodIsNamed) {
+  // Parameters are part of the name, so differently-configured policies
+  // never alias under name-based identity.
+  EXPECT_EQ(FixedPeriodPolicy(200.0).name(), "Fixed@200s");
+  EXPECT_EQ(FixedPeriodPolicy(units::kHour).name(), "Fixed");
+}
+
+TEST(PeriodPolicy, DalyReadsResolvedClass) {
+  const DalyPeriodPolicy daly;
+  EXPECT_EQ(daly.name(), "Daly");
+  EXPECT_DOUBLE_EQ(daly.period_for(stub_class(105.0, 5.0)), 105.0);
+}
+
+// --- offset policies --------------------------------------------------------
+
+TEST(OffsetPolicy, PeriodMinusCommitClampsAtZero) {
+  const PeriodMinusCommitOffset offset;
+  EXPECT_DOUBLE_EQ(offset.request_delay(105.0, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(offset.request_delay(3.0, 5.0), 0.0);
+}
+
+TEST(OffsetPolicy, FullPeriodIgnoresCommit) {
+  const FullPeriodOffset offset;
+  EXPECT_DOUBLE_EQ(offset.request_delay(105.0, 5.0), 105.0);
+}
+
+// --- coordination policies --------------------------------------------------
+
+TEST(CoordinationPolicy, ObliviousIsConcurrent) {
+  const auto policy = oblivious_coordination();
+  EXPECT_FALSE(policy->serialized());
+  EXPECT_FALSE(policy->non_blocking_wait());
+  EXPECT_EQ(policy->make_token_policy({}), nullptr);
+}
+
+TEST(CoordinationPolicy, OrderedVariantsDifferOnlyInWaitBehaviour) {
+  EXPECT_FALSE(ordered_coordination()->non_blocking_wait());
+  EXPECT_TRUE(ordered_nb_coordination()->non_blocking_wait());
+  for (const auto& policy :
+       {ordered_coordination(), ordered_nb_coordination()}) {
+    EXPECT_TRUE(policy->serialized());
+    const auto token = policy->make_token_policy({});
+    ASSERT_NE(token, nullptr);
+    EXPECT_EQ(token->name(), "fcfs");
+  }
+}
+
+TEST(CoordinationPolicy, LeastWasteBuildsConfiguredArbiter) {
+  const TokenPolicyContext ctx{units::years(2), units::gb_per_s(40), 1};
+  const auto token = least_waste_coordination()->make_token_policy(ctx);
+  ASSERT_NE(token, nullptr);
+  EXPECT_EQ(token->name(), "least-waste");
+  EXPECT_EQ(least_waste_coordination()->default_offset_name(), "full-period");
+  EXPECT_EQ(ordered_coordination()->default_offset_name(), "P-minus-C");
+}
+
+TEST(CoordinationPolicy, AblationBaselinesAreSerializedNonBlocking) {
+  const TokenPolicyContext ctx{units::years(2), units::gb_per_s(40), 7};
+  for (const auto& policy :
+       {random_coordination(), smallest_first_coordination()}) {
+    EXPECT_TRUE(policy->serialized());
+    EXPECT_TRUE(policy->non_blocking_wait());
+    EXPECT_NE(policy->make_token_policy(ctx), nullptr);
+  }
+}
+
+// --- registries -------------------------------------------------------------
+
+TEST(PolicyRegistryTest, BuiltinsArePreSeeded) {
+  for (const char* name : {"Oblivious", "Ordered", "Ordered-NB", "Least-Waste",
+                           "Random", "Smallest-First"}) {
+    EXPECT_TRUE(coordination_registry().contains(name)) << name;
+  }
+  EXPECT_TRUE(period_registry().contains("Fixed"));
+  EXPECT_TRUE(period_registry().contains("Daly"));
+  EXPECT_TRUE(offset_registry().contains("P-minus-C"));
+  EXPECT_TRUE(offset_registry().contains("full-period"));
+}
+
+TEST(PolicyRegistryTest, MakeThrowsOnUnknownName) {
+  EXPECT_THROW(coordination_registry().make("nope"), Error);
+  EXPECT_THROW(period_registry().make("nope"), Error);
+  EXPECT_THROW(offset_registry().make("nope"), Error);
+}
+
+TEST(PolicyRegistryTest, CustomPeriodPolicyReachableByName) {
+  // An energy-aware-style custom period: a scaled Daly period, registered on
+  // the axis without touching core files.
+  class ScaledDaly final : public CheckpointPeriodPolicy {
+   public:
+    std::string name() const override { return "Test-ScaledDaly"; }
+    double period_for(const ClassOnPlatform& cls) const override {
+      return 2.0 * cls.daly_period;
+    }
+  };
+  period_registry().add("Test-ScaledDaly",
+                        [] { return std::make_shared<const ScaledDaly>(); });
+  ASSERT_TRUE(period_registry().contains("Test-ScaledDaly"));
+  const auto policy = period_registry().make("Test-ScaledDaly");
+  EXPECT_DOUBLE_EQ(policy->period_for(stub_class(105.0, 5.0)), 210.0);
+}
+
+TEST(PolicyRegistryTest, NamesAreSortedAndComplete) {
+  const auto names = offset_registry().names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -10,6 +10,7 @@
 
 #include "core/lower_bound.hpp"
 #include "core/monte_carlo.hpp"
+#include "core/scenario.hpp"
 #include "core/simulation.hpp"
 #include "platform/failure_model.hpp"
 #include "util/units.hpp"
@@ -23,17 +24,12 @@ namespace {
 /// so each property case runs in milliseconds.
 ScenarioConfig small_scenario(double bandwidth_gbps, double mtbf_years,
                               std::uint64_t seed) {
-  ScenarioConfig sc;
-  sc.platform = PlatformSpec::cielo();
-  sc.platform.pfs_bandwidth = units::gb_per_s(bandwidth_gbps);
-  sc.platform.node_mtbf = units::years(mtbf_years);
-  sc.applications = apex_lanl_classes();
-  sc.workload.min_makespan = units::days(10);
-  sc.simulation.segment_start = units::days(1);
-  sc.simulation.segment_end = units::days(9);
-  sc.seed = seed;
-  sc.finalize();
-  return sc;
+  return ScenarioBuilder::cielo_apex(seed)
+      .pfs_bandwidth(units::gb_per_s(bandwidth_gbps))
+      .node_mtbf(units::years(mtbf_years))
+      .min_makespan(units::days(10))
+      .segment(units::days(1), units::days(9))
+      .build();
 }
 
 using SweepParam = std::tuple<int /*strategy index*/, int /*bandwidth GB/s*/,
@@ -129,9 +125,9 @@ TEST_F(PairedStrategies, NonBlockingBeatsBlockingAtLowBandwidth) {
   // §6.1: "All strategies that decouple the execution of the application
   // from the filesystem availability exhibit considerably better
   // performance despite low bandwidth."
-  const double ordered = waste({IoMode::kOrdered, CheckpointPolicy::kDaly},
+  const double ordered = waste(ordered_daly(),
                                40.0, 2.0);
-  const double nb = waste({IoMode::kOrderedNb, CheckpointPolicy::kDaly},
+  const double nb = waste(ordered_nb_daly(),
                           40.0, 2.0);
   EXPECT_LT(nb, ordered);
 }
@@ -139,9 +135,9 @@ TEST_F(PairedStrategies, NonBlockingBeatsBlockingAtLowBandwidth) {
 TEST_F(PairedStrategies, DalyBeatsFixedUnderFrequentFailures) {
   // §6.1: "the two strategies that render high waste despite high bandwidth
   // rely on a fixed 1h interval."
-  const double fixed = waste({IoMode::kOblivious, CheckpointPolicy::kFixed},
+  const double fixed = waste(oblivious_fixed(),
                              160.0, 2.0);
-  const double daly = waste({IoMode::kOblivious, CheckpointPolicy::kDaly},
+  const double daly = waste(oblivious_daly(),
                             160.0, 2.0);
   EXPECT_LT(daly, fixed);
 }
@@ -149,9 +145,9 @@ TEST_F(PairedStrategies, DalyBeatsFixedUnderFrequentFailures) {
 TEST_F(PairedStrategies, LeastWasteIsCompetitiveWithOrderedNb) {
   // Least-Waste refines Ordered-NB; it must be at least comparable (within
   // noise) at the paper's stressed operating point.
-  const double nb = waste({IoMode::kOrderedNb, CheckpointPolicy::kDaly},
+  const double nb = waste(ordered_nb_daly(),
                           40.0, 2.0);
-  const double lw = waste({IoMode::kLeastWaste, CheckpointPolicy::kDaly},
+  const double lw = waste(least_waste(),
                           40.0, 2.0);
   EXPECT_LT(lw, nb * 1.10);
 }
@@ -159,18 +155,18 @@ TEST_F(PairedStrategies, LeastWasteIsCompetitiveWithOrderedNb) {
 TEST_F(PairedStrategies, FixedStrategiesInsensitiveToMtbfWhenSaturated) {
   // §6.1 Figure 2: Oblivious-Fixed stays ~constant as MTBF improves because
   // the I/O subsystem, not failures, is the bottleneck.
-  const double frequent = waste({IoMode::kOblivious, CheckpointPolicy::kFixed},
+  const double frequent = waste(oblivious_fixed(),
                                 40.0, 2.0);
-  const double rare = waste({IoMode::kOblivious, CheckpointPolicy::kFixed},
+  const double rare = waste(oblivious_fixed(),
                             40.0, 25.0);
   EXPECT_GT(rare, 0.6);
   EXPECT_NEAR(frequent, rare, 0.25);
 }
 
 TEST_F(PairedStrategies, HigherMtbfReducesDalyWaste) {
-  const double frequent = waste({IoMode::kOrderedNb, CheckpointPolicy::kDaly},
+  const double frequent = waste(ordered_nb_daly(),
                                 40.0, 2.0);
-  const double rare = waste({IoMode::kOrderedNb, CheckpointPolicy::kDaly},
+  const double rare = waste(ordered_nb_daly(),
                             40.0, 25.0);
   EXPECT_LT(rare, frequent);
 }

@@ -1,0 +1,136 @@
+// Unit tests for ScenarioBuilder: fluent assembly, build()-time validation,
+// deferred class resolution / projection, and the shared presets.
+
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workload/apex.hpp"
+
+namespace coopcr {
+namespace {
+
+TEST(ScenarioBuilder, CieloApexPresetBuildsResolvedScenario) {
+  const ScenarioConfig sc = ScenarioBuilder::cielo_apex().build();
+  EXPECT_EQ(sc.platform.name, PlatformSpec::cielo().name);
+  EXPECT_EQ(sc.applications.size(), 4u);
+  ASSERT_EQ(sc.simulation.classes.size(), 4u);
+  EXPECT_EQ(sc.simulation.platform.nodes, sc.platform.nodes);
+  EXPECT_GT(sc.simulation.classes[0].daly_period, 0.0);
+}
+
+TEST(ScenarioBuilder, SetterOrderDoesNotMatterForResolution) {
+  // Bandwidth set *after* the workload still reaches the resolved classes,
+  // because resolution happens at build() time.
+  const ScenarioConfig a = ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .build();
+  const ScenarioConfig b = ScenarioBuilder()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .platform([] {
+                                 auto p = PlatformSpec::cielo();
+                                 p.pfs_bandwidth = units::gb_per_s(40);
+                                 return p;
+                               }())
+                               .applications(apex_lanl_classes())
+                               .build();
+  ASSERT_EQ(a.simulation.classes.size(), b.simulation.classes.size());
+  for (std::size_t i = 0; i < a.simulation.classes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.simulation.classes[i].checkpoint_seconds,
+                     b.simulation.classes[i].checkpoint_seconds);
+    EXPECT_DOUBLE_EQ(a.simulation.classes[i].daly_period,
+                     b.simulation.classes[i].daly_period);
+  }
+}
+
+TEST(ScenarioBuilder, ProspectivePresetProjectsAgainstFinalPlatform) {
+  const double bw = units::tb_per_s(1);
+  const ScenarioConfig sc =
+      ScenarioBuilder::prospective_apex().pfs_bandwidth(bw).build();
+  // Projection scales core counts with the machine; the projected classes
+  // must differ from the raw APEX ones.
+  const auto raw = apex_lanl_classes();
+  ASSERT_EQ(sc.applications.size(), raw.size());
+  EXPECT_NE(sc.applications[0].cores, raw[0].cores);
+  EXPECT_DOUBLE_EQ(sc.simulation.platform.pfs_bandwidth, bw);
+}
+
+TEST(ScenarioBuilder, CarriesSimulationKnobs) {
+  TraceRecorder trace;
+  const ScenarioConfig sc =
+      ScenarioBuilder::cielo_apex()
+          .segment(units::days(1), units::days(5))
+          .horizon(units::days(30))
+          .interference(InterferenceModel::kDegrading, 0.5)
+          .routine_io_chunks(4)
+          .checkpoints_enabled(false)
+          .strategy(least_waste())
+          .policy_seed(123)
+          .trace(&trace)
+          .min_makespan(units::days(6))
+          .seed(77)
+          .build();
+  EXPECT_DOUBLE_EQ(sc.simulation.segment_start, units::days(1));
+  EXPECT_DOUBLE_EQ(sc.simulation.segment_end, units::days(5));
+  EXPECT_DOUBLE_EQ(sc.simulation.horizon, units::days(30));
+  EXPECT_EQ(sc.simulation.interference, InterferenceModel::kDegrading);
+  EXPECT_DOUBLE_EQ(sc.simulation.degradation_alpha, 0.5);
+  EXPECT_EQ(sc.simulation.routine_io_chunks, 4);
+  EXPECT_FALSE(sc.simulation.checkpoints_enabled);
+  EXPECT_EQ(sc.simulation.strategy.name(), "Least-Waste");
+  EXPECT_EQ(sc.simulation.policy_seed, 123u);
+  EXPECT_EQ(sc.simulation.trace, &trace);
+  EXPECT_DOUBLE_EQ(sc.workload.min_makespan, units::days(6));
+  EXPECT_EQ(sc.seed, 77u);
+}
+
+TEST(ScenarioBuilder, BuildValidates) {
+  // No applications.
+  EXPECT_THROW(ScenarioBuilder().platform(PlatformSpec::cielo()).build(),
+               Error);
+  // Empty measurement segment.
+  EXPECT_THROW(ScenarioBuilder::cielo_apex()
+                   .segment(units::days(5), units::days(5))
+                   .build(),
+               Error);
+  // Segment past the horizon.
+  EXPECT_THROW(ScenarioBuilder::cielo_apex()
+                   .segment(units::days(1), units::days(59))
+                   .horizon(units::days(30))
+                   .build(),
+               Error);
+  // Ill-formed platform.
+  EXPECT_THROW(ScenarioBuilder()
+                   .applications(apex_lanl_classes())
+                   .platform(PlatformSpec{})
+                   .build(),
+               Error);
+}
+
+TEST(ScenarioBuilder, PlatformAfterBandwidthKeepsTheOverride) {
+  // pfs_bandwidth()/node_mtbf() are recorded as overrides and re-applied at
+  // build(), so a later platform() call cannot silently discard them.
+  const ScenarioConfig sc = ScenarioBuilder()
+                                .pfs_bandwidth(units::gb_per_s(40))
+                                .node_mtbf(units::years(7))
+                                .platform(PlatformSpec::cielo())
+                                .applications(apex_lanl_classes())
+                                .build();
+  EXPECT_DOUBLE_EQ(sc.platform.pfs_bandwidth, units::gb_per_s(40));
+  EXPECT_DOUBLE_EQ(sc.platform.node_mtbf, units::years(7));
+  EXPECT_DOUBLE_EQ(sc.simulation.platform.pfs_bandwidth, units::gb_per_s(40));
+}
+
+TEST(ScenarioBuilder, BuilderIsReusable) {
+  ScenarioBuilder builder = ScenarioBuilder::cielo_apex();
+  const ScenarioConfig a = builder.build();
+  const ScenarioConfig b =
+      builder.pfs_bandwidth(units::gb_per_s(40)).build();
+  EXPECT_NE(a.simulation.classes[0].checkpoint_seconds,
+            b.simulation.classes[0].checkpoint_seconds);
+}
+
+}  // namespace
+}  // namespace coopcr

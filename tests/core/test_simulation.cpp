@@ -69,7 +69,8 @@ Job job_of(const ClassOnPlatform& cls, JobId id, double work) {
   return j;
 }
 
-SimulationConfig toy_config(const ClassOnPlatform& cls, Strategy strategy,
+SimulationConfig toy_config(const ClassOnPlatform& cls,
+                            const StrategySpec& strategy,
                             double segment_end = 1e6,
                             double mtbf_seconds = 1e9) {
   SimulationConfig cfg;
@@ -82,11 +83,22 @@ SimulationConfig toy_config(const ClassOnPlatform& cls, Strategy strategy,
   return cfg;
 }
 
-constexpr Strategy kOblDaly{IoMode::kOblivious, CheckpointPolicy::kDaly};
-constexpr Strategy kOblFixed{IoMode::kOblivious, CheckpointPolicy::kFixed};
-constexpr Strategy kOrdDaly{IoMode::kOrdered, CheckpointPolicy::kDaly};
-constexpr Strategy kNbDaly{IoMode::kOrderedNb, CheckpointPolicy::kDaly};
-constexpr Strategy kLw{IoMode::kLeastWaste, CheckpointPolicy::kDaly};
+const StrategySpec& obl_daly() {
+  static const StrategySpec s = oblivious_daly();
+  return s;
+}
+const StrategySpec& ord_daly() {
+  static const StrategySpec s = ordered_daly();
+  return s;
+}
+const StrategySpec& nb_daly() {
+  static const StrategySpec s = ordered_nb_daly();
+  return s;
+}
+const StrategySpec& lw() {
+  static const StrategySpec s = least_waste();
+  return s;
+}
 
 // ---------------------------------------------------------------------------
 // Checkpoint cadence in a failure-free, interference-free single-job run.
@@ -97,7 +109,7 @@ TEST(Simulation, DalyCadenceFailureFree) {
   // P - C = 100 s of compute; 9 commits (the 10th collides with completion),
   // job ends at 1000 + 9*5 = 1045 s.
   const auto cls = toy_class(10, 1000.0, 500.0, 105.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 1u);
   EXPECT_EQ(result.counters.checkpoints_completed, 9u);
@@ -116,8 +128,7 @@ TEST(Simulation, FixedCadenceUsesConfiguredPeriod) {
   // Fixed period 200 s, C = 5 s: requests every 195 s of compute -> commits
   // after 195, 390, ... work; 1000 s of work -> 5 checkpoints.
   const auto cls = toy_class(10, 1000.0, 500.0, 105.0);
-  auto cfg = toy_config(cls, kOblFixed);
-  cfg.fixed_period = 200.0;
+  auto cfg = toy_config(cls, oblivious_fixed(/*period_seconds=*/200.0));
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, {});
   EXPECT_EQ(result.counters.checkpoints_completed, 5u);
   EXPECT_EQ(result.counters.jobs_completed, 1u);
@@ -128,8 +139,8 @@ TEST(Simulation, DegenerateFixedPeriodBelowCommitNeverProgresses) {
   // checkpoints back-to-back and never computes (the saturation regime that
   // drives the paper's flat ~80% waste for *-Fixed at low bandwidth).
   const auto cls = toy_class(10, 1000.0, 2000.0, 105.0);
-  auto cfg = toy_config(cls, kOblFixed, /*segment_end=*/2000.0);
-  cfg.fixed_period = 10.0;
+  auto cfg = toy_config(cls, oblivious_fixed(/*period_seconds=*/10.0),
+                        /*segment_end=*/2000.0);
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 0u);
   EXPECT_DOUBLE_EQ(result.accounting.total(TimeCategory::kUsefulCompute), 0.0);
@@ -143,7 +154,7 @@ TEST(Simulation, InputAndOutputAreUsefulIo) {
   // work 50 s < P - C.
   const auto cls = toy_class(10, 50.0, 500.0, 105.0, /*input=*/200.0,
                              /*output=*/300.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const auto result = simulate(cfg, {job_of(cls, 0, 50.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 1u);
   EXPECT_EQ(result.counters.checkpoints_completed, 0u);
@@ -162,7 +173,7 @@ TEST(Simulation, ObliviousDilatesConcurrentInput) {
   // Two q=5 jobs read 500 B each concurrently: linear sharing doubles both
   // transfers (10 s instead of 5 s). Ideal part is useful, excess dilation.
   const auto cls = toy_class(5, 50.0, 500.0, 1e5, /*input=*/500.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const auto result =
       simulate(cfg, {job_of(cls, 0, 50.0), job_of(cls, 1, 50.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 2u);
@@ -177,7 +188,7 @@ TEST(Simulation, OrderedSerializesInputWithBlockedWait) {
   // Same two jobs under Ordered: first reads 0..5 at full bandwidth, second
   // waits 5 s then reads 5..10. No dilation; 25 node-seconds of wait.
   const auto cls = toy_class(5, 50.0, 500.0, 1e5, /*input=*/500.0);
-  const auto cfg = toy_config(cls, kOrdDaly);
+  const auto cfg = toy_config(cls, ord_daly());
   const auto result =
       simulate(cfg, {job_of(cls, 0, 50.0), job_of(cls, 1, 50.0)}, {});
   EXPECT_DOUBLE_EQ(result.accounting.total(TimeCategory::kUsefulIo),
@@ -195,7 +206,7 @@ TEST(Simulation, OrderedBlockingCheckpointWaitMeasured) {
   const auto cls_a = toy_class(5, 200.0, 500.0, 105.0);
   auto cls_b = toy_class(5, 95.0, 500.0, 1e5);
   cls_b.output_bytes = 1000.0;
-  SimulationConfig cfg = toy_config(cls_a, kOrdDaly);
+  SimulationConfig cfg = toy_config(cls_a, ord_daly());
   cfg.classes = {cls_a, cls_b};
   Job a = job_of(cls_a, 0, 200.0);
   Job b = job_of(cls_b, 1, 95.0);
@@ -218,7 +229,7 @@ TEST(Simulation, NonBlockingWaitCountsAsCompute) {
   const auto cls_a = toy_class(5, 200.0, 500.0, 105.0);
   auto cls_b = toy_class(5, 95.0, 500.0, 1e5);
   cls_b.output_bytes = 1000.0;
-  SimulationConfig cfg = toy_config(cls_a, kNbDaly);
+  SimulationConfig cfg = toy_config(cls_a, nb_daly());
   cfg.classes = {cls_a, cls_b};
   Job a = job_of(cls_a, 0, 200.0);
   Job b = job_of(cls_b, 1, 95.0);
@@ -240,7 +251,7 @@ TEST(Simulation, NbCheckpointCancelledWhenWorkFinishesFirst) {
   const auto cls_a = toy_class(5, 104.0, 500.0, 105.0);
   auto cls_b = toy_class(5, 95.0, 500.0, 1e5);
   cls_b.output_bytes = 2000.0;
-  SimulationConfig cfg = toy_config(cls_a, kNbDaly);
+  SimulationConfig cfg = toy_config(cls_a, nb_daly());
   cfg.classes = {cls_a, cls_b};
   Job a = job_of(cls_a, 0, 104.0);
   Job b = job_of(cls_b, 1, 95.0);
@@ -262,7 +273,7 @@ TEST(Simulation, FailureRestartsFromLastSnapshot) {
   // commits at [100,105] (snap 100) and [205,210] (snap 200).
   // Failure at t = 250: work_pos = 240. Restart: recovery 5 s, lost work 40 s.
   const auto cls = toy_class(10, 1000.0, 500.0, 105.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const std::vector<Failure> failures = {{250.0, 3}};
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, failures);
   EXPECT_EQ(result.counters.failures_on_jobs, 1u);
@@ -282,7 +293,7 @@ TEST(Simulation, FailureBeforeAnyCheckpointRestartsFromScratch) {
   // (counted as recovery — restart reads are resilience overhead) and redoes
   // all 50 s of work (lost).
   const auto cls = toy_class(10, 1000.0, 500.0, 105.0, /*input=*/200.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   // Input takes 2 s; failure at 52 kills the job after 50 s of work.
   const std::vector<Failure> failures = {{52.0, 0}};
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, failures);
@@ -299,7 +310,7 @@ TEST(Simulation, FailureDuringCommitInvalidatesIt) {
   // Failure at t = 102 (inside the first commit 100..105): the snapshot at
   // 100 is invalid; the job restarts from scratch.
   const auto cls = toy_class(10, 1000.0, 500.0, 105.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const std::vector<Failure> failures = {{102.0, 7}};
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, failures);
   EXPECT_EQ(result.counters.checkpoints_aborted, 1u);
@@ -319,7 +330,7 @@ TEST(Simulation, FailureDuringOutputRedoesTailFromSnapshot) {
   // Restart: recovery, redo 50 s (lost), then output again.
   const auto cls = toy_class(10, 150.0, 500.0, 105.0, /*input=*/0.0,
                              /*output=*/500.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const std::vector<Failure> failures = {{157.0, 1}};
   const auto result = simulate(cfg, {job_of(cls, 0, 150.0)}, failures);
   EXPECT_EQ(result.counters.jobs_completed, 1u);
@@ -337,7 +348,7 @@ TEST(Simulation, FailureDuringOutputRedoesTailFromSnapshot) {
 TEST(Simulation, FailureOnIdleNodeIsHarmless) {
   // q = 5 job leaves nodes free; failures on unallocated nodes do nothing.
   const auto cls = toy_class(5, 100.0, 500.0, 1e5);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   std::vector<Failure> failures;
   // The job owns 5 nodes (indices 0..4 by pool construction); strike 9.
   failures.push_back({50.0, 9});
@@ -352,7 +363,7 @@ TEST(Simulation, RepeatedFailuresEventuallyComplete) {
   // Hammer the job with failures every 30 s for a while; it must still
   // finish once the failures stop (restart-of-restart path, recovery reads).
   const auto cls = toy_class(10, 300.0, 500.0, 105.0);
-  const auto cfg = toy_config(cls, kOblDaly, /*segment_end=*/1e5);
+  const auto cfg = toy_config(cls, obl_daly(), /*segment_end=*/1e5);
   std::vector<Failure> failures;
   for (int i = 1; i <= 10; ++i) {
     failures.push_back({30.0 * i, static_cast<std::int64_t>(i % 10)});
@@ -369,7 +380,7 @@ TEST(Simulation, RestartHasHighestPriority) {
   // Platform of 10; A (q=10) running, B (q=10) pending. A fails at 50: the
   // restart of A (priority 1) must outrank B (priority 0) for the free nodes.
   const auto cls = toy_class(10, 100.0, 500.0, 1e5);
-  const auto cfg = toy_config(cls, kOblDaly, /*segment_end=*/1e4);
+  const auto cfg = toy_config(cls, obl_daly(), /*segment_end=*/1e4);
   const std::vector<Failure> failures = {{50.0, 2}};
   const auto result =
       simulate(cfg, {job_of(cls, 0, 100.0), job_of(cls, 1, 100.0)}, failures);
@@ -390,7 +401,7 @@ TEST(Simulation, RoutineIoChunksAreIssuedEvenly) {
   // (1 s each) at work positions 20, 40, 60, 80. No checkpoints (long P).
   const auto cls = toy_class(10, 100.0, 500.0, 1e5, 0.0, 0.0,
                              /*routine=*/400.0);
-  auto cfg = toy_config(cls, kOblDaly);
+  auto cfg = toy_config(cls, obl_daly());
   cfg.routine_io_chunks = 4;
   const auto result = simulate(cfg, {job_of(cls, 0, 100.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 1u);
@@ -409,7 +420,7 @@ TEST(Simulation, CheckpointDeferredDuringRoutineIo) {
   // Routine chunk at work 50 (2 chunks): occupies 50..55 (500 B).
   const auto cls = toy_class(10, 100.0, 200.0, 52.0, 0.0, 0.0,
                              /*routine=*/1000.0);
-  auto cfg = toy_config(cls, kOblDaly);
+  auto cfg = toy_config(cls, obl_daly());
   cfg.routine_io_chunks = 2;
   // Chunk positions: 100*(1/3) = 33.33, 100*(2/3) = 66.67. Request delay =
   // P - C = 50. Chunk 1 at t=33.3 (5 s), so timer at t=50 falls inside
@@ -437,7 +448,7 @@ TEST(Simulation, CheckpointDeferredDuringRoutineIo) {
 TEST(Simulation, BaselineHasNoWaste) {
   const auto cls = toy_class(5, 500.0, 500.0, 105.0, /*input=*/200.0,
                              /*output=*/300.0);
-  const auto cfg = toy_config(cls, kLw);
+  const auto cfg = toy_config(cls, lw());
   const auto result = simulate_baseline(
       cfg, {job_of(cls, 0, 500.0), job_of(cls, 1, 500.0)});
   EXPECT_DOUBLE_EQ(result.wasted, 0.0);
@@ -448,7 +459,7 @@ TEST(Simulation, BaselineHasNoWaste) {
 
 TEST(Simulation, BaselineIgnoresFailuresArgument) {
   const auto cls = toy_class(10, 100.0, 500.0, 105.0);
-  const auto cfg = toy_config(cls, kOblDaly);
+  const auto cfg = toy_config(cls, obl_daly());
   const auto result = simulate_baseline(cfg, {job_of(cls, 0, 100.0)});
   EXPECT_EQ(result.counters.failures_total, 0u);
   EXPECT_EQ(result.counters.jobs_completed, 1u);
@@ -461,7 +472,7 @@ TEST(Simulation, BaselineIgnoresFailuresArgument) {
 TEST(Simulation, SegmentClipsAccounting) {
   // Work 1000 s, segment [0, 500]: only the first half is measured.
   const auto cls = toy_class(10, 1000.0, 500.0, 1e5);
-  auto cfg = toy_config(cls, kOblDaly, /*segment_end=*/500.0);
+  auto cfg = toy_config(cls, obl_daly(), /*segment_end=*/500.0);
   const auto result = simulate(cfg, {job_of(cls, 0, 1000.0)}, {});
   EXPECT_EQ(result.counters.jobs_completed, 0u);  // still running at stop
   EXPECT_DOUBLE_EQ(result.accounting.total(TimeCategory::kUsefulCompute),
@@ -473,7 +484,7 @@ TEST(Simulation, UtilizationReflectsAllocation) {
   // One q=5 job for 100 s on a 10-node platform, segment [0, 200]:
   // utilisation = 5*100+... job ends at 100 -> (5*100)/(10*200) = 0.25.
   const auto cls = toy_class(5, 100.0, 500.0, 1e5);
-  auto cfg = toy_config(cls, kOblDaly, /*segment_end=*/200.0);
+  auto cfg = toy_config(cls, obl_daly(), /*segment_end=*/200.0);
   const auto result = simulate(cfg, {job_of(cls, 0, 100.0)}, {});
   EXPECT_NEAR(result.avg_utilization, 0.25, 1e-9);
 }

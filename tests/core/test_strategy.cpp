@@ -1,9 +1,11 @@
-// Unit tests for the strategy registry.
+// Unit tests for the composable strategy API: paper compositions, naming,
+// name round-tripping through the registry, and registry extensibility.
 
 #include "core/strategy.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "util/error.hpp"
@@ -30,48 +32,132 @@ TEST(Strategy, NamesAreUnique) {
 }
 
 TEST(Strategy, NonBlockingClassification) {
-  EXPECT_FALSE((Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly})
-                   .non_blocking_wait());
-  EXPECT_FALSE((Strategy{IoMode::kOrdered, CheckpointPolicy::kDaly})
-                   .non_blocking_wait());
-  EXPECT_TRUE((Strategy{IoMode::kOrderedNb, CheckpointPolicy::kDaly})
-                  .non_blocking_wait());
-  EXPECT_TRUE((Strategy{IoMode::kLeastWaste, CheckpointPolicy::kDaly})
-                  .non_blocking_wait());
+  EXPECT_FALSE(oblivious_daly().non_blocking_wait());
+  EXPECT_FALSE(ordered_daly().non_blocking_wait());
+  EXPECT_TRUE(ordered_nb_daly().non_blocking_wait());
+  EXPECT_TRUE(least_waste().non_blocking_wait());
 }
 
 TEST(Strategy, SerializedClassification) {
-  EXPECT_FALSE(
-      (Strategy{IoMode::kOblivious, CheckpointPolicy::kDaly}).serialized());
-  EXPECT_TRUE(
-      (Strategy{IoMode::kOrdered, CheckpointPolicy::kDaly}).serialized());
-  EXPECT_TRUE(
-      (Strategy{IoMode::kOrderedNb, CheckpointPolicy::kFixed}).serialized());
-  EXPECT_TRUE(
-      (Strategy{IoMode::kLeastWaste, CheckpointPolicy::kDaly}).serialized());
+  EXPECT_FALSE(oblivious_daly().serialized());
+  EXPECT_TRUE(ordered_daly().serialized());
+  EXPECT_TRUE(ordered_nb_fixed().serialized());
+  EXPECT_TRUE(least_waste().serialized());
 }
 
-TEST(Strategy, LeastWasteNameIgnoresPolicy) {
-  EXPECT_EQ((Strategy{IoMode::kLeastWaste, CheckpointPolicy::kFixed}.name()),
-            "Least-Waste");
-}
-
-TEST(Strategy, RoundTripFromName) {
+TEST(Strategy, PaperOffsetsFollowSection35) {
+  // Least-Waste issues requests a full period after the previous commit
+  // (§3.5 candidate definition); everything else uses P - C (§2).
+  EXPECT_EQ(least_waste().offset().name(), "full-period");
   for (const auto& s : paper_strategies()) {
-    const Strategy parsed = strategy_from_name(s.name());
-    EXPECT_EQ(parsed, s) << s.name();
+    if (s.name() == "Least-Waste") continue;
+    EXPECT_EQ(s.offset().name(), "P-minus-C") << s.name();
   }
 }
 
-TEST(Strategy, FromNameRejectsUnknown) {
-  EXPECT_THROW(strategy_from_name("Magic"), Error);
+TEST(Strategy, DefaultSpecIsObliviousDaly) {
+  const StrategySpec spec;
+  EXPECT_EQ(spec.name(), "Oblivious-Daly");
+  EXPECT_TRUE(spec == oblivious_daly());
 }
 
-TEST(Strategy, ToStringHelpers) {
-  EXPECT_EQ(to_string(IoMode::kOblivious), "Oblivious");
-  EXPECT_EQ(to_string(IoMode::kOrderedNb), "Ordered-NB");
-  EXPECT_EQ(to_string(CheckpointPolicy::kFixed), "Fixed");
-  EXPECT_EQ(to_string(CheckpointPolicy::kDaly), "Daly");
+TEST(Strategy, ParameterisedCompositionsDoNotAliasDefaults) {
+  // A non-default fixed period and the non-paper Least-Waste variant carry
+  // their parameters in the composition names, so they compare unequal to
+  // the paper defaults instead of silently aliasing them.
+  EXPECT_FALSE(oblivious_fixed(200.0) == oblivious_fixed());
+  EXPECT_EQ(oblivious_fixed(200.0).name(), "Oblivious-Fixed@200s");
+  EXPECT_FALSE(least_waste(LeastWasteVariant::kMarginal) == least_waste());
+  EXPECT_EQ(least_waste(LeastWasteVariant::kMarginal).name(),
+            "Least-Waste:marginal");
+}
+
+TEST(Strategy, DisplayNameOverride) {
+  EXPECT_EQ(least_waste().name(), "Least-Waste");
+  const StrategySpec renamed = ordered_nb_daly().named("chassis");
+  EXPECT_EQ(renamed.name(), "chassis");
+  EXPECT_EQ(renamed.coordination().name(), "Ordered-NB");
+}
+
+// --- round-tripping ---------------------------------------------------------
+
+TEST(Strategy, EveryRegisteredStrategyRoundTripsByName) {
+  const auto names = strategy_registry().names();
+  EXPECT_GE(names.size(), 7u);
+  for (const std::string& name : names) {
+    const StrategySpec s = strategy_registry().make(name);
+    const StrategySpec parsed = strategy_from_name(s.name());
+    EXPECT_TRUE(parsed == s) << name;
+    EXPECT_EQ(parsed.name(), s.name()) << name;
+  }
+}
+
+TEST(Strategy, PaperStrategiesRoundTrip) {
+  for (const auto& s : paper_strategies()) {
+    const StrategySpec parsed = strategy_from_name(s.name());
+    EXPECT_TRUE(parsed == s) << s.name();
+  }
+}
+
+TEST(Strategy, NonCanonicalNbAliasesResolve) {
+  EXPECT_TRUE(strategy_from_name("OrderedNB-Fixed") == ordered_nb_fixed());
+  EXPECT_TRUE(strategy_from_name("OrderedNB-Daly") == ordered_nb_daly());
+}
+
+TEST(Strategy, CompositionalFallbackUsesAxisRegistries) {
+  // "Smallest-First-Daly" is not a registered *strategy*, but both axis
+  // names are registered, so the compositional fallback assembles it.
+  const StrategySpec s = strategy_from_name("Smallest-First-Daly");
+  EXPECT_EQ(s.coordination().name(), "Smallest-First");
+  EXPECT_EQ(s.period().name(), "Daly");
+  EXPECT_EQ(s.offset().name(), "P-minus-C");
+  EXPECT_TRUE(s.serialized());
+}
+
+TEST(Strategy, UnknownNameThrows) {
+  EXPECT_THROW(strategy_from_name("Magic"), Error);
+  EXPECT_THROW(strategy_from_name("Magic-Daly"), Error);
+  EXPECT_THROW(strategy_from_name("Oblivious-Magic"), Error);
+}
+
+// --- registry extensibility -------------------------------------------------
+
+TEST(StrategyRegistryTest, RegisteredCustomStrategyIsReachableByName) {
+  ASSERT_FALSE(strategy_registry().contains("Test-Custom"));
+  strategy_registry().add(
+      StrategySpec{smallest_first_coordination(), daly_period(),
+                   full_period_offset(), "Test-Custom"});
+  ASSERT_TRUE(strategy_registry().contains("Test-Custom"));
+  const StrategySpec s = strategy_from_name("Test-Custom");
+  EXPECT_EQ(s.name(), "Test-Custom");
+  EXPECT_EQ(s.coordination().name(), "Smallest-First");
+  EXPECT_EQ(s.offset().name(), "full-period");
+}
+
+TEST(StrategyRegistryTest, CustomCoordinationPolicyComposesByName) {
+  // A brand-new serialized coordination policy, registered on its axis,
+  // becomes reachable through the compositional name fallback with no edits
+  // to core/strategy.*.
+  class YoungestFirst final : public TokenPolicy {
+   public:
+    std::size_t select(const std::vector<PendingEntry>& pending,
+                       sim::Time) override {
+      return pending.size() - 1;  // newest request (arrival-ordered queue)
+    }
+    std::string name() const override { return "test-youngest"; }
+  };
+  const auto custom = std::make_shared<const SerialCoordination>(
+      "Test-Youngest", /*non_blocking_wait=*/true,
+      [](const TokenPolicyContext&) {
+        return std::make_unique<YoungestFirst>();
+      });
+  coordination_registry().add(custom);
+  const StrategySpec s = strategy_from_name("Test-Youngest-Daly");
+  EXPECT_EQ(s.coordination().name(), "Test-Youngest");
+  EXPECT_TRUE(s.non_blocking_wait());
+  const auto token = s.coordination().make_token_policy({});
+  ASSERT_NE(token, nullptr);
+  EXPECT_EQ(token->name(), "test-youngest");
 }
 
 }  // namespace

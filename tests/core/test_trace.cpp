@@ -63,7 +63,7 @@ TEST(Trace, RecordsLifecycleInOrder) {
   SimulationConfig cfg;
   cfg.platform = toy_platform();
   cfg.classes = {cls};
-  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.strategy = oblivious_daly();
   cfg.segment_start = 0.0;
   cfg.segment_end = 1e5;
   cfg.horizon = 1e5;
@@ -94,7 +94,7 @@ TEST(Trace, FailureAndRestartAreRecorded) {
   SimulationConfig cfg;
   cfg.platform = toy_platform();
   cfg.classes = {cls};
-  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.strategy = oblivious_daly();
   cfg.segment_start = 0.0;
   cfg.segment_end = 1e5;
   cfg.horizon = 1e5;
@@ -152,7 +152,7 @@ TEST(Trace, GanttRendersStates) {
   SimulationConfig cfg;
   cfg.platform = toy_platform();
   cfg.classes = {cls};
-  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.strategy = oblivious_daly();
   cfg.segment_start = 0.0;
   cfg.segment_end = 1e5;
   cfg.horizon = 1e5;
@@ -171,7 +171,7 @@ TEST(Trace, GanttShowsFailure) {
   SimulationConfig cfg;
   cfg.platform = toy_platform();
   cfg.classes = {cls};
-  cfg.strategy = {IoMode::kOblivious, CheckpointPolicy::kDaly};
+  cfg.strategy = oblivious_daly();
   cfg.segment_start = 0.0;
   cfg.segment_end = 1e5;
   cfg.horizon = 1e5;
