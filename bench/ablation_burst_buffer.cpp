@@ -130,27 +130,28 @@ int main() {
             << "Checkpoint working set: " << ws / units::kTB << " TB over "
             << load.size() << " steady-state jobs\n\n";
 
-  std::vector<bench::FigureRow> rows;
+  std::vector<exp::FigureRow> rows;
   const double direct = run_direct(load, horizon);
   Candlestick d;
   d.mean = d.d1 = d.q1 = d.median = d.q3 = d.d9 = direct;
-  rows.push_back(bench::FigureRow{0.0, "direct PFS (40 GB/s)", d});
+  rows.push_back(exp::FigureRow{0.0, "direct PFS (40 GB/s)", d});
 
   for (const double factor : {0.5, 1.0, 2.0, 4.0}) {
     const double latency = run_with_buffer(load, factor * ws, horizon);
     Candlestick c;
     c.mean = c.d1 = c.q1 = c.median = c.q3 = c.d9 = latency;
-    rows.push_back(bench::FigureRow{
+    rows.push_back(exp::FigureRow{
         factor,
         "burst buffer 400 GB/s, cap=" + TablePrinter::fmt(factor, 1) +
             "x working set",
         c});
   }
 
-  bench::emit_figure(
+  exp::Figure fig{
       "ablation_burst_buffer",
       "Ablation A4: mean checkpoint commit latency (s)\n"
       "APEX steady-state checkpoint pressure; Daly periods",
-      "capacity factor", rows, "commit latency (s)");
+      "capacity factor", "commit latency (s)", rows};
+  fig.render(std::cout);
   return 0;
 }

@@ -7,7 +7,9 @@
 //  * waste formula: Eq. (1)/(2) exactly as printed (the whole bracket scaled
 //    by the grant duration) versus the itemised "marginal" derivation.
 //
-// 2 x 2 grid at the stressed operating point.
+// 2 x 2 grid at the stressed operating point, expressed as a single-point
+// ExperimentSpec whose strategy set carries the four Least-Waste
+// compositions (pure StrategySpec composition, no simulation-config knobs).
 
 #include <iostream>
 
@@ -17,43 +19,42 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/20);
-  // Each case is a Least-Waste composition with an explicit request-offset
-  // policy and waste-formula variant — the 2x2 grid is pure StrategySpec
-  // composition, no simulation-config knobs involved.
-  struct Case {
-    const char* name;
-    std::shared_ptr<const RequestOffsetPolicy> offset;
-    LeastWasteVariant variant;
-  };
-  const std::vector<Case> cases = {
-      {"P-offset, Eq.(1)/(2)", full_period_offset(),
-       LeastWasteVariant::kPaperEq12},
-      {"P-offset, marginal", full_period_offset(),
-       LeastWasteVariant::kMarginal},
-      {"(P-C)-offset, Eq.(1)/(2)", period_minus_commit_offset(),
-       LeastWasteVariant::kPaperEq12},
-      {"(P-C)-offset, marginal", period_minus_commit_offset(),
-       LeastWasteVariant::kMarginal},
+  const std::vector<Strategy> cases = {
+      StrategySpec{least_waste_coordination(LeastWasteVariant::kPaperEq12),
+                   daly_period(), full_period_offset(),
+                   "P-offset, Eq.(1)/(2)"},
+      StrategySpec{least_waste_coordination(LeastWasteVariant::kMarginal),
+                   daly_period(), full_period_offset(), "P-offset, marginal"},
+      StrategySpec{least_waste_coordination(LeastWasteVariant::kPaperEq12),
+                   daly_period(), period_minus_commit_offset(),
+                   "(P-C)-offset, Eq.(1)/(2)"},
+      StrategySpec{least_waste_coordination(LeastWasteVariant::kMarginal),
+                   daly_period(), period_minus_commit_offset(),
+                   "(P-C)-offset, marginal"},
   };
 
-  std::vector<bench::FigureRow> rows;
-  int index = 0;
-  for (const auto& c : cases) {
-    const auto scenario =
-        bench::cielo_scenario(units::gb_per_s(40), units::years(2));
-    const StrategySpec lw{least_waste_coordination(c.variant), daly_period(),
-                          c.offset, "Least-Waste"};
-    const auto report = run_monte_carlo(scenario, {lw}, options);
-    rows.push_back(bench::FigureRow{static_cast<double>(index++), c.name,
-                                    report.outcomes[0].waste_ratio
-                                        .candlestick()});
-    std::cerr << "[ablation A3] " << c.name << " done\n";
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2)),
+                           "ablation_candidate_rule");
+  spec.strategies(cases).options(options);
+
+  exp::SweepRunner runner(options.threads);
+  const exp::ExperimentReport report = runner.run(spec);
+
+  const std::vector<exp::FigureRow> rows = report.case_rows();
+  for (const auto& row : rows) {
+    std::cerr << "[ablation A3] " << row.series << " done\n";
   }
 
-  bench::emit_figure(
+  exp::Figure fig{
       "ablation_candidate_rule",
       "Ablation A3: Least-Waste request offset and waste-formula variant\n"
       "(Cielo, 40 GB/s, node MTBF 2 y; row 0 is the paper configuration)",
-      "case #", rows);
+      "case #", "waste ratio", rows};
+  fig.render(std::cout);
+  if (const auto path = report.emit_json()) {
+    std::cout << "[json] wrote " << *path << "\n";
+  }
   return 0;
 }

@@ -4,7 +4,8 @@
 // Compares the paper's linear proportional-sharing model against the
 // adversarial kDegrading model (aggregate bandwidth shrinks by
 // 1/(1 + alpha (k-1)) with k concurrent flows) at the Figure 2 operating
-// point (Cielo, 40 GB/s, node MTBF 2 y).
+// point (Cielo, 40 GB/s, node MTBF 2 y). One ExperimentSpec with an
+// interference axis, run grid-parallel.
 //
 // Expected shape: strategies that serialise I/O (Ordered*, Least-Waste) are
 // insensitive to alpha — they never run concurrent flows — while Oblivious
@@ -18,28 +19,30 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
-  const std::vector<double> alphas = {0.0, 0.25, 1.0};
 
-  std::vector<bench::FigureRow> rows;
-  for (const double alpha : alphas) {
-    auto scenario =
-        bench::cielo_scenario(units::gb_per_s(40), units::years(2));
-    scenario.simulation.interference =
-        alpha == 0.0 ? InterferenceModel::kLinear
-                     : InterferenceModel::kDegrading;
-    scenario.simulation.degradation_alpha = alpha;
-    const auto report = run_monte_carlo(scenario, paper_strategies(), options);
-    for (const auto& outcome : report.outcomes) {
-      rows.push_back(bench::FigureRow{alpha, outcome.strategy.name(),
-                                      outcome.waste_ratio.candlestick()});
-    }
-    std::cerr << "[ablation A1] alpha=" << alpha << " done\n";
-  }
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2)),
+                           "ablation_interference");
+  spec.interference_axis({0.0, 0.25, 1.0})
+      .strategies(paper_strategies())
+      .options(options);
 
-  bench::emit_figure(
+  exp::SweepRunner runner(options.threads);
+  runner.on_point([](const exp::GridPoint& point, const MonteCarloReport&) {
+    std::cerr << "[ablation A1] alpha=" << point.coords[0].value << " done\n";
+  });
+  const exp::ExperimentReport report = runner.run(spec);
+
+  exp::Figure fig{
       "ablation_interference",
       "Ablation A1: linear vs adversarial interference (Cielo, 40 GB/s, "
       "node MTBF 2 y)\nalpha = 0 is the paper's linear model",
-      "degradation alpha", rows);
+      "degradation alpha", "waste ratio",
+      report.figure_rows(exp::Metric::kWasteRatio, "interference_alpha")};
+  fig.render(std::cout);
+  if (const auto path = report.emit_json()) {
+    std::cout << "[json] wrote " << *path << "\n";
+  }
   return 0;
 }

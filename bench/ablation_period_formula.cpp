@@ -66,12 +66,10 @@ int main() {
                "strategies can undercut\nthe Eq. (7) bound at the stressed "
                "end of Figure 2 (see EXPERIMENTS.md).\n";
 
-  if (const auto dir = CsvWriter::env_output_dir()) {
-    CsvWriter csv(*dir + "/ablation_period_formula.csv");
-    csv.write_row({"bandwidth_gbps", "class", "c_over_mu", "p_young",
-                   "p_daly", "p_exact", "h_young", "h_daly", "h_exact",
-                   "eq3_at_young"});
-    for (const auto& row : csv_rows) csv.write_row(row);
-  }
+  exp::emit_table_csv("ablation_period_formula",
+                      {"bandwidth_gbps", "class", "c_over_mu", "p_young",
+                       "p_daly", "p_exact", "h_young", "h_daly", "h_exact",
+                       "eq3_at_young"},
+                      csv_rows);
   return 0;
 }

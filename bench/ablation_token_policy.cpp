@@ -5,6 +5,10 @@
 // Daly periods — i.e. the Ordered-NB-Daly chassis) and swaps only the token
 // policy: FCFS, Random, Smallest-First, Least-Waste. Run at the stressed
 // Figure 2 operating point where policy choice matters most.
+//
+// The survey is a single-point ExperimentSpec whose *strategy set* carries
+// the four chassis compositions — paired by construction, since every
+// strategy of a campaign shares each replica's initial conditions.
 
 #include <iostream>
 
@@ -18,35 +22,39 @@ int main() {
   // (P - C) request offset; only the token arbiter changes per case. Each
   // case is a StrategySpec composed from a coordination policy — exactly how
   // downstream code defines custom strategies.
-  struct Case {
-    const char* name;
-    std::shared_ptr<const IoCoordinationPolicy> coordination;
-  };
-  const std::vector<Case> cases = {
-      {"fcfs", ordered_nb_coordination()},
-      {"random", random_coordination()},
-      {"smallest-first", smallest_first_coordination()},
-      {"least-waste", least_waste_coordination()},
+  const std::vector<Strategy> cases = {
+      StrategySpec{ordered_nb_coordination(), daly_period(),
+                   period_minus_commit_offset(), "fcfs"},
+      StrategySpec{random_coordination(), daly_period(),
+                   period_minus_commit_offset(), "random"},
+      StrategySpec{smallest_first_coordination(), daly_period(),
+                   period_minus_commit_offset(), "smallest-first"},
+      StrategySpec{least_waste_coordination(), daly_period(),
+                   period_minus_commit_offset(), "least-waste"},
   };
 
-  std::vector<bench::FigureRow> rows;
-  int index = 0;
-  for (const auto& c : cases) {
-    const auto scenario =
-        bench::cielo_scenario(units::gb_per_s(40), units::years(2));
-    const StrategySpec chassis{c.coordination, daly_period(),
-                               period_minus_commit_offset()};
-    const auto report = run_monte_carlo(scenario, {chassis}, options);
-    rows.push_back(bench::FigureRow{static_cast<double>(index++), c.name,
-                                    report.outcomes[0].waste_ratio
-                                        .candlestick()});
-    std::cerr << "[ablation A2] " << c.name << " done\n";
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2)),
+                           "ablation_token_policy");
+  spec.strategies(cases).options(options);
+
+  exp::SweepRunner runner(options.threads);
+  const exp::ExperimentReport report = runner.run(spec);
+
+  const std::vector<exp::FigureRow> rows = report.case_rows();
+  for (const auto& row : rows) {
+    std::cerr << "[ablation A2] " << row.series << " done\n";
   }
 
-  bench::emit_figure(
+  exp::Figure fig{
       "ablation_token_policy",
       "Ablation A2: token policy on the Ordered-NB-Daly chassis\n"
       "(Cielo, 40 GB/s, node MTBF 2 y)",
-      "case #", rows);
+      "case #", "waste ratio", rows};
+  fig.render(std::cout);
+  if (const auto path = report.emit_json()) {
+    std::cout << "[json] wrote " << *path << "\n";
+  }
   return 0;
 }

@@ -1,17 +1,14 @@
 // bench/bench_util.hpp
 //
-// Shared plumbing for the figure benches: candlestick-row printing in the
-// paper's format, CSV dumping keyed on COOPCR_CSV_DIR, and the standard
-// Cielo/APEX scenario builder.
+// Shared plumbing for the figure benches, now reduced to the two scenario
+// presets: sweep expansion, grid-parallel execution and all presentation
+// (candlestick tables, CSV/JSON artifacts, ascii plots) live in the exp
+// layer (exp/experiment.hpp, exp/sweep_runner.hpp, exp/report.hpp) behind
+// the coopcr.hpp facade.
 
 #pragma once
 
-#include <cstdlib>
-#include <iostream>
-#include <map>
-#include <optional>
-#include <string>
-#include <vector>
+#include <cstdint>
 
 #include "coopcr.hpp"
 
@@ -37,79 +34,6 @@ inline ScenarioConfig prospective_scenario(double bandwidth_bytes_s,
       .pfs_bandwidth(bandwidth_bytes_s)
       .node_mtbf(node_mtbf_seconds)
       .build();
-}
-
-/// One (x, strategy) data point of a figure.
-struct FigureRow {
-  double x = 0.0;
-  std::string series;
-  Candlestick stats;
-};
-
-/// Print a figure's data in the paper's candlestick format and optionally
-/// dump it as CSV (one row per point; COOPCR_CSV_DIR).
-inline void emit_figure(const std::string& figure_id, const std::string& title,
-                        const std::string& x_label,
-                        const std::vector<FigureRow>& rows,
-                        const std::string& y_label = "waste ratio") {
-  std::cout << title << "\n\n";
-  TablePrinter table({x_label, "series", y_label + " (mean)", "d1", "q1",
-                      "median", "q3", "d9", "n"});
-  for (const auto& row : rows) {
-    table.add_row({TablePrinter::fmt(row.x, 1), row.series,
-                   TablePrinter::fmt(row.stats.mean, 4),
-                   TablePrinter::fmt(row.stats.d1, 4),
-                   TablePrinter::fmt(row.stats.q1, 4),
-                   TablePrinter::fmt(row.stats.median, 4),
-                   TablePrinter::fmt(row.stats.q3, 4),
-                   TablePrinter::fmt(row.stats.d9, 4),
-                   std::to_string(row.stats.n)});
-  }
-  table.print(std::cout);
-  if (const auto dir = CsvWriter::env_output_dir()) {
-    CsvWriter csv(*dir + "/" + figure_id + ".csv");
-    csv.write_row({x_label, "series", "mean", "d1", "q1", "median", "q3",
-                   "d9", "n"});
-    for (const auto& row : rows) {
-      csv.write_row({TablePrinter::fmt(row.x, 6), row.series,
-                     TablePrinter::fmt(row.stats.mean, 6),
-                     TablePrinter::fmt(row.stats.d1, 6),
-                     TablePrinter::fmt(row.stats.q1, 6),
-                     TablePrinter::fmt(row.stats.median, 6),
-                     TablePrinter::fmt(row.stats.q3, 6),
-                     TablePrinter::fmt(row.stats.d9, 6),
-                     std::to_string(row.stats.n)});
-    }
-    std::cout << "\n[csv] wrote " << *dir << "/" << figure_id << ".csv\n";
-  }
-  // Optional terminal plot of the mean curves (COOPCR_PLOT=1).
-  const char* plot = std::getenv("COOPCR_PLOT");
-  if (plot != nullptr && *plot == '1') {
-    std::map<std::string, std::vector<std::pair<double, double>>> by_series;
-    for (const auto& row : rows) {
-      by_series[row.series].emplace_back(row.x, row.stats.mean);
-    }
-    AsciiChart chart(72, 20);
-    const std::string markers = "*o+x#@%$&";
-    std::size_t i = 0;
-    for (const auto& [name, points] : by_series) {
-      chart.add_series(name, points, markers[i % markers.size()]);
-      ++i;
-    }
-    std::cout << "\n" << chart.render();
-  }
-}
-
-/// CSV-only variant used by the benches (keeps emit obvious at call sites).
-inline void dump_csv(const std::string& figure_id,
-                     const std::vector<std::string>& header,
-                     const std::vector<std::vector<std::string>>& rows) {
-  const auto dir = CsvWriter::env_output_dir();
-  if (!dir) return;
-  CsvWriter csv(*dir + "/" + figure_id + ".csv");
-  csv.write_row(header);
-  for (const auto& row : rows) csv.write_row(row);
-  std::cout << "\n[csv] wrote " << *dir << "/" << figure_id << ".csv\n";
 }
 
 }  // namespace coopcr::bench

@@ -6,9 +6,12 @@
 // bandwidth swept over 40..160 GB/s. One series per strategy plus the
 // Theorem 1 theoretical model.
 //
-// The paper runs >= 1000 Monte Carlo replicas per point; this bench defaults
-// to a CI-friendly count — set COOPCR_REPLICAS (and COOPCR_THREADS) to
-// reproduce the paper's statistics, and COOPCR_CSV_DIR to dump the series.
+// The sweep is one ExperimentSpec: a bandwidth axis over the cielo_apex
+// base, the seven paper strategies per point, grid-parallel on the shared
+// SweepRunner pool. The paper runs >= 1000 Monte Carlo replicas per point;
+// this bench defaults to a CI-friendly count — set COOPCR_REPLICAS (and
+// COOPCR_THREADS) to reproduce the paper's statistics, and COOPCR_CSV_DIR to
+// dump the series (legacy figure CSV + structured JSON).
 
 #include <iostream>
 
@@ -18,34 +21,46 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
-  const std::vector<double> bandwidths_gbps = {40, 60, 80, 100, 120, 140, 160};
-  const double node_mtbf = units::years(2);
 
-  std::vector<bench::FigureRow> rows;
-  for (const double gbps : bandwidths_gbps) {
-    const auto scenario =
-        bench::cielo_scenario(units::gb_per_s(gbps), node_mtbf);
-    const auto report =
-        run_monte_carlo(scenario, paper_strategies(), options);
-    for (const auto& outcome : report.outcomes) {
-      rows.push_back(bench::FigureRow{gbps, outcome.strategy.name(),
-                                      outcome.waste_ratio.candlestick()});
+  exp::ExperimentSpec spec(
+      ScenarioBuilder::cielo_apex().node_mtbf(units::years(2)),
+      "fig1_bandwidth_sweep");
+  spec.pfs_bandwidth_axis({40, 60, 80, 100, 120, 140, 160})
+      .strategies(paper_strategies())
+      .options(options);
+
+  exp::SweepRunner runner(options.threads);
+  runner.on_point([&](const exp::GridPoint& point, const MonteCarloReport&) {
+    std::cerr << "[fig1] " << point.coords[0].value << " GB/s done ("
+              << options.replicas << " replicas)\n";
+  });
+  const exp::ExperimentReport report = runner.run(spec);
+
+  std::vector<exp::FigureRow> rows;
+  for (const auto& pr : report.points) {
+    const double gbps = pr.point.coord("pfs_bandwidth_gbps").value;
+    for (const auto& outcome : pr.report.outcomes) {
+      rows.push_back(exp::FigureRow{gbps, outcome.strategy.name(),
+                                    outcome.waste_ratio.candlestick()});
     }
     // Theoretical model (Theorem 1) at this bandwidth.
     Candlestick model;
     model.mean = model.d1 = model.q1 = model.median = model.q3 = model.d9 =
-        lower_bound_waste(scenario.platform, scenario.applications,
-                          scenario.platform.pfs_bandwidth);
+        lower_bound_waste(pr.point.scenario.platform,
+                          pr.point.scenario.applications,
+                          pr.point.scenario.platform.pfs_bandwidth);
     model.n = 0;
-    rows.push_back(bench::FigureRow{gbps, "Theoretical Model", model});
-    std::cerr << "[fig1] " << gbps << " GB/s done (" << options.replicas
-              << " replicas)\n";
+    rows.push_back(exp::FigureRow{gbps, "Theoretical Model", model});
   }
 
-  bench::emit_figure(
+  exp::Figure fig{
       "fig1_bandwidth_sweep",
       "Figure 1: waste ratio vs system aggregated bandwidth\n"
       "System: Cielo; Node MTBF: 2 years; workload: LANL APEX (Table 1)",
-      "bandwidth (GB/s)", rows);
+      "bandwidth (GB/s)", "waste ratio", rows};
+  fig.render(std::cout);
+  if (const auto path = report.emit_json()) {
+    std::cout << "[json] wrote " << *path << "\n";
+  }
   return 0;
 }

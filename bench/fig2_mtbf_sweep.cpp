@@ -3,7 +3,8 @@
 // Cielo." (§6.1)
 //
 // Setting: Cielo at a fixed, scarce 40 GB/s aggregated bandwidth; node MTBF
-// swept from 2 years (system MTBF ~1 h) to 50 years (~24 h).
+// swept from 2 years (system MTBF ~1 h) to 50 years (~24 h). One
+// ExperimentSpec with an MTBF axis, run grid-parallel.
 //
 // COOPCR_REPLICAS / COOPCR_THREADS / COOPCR_CSV_DIR honoured as in fig1.
 
@@ -15,33 +16,45 @@ using namespace coopcr;
 
 int main() {
   const auto options = MonteCarloOptions::from_env(/*default_replicas=*/10);
-  const std::vector<double> mtbf_years = {2, 4, 8, 16, 25, 50};
   const double bandwidth = units::gb_per_s(40);
 
-  std::vector<bench::FigureRow> rows;
-  for (const double years : mtbf_years) {
-    const auto scenario =
-        bench::cielo_scenario(bandwidth, units::years(years));
-    const auto report =
-        run_monte_carlo(scenario, paper_strategies(), options);
-    for (const auto& outcome : report.outcomes) {
-      rows.push_back(bench::FigureRow{years, outcome.strategy.name(),
-                                      outcome.waste_ratio.candlestick()});
+  exp::ExperimentSpec spec(
+      ScenarioBuilder::cielo_apex().pfs_bandwidth(bandwidth),
+      "fig2_mtbf_sweep");
+  spec.node_mtbf_axis({2, 4, 8, 16, 25, 50})
+      .strategies(paper_strategies())
+      .options(options);
+
+  exp::SweepRunner runner(options.threads);
+  runner.on_point([&](const exp::GridPoint& point, const MonteCarloReport&) {
+    std::cerr << "[fig2] node MTBF " << point.coords[0].value << " y done ("
+              << options.replicas << " replicas)\n";
+  });
+  const exp::ExperimentReport report = runner.run(spec);
+
+  std::vector<exp::FigureRow> rows;
+  for (const auto& pr : report.points) {
+    const double years = pr.point.coord("node_mtbf_years").value;
+    for (const auto& outcome : pr.report.outcomes) {
+      rows.push_back(exp::FigureRow{years, outcome.strategy.name(),
+                                    outcome.waste_ratio.candlestick()});
     }
     Candlestick model;
     model.mean = model.d1 = model.q1 = model.median = model.q3 = model.d9 =
-        lower_bound_waste(scenario.platform, scenario.applications,
-                          bandwidth);
+        lower_bound_waste(pr.point.scenario.platform,
+                          pr.point.scenario.applications, bandwidth);
     model.n = 0;
-    rows.push_back(bench::FigureRow{years, "Theoretical Model", model});
-    std::cerr << "[fig2] node MTBF " << years << " y done ("
-              << options.replicas << " replicas)\n";
+    rows.push_back(exp::FigureRow{years, "Theoretical Model", model});
   }
 
-  bench::emit_figure(
+  exp::Figure fig{
       "fig2_mtbf_sweep",
       "Figure 2: waste ratio vs node MTBF\n"
       "System: Cielo; aggregated bandwidth: 40 GB/s; workload: LANL APEX",
-      "node MTBF (years)", rows);
+      "node MTBF (years)", "waste ratio", rows};
+  fig.render(std::cout);
+  if (const auto path = report.emit_json()) {
+    std::cout << "[json] wrote " << *path << "\n";
+  }
   return 0;
 }

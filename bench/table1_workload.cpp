@@ -64,23 +64,27 @@ int main() {
             << "Lower-bound platform waste (Eq. 7): "
             << TablePrinter::fmt(bound.waste, 4) << "\n";
 
-  if (const auto dir = CsvWriter::env_output_dir()) {
-    CsvWriter csv(*dir + "/table1_workload.csv");
-    csv.write_row({"workflow", "workload_pct", "work_h", "cores", "input_pct",
-                   "output_pct", "ckpt_pct", "nodes", "footprint_tb",
-                   "ckpt_tb", "ckpt_s", "mtbf_h", "daly_s"});
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-      const auto& a = apps[i];
-      const auto& c = classes[i];
-      csv.write_row(a.name,
-                    {a.workload_share * 100, a.work_seconds / units::kHour,
-                     static_cast<double>(a.cores), a.input_fraction * 100,
-                     a.output_fraction * 100, a.checkpoint_fraction * 100,
-                     static_cast<double>(c.nodes),
-                     c.footprint_bytes / units::kTB,
-                     c.checkpoint_bytes / units::kTB, c.checkpoint_seconds,
-                     c.mtbf / units::kHour, c.daly_period});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& a = apps[i];
+    const auto& c = classes[i];
+    std::vector<std::string> row = {a.name};
+    for (const double v :
+         {a.workload_share * 100, a.work_seconds / units::kHour,
+          static_cast<double>(a.cores), a.input_fraction * 100,
+          a.output_fraction * 100, a.checkpoint_fraction * 100,
+          static_cast<double>(c.nodes), c.footprint_bytes / units::kTB,
+          c.checkpoint_bytes / units::kTB, c.checkpoint_seconds,
+          c.mtbf / units::kHour, c.daly_period}) {
+      row.push_back(format_number(v, 8));
     }
+    csv_rows.push_back(std::move(row));
   }
+  exp::emit_table_csv("table1_workload",
+                      {"workflow", "workload_pct", "work_h", "cores",
+                       "input_pct", "output_pct", "ckpt_pct", "nodes",
+                       "footprint_tb", "ckpt_tb", "ckpt_s", "mtbf_h",
+                       "daly_s"},
+                      csv_rows);
   return 0;
 }

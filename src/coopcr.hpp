@@ -35,6 +35,12 @@
 #include "core/strategy.hpp"
 #include "core/trace.hpp"
 
+// Experiments: declarative sweep specs, grid-level parallel runner,
+// structured CSV/JSON reports and figure presentation.
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep_runner.hpp"
+
 // I/O subsystem: channel, requests, token policies.
 #include "io/channel.hpp"
 #include "io/io_subsystem.hpp"
@@ -57,4 +63,5 @@
 #include "util/numeric.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"

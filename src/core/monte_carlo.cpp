@@ -1,68 +1,36 @@
 #include "core/monte_carlo.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <exception>
+#include <climits>
 #include <cstdlib>
 #include <thread>
 
 #include "platform/failure_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace coopcr {
 
 namespace {
 
-int env_int(const char* name, int fallback) {
+/// Strict integer parse of an environment variable: the whole value must be
+/// a base-10 integer in [min_value, INT_MAX]. Unset/empty falls back.
+int env_int_strict(const char* name, int fallback, int min_value) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
-  const int parsed = std::atoi(value);
-  return parsed > 0 ? parsed : fallback;
-}
-
-/// Everything one replica produces, kept per-replica so reduction order is
-/// deterministic regardless of thread scheduling.
-struct ReplicaOutput {
-  double baseline_useful = 0.0;
-  std::vector<SimulationResult> per_strategy;
-  std::vector<double> waste_ratio;
-  std::vector<double> efficiency;
-};
-
-ReplicaOutput run_one_replica(const ScenarioConfig& scenario,
-                              const std::vector<Strategy>& strategies,
-                              std::uint64_t replica, bool keep_results) {
-  Rng rng = Rng::stream(scenario.seed, replica);
-  WorkloadGenerator generator(scenario.simulation.classes, scenario.platform,
-                              scenario.workload);
-  const std::vector<Job> jobs = generator.generate(rng);
-  const sim::Time stop = std::min(scenario.simulation.horizon,
-                                  scenario.simulation.segment_end);
-  const std::vector<Failure> failures =
-      scenario.failures.generate(scenario.platform, stop, rng);
-
-  ReplicaOutput out;
-  const SimulationResult baseline =
-      simulate_baseline(scenario.simulation, jobs);
-  out.baseline_useful = baseline.useful;
-  COOPCR_CHECK(out.baseline_useful > 0.0,
-               "baseline run produced no useful work — check the workload");
-
-  out.waste_ratio.reserve(strategies.size());
-  out.efficiency.reserve(strategies.size());
-  for (const Strategy& strategy : strategies) {
-    SimulationConfig cfg = scenario.simulation;
-    cfg.strategy = strategy;
-    SimulationResult result = simulate(cfg, jobs, failures);
-    out.waste_ratio.push_back(result.wasted / out.baseline_useful);
-    out.efficiency.push_back(result.useful / out.baseline_useful);
-    if (keep_results) {
-      out.per_strategy.push_back(std::move(result));
-    } else {
-      // Keep only the scalar channels: move counters into a slim result.
-      out.per_strategy.push_back(std::move(result));
-    }
-  }
-  return out;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  COOPCR_CHECK(end != value && *end == '\0',
+               std::string(name) + "=\"" + value +
+                   "\" is not a valid integer");
+  COOPCR_CHECK(errno != ERANGE && parsed >= min_value && parsed <= INT_MAX,
+               std::string(name) + "=" + value + " is out of range (minimum " +
+                   std::to_string(min_value) + ")");
+  return static_cast<int>(parsed);
 }
 
 }  // namespace
@@ -70,8 +38,10 @@ ReplicaOutput run_one_replica(const ScenarioConfig& scenario,
 MonteCarloOptions MonteCarloOptions::from_env(int default_replicas,
                                               int default_threads) {
   MonteCarloOptions options;
-  options.replicas = env_int("COOPCR_REPLICAS", default_replicas);
-  options.threads = env_int("COOPCR_THREADS", default_threads);
+  options.replicas = env_int_strict("COOPCR_REPLICAS", default_replicas,
+                                    /*min_value=*/1);
+  options.threads = env_int_strict("COOPCR_THREADS", default_threads,
+                                   /*min_value=*/0);
   return options;
 }
 
@@ -84,16 +54,96 @@ const StrategyOutcome& MonteCarloReport::outcome(
   return outcomes.front();  // unreachable
 }
 
+MonteCarloCampaign::MonteCarloCampaign(ScenarioConfig scenario,
+                                       std::vector<Strategy> strategies,
+                                       MonteCarloOptions options)
+    : scenario_(std::move(scenario)),
+      strategies_(std::move(strategies)),
+      options_(options) {
+  COOPCR_CHECK(!strategies_.empty(), "no strategies requested");
+  COOPCR_CHECK(options_.replicas > 0, "replicas must be positive");
+  COOPCR_CHECK(!scenario_.simulation.classes.empty(),
+               "scenario has no resolved classes (build it with "
+               "ScenarioBuilder::build)");
+  outputs_.resize(static_cast<std::size_t>(options_.replicas));
+}
+
+void MonteCarloCampaign::run_replica_task(int r) {
+  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
+  const std::uint64_t replica = static_cast<std::uint64_t>(r);
+  Rng rng = Rng::stream(scenario_.seed, replica);
+  WorkloadGenerator generator(scenario_.simulation.classes, scenario_.platform,
+                              scenario_.workload);
+  const std::vector<Job> jobs = generator.generate(rng);
+  const sim::Time stop = std::min(scenario_.simulation.horizon,
+                                  scenario_.simulation.segment_end);
+  const std::vector<Failure> failures =
+      scenario_.failures.generate(scenario_.platform, stop, rng);
+
+  ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
+  const SimulationResult baseline =
+      simulate_baseline(scenario_.simulation, jobs);
+  out.baseline_useful = baseline.useful;
+  COOPCR_CHECK(out.baseline_useful > 0.0,
+               "baseline run produced no useful work — check the workload");
+
+  out.per_strategy.clear();
+  out.waste_ratio.clear();
+  out.efficiency.clear();
+  out.per_strategy.reserve(strategies_.size());
+  out.waste_ratio.reserve(strategies_.size());
+  out.efficiency.reserve(strategies_.size());
+  for (const Strategy& strategy : strategies_) {
+    SimulationConfig cfg = scenario_.simulation;
+    cfg.strategy = strategy;
+    SimulationResult result = simulate(cfg, jobs, failures);
+    out.waste_ratio.push_back(result.wasted / out.baseline_useful);
+    out.efficiency.push_back(result.useful / out.baseline_useful);
+    out.per_strategy.push_back(std::move(result));
+  }
+  out.done = true;
+}
+
+MonteCarloReport MonteCarloCampaign::reduce() {
+  COOPCR_CHECK(!reduced_,
+               "campaign already reduced — reduce() moves the replica "
+               "outputs and cannot be called twice");
+  reduced_ = true;
+  MonteCarloReport report;
+  report.replicas = options_.replicas;
+  report.outcomes.resize(strategies_.size());
+  for (std::size_t s = 0; s < strategies_.size(); ++s) {
+    report.outcomes[s].strategy = strategies_[s];
+  }
+  // Deterministic reduction in replica order.
+  for (int r = 0; r < options_.replicas; ++r) {
+    ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
+    COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
+                               " never ran — reduce() before completion");
+    report.baseline_useful.add(out.baseline_useful);
+    for (std::size_t s = 0; s < strategies_.size(); ++s) {
+      StrategyOutcome& outcome = report.outcomes[s];
+      const SimulationResult& result = out.per_strategy[s];
+      outcome.waste_ratio.add(out.waste_ratio[s]);
+      outcome.efficiency.add(out.efficiency[s]);
+      outcome.utilization.add(result.avg_utilization);
+      outcome.failures_hit.add(
+          static_cast<double>(result.counters.failures_on_jobs));
+      outcome.checkpoints.add(
+          static_cast<double>(result.counters.checkpoints_completed));
+      if (options_.keep_results) {
+        outcome.results.push_back(std::move(out.per_strategy[s]));
+      }
+    }
+  }
+  return report;
+}
+
 MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
                                  const std::vector<Strategy>& strategies,
                                  const MonteCarloOptions& options) {
-  COOPCR_CHECK(!strategies.empty(), "no strategies requested");
-  COOPCR_CHECK(options.replicas > 0, "replicas must be positive");
-  COOPCR_CHECK(!scenario.simulation.classes.empty(),
-               "scenario has no resolved classes (build it with "
-               "ScenarioBuilder::build)");
-
-  const int replicas = options.replicas;
+  MonteCarloCampaign campaign(scenario, strategies, options);
+  const int replicas = campaign.replicas();
   unsigned thread_count =
       options.threads > 0 ? static_cast<unsigned>(options.threads)
                           : std::thread::hardware_concurrency();
@@ -101,15 +151,12 @@ MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
   thread_count = std::min<unsigned>(thread_count,
                                     static_cast<unsigned>(replicas));
 
-  std::vector<ReplicaOutput> outputs(static_cast<std::size_t>(replicas));
   std::atomic<int> next{0};
   auto worker = [&] {
     for (;;) {
       const int r = next.fetch_add(1);
       if (r >= replicas) break;
-      outputs[static_cast<std::size_t>(r)] =
-          run_one_replica(scenario, strategies,
-                          static_cast<std::uint64_t>(r), options.keep_results);
+      campaign.run_replica_task(r);
     }
   };
   if (thread_count <= 1) {
@@ -120,33 +167,43 @@ MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
     for (unsigned t = 0; t < thread_count; ++t) threads.emplace_back(worker);
     for (auto& t : threads) t.join();
   }
+  return campaign.reduce();
+}
 
-  // Deterministic reduction in replica order.
-  MonteCarloReport report;
-  report.replicas = replicas;
-  report.outcomes.resize(strategies.size());
-  for (std::size_t s = 0; s < strategies.size(); ++s) {
-    report.outcomes[s].strategy = strategies[s];
-  }
-  for (int r = 0; r < replicas; ++r) {
-    ReplicaOutput& out = outputs[static_cast<std::size_t>(r)];
-    report.baseline_useful.add(out.baseline_useful);
-    for (std::size_t s = 0; s < strategies.size(); ++s) {
-      StrategyOutcome& outcome = report.outcomes[s];
-      const SimulationResult& result = out.per_strategy[s];
-      outcome.waste_ratio.add(out.waste_ratio[s]);
-      outcome.efficiency.add(out.efficiency[s]);
-      outcome.utilization.add(result.avg_utilization);
-      outcome.failures_hit.add(
-          static_cast<double>(result.counters.failures_on_jobs));
-      outcome.checkpoints.add(
-          static_cast<double>(result.counters.checkpoints_completed));
-      if (options.keep_results) {
-        outcome.results.push_back(std::move(out.per_strategy[s]));
+void submit_campaign_tasks(ThreadPool& pool, MonteCarloCampaign& campaign,
+                           std::vector<std::exception_ptr>& errors,
+                           std::function<void()> on_task_done) {
+  errors.clear();
+  errors.resize(static_cast<std::size_t>(campaign.replicas()));
+  for (int r = 0; r < campaign.replicas(); ++r) {
+    std::exception_ptr* error = &errors[static_cast<std::size_t>(r)];
+    pool.submit([&campaign, error, r, on_task_done] {
+      try {
+        campaign.run_replica_task(r);
+      } catch (...) {
+        *error = std::current_exception();
       }
-    }
+      if (on_task_done) on_task_done();
+    });
   }
-  return report;
+}
+
+void rethrow_first_error(const std::vector<std::exception_ptr>& errors) {
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
+                                 const std::vector<Strategy>& strategies,
+                                 const MonteCarloOptions& options,
+                                 ThreadPool& pool) {
+  MonteCarloCampaign campaign(scenario, strategies, options);
+  std::vector<std::exception_ptr> errors;
+  submit_campaign_tasks(pool, campaign, errors);
+  pool.wait_idle();
+  rethrow_first_error(errors);
+  return campaign.reduce();
 }
 
 ReplicaRun run_replica(const ScenarioConfig& scenario,

@@ -8,10 +8,18 @@
 // Determinism: replica r derives its RNG stream from (seed, r); results are
 // identical for any thread count. All strategies of a replica share the same
 // initial conditions so the comparison is paired, exactly as in the paper.
+//
+// The harness is decomposed into MonteCarloCampaign so that an external
+// executor (exp::SweepRunner's shared ThreadPool) can schedule replicas from
+// many campaigns at once: one replica = one task writing into a preassigned
+// slot, and reduce() folds the slots in replica order. run_monte_carlo is the
+// single-campaign convenience wrapper over the same decomposition.
 
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +29,8 @@
 
 namespace coopcr {
 
+class ThreadPool;
+
 /// Execution options for the harness.
 struct MonteCarloOptions {
   int replicas = 100;       ///< paper uses >= 1000; benches default lower
@@ -28,7 +38,10 @@ struct MonteCarloOptions {
   bool keep_results = false; ///< retain the full per-replica SimulationResults
 
   /// Read COOPCR_REPLICAS / COOPCR_THREADS from the environment, falling back
-  /// to the provided defaults. Used by every bench binary.
+  /// to the provided defaults when unset or empty. Used by every bench
+  /// binary. Throws coopcr::Error on malformed values (non-numeric, trailing
+  /// garbage, out of range): COOPCR_REPLICAS must be >= 1 and COOPCR_THREADS
+  /// >= 0 (0 keeps the hardware-concurrency default).
   static MonteCarloOptions from_env(int default_replicas,
                                     int default_threads = 0);
 };
@@ -55,11 +68,88 @@ struct MonteCarloReport {
   const StrategyOutcome& outcome(const std::string& name) const;
 };
 
+/// One campaign decomposed into schedulable replica tasks.
+///
+/// Usage (what run_monte_carlo does internally):
+///
+///   MonteCarloCampaign campaign(scenario, strategies, options);
+///   for (int r = 0; r < campaign.replicas(); ++r)
+///     pool.submit([&, r] { campaign.run_replica_task(r); });
+///   pool.wait_idle();
+///   MonteCarloReport report = campaign.reduce();
+///
+/// run_replica_task is thread-safe for distinct replica indices (each writes
+/// its own slot); reduce() is deterministic in replica order regardless of
+/// task scheduling, which is what makes sweep results bit-identical across
+/// thread counts.
+class MonteCarloCampaign {
+ public:
+  /// Validates the inputs (non-empty strategy set, positive replicas, built
+  /// scenario) — throws coopcr::Error otherwise.
+  MonteCarloCampaign(ScenarioConfig scenario, std::vector<Strategy> strategies,
+                     MonteCarloOptions options);
+
+  int replicas() const { return options_.replicas; }
+  const ScenarioConfig& scenario() const { return scenario_; }
+  const std::vector<Strategy>& strategies() const { return strategies_; }
+
+  /// Simulate replica `r` (0-based, < replicas()) under every strategy and
+  /// store the outputs in slot r.
+  void run_replica_task(int r);
+
+  /// Fold all replica slots into a report, in replica order. Every replica
+  /// task must have completed; throws coopcr::Error on missing slots.
+  /// Single-use: reduce() moves results out of the slots, so a second call
+  /// throws instead of returning corrupted statistics.
+  MonteCarloReport reduce();
+
+ private:
+  /// Everything one replica produces, kept per-replica so reduction order is
+  /// deterministic regardless of thread scheduling.
+  struct ReplicaOutput {
+    double baseline_useful = 0.0;
+    std::vector<SimulationResult> per_strategy;
+    std::vector<double> waste_ratio;
+    std::vector<double> efficiency;
+    bool done = false;
+  };
+
+  ScenarioConfig scenario_;
+  std::vector<Strategy> strategies_;
+  MonteCarloOptions options_;
+  std::vector<ReplicaOutput> outputs_;
+  bool reduced_ = false;
+};
+
+/// Submit every replica of `campaign` onto `pool` as non-throwing tasks:
+/// `errors` is resized to replicas() and each task stashes its exception (if
+/// any) into its own slot; `on_task_done` (optional) runs after every task,
+/// including failed ones. `campaign` and `errors` must outlive the tasks —
+/// drain the pool (wait_idle) before unwinding past them, then pass `errors`
+/// to rethrow_first_error. This is the one scheduling shim shared by
+/// run_monte_carlo and exp::SweepRunner.
+void submit_campaign_tasks(ThreadPool& pool, MonteCarloCampaign& campaign,
+                           std::vector<std::exception_ptr>& errors,
+                           std::function<void()> on_task_done = nullptr);
+
+/// Rethrow the first stashed task error, if any (deterministic slot order).
+void rethrow_first_error(const std::vector<std::exception_ptr>& errors);
+
 /// Run `options.replicas` replicas of `scenario` under each strategy.
 /// `scenario` must come out of ScenarioBuilder::build (classes resolved).
 MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
                                  const std::vector<Strategy>& strategies,
                                  const MonteCarloOptions& options);
+
+/// Same campaign, but scheduled onto a caller-owned pool (options.threads is
+/// ignored — the pool decides the parallelism). Results are bit-identical to
+/// the internal-threads overload. Blocks until the pool drains, so it must
+/// not be called from one of `pool`'s own workers (ThreadPool::wait_idle
+/// throws on that re-entrant use).
+MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
+                                 const std::vector<Strategy>& strategies,
+                                 const MonteCarloOptions& options,
+                                 ThreadPool& pool);
 
 /// Single-replica convenience: generate initial conditions from
 /// (scenario.seed, replica) and simulate one strategy. Used by tests and the

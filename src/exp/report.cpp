@@ -1,0 +1,297 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace coopcr::exp {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_candlestick_json(std::ostream& os, const Candlestick& c) {
+  os << "{\"mean\":" << format_number(c.mean) << ",\"d1\":"
+     << format_number(c.d1) << ",\"q1\":" << format_number(c.q1)
+     << ",\"median\":" << format_number(c.median) << ",\"q3\":"
+     << format_number(c.q3) << ",\"d9\":" << format_number(c.d9)
+     << ",\"n\":" << c.n << "}";
+}
+
+}  // namespace
+
+const SampleSet& metric_samples(const StrategyOutcome& outcome,
+                                Metric metric) {
+  switch (metric) {
+    case Metric::kWasteRatio: return outcome.waste_ratio;
+    case Metric::kEfficiency: return outcome.efficiency;
+    case Metric::kUtilization: return outcome.utilization;
+    case Metric::kFailuresHit: return outcome.failures_hit;
+    case Metric::kCheckpoints: return outcome.checkpoints;
+  }
+  COOPCR_CHECK(false, "unknown metric");
+  return outcome.waste_ratio;  // unreachable
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kWasteRatio: return "waste_ratio";
+    case Metric::kEfficiency: return "efficiency";
+    case Metric::kUtilization: return "utilization";
+    case Metric::kFailuresHit: return "failures_hit";
+    case Metric::kCheckpoints: return "checkpoints";
+  }
+  COOPCR_CHECK(false, "unknown metric");
+  return "";  // unreachable
+}
+
+const std::vector<Metric>& all_metrics() {
+  static const std::vector<Metric> kAll = {
+      Metric::kWasteRatio, Metric::kEfficiency, Metric::kUtilization,
+      Metric::kFailuresHit, Metric::kCheckpoints};
+  return kAll;
+}
+
+const PointResult& ExperimentReport::at(std::size_t index) const {
+  COOPCR_CHECK(index < points.size(),
+               "grid point index " + std::to_string(index) +
+                   " out of range (grid has " +
+                   std::to_string(points.size()) + " points)");
+  return points[index];
+}
+
+void ExperimentReport::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  std::vector<std::string> header = axis_names;
+  for (const char* column :
+       {"strategy", "metric", "mean", "d1", "q1", "median", "q3", "d9", "n"}) {
+    header.push_back(column);
+  }
+  csv.write_row(header);
+  for (const auto& pr : points) {
+    std::vector<std::string> prefix;
+    prefix.reserve(axis_names.size());
+    for (const auto& coord : pr.point.coords) {
+      prefix.push_back(format_number(coord.value));
+    }
+    for (const auto& outcome : pr.report.outcomes) {
+      for (const Metric metric : all_metrics()) {
+        const Candlestick c = metric_samples(outcome, metric).candlestick();
+        std::vector<std::string> row = prefix;
+        row.push_back(outcome.strategy.name());
+        row.push_back(metric_name(metric));
+        row.push_back(format_number(c.mean));
+        row.push_back(format_number(c.d1));
+        row.push_back(format_number(c.q1));
+        row.push_back(format_number(c.median));
+        row.push_back(format_number(c.q3));
+        row.push_back(format_number(c.d9));
+        row.push_back(std::to_string(c.n));
+        csv.write_row(row);
+      }
+    }
+  }
+}
+
+void ExperimentReport::write_json(std::ostream& os) const {
+  os << "{\"name\":\"" << json_escape(name) << "\",\"replicas\":" << replicas
+     << ",\"axes\":[";
+  for (std::size_t a = 0; a < axis_names.size(); ++a) {
+    if (a > 0) os << ",";
+    os << "\"" << json_escape(axis_names[a]) << "\"";
+  }
+  os << "],\"points\":[";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const PointResult& pr = points[p];
+    if (p > 0) os << ",";
+    os << "{\"index\":" << pr.point.index << ",\"coords\":[";
+    for (std::size_t c = 0; c < pr.point.coords.size(); ++c) {
+      const AxisCoordinate& coord = pr.point.coords[c];
+      if (c > 0) os << ",";
+      os << "{\"axis\":\"" << json_escape(coord.axis) << "\",\"value\":"
+         << format_number(coord.value) << ",\"label\":\""
+         << json_escape(coord.label) << "\"}";
+    }
+    os << "],\"baseline_useful\":";
+    write_candlestick_json(os, pr.report.baseline_useful.candlestick());
+    os << ",\"strategies\":[";
+    for (std::size_t s = 0; s < pr.report.outcomes.size(); ++s) {
+      const StrategyOutcome& outcome = pr.report.outcomes[s];
+      if (s > 0) os << ",";
+      os << "{\"name\":\"" << json_escape(outcome.strategy.name())
+         << "\",\"metrics\":{";
+      bool first = true;
+      for (const Metric metric : all_metrics()) {
+        if (!first) os << ",";
+        os << "\"" << metric_name(metric) << "\":";
+        write_candlestick_json(os,
+                               metric_samples(outcome, metric).candlestick());
+        first = false;
+      }
+      os << "}}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+std::optional<std::string> ExperimentReport::emit_csv(
+    const std::string& stem) const {
+  const auto dir = CsvWriter::env_output_dir();
+  if (!dir) return std::nullopt;
+  const std::string path = *dir + "/" + (stem.empty() ? name : stem) + ".csv";
+  std::ofstream out(path);
+  COOPCR_CHECK(out.good(), "cannot open CSV output file: " + path);
+  write_csv(out);
+  return path;
+}
+
+std::optional<std::string> ExperimentReport::emit_json(
+    const std::string& stem) const {
+  const auto dir = CsvWriter::env_output_dir();
+  if (!dir) return std::nullopt;
+  const std::string path = *dir + "/" + (stem.empty() ? name : stem) + ".json";
+  std::ofstream out(path);
+  COOPCR_CHECK(out.good(), "cannot open JSON output file: " + path);
+  write_json(out);
+  return path;
+}
+
+std::vector<FigureRow> ExperimentReport::figure_rows(
+    Metric metric, const std::string& x_axis) const {
+  const std::string axis =
+      !x_axis.empty() ? x_axis
+                      : (axis_names.empty() ? std::string() : axis_names[0]);
+  std::vector<FigureRow> rows;
+  for (const auto& pr : points) {
+    const double x = axis.empty() ? 0.0 : pr.point.coord(axis).value;
+    for (const auto& outcome : pr.report.outcomes) {
+      rows.push_back(FigureRow{x, outcome.strategy.name(),
+                               metric_samples(outcome, metric).candlestick()});
+    }
+  }
+  return rows;
+}
+
+std::vector<FigureRow> ExperimentReport::case_rows(Metric metric,
+                                                   std::size_t point) const {
+  std::vector<FigureRow> rows;
+  const MonteCarloReport& mc = at(point).report;
+  rows.reserve(mc.outcomes.size());
+  for (std::size_t s = 0; s < mc.outcomes.size(); ++s) {
+    rows.push_back(
+        FigureRow{static_cast<double>(s), mc.outcomes[s].strategy.name(),
+                  metric_samples(mc.outcomes[s], metric).candlestick()});
+  }
+  return rows;
+}
+
+void Figure::print(std::ostream& os) const {
+  os << title << "\n\n";
+  TablePrinter table({x_label, "series", y_label + " (mean)", "d1", "q1",
+                      "median", "q3", "d9", "n"});
+  for (const auto& row : rows) {
+    table.add_row({TablePrinter::fmt(row.x, 1), row.series,
+                   TablePrinter::fmt(row.stats.mean, 4),
+                   TablePrinter::fmt(row.stats.d1, 4),
+                   TablePrinter::fmt(row.stats.q1, 4),
+                   TablePrinter::fmt(row.stats.median, 4),
+                   TablePrinter::fmt(row.stats.q3, 4),
+                   TablePrinter::fmt(row.stats.d9, 4),
+                   std::to_string(row.stats.n)});
+  }
+  table.print(os);
+}
+
+void Figure::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  csv.write_row({x_label, "series", "mean", "d1", "q1", "median", "q3", "d9",
+                 "n"});
+  for (const auto& row : rows) {
+    csv.write_row({TablePrinter::fmt(row.x, 6), row.series,
+                   TablePrinter::fmt(row.stats.mean, 6),
+                   TablePrinter::fmt(row.stats.d1, 6),
+                   TablePrinter::fmt(row.stats.q1, 6),
+                   TablePrinter::fmt(row.stats.median, 6),
+                   TablePrinter::fmt(row.stats.q3, 6),
+                   TablePrinter::fmt(row.stats.d9, 6),
+                   std::to_string(row.stats.n)});
+  }
+}
+
+std::optional<std::string> Figure::emit_csv() const {
+  const auto dir = CsvWriter::env_output_dir();
+  if (!dir) return std::nullopt;
+  const std::string path = *dir + "/" + id + ".csv";
+  std::ofstream out(path);
+  COOPCR_CHECK(out.good(), "cannot open CSV output file: " + path);
+  write_csv(out);
+  return path;
+}
+
+void Figure::render(std::ostream& os) const {
+  print(os);
+  if (const auto path = emit_csv()) {
+    os << "\n[csv] wrote " << *path << "\n";
+  }
+  // Optional terminal plot of the mean curves (COOPCR_PLOT=1).
+  const char* plot = std::getenv("COOPCR_PLOT");
+  if (plot != nullptr && *plot == '1') {
+    std::map<std::string, std::vector<std::pair<double, double>>> by_series;
+    for (const auto& row : rows) {
+      by_series[row.series].emplace_back(row.x, row.stats.mean);
+    }
+    AsciiChart chart(72, 20);
+    const std::string markers = "*o+x#@%$&";
+    std::size_t i = 0;
+    for (const auto& [name, points] : by_series) {
+      chart.add_series(name, points, markers[i % markers.size()]);
+      ++i;
+    }
+    os << "\n" << chart.render();
+  }
+}
+
+std::optional<std::string> emit_table_csv(
+    const std::string& file_id, const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  const auto dir = CsvWriter::env_output_dir();
+  if (!dir) return std::nullopt;
+  const std::string path = *dir + "/" + file_id + ".csv";
+  CsvWriter csv(path);
+  csv.write_row(header);
+  for (const auto& row : rows) csv.write_row(row);
+  return path;
+}
+
+}  // namespace coopcr::exp

@@ -1,0 +1,128 @@
+// coopcr/exp/report.hpp
+//
+// Structured results of a sweep experiment, plus presentation helpers.
+//
+// ExperimentReport pairs every grid point with its MonteCarloReport and
+// emits machine-readable artifacts: a long-format CSV (one row per
+// point × strategy × metric) and a JSON document mirroring the full
+// candlestick summaries. Number formatting is locale-independent
+// (util/csv.hpp format_number) and round-trips doubles exactly.
+//
+// Figure absorbs the historical bench_util.hpp presentation code: the
+// paper-style candlestick console table, the legacy per-figure CSV schema,
+// and the optional COOPCR_PLOT ascii chart. Both layers honour
+// COOPCR_CSV_DIR through the emit_* helpers, replacing the ad-hoc emission
+// every bench used to hand-roll.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "exp/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace coopcr::exp {
+
+/// Which SampleSet of a StrategyOutcome a figure/report column refers to.
+enum class Metric {
+  kWasteRatio,
+  kEfficiency,
+  kUtilization,
+  kFailuresHit,
+  kCheckpoints,
+};
+
+/// The outcome's sample set for `metric`.
+const SampleSet& metric_samples(const StrategyOutcome& outcome, Metric metric);
+
+/// Snake-case metric name used in CSV/JSON columns ("waste_ratio", ...).
+std::string metric_name(Metric metric);
+
+/// All metrics, in emission order.
+const std::vector<Metric>& all_metrics();
+
+/// One grid point together with its campaign report.
+struct PointResult {
+  GridPoint point;
+  MonteCarloReport report;
+};
+
+/// One (x, series) data point of a paper-style candlestick figure.
+struct FigureRow {
+  double x = 0.0;
+  std::string series;
+  Candlestick stats;
+};
+
+/// Full result of a sweep experiment.
+struct ExperimentReport {
+  std::string name;
+  std::vector<std::string> axis_names;  ///< in declaration order
+  std::vector<PointResult> points;      ///< in grid (row-major) order
+  int replicas = 0;                     ///< per grid point
+
+  /// Bounds-checked point access; throws coopcr::Error.
+  const PointResult& at(std::size_t index) const;
+
+  /// Long-format CSV: header `<axes...>,strategy,metric,mean,d1,q1,median,
+  /// q3,d9,n`, one row per point × strategy × metric. An empty grid emits
+  /// the header row only.
+  void write_csv(std::ostream& os) const;
+
+  /// JSON document with the same content plus per-point baseline summaries.
+  void write_json(std::ostream& os) const;
+
+  /// COOPCR_CSV_DIR emission of the structured artifacts as `<stem>.csv` /
+  /// `<stem>.json` (stem defaults to the experiment name). Returns the
+  /// written path, or nullopt when the env var is unset.
+  std::optional<std::string> emit_csv(const std::string& stem = "") const;
+  std::optional<std::string> emit_json(const std::string& stem = "") const;
+
+  /// Candlestick figure rows: x = the point's coordinate on `x_axis`
+  /// (default: the first axis; 0 for an axis-less grid), one series per
+  /// strategy, samples selected by `metric`.
+  std::vector<FigureRow> figure_rows(Metric metric = Metric::kWasteRatio,
+                                     const std::string& x_axis = "") const;
+
+  /// Single-point survey rows (strategy-set ablations): x = each strategy's
+  /// index in outcome order ("case #"), series = strategy name.
+  std::vector<FigureRow> case_rows(Metric metric = Metric::kWasteRatio,
+                                   std::size_t point = 0) const;
+};
+
+/// Paper-style candlestick figure presentation (console table + legacy CSV
+/// schema + optional COOPCR_PLOT ascii chart).
+struct Figure {
+  std::string id;       ///< file stem of the CSV artifact
+  std::string title;
+  std::string x_label;
+  std::string y_label = "waste ratio";
+  std::vector<FigureRow> rows;
+
+  /// Print the paper-format candlestick table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Legacy per-figure CSV schema: `<x_label>,series,mean,d1,q1,median,q3,
+  /// d9,n` with 6-decimal fixed formatting.
+  void write_csv(std::ostream& os) const;
+
+  /// Write the CSV under COOPCR_CSV_DIR as `<id>.csv`; nullopt when unset.
+  std::optional<std::string> emit_csv() const;
+
+  /// The full bench presentation: print(os), CSV emission with a
+  /// "[csv] wrote <path>" note, and the COOPCR_PLOT=1 ascii chart of the
+  /// mean curves.
+  void render(std::ostream& os) const;
+};
+
+/// CSV twin of a console table (Table 1, ablation A5): writes
+/// `<file_id>.csv` under COOPCR_CSV_DIR; nullopt when unset.
+std::optional<std::string> emit_table_csv(
+    const std::string& file_id, const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace coopcr::exp

@@ -1,0 +1,126 @@
+#include "exp/sweep_runner.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace coopcr::exp {
+
+namespace {
+
+/// Drains the pool on scope exit. Campaigns, error slots and progress state
+/// live on the caller's frame while pool workers reference them, so no
+/// exception may unwind past that frame with tasks still in flight.
+class DrainGuard {
+ public:
+  explicit DrainGuard(ThreadPool& pool) : pool_(pool) {}
+  ~DrainGuard() { pool_.wait_idle(); }
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(int threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+SweepRunner::~SweepRunner() = default;
+
+int SweepRunner::threads() const { return pool_->size(); }
+
+SweepRunner& SweepRunner::on_point(PointCallback callback) {
+  on_point_ = std::move(callback);
+  return *this;
+}
+
+std::vector<MonteCarloReport> SweepRunner::run_batch(
+    std::vector<Campaign> campaigns) {
+  // Validate every campaign up front (MonteCarloCampaign's constructor
+  // throws on bad input) so no task runs when any campaign is ill-formed.
+  std::vector<std::unique_ptr<MonteCarloCampaign>> running;
+  running.reserve(campaigns.size());
+  for (auto& campaign : campaigns) {
+    running.push_back(std::make_unique<MonteCarloCampaign>(
+        std::move(campaign.scenario), std::move(campaign.strategies),
+        campaign.options));
+  }
+
+  // Schedule every (campaign, replica) task; tasks write preassigned slots,
+  // so pool scheduling cannot affect the reduced reports.
+  std::vector<std::vector<std::exception_ptr>> errors(running.size());
+  DrainGuard guard(*pool_);
+  for (std::size_t c = 0; c < running.size(); ++c) {
+    submit_campaign_tasks(*pool_, *running[c], errors[c]);
+  }
+  pool_->wait_idle();
+  for (const auto& campaign_errors : errors) {
+    rethrow_first_error(campaign_errors);
+  }
+
+  // Deterministic reduction in campaign order.
+  std::vector<MonteCarloReport> reports;
+  reports.reserve(running.size());
+  for (auto& campaign : running) reports.push_back(campaign->reduce());
+  return reports;
+}
+
+ExperimentReport SweepRunner::run(const ExperimentSpec& spec) {
+  std::vector<GridPoint> points = spec.expand();
+  std::vector<std::unique_ptr<MonteCarloCampaign>> campaigns;
+  campaigns.reserve(points.size());
+  for (const GridPoint& point : points) {
+    campaigns.push_back(std::make_unique<MonteCarloCampaign>(
+        point.scenario, spec.strategy_set(), spec.campaign_options()));
+  }
+
+  // Streamed completion tracking: each task decrements its campaign's
+  // remaining-count, so the main thread can reduce grid points (and fire
+  // progress callbacks) in grid order *while later points are still
+  // running*, instead of sitting silent until the whole grid drains.
+  struct Progress {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::vector<int> remaining;
+  } progress;
+  progress.remaining.reserve(campaigns.size());
+  for (const auto& campaign : campaigns) {
+    progress.remaining.push_back(campaign->replicas());
+  }
+
+  std::vector<std::vector<std::exception_ptr>> errors(campaigns.size());
+  DrainGuard guard(*pool_);
+  for (std::size_t c = 0; c < campaigns.size(); ++c) {
+    submit_campaign_tasks(*pool_, *campaigns[c], errors[c],
+                          [c, &progress] {
+                            std::lock_guard<std::mutex> lock(progress.mutex);
+                            if (--progress.remaining[c] == 0) {
+                              progress.done.notify_all();
+                            }
+                          });
+  }
+
+  ExperimentReport report;
+  report.name = spec.name();
+  report.replicas = spec.campaign_options().replicas;
+  for (const auto& axis : spec.axes()) report.axis_names.push_back(axis.name);
+  report.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    {
+      std::unique_lock<std::mutex> lock(progress.mutex);
+      progress.done.wait(lock, [&] { return progress.remaining[p] == 0; });
+    }
+    rethrow_first_error(errors[p]);  // DrainGuard drains before unwinding
+    MonteCarloReport point_report = campaigns[p]->reduce();
+    if (on_point_) on_point_(points[p], point_report);
+    report.points.push_back(
+        PointResult{std::move(points[p]), std::move(point_report)});
+  }
+  return report;
+}
+
+}  // namespace coopcr::exp

@@ -1,0 +1,67 @@
+// coopcr/exp/sweep_runner.hpp
+//
+// Grid-level parallel execution of experiment sweeps.
+//
+// SweepRunner expands an ExperimentSpec and schedules every
+// (grid point × replica) task of the whole grid onto one shared ThreadPool —
+// replicas of different grid points interleave freely, so a 7-point sweep no
+// longer serialises at point boundaries. Because each replica task writes a
+// preassigned slot (MonteCarloCampaign) and reductions fold slots in
+// (point, replica) order after the pool drains, reports are bit-identical
+// for any thread count and identical to per-point run_monte_carlo calls.
+//
+// run_batch() is the lower-level entry for adaptive drivers whose next grid
+// is data-dependent — e.g. the Figure 3 bisection runs all not-yet-converged
+// (MTBF, strategy) cells' probes as one batch per bisection round.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+
+namespace coopcr::exp {
+
+/// One unit of sweep work: a Monte Carlo campaign (scenario × strategy set).
+struct Campaign {
+  ScenarioConfig scenario;
+  std::vector<Strategy> strategies;
+  MonteCarloOptions options;  ///< `threads` is ignored — the pool governs
+};
+
+class SweepRunner {
+ public:
+  /// `threads` sizes the shared pool; 0 selects hardware concurrency. The
+  /// pool is created once and reused across run()/run_batch() calls.
+  explicit SweepRunner(int threads = 0);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int threads() const;
+
+  /// Called after each grid point's report is reduced, in grid order
+  /// (progress lines). Cleared with nullptr.
+  using PointCallback =
+      std::function<void(const GridPoint&, const MonteCarloReport&)>;
+  SweepRunner& on_point(PointCallback callback);
+
+  /// Expand `spec` and run the full grid. The spec's strategy set and
+  /// campaign options apply at every point.
+  ExperimentReport run(const ExperimentSpec& spec);
+
+  /// Run several campaigns concurrently on the shared pool; reports come
+  /// back in campaign order.
+  std::vector<MonteCarloReport> run_batch(std::vector<Campaign> campaigns);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  PointCallback on_point_;
+};
+
+}  // namespace coopcr::exp

@@ -1,15 +1,27 @@
 #include "util/csv.hpp"
 
 #include <cstdlib>
+#include <locale>
+#include <ostream>
 #include <sstream>
 
 #include "util/error.hpp"
 
 namespace coopcr {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
-  COOPCR_CHECK(out_.good(), "cannot open CSV output file: " + path);
+std::string format_number(double value, int significant_digits) {
+  std::ostringstream oss;
+  oss.imbue(std::locale::classic());
+  oss.precision(significant_digits);
+  oss << value;
+  return oss.str();
 }
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+  COOPCR_CHECK(file_.good(), "cannot open CSV output file: " + path);
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
 
 std::string CsvWriter::escape(const std::string& field) {
   const bool needs_quotes =
@@ -27,11 +39,11 @@ std::string CsvWriter::escape(const std::string& field) {
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
   bool first = true;
   for (const auto& f : fields) {
-    if (!first) out_ << ',';
-    out_ << escape(f);
+    if (!first) *out_ << ',';
+    *out_ << escape(f);
     first = false;
   }
-  out_ << '\n';
+  *out_ << '\n';
   ++rows_;
 }
 
@@ -45,16 +57,13 @@ void CsvWriter::write_row(const std::string& label,
   fields.reserve(values.size() + 1);
   fields.push_back(label);
   for (const double v : values) {
-    std::ostringstream oss;
-    oss.precision(precision);
-    oss << v;
-    fields.push_back(oss.str());
+    fields.push_back(format_number(v, precision));
   }
   write_row(fields);
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (file_.is_open()) file_.close();
 }
 
 std::optional<std::string> CsvWriter::env_output_dir() {

@@ -14,11 +14,26 @@
 
 namespace coopcr {
 
+/// Format `value` with `significant_digits` digits, independent of the
+/// global C/C++ locale (always '.' as the decimal separator). The default of
+/// 17 significant digits round-trips any double exactly through strtod —
+/// the exp::ExperimentReport CSV/JSON emission relies on this.
+std::string format_number(double value, int significant_digits = 17);
+
 /// RFC-4180-ish CSV writer (quotes fields containing separators/quotes).
 class CsvWriter {
  public:
   /// Open `path` for writing; throws coopcr::Error on failure.
   explicit CsvWriter(const std::string& path);
+
+  /// Write to a caller-owned stream (report emission, tests). The stream
+  /// must outlive the writer; close() is a no-op in this mode.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Not movable: out_ may point at the writer's own file stream, which a
+  /// defaulted move would leave dangling.
+  CsvWriter(CsvWriter&&) = delete;
+  CsvWriter& operator=(CsvWriter&&) = delete;
 
   /// Write a header / data row from strings.
   void write_row(const std::vector<std::string>& fields);
@@ -42,7 +57,8 @@ class CsvWriter {
   static std::optional<std::string> env_output_dir();
 
  private:
-  std::ofstream out_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;  ///< &file_ or the caller's stream
   std::size_t rows_ = 0;
 };
 

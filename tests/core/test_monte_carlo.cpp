@@ -115,6 +115,43 @@ TEST(MonteCarlo, OptionsFromEnvironment) {
   EXPECT_EQ(defaults.threads, 1);
 }
 
+TEST(MonteCarlo, OptionsFromEnvironmentRejectMalformedValues) {
+  // Garbage, trailing junk, negatives and zero replicas must all throw a
+  // clear error rather than silently falling back (the historical atoi
+  // behaviour turned "1e3" into 1 and "-4" into the default).
+  const auto expect_rejected = [](const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    EXPECT_THROW(MonteCarloOptions::from_env(5, 1), Error)
+        << name << "=" << value;
+    ::unsetenv(name);
+  };
+  expect_rejected("COOPCR_REPLICAS", "abc");
+  expect_rejected("COOPCR_REPLICAS", "12x");
+  expect_rejected("COOPCR_REPLICAS", "1e3");
+  expect_rejected("COOPCR_REPLICAS", "-4");
+  expect_rejected("COOPCR_REPLICAS", "0");
+  expect_rejected("COOPCR_REPLICAS", "99999999999999999999");
+  expect_rejected("COOPCR_THREADS", "-1");
+  expect_rejected("COOPCR_THREADS", "two");
+
+  // Threads may be 0 (hardware concurrency) and whitespace-free ints parse.
+  ::setenv("COOPCR_THREADS", "0", 1);
+  EXPECT_EQ(MonteCarloOptions::from_env(5, 1).threads, 0);
+  ::unsetenv("COOPCR_THREADS");
+
+  // The error message names the variable and the offending value.
+  ::setenv("COOPCR_REPLICAS", "bogus", 1);
+  try {
+    MonteCarloOptions::from_env(5, 1);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("COOPCR_REPLICAS"), std::string::npos);
+    EXPECT_NE(message.find("bogus"), std::string::npos);
+  }
+  ::unsetenv("COOPCR_REPLICAS");
+}
+
 TEST(MonteCarlo, RejectsBadArguments) {
   const auto scenario = tiny_scenario();
   MonteCarloOptions options;

@@ -1,0 +1,111 @@
+// ExperimentSpec construction and grid expansion: named axes, custom axes,
+// scenario presets, strategy resolution, validation errors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+ScenarioBuilder tiny_base() {
+  return ScenarioBuilder::cielo_apex(/*seed=*/5)
+      .min_makespan(units::days(6))
+      .segment(units::days(1), units::days(5));
+}
+
+TEST(ExperimentSpec, NamedAxesEditTheScenario) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.node_mtbf_axis({4}).interference_axis({0.5}).seed_axis({42});
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 1u);
+  const ScenarioConfig& sc = points[0].scenario;
+  EXPECT_DOUBLE_EQ(sc.platform.node_mtbf, units::years(4));
+  EXPECT_EQ(sc.simulation.interference, InterferenceModel::kDegrading);
+  EXPECT_DOUBLE_EQ(sc.simulation.degradation_alpha, 0.5);
+  EXPECT_EQ(sc.seed, 42u);
+  EXPECT_EQ(points[0].coord("seed").label, "0x2a");
+  EXPECT_EQ(points[0].label(),
+            "node_mtbf_years=4, interference_alpha=0.5, seed=0x2a");
+}
+
+TEST(ExperimentSpec, InterferenceAlphaZeroStaysLinear) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.interference_axis({0.0});
+  const auto points = spec.expand();
+  EXPECT_EQ(points[0].scenario.simulation.interference,
+            InterferenceModel::kLinear);
+}
+
+TEST(ExperimentSpec, ScenarioAxisSwitchesWholePresets) {
+  exp::ExperimentSpec spec;
+  spec.scenario_axis("platform",
+                     {{"cielo", tiny_base()},
+                      {"prospective",
+                       ScenarioBuilder::prospective_apex()
+                           .min_makespan(units::days(6))
+                           .segment(units::days(1), units::days(5))}})
+      .pfs_bandwidth_axis({80});
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].coord("platform").label, "cielo");
+  EXPECT_EQ(points[1].coord("platform").label, "prospective");
+  // The preset swap happens before the bandwidth edit (declaration order),
+  // so both points land on the swept bandwidth atop different platforms.
+  EXPECT_DOUBLE_EQ(points[0].scenario.platform.pfs_bandwidth,
+                   units::gb_per_s(80));
+  EXPECT_DOUBLE_EQ(points[1].scenario.platform.pfs_bandwidth,
+                   units::gb_per_s(80));
+  EXPECT_NE(points[0].scenario.platform.nodes,
+            points[1].scenario.platform.nodes);
+}
+
+TEST(ExperimentSpec, StrategyNamesResolveThroughTheRegistry) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.strategy_names({"Least-Waste", "Ordered-NB-Daly"});
+  ASSERT_EQ(spec.strategy_set().size(), 2u);
+  EXPECT_EQ(spec.strategy_set()[0].name(), "Least-Waste");
+  EXPECT_EQ(spec.strategy_set()[1].name(), "Ordered-NB-Daly");
+  EXPECT_THROW(spec.strategy_names({"No-Such-Strategy"}), Error);
+}
+
+TEST(ExperimentSpec, ScenarioAxisMustBeDeclaredFirst) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.pfs_bandwidth_axis({40});
+  // A later preset swap would silently discard the bandwidth edit.
+  EXPECT_THROW(spec.scenario_axis("platform", {{"cielo", tiny_base()}}),
+               Error);
+}
+
+TEST(ExperimentSpec, RejectsDuplicateAndUnnamedAxes) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.pfs_bandwidth_axis({40});
+  EXPECT_THROW(spec.pfs_bandwidth_axis({80}), Error);
+  EXPECT_THROW(spec.axis(exp::SweepAxis{}), Error);
+}
+
+TEST(ExperimentSpec, ReportsWhichGridPointFailedToBuild) {
+  exp::ExperimentSpec spec(tiny_base(), "broken");
+  spec.pfs_bandwidth_axis({40, -5});  // negative bandwidth cannot build
+  try {
+    spec.expand();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("broken"), std::string::npos);
+    EXPECT_NE(message.find("pfs_bandwidth_gbps=-5"), std::string::npos);
+  }
+}
+
+TEST(ExperimentSpec, CoordLookupThrowsOnUnknownAxis) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.pfs_bandwidth_axis({40});
+  const auto points = spec.expand();
+  EXPECT_THROW(points[0].coord("nope"), Error);
+}
+
+}  // namespace
+}  // namespace coopcr

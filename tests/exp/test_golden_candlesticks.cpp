@@ -1,0 +1,161 @@
+// Statistical regression guard for the experiment/sweep subsystem.
+//
+// Complements the exact-counter determinism test (tests/core/
+// test_determinism.cpp): where that test pins a single replica's event
+// counters, this one pins the *distribution* summaries (d1/q1/mean/median/
+// q3/d9 candlesticks) of a small fixed-seed Monte Carlo campaign for all
+// seven paper strategies, run through exp::SweepRunner. Any engine,
+// optimizer or policy change that shifts the waste-ratio distribution —
+// even one that keeps individual counters plausible — shows up here.
+//
+// A second case pins the Figure 1 bench's 160 GB/s row (default seeds,
+// 3 replicas) against the values the pre-migration hand-rolled bench
+// emitted, proving the migrated sweep path reproduces the historical
+// figures exactly.
+//
+// If a *deliberate* behaviour change invalidates these numbers, re-pin them
+// and say so explicitly in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct PinnedCandle {
+  const char* strategy;
+  double d1, q1, mean;
+  double median, q3, d9;
+};
+
+// Captured from this implementation at PR 2 (seed 0xC1E10, Cielo/APEX @
+// 40 GB/s, node MTBF 2 y, 8-day measured segment, 16 replicas); verified
+// identical to per-point run_monte_carlo on the pre-existing harness.
+const std::vector<PinnedCandle>& pinned_candles() {
+  static const std::vector<PinnedCandle> kPinned = {
+      {"Oblivious-Fixed",
+       0.82825752407834963, 0.84518899570073669, 0.8771798226104881,
+       0.8674851815836413, 0.91798188440805961, 0.93336312854412562},
+      {"Oblivious-Daly",
+       0.48897590589720175, 0.57540265801428336, 0.62409016162492859,
+       0.61983073614311923, 0.73007650465808993, 0.74854431452997905},
+      {"Ordered-Fixed",
+       0.84731534124483554, 0.88197092598958027, 0.90753852001537427,
+       0.91471932712962789, 0.93706067073611909, 0.95275622767912227},
+      {"Ordered-Daly",
+       0.46396471767664421, 0.60383916524781789, 0.64056479894079799,
+       0.65246948539721905, 0.75544190149223911, 0.76690394640148551},
+      {"Ordered-NB-Fixed",
+       0.37866967603849006, 0.43283656678201032, 0.50654894760537394,
+       0.52565954245164837, 0.58778848791982563, 0.6122582135617427},
+      {"Ordered-NB-Daly",
+       0.30434517376369974, 0.38596355344787564, 0.45101999975343887,
+       0.46217660870036714, 0.54725120038572139, 0.57844579216962366},
+      {"Least-Waste",
+       0.27383656181437749, 0.35864431080720516, 0.43342627631086311,
+       0.44614197540514861, 0.53284269651063099, 0.5713295839380621},
+  };
+  return kPinned;
+}
+
+exp::ExperimentReport run_pinned_campaign() {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2))
+                               .min_makespan(units::days(10))
+                               .segment(units::days(1), units::days(9)),
+                           "golden_candlesticks");
+  MonteCarloOptions options;
+  options.replicas = 16;
+  spec.strategies(paper_strategies()).options(options);
+  exp::SweepRunner runner(/*threads=*/2);
+  return runner.run(spec);
+}
+
+TEST(GoldenCandlesticks, AllPaperStrategiesMatchPinnedSummaries) {
+  const exp::ExperimentReport report = run_pinned_campaign();
+  ASSERT_EQ(report.points.size(), 1u);
+  const MonteCarloReport& mc = report.at(0).report;
+  ASSERT_EQ(mc.outcomes.size(), pinned_candles().size());
+  for (std::size_t s = 0; s < pinned_candles().size(); ++s) {
+    const PinnedCandle& expected = pinned_candles()[s];
+    const StrategyOutcome& outcome = mc.outcomes[s];
+    EXPECT_EQ(outcome.strategy.name(), expected.strategy);
+    const Candlestick c = outcome.waste_ratio.candlestick();
+    EXPECT_NEAR(c.d1, expected.d1, kTol) << expected.strategy;
+    EXPECT_NEAR(c.q1, expected.q1, kTol) << expected.strategy;
+    EXPECT_NEAR(c.mean, expected.mean, kTol) << expected.strategy;
+    EXPECT_NEAR(c.median, expected.median, kTol) << expected.strategy;
+    EXPECT_NEAR(c.q3, expected.q3, kTol) << expected.strategy;
+    EXPECT_NEAR(c.d9, expected.d9, kTol) << expected.strategy;
+    EXPECT_EQ(c.n, 16u);
+  }
+}
+
+TEST(GoldenCandlesticks, CoversEveryPaperStrategy) {
+  ASSERT_EQ(pinned_candles().size(), paper_strategies().size());
+  for (std::size_t i = 0; i < pinned_candles().size(); ++i) {
+    EXPECT_EQ(pinned_candles()[i].strategy, paper_strategies()[i].name());
+  }
+}
+
+// The Figure 1 bench's 160 GB/s row with the default seeds and 3 replicas,
+// as emitted by the pre-migration bench's CSV (6-decimal fixed precision —
+// hence the looser rounding tolerance).
+struct Fig1Row {
+  const char* strategy;
+  double mean, d1, q1, median, q3, d9;
+};
+
+TEST(GoldenCandlesticks, Fig1BandwidthRowMatchesPreMigrationBench) {
+  static const std::vector<Fig1Row> kFig1At160 = {
+      {"Oblivious-Fixed", 0.270499, 0.258345, 0.262229, 0.268703, 0.277872,
+       0.283373},
+      {"Oblivious-Daly", 0.210270, 0.203003, 0.203112, 0.203294, 0.213939,
+       0.220326},
+      {"Ordered-Fixed", 0.181829, 0.173696, 0.174744, 0.176489, 0.186244,
+       0.192097},
+      {"Ordered-Daly", 0.173982, 0.167315, 0.167646, 0.168198, 0.177425,
+       0.182962},
+      {"Ordered-NB-Fixed", 0.163093, 0.157814, 0.159080, 0.161192, 0.166155,
+       0.169133},
+      {"Ordered-NB-Daly", 0.152666, 0.149248, 0.150507, 0.152607, 0.154795,
+       0.156108},
+      {"Least-Waste", 0.149941, 0.146788, 0.148035, 0.150111, 0.151932,
+       0.153025},
+  };
+  exp::ExperimentSpec spec(
+      ScenarioBuilder::cielo_apex().node_mtbf(units::years(2)),
+      "fig1_spot_row");
+  MonteCarloOptions options;
+  options.replicas = 3;
+  spec.pfs_bandwidth_axis({160}).strategies(paper_strategies()).options(
+      options);
+  exp::SweepRunner runner(/*threads=*/2);
+  const exp::ExperimentReport report = runner.run(spec);
+  const MonteCarloReport& mc = report.at(0).report;
+  ASSERT_EQ(mc.outcomes.size(), kFig1At160.size());
+  for (std::size_t s = 0; s < kFig1At160.size(); ++s) {
+    const Fig1Row& expected = kFig1At160[s];
+    const StrategyOutcome& outcome = mc.outcomes[s];
+    EXPECT_EQ(outcome.strategy.name(), expected.strategy);
+    const Candlestick c = outcome.waste_ratio.candlestick();
+    const double tol = 5e-7;  // pre-migration CSV carries 6 decimals
+    EXPECT_NEAR(c.mean, expected.mean, tol) << expected.strategy;
+    EXPECT_NEAR(c.d1, expected.d1, tol) << expected.strategy;
+    EXPECT_NEAR(c.q1, expected.q1, tol) << expected.strategy;
+    EXPECT_NEAR(c.median, expected.median, tol) << expected.strategy;
+    EXPECT_NEAR(c.q3, expected.q3, tol) << expected.strategy;
+    EXPECT_NEAR(c.d9, expected.d9, tol) << expected.strategy;
+  }
+}
+
+}  // namespace
+}  // namespace coopcr

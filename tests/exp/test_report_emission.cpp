@@ -1,0 +1,194 @@
+// ExperimentReport CSV/JSON emission: schema, exact numeric round-trips,
+// locale independence, and the empty-grid / single-point edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+exp::ExperimentReport tiny_report() {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(/*seed=*/7)
+                               .min_makespan(units::days(6))
+                               .segment(units::days(1), units::days(5)),
+                           "tiny");
+  MonteCarloOptions options;
+  options.replicas = 2;
+  spec.pfs_bandwidth_axis({40, 80})
+      .strategies({least_waste()})
+      .options(options);
+  exp::SweepRunner runner(/*threads=*/2);
+  return runner.run(spec);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // The emitted fields here contain no quoted separators; a plain split is
+  // enough for round-trip checking.
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream iss(line);
+  while (std::getline(iss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+TEST(ReportEmission, CsvSchemaAndExactRoundTrip) {
+  const exp::ExperimentReport report = tiny_report();
+  std::ostringstream oss;
+  report.write_csv(oss);
+  std::istringstream iss(oss.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(iss, line));
+  EXPECT_EQ(line,
+            "pfs_bandwidth_gbps,strategy,metric,mean,d1,q1,median,q3,d9,n");
+
+  // 2 points x 1 strategy x 5 metrics.
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(iss, line)) rows.push_back(split_csv_line(line));
+  ASSERT_EQ(rows.size(), 10u);
+
+  // First data row: point 0, waste_ratio. 17 significant digits round-trip
+  // doubles exactly through strtod.
+  const Candlestick c =
+      report.at(0).report.outcomes[0].waste_ratio.candlestick();
+  const std::vector<std::string>& row = rows[0];
+  ASSERT_EQ(row.size(), 10u);
+  EXPECT_EQ(std::strtod(row[0].c_str(), nullptr), 40.0);
+  EXPECT_EQ(row[1], "Least-Waste");
+  EXPECT_EQ(row[2], "waste_ratio");
+  EXPECT_EQ(std::strtod(row[3].c_str(), nullptr), c.mean);
+  EXPECT_EQ(std::strtod(row[4].c_str(), nullptr), c.d1);
+  EXPECT_EQ(std::strtod(row[5].c_str(), nullptr), c.q1);
+  EXPECT_EQ(std::strtod(row[6].c_str(), nullptr), c.median);
+  EXPECT_EQ(std::strtod(row[7].c_str(), nullptr), c.q3);
+  EXPECT_EQ(std::strtod(row[8].c_str(), nullptr), c.d9);
+  EXPECT_EQ(row[9], "2");
+
+  // Every metric of every strategy appears, in emission order.
+  EXPECT_EQ(rows[1][2], "efficiency");
+  EXPECT_EQ(rows[2][2], "utilization");
+  EXPECT_EQ(rows[3][2], "failures_hit");
+  EXPECT_EQ(rows[4][2], "checkpoints");
+  EXPECT_EQ(std::strtod(rows[5][0].c_str(), nullptr), 80.0);
+}
+
+TEST(ReportEmission, JsonCarriesTheFullSummaries) {
+  const exp::ExperimentReport report = tiny_report();
+  std::ostringstream oss;
+  report.write_json(oss);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"name\":\"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"axes\":[\"pfs_bandwidth_gbps\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"strategies\":[{\"name\":\"Least-Waste\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"waste_ratio\":{\"mean\":"), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_useful\":{"), std::string::npos);
+  // The exact mean value must appear verbatim (17-digit round-trip format).
+  const Candlestick c =
+      report.at(0).report.outcomes[0].waste_ratio.candlestick();
+  EXPECT_NE(json.find(format_number(c.mean)), std::string::npos);
+}
+
+/// A numpunct facet with ',' as decimal point and '.' grouping — the
+/// classic German-style formatting that breaks naive number emission.
+struct CommaDecimalPoint : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(ReportEmission, OutputIsLocaleIndependent) {
+  const exp::ExperimentReport report = tiny_report();
+  std::ostringstream before_csv, before_json;
+  report.write_csv(before_csv);
+  report.write_json(before_json);
+
+  // Install a comma-decimal global locale (no OS locale data required).
+  const std::locale original = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimalPoint));
+  std::ostringstream after_csv, after_json;
+  report.write_csv(after_csv);
+  report.write_json(after_json);
+  std::locale::global(original);
+
+  EXPECT_EQ(before_csv.str(), after_csv.str());
+  EXPECT_EQ(before_json.str(), after_json.str());
+  // And the helper itself: '.' decimal point, no grouping separators.
+  const std::locale comma_again = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimalPoint));
+  EXPECT_EQ(format_number(1234.5, 6), "1234.5");
+  std::locale::global(comma_again);
+}
+
+TEST(ReportEmission, EmptyGridEmitsHeaderOnlyCsvAndValidJson) {
+  exp::ExperimentReport empty;
+  empty.name = "empty";
+  empty.axis_names = {"alpha", "beta"};
+  std::ostringstream csv;
+  empty.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "alpha,beta,strategy,metric,mean,d1,q1,median,q3,d9,n\n");
+  std::ostringstream json;
+  empty.write_json(json);
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"empty\",\"replicas\":0,\"axes\":[\"alpha\","
+            "\"beta\"],\"points\":[]}\n");
+  EXPECT_THROW(empty.at(0), Error);
+}
+
+TEST(ReportEmission, SinglePointAxislessGrid) {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(/*seed=*/7)
+                               .min_makespan(units::days(6))
+                               .segment(units::days(1), units::days(5)),
+                           "single");
+  spec.strategies({oblivious_daly()}).replicas(1);
+  EXPECT_EQ(spec.grid_size(), 1u);
+  exp::SweepRunner runner(/*threads=*/1);
+  const exp::ExperimentReport report = runner.run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_TRUE(report.axis_names.empty());
+  EXPECT_EQ(report.at(0).point.label(), "base scenario");
+
+  std::ostringstream csv;
+  report.write_csv(csv);
+  std::istringstream iss(csv.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(iss, header));
+  EXPECT_EQ(header, "strategy,metric,mean,d1,q1,median,q3,d9,n");
+  // x defaults to 0 when the grid has no axes.
+  const auto rows = report.figure_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].x, 0.0);
+  EXPECT_EQ(rows[0].series, "Oblivious-Daly");
+}
+
+TEST(ReportEmission, LegacyFigureCsvSchemaIsPreserved) {
+  exp::Figure fig;
+  fig.id = "legacy";
+  fig.x_label = "bandwidth (GB/s)";
+  Candlestick c;
+  c.mean = 0.25;
+  c.d1 = 0.1;
+  c.q1 = 0.2;
+  c.median = 0.24;
+  c.q3 = 0.3;
+  c.d9 = 0.4;
+  c.n = 3;
+  fig.rows.push_back(exp::FigureRow{40.0, "Least-Waste", c});
+  std::ostringstream oss;
+  fig.write_csv(oss);
+  EXPECT_EQ(oss.str(),
+            "bandwidth (GB/s),series,mean,d1,q1,median,q3,d9,n\n"
+            "40.000000,Least-Waste,0.250000,0.100000,0.200000,0.240000,"
+            "0.300000,0.400000,3\n");
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,181 @@
+// SweepRunner determinism and equivalence guarantees:
+//  * reports are bit-identical for any thread count (threads=1 vs threads=8
+//    over a 3x2 grid, compared down to the raw per-replica samples and the
+//    emitted CSV/JSON bytes);
+//  * the grid-parallel path is identical to per-point run_monte_carlo calls;
+//  * the shared-pool run_monte_carlo overload matches the internal-threads
+//    overload;
+//  * grid expansion order, point callbacks and error propagation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+ScenarioBuilder tiny_base() {
+  return ScenarioBuilder::cielo_apex(/*seed=*/99)
+      .min_makespan(units::days(6))
+      .segment(units::days(1), units::days(5));
+}
+
+exp::ExperimentSpec grid_spec() {
+  exp::ExperimentSpec spec(tiny_base(), "grid_3x2");
+  MonteCarloOptions options;
+  options.replicas = 3;
+  spec.pfs_bandwidth_axis({60, 80, 100})
+      .node_mtbf_axis({2, 8})
+      .strategies({oblivious_daly(), least_waste()})
+      .options(options);
+  return spec;
+}
+
+std::string csv_bytes(const exp::ExperimentReport& report) {
+  std::ostringstream oss;
+  report.write_csv(oss);
+  return oss.str();
+}
+
+std::string json_bytes(const exp::ExperimentReport& report) {
+  std::ostringstream oss;
+  report.write_json(oss);
+  return oss.str();
+}
+
+TEST(SweepRunner, ReportsAreBitIdenticalAcrossThreadCounts) {
+  const exp::ExperimentSpec spec = grid_spec();
+  exp::SweepRunner serial(/*threads=*/1);
+  exp::SweepRunner parallel(/*threads=*/8);
+  const exp::ExperimentReport a = serial.run(spec);
+  const exp::ExperimentReport b = parallel.run(spec);
+
+  ASSERT_EQ(a.points.size(), 6u);
+  ASSERT_EQ(b.points.size(), 6u);
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const MonteCarloReport& ra = a.points[p].report;
+    const MonteCarloReport& rb = b.points[p].report;
+    ASSERT_EQ(ra.outcomes.size(), rb.outcomes.size());
+    for (std::size_t s = 0; s < ra.outcomes.size(); ++s) {
+      const auto& sa = ra.outcomes[s].waste_ratio.samples();
+      const auto& sb = rb.outcomes[s].waste_ratio.samples();
+      ASSERT_EQ(sa.size(), sb.size());
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        // Exact equality: same replica stream, same reduction order.
+        EXPECT_EQ(sa[i], sb[i]) << "point " << p << " strategy " << s
+                                << " replica " << i;
+      }
+    }
+  }
+  EXPECT_EQ(csv_bytes(a), csv_bytes(b));
+  EXPECT_EQ(json_bytes(a), json_bytes(b));
+}
+
+TEST(SweepRunner, MatchesPerPointRunMonteCarlo) {
+  const exp::ExperimentSpec spec = grid_spec();
+  exp::SweepRunner runner(/*threads=*/4);
+  const exp::ExperimentReport swept = runner.run(spec);
+
+  MonteCarloOptions options = spec.campaign_options();
+  options.threads = 1;
+  const std::vector<exp::GridPoint> points = spec.expand();
+  ASSERT_EQ(points.size(), swept.points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const MonteCarloReport direct =
+        run_monte_carlo(points[p].scenario, spec.strategy_set(), options);
+    const MonteCarloReport& viaRunner = swept.points[p].report;
+    ASSERT_EQ(direct.outcomes.size(), viaRunner.outcomes.size());
+    for (std::size_t s = 0; s < direct.outcomes.size(); ++s) {
+      const auto& da = direct.outcomes[s].waste_ratio.samples();
+      const auto& va = viaRunner.outcomes[s].waste_ratio.samples();
+      ASSERT_EQ(da.size(), va.size());
+      for (std::size_t i = 0; i < da.size(); ++i) {
+        EXPECT_EQ(da[i], va[i]) << "point " << p << " strategy " << s
+                                << " replica " << i;
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, PooledRunMonteCarloMatchesInternalThreads) {
+  const ScenarioConfig scenario = tiny_base().build();
+  MonteCarloOptions options;
+  options.replicas = 4;
+  options.threads = 2;
+  const MonteCarloReport internal =
+      run_monte_carlo(scenario, {least_waste()}, options);
+  ThreadPool pool(3);
+  const MonteCarloReport pooled =
+      run_monte_carlo(scenario, {least_waste()}, options, pool);
+  const auto& sa = internal.outcomes[0].waste_ratio.samples();
+  const auto& sb = pooled.outcomes[0].waste_ratio.samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST(SweepRunner, GridExpandsRowMajorFirstAxisSlowest) {
+  const std::vector<exp::GridPoint> points = grid_spec().expand();
+  ASSERT_EQ(points.size(), 6u);
+  // bandwidth (3 values) declared first => varies slowest; MTBF fastest.
+  const std::vector<std::pair<double, double>> expected = {
+      {60, 2}, {60, 8}, {80, 2}, {80, 8}, {100, 2}, {100, 8}};
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(points[p].index, p);
+    EXPECT_EQ(points[p].coord("pfs_bandwidth_gbps").value, expected[p].first);
+    EXPECT_EQ(points[p].coord("node_mtbf_years").value, expected[p].second);
+    // The axis edit must actually land in the built scenario.
+    EXPECT_DOUBLE_EQ(points[p].scenario.platform.pfs_bandwidth,
+                     units::gb_per_s(expected[p].first));
+    EXPECT_DOUBLE_EQ(points[p].scenario.platform.node_mtbf,
+                     units::years(expected[p].second));
+  }
+}
+
+TEST(SweepRunner, PointCallbackFiresInGridOrder) {
+  exp::SweepRunner runner(/*threads=*/4);
+  std::vector<std::size_t> seen;
+  runner.on_point([&](const exp::GridPoint& point, const MonteCarloReport& r) {
+    seen.push_back(point.index);
+    EXPECT_EQ(r.replicas, 3);
+  });
+  runner.run(grid_spec());
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(SweepRunner, CampaignReduceIsSingleUseAndRequiresCompletion) {
+  MonteCarloOptions options;
+  options.replicas = 2;
+  MonteCarloCampaign incomplete(tiny_base().build(), {least_waste()}, options);
+  incomplete.run_replica_task(0);
+  EXPECT_THROW(incomplete.reduce(), Error);  // replica 1 never ran
+
+  MonteCarloCampaign campaign(tiny_base().build(), {least_waste()}, options);
+  campaign.run_replica_task(0);
+  campaign.run_replica_task(1);
+  EXPECT_NO_THROW(campaign.reduce());
+  EXPECT_THROW(campaign.reduce(), Error);  // outputs already moved out
+}
+
+TEST(SweepRunner, PropagatesCampaignErrors) {
+  exp::ExperimentSpec spec(tiny_base(), "no_strategies");
+  spec.replicas(1);  // strategy set left empty
+  exp::SweepRunner runner(/*threads=*/2);
+  EXPECT_THROW(runner.run(spec), Error);
+}
+
+TEST(SweepRunner, EmptyAxisYieldsEmptyReport) {
+  exp::ExperimentSpec spec(tiny_base(), "empty_axis");
+  spec.pfs_bandwidth_axis({}).strategies({least_waste()}).replicas(1);
+  EXPECT_EQ(spec.grid_size(), 0u);
+  exp::SweepRunner runner(/*threads=*/1);
+  const exp::ExperimentReport report = runner.run(spec);
+  EXPECT_TRUE(report.points.empty());
+}
+
+}  // namespace
+}  // namespace coopcr
