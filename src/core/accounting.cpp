@@ -86,4 +86,60 @@ double Accounting::useful() const {
 
 double Accounting::accounted() const { return useful() + wasted(); }
 
+double EnergyBreakdown::joules(TimeCategory category) const {
+  COOPCR_CHECK(category != TimeCategory::kCount, "invalid category");
+  return per_category[static_cast<std::size_t>(category)];
+}
+
+double EnergyBreakdown::useful() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < per_category.size(); ++i) {
+    if (!is_waste(static_cast<TimeCategory>(i))) sum += per_category[i];
+  }
+  return sum;
+}
+
+double EnergyBreakdown::wasted() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < per_category.size(); ++i) {
+    if (is_waste(static_cast<TimeCategory>(i))) sum += per_category[i];
+  }
+  return sum;
+}
+
+double EnergyBreakdown::total() const { return useful() + wasted(); }
+
+EnergyModel::EnergyModel(const PowerProfile& profile) : profile_(profile) {
+  profile_.validate();
+}
+
+double EnergyModel::watts_for(TimeCategory category) const {
+  switch (category) {
+    case TimeCategory::kUsefulCompute:
+    case TimeCategory::kLostWork:  // re-execution is compute
+      return profile_.compute_watts;
+    case TimeCategory::kUsefulIo:
+    case TimeCategory::kIoDilation:  // stretched transfer stays in I/O mode
+      return profile_.io_watts;
+    case TimeCategory::kCheckpoint:
+    case TimeCategory::kRecovery:  // symmetric commit/restart transfers
+      return profile_.checkpoint_watts;
+    case TimeCategory::kBlockedWait:
+      return profile_.idle_watts;
+    case TimeCategory::kCount:
+      break;
+  }
+  COOPCR_CHECK(false, "invalid category");
+  return 0.0;  // unreachable
+}
+
+EnergyBreakdown EnergyModel::breakdown(const Accounting& accounting) const {
+  EnergyBreakdown energy;
+  for (std::size_t i = 0; i < energy.per_category.size(); ++i) {
+    const auto category = static_cast<TimeCategory>(i);
+    energy.per_category[i] = accounting.total(category) * watts_for(category);
+  }
+  return energy;
+}
+
 }  // namespace coopcr

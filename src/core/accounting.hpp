@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "platform/platform.hpp"
 #include "sim/time.hpp"
 
 namespace coopcr {
@@ -74,6 +75,47 @@ class Accounting {
   sim::Time start_;
   sim::Time end_;
   std::array<double, static_cast<std::size_t>(TimeCategory::kCount)> totals_{};
+};
+
+/// Per-category joules of one run: the energy twin of Accounting. The
+/// useful/wasted split mirrors is_waste(), so the energy-waste ratio is
+/// defined exactly like the time one — wasted joules over the baseline's
+/// useful joules.
+struct EnergyBreakdown {
+  std::array<double, static_cast<std::size_t>(TimeCategory::kCount)>
+      per_category{};
+
+  /// Joules recorded in `category`.
+  double joules(TimeCategory category) const;
+
+  /// Sum over the useful categories (compute + I/O).
+  double useful() const;
+
+  /// Sum over the waste categories.
+  double wasted() const;
+
+  /// Everything (useful + wasted).
+  double total() const;
+};
+
+/// Maps unit-seconds per TimeCategory to joules through a PowerProfile:
+/// every allocated node draws the profile wattage of its current activity —
+/// compute power while computing (and while re-executing lost work), I/O
+/// power during transfers (and their dilation), checkpoint power during
+/// commits and recovery reads, idle power while blocked on the token.
+class EnergyModel {
+ public:
+  EnergyModel() = default;
+  explicit EnergyModel(const PowerProfile& profile);
+
+  /// Per-node draw (watts) while in `category`.
+  double watts_for(TimeCategory category) const;
+
+  /// Joules per category for the accumulated unit-seconds.
+  EnergyBreakdown breakdown(const Accounting& accounting) const;
+
+ private:
+  PowerProfile profile_;
 };
 
 }  // namespace coopcr

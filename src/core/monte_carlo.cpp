@@ -84,6 +84,7 @@ void MonteCarloCampaign::run_replica_task(int r) {
   const SimulationResult baseline =
       simulate_baseline(scenario_.simulation, jobs);
   out.baseline_useful = baseline.useful;
+  out.baseline_useful_energy = baseline.energy.useful();
   COOPCR_CHECK(out.baseline_useful > 0.0,
                "baseline run produced no useful work — check the workload");
 
@@ -121,6 +122,7 @@ MonteCarloReport MonteCarloCampaign::reduce() {
     COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
                                " never ran — reduce() before completion");
     report.baseline_useful.add(out.baseline_useful);
+    report.baseline_useful_energy.add(out.baseline_useful_energy);
     for (std::size_t s = 0; s < strategies_.size(); ++s) {
       StrategyOutcome& outcome = report.outcomes[s];
       const SimulationResult& result = out.per_strategy[s];
@@ -131,6 +133,9 @@ MonteCarloReport MonteCarloCampaign::reduce() {
           static_cast<double>(result.counters.failures_on_jobs));
       outcome.checkpoints.add(
           static_cast<double>(result.counters.checkpoints_completed));
+      outcome.energy_joules.add(result.energy.total());
+      outcome.energy_waste_ratio.add(result.energy.wasted() /
+                                     out.baseline_useful_energy);
       if (options_.keep_results) {
         outcome.results.push_back(std::move(out.per_strategy[s]));
       }
@@ -223,6 +228,9 @@ ReplicaRun run_replica(const ScenarioConfig& scenario,
   ReplicaRun run(simulate(cfg, jobs, failures));
   run.baseline_useful = baseline.useful;
   run.waste_ratio = run.result.wasted / baseline.useful;
+  run.baseline_useful_energy = baseline.energy.useful();
+  run.energy_waste_ratio =
+      run.result.energy.wasted() / run.baseline_useful_energy;
   return run;
 }
 

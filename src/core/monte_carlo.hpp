@@ -54,6 +54,10 @@ struct StrategyOutcome {
   SampleSet utilization;     ///< mean allocated node fraction
   SampleSet failures_hit;    ///< failures that killed a job
   SampleSet checkpoints;     ///< completed checkpoint count
+  SampleSet energy_joules;   ///< total joules over the measured segment
+  /// Wasted joules / baseline useful joules, per replica — the energy twin
+  /// of waste_ratio (scenario platform PowerProfile, core/accounting.hpp).
+  SampleSet energy_waste_ratio;
   /// Per-replica full results (only when keep_results was set).
   std::vector<SimulationResult> results;
 };
@@ -62,6 +66,7 @@ struct StrategyOutcome {
 struct MonteCarloReport {
   std::vector<StrategyOutcome> outcomes;  ///< one per requested strategy
   SampleSet baseline_useful;              ///< denominator, per replica
+  SampleSet baseline_useful_energy;       ///< joules twin of the denominator
   int replicas = 0;
 
   /// Outcome lookup by strategy name; throws when absent.
@@ -108,6 +113,7 @@ class MonteCarloCampaign {
   /// deterministic regardless of thread scheduling.
   struct ReplicaOutput {
     double baseline_useful = 0.0;
+    double baseline_useful_energy = 0.0;
     std::vector<SimulationResult> per_strategy;
     std::vector<double> waste_ratio;
     std::vector<double> efficiency;
@@ -158,6 +164,8 @@ struct ReplicaRun {
   SimulationResult result;
   double baseline_useful = 0.0;
   double waste_ratio = 0.0;
+  double baseline_useful_energy = 0.0;  ///< joules of the baseline run
+  double energy_waste_ratio = 0.0;      ///< wasted J / baseline useful J
 
   ReplicaRun(SimulationResult r) : result(std::move(r)) {}
 };

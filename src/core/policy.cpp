@@ -1,6 +1,7 @@
 #include "core/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace coopcr {
 
@@ -104,12 +105,22 @@ double DalyPeriodPolicy::period_for(const ClassOnPlatform& cls) const {
   return cls.daly_period;
 }
 
+double EnergyAwarePeriodPolicy::period_for(const ClassOnPlatform& cls) const {
+  return cls.daly_period *
+         std::sqrt(cls.power.checkpoint_watts / cls.power.compute_watts);
+}
+
 std::shared_ptr<const CheckpointPeriodPolicy> fixed_period(double seconds) {
   return std::make_shared<const FixedPeriodPolicy>(seconds);
 }
 
 std::shared_ptr<const CheckpointPeriodPolicy> daly_period() {
   static const auto policy = std::make_shared<const DalyPeriodPolicy>();
+  return policy;
+}
+
+std::shared_ptr<const CheckpointPeriodPolicy> energy_period() {
+  static const auto policy = std::make_shared<const EnergyAwarePeriodPolicy>();
   return policy;
 }
 
@@ -152,6 +163,7 @@ PolicyRegistry<CheckpointPeriodPolicy>& period_registry() {
     auto* r = new PolicyRegistry<CheckpointPeriodPolicy>();
     r->add("Fixed", [] { return fixed_period(); });
     r->add(daly_period());
+    r->add(energy_period());
     return r;
   }();
   return *registry;

@@ -167,9 +167,29 @@ class DalyPeriodPolicy final : public CheckpointPeriodPolicy {
   double period_for(const ClassOnPlatform& cls) const override;
 };
 
+/// Energy-optimal first-order period following Aupy et al. (*Optimal
+/// Checkpointing Period: Time vs. Energy*): minimising joules instead of
+/// seconds replaces the Young/Daly optimum by
+///
+///     T_opt^E = sqrt(2 µ_i C_i · P_checkpoint / P_compute)
+///             = P_Daly(J_i) · sqrt(P_checkpoint / P_compute),
+///
+/// where the draws are the platform's total per-node powers during a
+/// checkpoint commit and during compute (their P_Static + P_I/O and
+/// P_Static + P_Cal). When the two draws coincide the policy degenerates to
+/// Daly exactly. The profile is read from the *resolved* class, so one
+/// registered policy adapts to whatever PowerProfile the swept scenario
+/// carries (exp::ExperimentSpec::energy_axis / power_cap_axis).
+class EnergyAwarePeriodPolicy final : public CheckpointPeriodPolicy {
+ public:
+  std::string name() const override { return "Energy"; }
+  double period_for(const ClassOnPlatform& cls) const override;
+};
+
 std::shared_ptr<const CheckpointPeriodPolicy> fixed_period(
     double seconds = units::kHour);
 std::shared_ptr<const CheckpointPeriodPolicy> daly_period();
+std::shared_ptr<const CheckpointPeriodPolicy> energy_period();
 
 // ---------------------------------------------------------------------------
 // Checkpoint request offset

@@ -1,5 +1,6 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -21,6 +22,24 @@ ScenarioBuilder& ScenarioBuilder::pfs_bandwidth(double bytes_per_second) {
 ScenarioBuilder& ScenarioBuilder::node_mtbf(double seconds) {
   config_.platform.node_mtbf = seconds;
   mtbf_override_ = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::power_profile(const PowerProfile& profile) {
+  config_.platform.power = profile;
+  power_override_ = profile;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::io_power_ratio(double ratio) {
+  COOPCR_CHECK(ratio > 0.0, "I/O-to-compute power ratio must be positive");
+  io_power_ratio_ = ratio;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::power_cap(double watts) {
+  COOPCR_CHECK(watts > 0.0, "power cap must be positive");
+  power_cap_ = watts;
   return *this;
 }
 
@@ -112,6 +131,19 @@ ScenarioConfig ScenarioBuilder::build() const {
   // them cannot silently discard the tweak (setter order never matters).
   if (bandwidth_override_) built.platform.pfs_bandwidth = *bandwidth_override_;
   if (mtbf_override_) built.platform.node_mtbf = *mtbf_override_;
+  if (power_override_) built.platform.power = *power_override_;
+  if (io_power_ratio_) {
+    PowerProfile& power = built.platform.power;
+    power.io_watts = *io_power_ratio_ * power.compute_watts;
+    power.checkpoint_watts = power.io_watts;
+  }
+  if (power_cap_) {
+    PowerProfile& power = built.platform.power;
+    power.compute_watts = std::min(power.compute_watts, *power_cap_);
+    power.io_watts = std::min(power.io_watts, *power_cap_);
+    power.checkpoint_watts = std::min(power.checkpoint_watts, *power_cap_);
+    power.idle_watts = std::min(power.idle_watts, *power_cap_);
+  }
   built.platform.validate();
   COOPCR_CHECK(!built.applications.empty(),
                "scenario needs application classes");

@@ -45,6 +45,19 @@ class ScenarioBuilder {
   ScenarioBuilder& pfs_bandwidth(double bytes_per_second);
   ScenarioBuilder& node_mtbf(double seconds);
 
+  // --- power (energy accounting) --------------------------------------------
+
+  /// Replace the platform's per-node power draws (survives a later
+  /// platform() call, like the bandwidth/MTBF overrides).
+  ScenarioBuilder& power_profile(const PowerProfile& profile);
+  /// Set the I/O and checkpoint draws to `ratio` × the compute draw — the
+  /// fig4 energy-trade-off axis. Applied at build() time on top of whatever
+  /// profile the platform (or power_profile()) carries.
+  ScenarioBuilder& io_power_ratio(double ratio);
+  /// Clamp every per-node draw to at most `watts` (power-cap studies).
+  /// Applied last, after the profile and ratio edits.
+  ScenarioBuilder& power_cap(double watts);
+
   // --- workload --------------------------------------------------------------
 
   ScenarioBuilder& applications(std::vector<ApplicationClass> apps);
@@ -98,6 +111,9 @@ class ScenarioBuilder {
   PlatformSpec project_from_;
   std::optional<double> bandwidth_override_;
   std::optional<double> mtbf_override_;
+  std::optional<PowerProfile> power_override_;
+  std::optional<double> io_power_ratio_;
+  std::optional<double> power_cap_;
 };
 
 }  // namespace coopcr

@@ -64,6 +64,8 @@ class Runner {
     finalize(stop_time_);
     result_.useful = result_.accounting.useful();
     result_.wasted = result_.accounting.wasted();
+    result_.energy = EnergyModel(cfg_.platform.power).breakdown(
+        result_.accounting);
     result_.avg_utilization =
         util_accum_ / (static_cast<double>(cfg_.platform.nodes) *
                        result_.accounting.segment_length());

@@ -48,6 +48,9 @@ struct SimulationCounters {
 struct SimulationResult {
   Accounting accounting;        ///< per-category unit-seconds in the segment
   SimulationCounters counters;
+  /// Per-category joules, accumulated alongside the time accounting from the
+  /// platform's PowerProfile (EnergyModel in core/accounting.hpp).
+  EnergyBreakdown energy;
   double useful = 0.0;          ///< accounting.useful()
   double wasted = 0.0;          ///< accounting.wasted()
   double avg_utilization = 0.0; ///< mean allocated node fraction over segment

@@ -85,6 +85,11 @@ StrategySpec least_waste(LeastWasteVariant variant) {
                       paper ? "Least-Waste" : "Least-Waste:marginal"};
 }
 
+StrategySpec coop_energy() {
+  return StrategySpec{least_waste_coordination(), energy_period(),
+                      full_period_offset(), "coop-energy"};
+}
+
 const std::vector<StrategySpec>& paper_strategies() {
   static const std::vector<StrategySpec> kStrategies = {
       oblivious_fixed(), oblivious_daly(),  ordered_fixed(), ordered_daly(),
@@ -129,6 +134,8 @@ StrategyRegistry& strategy_registry() {
     // The two non-canonical spellings of the NB variants, kept for CLIs.
     r->add("OrderedNB-Fixed", [] { return ordered_nb_fixed(); });
     r->add("OrderedNB-Daly", [] { return ordered_nb_daly(); });
+    // Cooperative coordination with the energy-optimal period (Aupy et al.).
+    r->add(coop_energy());
     return r;
   }();
   return *registry;

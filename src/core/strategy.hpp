@@ -86,6 +86,12 @@ StrategySpec ordered_nb_daly();
 StrategySpec least_waste(
     LeastWasteVariant variant = LeastWasteVariant::kPaperEq12);
 
+/// The paper's cooperative (Least-Waste) coordination composed with the
+/// Aupy et al. energy-optimal period policy instead of Daly periods —
+/// registered as "coop-energy". Degenerates to Least-Waste exactly when the
+/// scenario's checkpoint and compute power draws coincide.
+StrategySpec coop_energy();
+
 /// The seven strategies evaluated in every figure of the paper, in the
 /// paper's legend order: Oblivious-Fixed, Oblivious-Daly, Ordered-Fixed,
 /// Ordered-Daly, Ordered-NB-Fixed, Ordered-NB-Daly, Least-Waste.

@@ -117,6 +117,18 @@ ExperimentSpec& ExperimentSpec::interference_axis(
   });
 }
 
+ExperimentSpec& ExperimentSpec::energy_axis(
+    const std::vector<double>& io_to_compute_ratios) {
+  return axis("io_power_ratio", io_to_compute_ratios,
+              [](ScenarioBuilder& b, double v) { b.io_power_ratio(v); });
+}
+
+ExperimentSpec& ExperimentSpec::power_cap_axis(
+    const std::vector<double>& watts) {
+  return axis("power_cap_watts", watts,
+              [](ScenarioBuilder& b, double v) { b.power_cap(v); });
+}
+
 ExperimentSpec& ExperimentSpec::scenario_axis(
     const std::string& name,
     std::vector<std::pair<std::string, ScenarioBuilder>> presets) {

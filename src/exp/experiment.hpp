@@ -104,6 +104,15 @@ class ExperimentSpec {
   /// paper's linear sharing, alpha > 0 the adversarial degrading model.
   ExperimentSpec& interference_axis(const std::vector<double>& alphas);
 
+  /// I/O-to-compute power ratio ("io_power_ratio"): for each ratio r the
+  /// scenario's I/O and checkpoint draws become r × the compute draw
+  /// (ScenarioBuilder::io_power_ratio) — the fig4 energy trade-off sweep.
+  ExperimentSpec& energy_axis(const std::vector<double>& io_to_compute_ratios);
+
+  /// Per-node power cap in watts ("power_cap_watts"): every draw of the
+  /// scenario's PowerProfile is clamped to the cap.
+  ExperimentSpec& power_cap_axis(const std::vector<double>& watts);
+
   /// Whole-scenario axis (workload/platform presets): each point replaces
   /// the base builder, so it must be the *first* declared axis (enforced) —
   /// later value axes then apply on top of the preset. Values are the

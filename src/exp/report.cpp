@@ -58,6 +58,8 @@ const SampleSet& metric_samples(const StrategyOutcome& outcome,
     case Metric::kUtilization: return outcome.utilization;
     case Metric::kFailuresHit: return outcome.failures_hit;
     case Metric::kCheckpoints: return outcome.checkpoints;
+    case Metric::kEnergyJoules: return outcome.energy_joules;
+    case Metric::kEnergyWasteRatio: return outcome.energy_waste_ratio;
   }
   COOPCR_CHECK(false, "unknown metric");
   return outcome.waste_ratio;  // unreachable
@@ -70,6 +72,8 @@ std::string metric_name(Metric metric) {
     case Metric::kUtilization: return "utilization";
     case Metric::kFailuresHit: return "failures_hit";
     case Metric::kCheckpoints: return "checkpoints";
+    case Metric::kEnergyJoules: return "energy_joules";
+    case Metric::kEnergyWasteRatio: return "energy_waste_ratio";
   }
   COOPCR_CHECK(false, "unknown metric");
   return "";  // unreachable
@@ -77,8 +81,9 @@ std::string metric_name(Metric metric) {
 
 const std::vector<Metric>& all_metrics() {
   static const std::vector<Metric> kAll = {
-      Metric::kWasteRatio, Metric::kEfficiency, Metric::kUtilization,
-      Metric::kFailuresHit, Metric::kCheckpoints};
+      Metric::kWasteRatio,   Metric::kEfficiency,   Metric::kUtilization,
+      Metric::kFailuresHit,  Metric::kCheckpoints,  Metric::kEnergyJoules,
+      Metric::kEnergyWasteRatio};
   return kAll;
 }
 
@@ -144,6 +149,8 @@ void ExperimentReport::write_json(std::ostream& os) const {
     }
     os << "],\"baseline_useful\":";
     write_candlestick_json(os, pr.report.baseline_useful.candlestick());
+    os << ",\"baseline_useful_energy\":";
+    write_candlestick_json(os, pr.report.baseline_useful_energy.candlestick());
     os << ",\"strategies\":[";
     for (std::size_t s = 0; s < pr.report.outcomes.size(); ++s) {
       const StrategyOutcome& outcome = pr.report.outcomes[s];

@@ -34,6 +34,8 @@ enum class Metric {
   kUtilization,
   kFailuresHit,
   kCheckpoints,
+  kEnergyJoules,      ///< total joules over the measured segment
+  kEnergyWasteRatio,  ///< wasted joules / baseline useful joules
 };
 
 /// The outcome's sample set for `metric`.

@@ -24,6 +24,24 @@ class DrainGuard {
   ThreadPool& pool_;
 };
 
+/// Rethrow the first stashed replica error of one campaign, prefixed with
+/// `context` (which grid point / campaign failed) and the replica index —
+/// a bare rethrow would leave the caller guessing which of a thousand grid
+/// tasks blew up.
+void rethrow_first_error_with_context(
+    const std::vector<std::exception_ptr>& errors, const std::string& context) {
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const std::exception& e) {
+      throw Error(context + ", replica " + std::to_string(r) + ": " +
+                  e.what());
+    }
+    // Non-std exceptions keep propagating unwrapped.
+  }
+}
+
 }  // namespace
 
 SweepRunner::SweepRunner(int threads)
@@ -58,8 +76,11 @@ std::vector<MonteCarloReport> SweepRunner::run_batch(
     submit_campaign_tasks(*pool_, *running[c], errors[c]);
   }
   pool_->wait_idle();
-  for (const auto& campaign_errors : errors) {
-    rethrow_first_error(campaign_errors);
+  for (std::size_t c = 0; c < errors.size(); ++c) {
+    rethrow_first_error_with_context(
+        errors[c], "sweep batch campaign " + std::to_string(c) + " of " +
+                       std::to_string(errors.size()) + " (scenario \"" +
+                       running[c]->scenario().platform.name + "\") failed");
   }
 
   // Deterministic reduction in campaign order.
@@ -114,7 +135,11 @@ ExperimentReport SweepRunner::run(const ExperimentSpec& spec) {
       std::unique_lock<std::mutex> lock(progress.mutex);
       progress.done.wait(lock, [&] { return progress.remaining[p] == 0; });
     }
-    rethrow_first_error(errors[p]);  // DrainGuard drains before unwinding
+    // DrainGuard drains before unwinding.
+    rethrow_first_error_with_context(
+        errors[p], "experiment \"" + spec.name() + "\" grid point " +
+                       std::to_string(p) + " (" + points[p].label() +
+                       ") failed");
     MonteCarloReport point_report = campaigns[p]->reduce();
     if (on_point_) on_point_(points[p], point_report);
     report.points.push_back(

@@ -4,6 +4,32 @@
 
 namespace coopcr {
 
+void PowerProfile::validate() const {
+  COOPCR_CHECK(compute_watts > 0.0, "compute power draw must be positive");
+  COOPCR_CHECK(io_watts > 0.0, "I/O power draw must be positive");
+  COOPCR_CHECK(checkpoint_watts > 0.0,
+               "checkpoint power draw must be positive");
+  COOPCR_CHECK(idle_watts > 0.0, "idle power draw must be positive");
+}
+
+PowerProfile PowerProfile::cielo() {
+  PowerProfile profile;
+  profile.compute_watts = 218.0;  // ~3.9 MW / 17,888 units at full load
+  profile.io_watts = 132.0;       // static floor + ~1/3 of dynamic compute
+  profile.checkpoint_watts = 132.0;
+  profile.idle_watts = 90.0;      // static floor
+  return profile;
+}
+
+PowerProfile PowerProfile::prospective() {
+  PowerProfile profile;
+  profile.compute_watts = 260.0;  // denser future nodes
+  profile.io_watts = 150.0;
+  profile.checkpoint_watts = 150.0;
+  profile.idle_watts = 100.0;
+  return profile;
+}
+
 double PlatformSpec::memory_per_node() const {
   COOPCR_CHECK(nodes > 0, "platform has no nodes");
   return memory_bytes / static_cast<double>(nodes);
@@ -27,6 +53,7 @@ void PlatformSpec::validate() const {
                "platform '" + name + "': PFS bandwidth must be positive");
   COOPCR_CHECK(node_mtbf > 0.0,
                "platform '" + name + "': node MTBF must be positive");
+  power.validate();
 }
 
 PlatformSpec PlatformSpec::cielo() {
@@ -37,6 +64,7 @@ PlatformSpec PlatformSpec::cielo() {
   spec.memory_bytes = units::terabytes(286);
   spec.pfs_bandwidth = units::gb_per_s(160);
   spec.node_mtbf = units::years(2);
+  spec.power = PowerProfile::cielo();
   return spec;
 }
 
@@ -48,6 +76,7 @@ PlatformSpec PlatformSpec::prospective() {
   spec.memory_bytes = units::petabytes(7);
   spec.pfs_bandwidth = units::tb_per_s(10);
   spec.node_mtbf = units::years(10);
+  spec.power = PowerProfile::prospective();
   return spec;
 }
 

@@ -20,6 +20,32 @@
 
 namespace coopcr {
 
+/// Per-node power draws (watts per failure unit) of the four activity modes
+/// the energy accounting distinguishes (core/accounting.hpp maps every
+/// TimeCategory onto one of them). Draws are *total* node power in that mode
+/// — static plus dynamic — following Aupy et al. (*Optimal Checkpointing
+/// Period: Time vs. Energy*), whose P_Static + P_Cal / P_Static + P_I/O sums
+/// are exactly these totals.
+struct PowerProfile {
+  double compute_watts = 200.0;     ///< executing application work
+  double io_watts = 120.0;          ///< routine/input/output transfers
+  double checkpoint_watts = 120.0;  ///< checkpoint commit / recovery read
+  double idle_watts = 80.0;         ///< blocked waiting for the I/O token
+
+  /// Validate invariants (all draws positive); throws coopcr::Error.
+  void validate() const;
+
+  /// Cielo calibration: ~3.9 MW machine load over 17,888 failure units
+  /// gives ~218 W per unit at full compute; I/O and idle draws follow the
+  /// Aupy et al. measurement that dynamic I/O power is roughly a third of
+  /// dynamic compute power on top of a ~90 W static floor.
+  static PowerProfile cielo();
+
+  /// Prospective-system calibration (§6.2 machine): denser nodes draw more
+  /// at full compute, with the same static floor structure.
+  static PowerProfile prospective();
+};
+
 /// Static description of a computational platform.
 struct PlatformSpec {
   std::string name;            ///< human-readable identifier
@@ -28,6 +54,7 @@ struct PlatformSpec {
   double memory_bytes = 0.0;   ///< total main memory of the machine
   double pfs_bandwidth = 0.0;  ///< aggregated PFS bandwidth (bytes/s)
   double node_mtbf = 0.0;      ///< per-unit MTBF (seconds); µ_ind in the paper
+  PowerProfile power;          ///< per-node draws for the energy accounting
 
   /// Total core count.
   std::int64_t total_cores() const { return nodes * cores_per_node; }

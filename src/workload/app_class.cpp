@@ -52,6 +52,7 @@ ClassOnPlatform resolve(const ApplicationClass& app,
   c.recovery_seconds = c.checkpoint_seconds;  // symmetric read/write (§5)
   c.mtbf = job_mtbf(platform.node_mtbf, c.nodes);
   c.daly_period = daly_period(c.checkpoint_seconds, c.mtbf);
+  c.power = platform.power;
   return c;
 }
 

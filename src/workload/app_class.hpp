@@ -66,6 +66,7 @@ struct ClassOnPlatform {
   double recovery_seconds = 0.0;    ///< R_i (= C_i, symmetric bandwidths, §5)
   double mtbf = 0.0;                ///< µ_i = µ_ind / q_i
   double daly_period = 0.0;         ///< P_Daly = sqrt(2 µ_i C_i)
+  PowerProfile power;               ///< platform per-node draws (energy axis)
 
   /// Steady-state fractional number of concurrent jobs:
   /// share_i * N / q_i (used by the analytical lower bound).

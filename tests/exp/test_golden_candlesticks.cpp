@@ -106,6 +106,44 @@ TEST(GoldenCandlesticks, CoversEveryPaperStrategy) {
   }
 }
 
+// The energy subsystem's statistical guard: the coop-energy strategy's
+// time- and energy-waste distributions over the same pinned campaign
+// (Cielo default PowerProfile, so P_ckpt/P_compute = 132/218 and the
+// energy-optimal periods are ~0.778 x Daly). Captured from this
+// implementation when the energy subsystem landed.
+TEST(GoldenCandlesticks, CoopEnergyMatchesPinnedSummaries) {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2))
+                               .min_makespan(units::days(10))
+                               .segment(units::days(1), units::days(9)),
+                           "golden_energy");
+  MonteCarloOptions options;
+  options.replicas = 16;
+  spec.strategies({coop_energy()}).options(options);
+  exp::SweepRunner runner(/*threads=*/2);
+  const exp::ExperimentReport report = runner.run(spec);
+  const StrategyOutcome& outcome = report.at(0).report.outcomes[0];
+  EXPECT_EQ(outcome.strategy.name(), "coop-energy");
+
+  const Candlestick waste = outcome.waste_ratio.candlestick();
+  EXPECT_NEAR(waste.d1, 0.28273147565155177, kTol);
+  EXPECT_NEAR(waste.q1, 0.35840920303653656, kTol);
+  EXPECT_NEAR(waste.mean, 0.4370955535423745, kTol);
+  EXPECT_NEAR(waste.median, 0.44994952748396433, kTol);
+  EXPECT_NEAR(waste.q3, 0.53191114356759461, kTol);
+  EXPECT_NEAR(waste.d9, 0.57637674799066319, kTol);
+
+  const Candlestick energy = outcome.energy_waste_ratio.candlestick();
+  EXPECT_NEAR(energy.d1, 0.22130303413537394, kTol);
+  EXPECT_NEAR(energy.q1, 0.28083968905734491, kTol);
+  EXPECT_NEAR(energy.mean, 0.3327463580128398, kTol);
+  EXPECT_NEAR(energy.median, 0.34153287039551122, kTol);
+  EXPECT_NEAR(energy.q3, 0.40030263268536226, kTol);
+  EXPECT_NEAR(energy.d9, 0.42526640117476516, kTol);
+  EXPECT_EQ(energy.n, 16u);
+}
+
 // The Figure 1 bench's 160 GB/s row with the default seeds and 3 replicas,
 // as emitted by the pre-migration bench's CSV (6-decimal fixed precision —
 // hence the looser rounding tolerance).

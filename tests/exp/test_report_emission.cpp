@@ -48,10 +48,10 @@ TEST(ReportEmission, CsvSchemaAndExactRoundTrip) {
   EXPECT_EQ(line,
             "pfs_bandwidth_gbps,strategy,metric,mean,d1,q1,median,q3,d9,n");
 
-  // 2 points x 1 strategy x 5 metrics.
+  // 2 points x 1 strategy x 7 metrics (5 time metrics + 2 energy metrics).
   std::vector<std::vector<std::string>> rows;
   while (std::getline(iss, line)) rows.push_back(split_csv_line(line));
-  ASSERT_EQ(rows.size(), 10u);
+  ASSERT_EQ(rows.size(), 14u);
 
   // First data row: point 0, waste_ratio. 17 significant digits round-trip
   // doubles exactly through strtod.
@@ -75,7 +75,22 @@ TEST(ReportEmission, CsvSchemaAndExactRoundTrip) {
   EXPECT_EQ(rows[2][2], "utilization");
   EXPECT_EQ(rows[3][2], "failures_hit");
   EXPECT_EQ(rows[4][2], "checkpoints");
-  EXPECT_EQ(std::strtod(rows[5][0].c_str(), nullptr), 80.0);
+  EXPECT_EQ(rows[5][2], "energy_joules");
+  EXPECT_EQ(rows[6][2], "energy_waste_ratio");
+  EXPECT_EQ(std::strtod(rows[7][0].c_str(), nullptr), 80.0);
+
+  // The energy rows round-trip exactly too (joules reach 1e13+ and lean on
+  // the 17-significant-digit format).
+  const Candlestick joules =
+      report.at(0).report.outcomes[0].energy_joules.candlestick();
+  EXPECT_EQ(std::strtod(rows[5][3].c_str(), nullptr), joules.mean);
+  EXPECT_EQ(std::strtod(rows[5][4].c_str(), nullptr), joules.d1);
+  EXPECT_EQ(std::strtod(rows[5][8].c_str(), nullptr), joules.d9);
+  const Candlestick ewr =
+      report.at(0).report.outcomes[0].energy_waste_ratio.candlestick();
+  EXPECT_EQ(std::strtod(rows[6][3].c_str(), nullptr), ewr.mean);
+  EXPECT_GT(joules.mean, 0.0);
+  EXPECT_GT(ewr.mean, 0.0);
 }
 
 TEST(ReportEmission, JsonCarriesTheFullSummaries) {
@@ -90,10 +105,17 @@ TEST(ReportEmission, JsonCarriesTheFullSummaries) {
             std::string::npos);
   EXPECT_NE(json.find("\"waste_ratio\":{\"mean\":"), std::string::npos);
   EXPECT_NE(json.find("\"baseline_useful\":{"), std::string::npos);
+  // The energy schema extension rides along in the same document.
+  EXPECT_NE(json.find("\"baseline_useful_energy\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_joules\":{\"mean\":"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_waste_ratio\":{\"mean\":"), std::string::npos);
   // The exact mean value must appear verbatim (17-digit round-trip format).
   const Candlestick c =
       report.at(0).report.outcomes[0].waste_ratio.candlestick();
   EXPECT_NE(json.find(format_number(c.mean)), std::string::npos);
+  const Candlestick e =
+      report.at(0).report.outcomes[0].energy_waste_ratio.candlestick();
+  EXPECT_NE(json.find(format_number(e.mean)), std::string::npos);
 }
 
 /// A numpunct facet with ',' as decimal point and '.' grouping — the

@@ -168,6 +168,55 @@ TEST(SweepRunner, PropagatesCampaignErrors) {
   EXPECT_THROW(runner.run(spec), Error);
 }
 
+TEST(SweepRunner, RunNamesTheFailingGridPointAndReplica) {
+  // A scenario whose measurement segment lies beyond the drained workload:
+  // it builds fine, but every replica task fails its baseline-useful check
+  // inside the pool. The rethrown error must say *which* grid point blew up
+  // (index + axis values) and which replica, not just the raw message.
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(/*seed=*/99)
+                               .min_makespan(units::days(2))
+                               .segment(units::days(40), units::days(50)),
+                           "energy_grid");
+  spec.pfs_bandwidth_axis({60, 80}).strategies({least_waste()}).replicas(2);
+  exp::SweepRunner runner(/*threads=*/2);
+  try {
+    runner.run(spec);
+    FAIL() << "expected the sweep to fail";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("experiment \"energy_grid\" grid point 0"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("pfs_bandwidth_gbps=60"), std::string::npos) << what;
+    EXPECT_NE(what.find("replica 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("baseline run produced no useful work"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(SweepRunner, RunBatchNamesTheFailingCampaign) {
+  ScenarioConfig broken = ScenarioBuilder::cielo_apex(/*seed=*/99)
+                              .min_makespan(units::days(2))
+                              .segment(units::days(40), units::days(50))
+                              .build();
+  MonteCarloOptions options;
+  options.replicas = 1;
+  exp::SweepRunner runner(/*threads=*/2);
+  std::vector<exp::Campaign> batch;
+  batch.push_back(exp::Campaign{tiny_base().build(), {least_waste()}, options});
+  batch.push_back(exp::Campaign{broken, {least_waste()}, options});
+  try {
+    runner.run_batch(std::move(batch));
+    FAIL() << "expected the batch to fail";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sweep batch campaign 1 of 2"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("replica 0"), std::string::npos) << what;
+  }
+}
+
 TEST(SweepRunner, EmptyAxisYieldsEmptyReport) {
   exp::ExperimentSpec spec(tiny_base(), "empty_axis");
   spec.pfs_bandwidth_axis({}).strategies({least_waste()}).replicas(1);
