@@ -14,10 +14,12 @@
 //
 // Extension points (no core edits required):
 //  * core/policy.hpp   — implement IoCoordinationPolicy /
-//                        CheckpointPeriodPolicy / RequestOffsetPolicy and
-//                        add them to the axis registries;
+//                        CheckpointPeriodPolicy / RequestOffsetPolicy /
+//                        CommitPolicy and add them to the axis registries;
 //  * core/strategy.hpp — compose a StrategySpec from policies and add it to
 //                        strategy_registry() to make it reachable by name.
+//
+// docs/ARCHITECTURE.md has the layer map and the full extension recipe.
 
 #pragma once
 

@@ -25,11 +25,28 @@
 
 namespace coopcr {
 
+/// Tiered (burst-buffer) commit-path configuration, resolved by
+/// ScenarioBuilder::build — `capacity` is capacity_factor × the workload's
+/// aggregate checkpoint working set on the final platform. Only consulted
+/// when the run's strategy carries a tiered CommitPolicy; a zero capacity
+/// degrades bit-identically to the direct path.
+struct BurstBufferConfig {
+  double bandwidth = 0.0;        ///< β_bb, bytes/s (0 = no buffer)
+  double capacity = 0.0;         ///< resolved fast-tier bytes
+  double capacity_factor = 0.0;  ///< capacity / checkpoint working set
+
+  /// True when a tiered strategy can actually absorb into the buffer.
+  bool usable() const { return bandwidth > 0.0 && capacity > 0.0; }
+};
+
 /// Everything one simulation run needs besides the job list and failures.
 struct SimulationConfig {
   PlatformSpec platform;
   std::vector<ClassOnPlatform> classes;
   StrategySpec strategy;  ///< defaults to the Oblivious-Daly baseline
+
+  /// Burst buffer in front of the PFS (ScenarioBuilder::burst_buffer).
+  BurstBufferConfig burst_buffer;
 
   /// Measurement segment: statistics are collected on
   /// [segment_start, segment_end] only — "The segment excludes the first and

@@ -136,6 +136,9 @@ MonteCarloReport MonteCarloCampaign::reduce() {
       outcome.energy_joules.add(result.energy.total());
       outcome.energy_waste_ratio.add(result.energy.wasted() /
                                      out.baseline_useful_energy);
+      outcome.ckpt_waste_ratio.add(
+          result.accounting.total(TimeCategory::kCheckpoint) /
+          out.baseline_useful);
       if (options_.keep_results) {
         outcome.results.push_back(std::move(out.per_strategy[s]));
       }

@@ -58,6 +58,12 @@ struct StrategyOutcome {
   /// Wasted joules / baseline useful joules, per replica — the energy twin
   /// of waste_ratio (scenario platform PowerProfile, core/accounting.hpp).
   SampleSet energy_waste_ratio;
+  /// Commit-transfer waste: the intrinsic (contention-free) unit-seconds of
+  /// checkpoint commit transfers (TimeCategory::kCheckpoint) over baseline
+  /// useful — the component a tiered (burst-buffer) commit path attacks
+  /// directly. Token waits before a commit land in kBlockedWait and
+  /// contention stretch in kIoDilation; neither is included here.
+  SampleSet ckpt_waste_ratio;
   /// Per-replica full results (only when keep_results was set).
   std::vector<SimulationResult> results;
 };

@@ -142,6 +142,18 @@ std::shared_ptr<const RequestOffsetPolicy> full_period_offset() {
   return policy;
 }
 
+// --- commit -----------------------------------------------------------------
+
+std::shared_ptr<const CommitPolicy> direct_commit() {
+  static const auto policy = std::make_shared<const DirectCommitPolicy>();
+  return policy;
+}
+
+std::shared_ptr<const CommitPolicy> tiered_commit() {
+  static const auto policy = std::make_shared<const TieredCommitPolicy>();
+  return policy;
+}
+
 // --- registries -------------------------------------------------------------
 
 PolicyRegistry<IoCoordinationPolicy>& coordination_registry() {
@@ -174,6 +186,16 @@ PolicyRegistry<RequestOffsetPolicy>& offset_registry() {
     auto* r = new PolicyRegistry<RequestOffsetPolicy>();
     r->add(period_minus_commit_offset());
     r->add(full_period_offset());
+    return r;
+  }();
+  return *registry;
+}
+
+PolicyRegistry<CommitPolicy>& commit_registry() {
+  static PolicyRegistry<CommitPolicy>* registry = [] {
+    auto* r = new PolicyRegistry<CommitPolicy>();
+    r->add(direct_commit());
+    r->add(tiered_commit());
     return r;
   }();
   return *registry;

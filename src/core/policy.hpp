@@ -13,6 +13,11 @@
 //                             completion, the next checkpoint *request* is
 //                             issued (P - C per §2, or the full period per the
 //                             §3.5 Least-Waste candidate definition).
+//  * CommitPolicy           — where a checkpoint commits: straight to the PFS
+//                             ("direct", the paper's model) or through the
+//                             scenario's burst buffer ("tiered": absorb at
+//                             fast-tier bandwidth, drain asynchronously — the
+//                             §8 storage-tier extension).
 //
 // Each axis is an interface with a name-keyed factory registry, so new
 // strategies are *registered*, not enumerated: client code (examples, benches,
@@ -229,6 +234,57 @@ std::shared_ptr<const RequestOffsetPolicy> period_minus_commit_offset();
 std::shared_ptr<const RequestOffsetPolicy> full_period_offset();
 
 // ---------------------------------------------------------------------------
+// Checkpoint commit path
+// ---------------------------------------------------------------------------
+
+/// Where a checkpoint commit lands (paper §8, storage-tier extension).
+///
+/// "direct" is the paper's model: the commit transfers straight to the PFS
+/// under the strategy's I/O coordination. "tiered" absorbs the commit into
+/// the scenario's burst buffer (ScenarioBuilder::burst_buffer) at fast-tier
+/// bandwidth — blocking the application only for the absorb — and drains it
+/// to the PFS asynchronously, with drains contending for PFS bandwidth under
+/// the same IoCoordinationPolicy. Un-drained checkpoints are lost when a
+/// failure kills the job (the fast tier is node-local), so restarts resume
+/// from the last *drained* snapshot. When the scenario carries no buffer, or
+/// the buffer lacks free capacity for a commit, the tiered path falls back
+/// to the direct one at PFS speed.
+///
+/// Energy scope: the accounting model charges *job-node* power only, so a
+/// tiered run draws checkpoint watts during the (short) absorb and compute
+/// watts while the drain proceeds in its shadow; the drain's device-side
+/// (buffer/PFS) power is outside the per-node model, as it is for every
+/// transfer. Direct-vs-tiered energy comparisons therefore capture
+/// node-side energy only.
+class CommitPolicy {
+ public:
+  virtual ~CommitPolicy() = default;
+
+  /// Registry key and display-name suffix, e.g. "tiered".
+  virtual std::string name() const = 0;
+
+  /// True when checkpoints take the absorb-then-drain path.
+  virtual bool tiered() const = 0;
+};
+
+/// The paper's model: checkpoints commit straight to the PFS.
+class DirectCommitPolicy final : public CommitPolicy {
+ public:
+  std::string name() const override { return "direct"; }
+  bool tiered() const override { return false; }
+};
+
+/// Burst-buffer absorb-then-drain commits (§8 extension, stdchk-style).
+class TieredCommitPolicy final : public CommitPolicy {
+ public:
+  std::string name() const override { return "tiered"; }
+  bool tiered() const override { return true; }
+};
+
+std::shared_ptr<const CommitPolicy> direct_commit();
+std::shared_ptr<const CommitPolicy> tiered_commit();
+
+// ---------------------------------------------------------------------------
 // Registries
 // ---------------------------------------------------------------------------
 
@@ -283,5 +339,6 @@ class PolicyRegistry {
 PolicyRegistry<IoCoordinationPolicy>& coordination_registry();
 PolicyRegistry<CheckpointPeriodPolicy>& period_registry();
 PolicyRegistry<RequestOffsetPolicy>& offset_registry();
+PolicyRegistry<CommitPolicy>& commit_registry();
 
 }  // namespace coopcr

@@ -43,6 +43,25 @@ ScenarioBuilder& ScenarioBuilder::power_cap(double watts) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::burst_buffer(double capacity_factor,
+                                               double bandwidth) {
+  return bb_capacity_factor(capacity_factor).bb_bandwidth(bandwidth);
+}
+
+ScenarioBuilder& ScenarioBuilder::bb_capacity_factor(double factor) {
+  COOPCR_CHECK(factor >= 0.0,
+               "burst buffer capacity factor must be >= 0 (0 = no buffer)");
+  bb_capacity_factor_ = factor;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bb_bandwidth(double bytes_per_second) {
+  COOPCR_CHECK(bytes_per_second > 0.0,
+               "burst buffer bandwidth must be positive");
+  bb_bandwidth_ = bytes_per_second;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::applications(
     std::vector<ApplicationClass> apps) {
   config_.applications = std::move(apps);
@@ -158,6 +177,21 @@ ScenarioConfig ScenarioBuilder::build() const {
                "segment extends past the horizon");
   built.simulation.platform = built.platform;
   built.simulation.classes = resolve_all(built.applications, built.platform);
+  // Resolve the burst buffer last: its capacity is a factor of the
+  // checkpoint working set, which depends on the final platform + classes.
+  if (bb_capacity_factor_ && *bb_capacity_factor_ > 0.0) {
+    COOPCR_CHECK(bb_bandwidth_.has_value(),
+                 "burst buffer capacity set without a bandwidth "
+                 "(ScenarioBuilder::bb_bandwidth or ::burst_buffer)");
+  }
+  if (bb_capacity_factor_ || bb_bandwidth_) {
+    BurstBufferConfig& bb = built.simulation.burst_buffer;
+    bb.capacity_factor = bb_capacity_factor_.value_or(0.0);
+    bb.bandwidth = bb_bandwidth_.value_or(0.0);
+    bb.capacity =
+        bb.capacity_factor *
+        checkpoint_working_set(built.simulation.classes, built.platform);
+  }
   return built;
 }
 

@@ -58,6 +58,19 @@ class ScenarioBuilder {
   /// Applied last, after the profile and ratio edits.
   ScenarioBuilder& power_cap(double watts);
 
+  // --- tiered storage (burst buffer) -----------------------------------------
+
+  /// Put a burst buffer of `bandwidth` bytes/s in front of the PFS, sized to
+  /// `capacity_factor` × the workload's aggregate checkpoint working set
+  /// (resolved against the *final* platform at build() time, like every
+  /// other deferred knob). The buffer only changes behaviour for strategies
+  /// whose CommitPolicy is tiered; a factor of 0 degrades bit-identically to
+  /// direct commits.
+  ScenarioBuilder& burst_buffer(double capacity_factor, double bandwidth);
+  /// The two knobs separately — the bb sweep axes edit one at a time.
+  ScenarioBuilder& bb_capacity_factor(double factor);
+  ScenarioBuilder& bb_bandwidth(double bytes_per_second);
+
   // --- workload --------------------------------------------------------------
 
   ScenarioBuilder& applications(std::vector<ApplicationClass> apps);
@@ -114,6 +127,8 @@ class ScenarioBuilder {
   std::optional<PowerProfile> power_override_;
   std::optional<double> io_power_ratio_;
   std::optional<double> power_cap_;
+  std::optional<double> bb_capacity_factor_;
+  std::optional<double> bb_bandwidth_;
 };
 
 }  // namespace coopcr

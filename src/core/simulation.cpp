@@ -45,6 +45,17 @@ class Runner {
     io_ = std::make_unique<IoSubsystem>(
         engine_, cfg_.platform.pfs_bandwidth, admission_mode(),
         cfg_.interference, cfg_.degradation_alpha, make_policy());
+    // Tiered commit path: a fast tier in front of the PFS. Absorbs need no
+    // token — NVRAM-style buffers are processor-shared among concurrent
+    // writers (kConcurrent + kLinear) — while drains go through `io_` and
+    // contend under the strategy's coordination policy like any transfer.
+    tiered_ = cfg_.strategy.commit().tiered() && cfg_.burst_buffer.usable();
+    if (tiered_) {
+      bb_io_ = std::make_unique<IoSubsystem>(
+          engine_, cfg_.burst_buffer.bandwidth, AdmissionMode::kConcurrent,
+          InterferenceModel::kLinear);
+      bb_free_ = cfg_.burst_buffer.capacity;
+    }
     next_job_id_ = 0;
     for (const Job& job : jobs) {
       next_job_id_ = std::max(next_job_id_, job.id + 1);
@@ -83,6 +94,7 @@ class Runner {
     sim::Time submitted = 0.0;
     sim::Time started = sim::kTimeNever;
     bool redo = false;  ///< routine chunk re-executed after a failure
+    bool bb = false;    ///< runs on the burst buffer (tiered absorb)
     bool live() const { return serial != 0; }
   };
 
@@ -104,6 +116,12 @@ class Runner {
     sim::Time chunk_blocked_since = 0.0;
     ActiveReq req;
     int next_chunk = 1;  ///< next routine chunk index (1-based)
+    // Tiered commit path. An absorbed checkpoint is only durable once its
+    // drain reaches the PFS: `snapshot_pos`/`has_snapshot` above advance at
+    // drain completion, never at absorb completion.
+    double absorb_pos = 0.0;            ///< position of the absorbing commit
+    sim::Time last_drained_end = 0.0;   ///< d_i reference for drain candidates
+    std::vector<RequestId> drains;      ///< outstanding drains (in `io_`)
   };
 
   // --- configuration plumbing -----------------------------------------------
@@ -220,9 +238,11 @@ class Runner {
       return;
     }
     // Completed transfer: the interference-free duration is the operation's
-    // intrinsic cost; anything beyond is contention dilation.
-    const double ideal =
-        std::min(req.volume / cfg_.platform.pfs_bandwidth, end - start);
+    // intrinsic cost; anything beyond is contention dilation. Absorbs move
+    // through the fast tier, so their intrinsic cost is at β_bb.
+    const double ref_bandwidth =
+        req.bb ? cfg_.burst_buffer.bandwidth : cfg_.platform.pfs_bandwidth;
+    const double ideal = std::min(req.volume / ref_bandwidth, end - start);
     TimeCategory ideal_cat = TimeCategory::kUsefulIo;
     switch (req.kind) {
       case IoKind::kInput:
@@ -237,6 +257,7 @@ class Runner {
         ideal_cat = TimeCategory::kRecovery;
         break;
       case IoKind::kCheckpoint:
+      case IoKind::kDrain:  // unreachable: drains are not blocking requests
         ideal_cat = TimeCategory::kCheckpoint;
         break;
     }
@@ -270,6 +291,7 @@ class Runner {
     rt.snapshot_pos = job.work_start;
     rt.has_snapshot = job.has_checkpoint;
     rt.last_ckpt_end = engine_.now();
+    rt.last_drained_end = engine_.now();
     // Skip routine chunks already behind the restart position.
     const int n = routine_chunks(rt);
     while (rt.next_chunk <= n &&
@@ -281,7 +303,7 @@ class Runner {
   }
 
   void submit_request(JobRt& rt, IoKind kind, double volume,
-                      bool redo = false) {
+                      bool redo = false, bool bb = false) {
     COOPCR_ASSERT(!rt.req.live(), "job already has an outstanding request");
     ++result_.counters.io_requests;
     const std::uint64_t serial = ++req_serial_;
@@ -291,6 +313,7 @@ class Runner {
     rt.req.volume = volume;
     rt.req.submitted = engine_.now();
     rt.req.redo = redo;
+    rt.req.bb = bb;
     IoRequest request;
     request.job = rt.job.id;
     request.kind = kind;
@@ -307,9 +330,10 @@ class Runner {
     // submit() may invoke on_start — and through it arbitrary state
     // transitions — synchronously. Only adopt the id if this request is
     // still the job's live one afterwards.
-    const RequestId id = io_->submit(request, std::move(callbacks),
-                                     rt.last_ckpt_end,
-                                     rt.cls->recovery_seconds);
+    IoSubsystem& target = bb ? *bb_io_ : *io_;
+    const RequestId id = target.submit(request, std::move(callbacks),
+                                       rt.last_ckpt_end,
+                                       rt.cls->recovery_seconds);
     auto it = jobs_.find(jid);
     if (it != jobs_.end() && it->second.req.serial == serial &&
         it->second.req.id == kInvalidRequest) {
@@ -329,7 +353,13 @@ class Runner {
 
     if (rt.state == JobState::kCkptWait) {
       // Blocking variants paused at request time; just snapshot and commit.
-      rt.snapshot_pos = rt.work_pos;
+      // A tiered absorb snapshots into `absorb_pos` — the position only
+      // becomes the durable `snapshot_pos` when the drain completes.
+      if (rt.req.bb) {
+        rt.absorb_pos = rt.work_pos;
+      } else {
+        rt.snapshot_pos = rt.work_pos;
+      }
       rt.state = JobState::kCheckpointing;
       return;
     }
@@ -368,6 +398,7 @@ class Runner {
     account_request_end(rt, /*completed=*/true, engine_.now());
     tr(jid, TraceKind::kIoEnd, rt.req.kind, rt.req.volume);
     const IoKind kind = rt.req.kind;
+    const bool was_absorb = rt.req.bb;
     rt.req = ActiveReq{};
     switch (kind) {
       case IoKind::kInput:
@@ -380,12 +411,27 @@ class Runner {
         break;
       case IoKind::kCheckpoint:
         ++result_.counters.checkpoints_completed;
-        rt.has_snapshot = true;
         rt.last_ckpt_end = engine_.now();
+        if (was_absorb) {
+          // The application is released, but the snapshot is not durable
+          // yet: queue the drain to the PFS and resume computing in its
+          // shadow. `has_snapshot` advances at drain completion.
+          ++result_.counters.bb_absorbs;
+          enqueue_drain(rt);
+        } else {
+          // A direct commit (including a capacity-full fallback in a tiered
+          // run) is durable immediately — keep the durable-commit clock in
+          // sync so later drain candidates price only truly at-risk work.
+          rt.has_snapshot = true;
+          rt.last_drained_end = engine_.now();
+        }
         begin_compute(rt, /*schedule_ckpt=*/true);
         break;
       case IoKind::kOutput:
         complete_job(rt);
+        break;
+      case IoKind::kDrain:
+        COOPCR_ASSERT(false, "drains never run as a job's blocking request");
         break;
     }
   }
@@ -489,10 +535,22 @@ class Runner {
                   "checkpoint request outside compute");
     tr(rt.job.id, TraceKind::kCkptRequest, IoKind::kCheckpoint,
        rt.job.checkpoint_bytes);
+    // Capacity-full tiered commits fall back to a direct PFS commit under
+    // the normal coordination (the code below), at PFS speed. The fallback
+    // counter only moves once a PFS commit is actually submitted.
+    bool fallback = false;
+    if (tiered_) {
+      if (rt.job.checkpoint_bytes <= bb_free_) {
+        absorb_checkpoint(rt);
+        return;
+      }
+      fallback = true;
+    }
     if (cfg_.strategy.non_blocking_wait()) {
       // Keep computing until the token arrives (§3.3, §3.5). The compute
       // interval stays open; the milestone event stays armed.
       ++result_.counters.checkpoint_requests;
+      if (fallback) ++result_.counters.bb_fallbacks;
       rt.state = JobState::kCkptWaitNb;
       submit_request(rt, IoKind::kCheckpoint, rt.job.checkpoint_bytes);
       return;
@@ -505,8 +563,109 @@ class Runner {
       return;
     }
     ++result_.counters.checkpoint_requests;
+    if (fallback) ++result_.counters.bb_fallbacks;
     rt.state = JobState::kCkptWait;
     submit_request(rt, IoKind::kCheckpoint, rt.job.checkpoint_bytes);
+  }
+
+  // --- tiered commit path ------------------------------------------------------
+
+  /// Absorb a checkpoint into the burst buffer: blocks the job like a direct
+  /// blocking commit, but needs no I/O token — the fast tier is processor-
+  /// shared, so the write starts immediately at β_bb.
+  void absorb_checkpoint(JobRt& rt) {
+    close_compute(rt, rt.compute_started_at, engine_.now());
+    cancel_event(rt.milestone);
+    if (rt.work_pos >= rt.job.total_work) {
+      begin_output(rt);
+      return;
+    }
+    ++result_.counters.checkpoint_requests;
+    bb_free_ -= rt.job.checkpoint_bytes;  // reserved until drained or lost
+    rt.state = JobState::kCkptWait;
+    submit_request(rt, IoKind::kCheckpoint, rt.job.checkpoint_bytes,
+                   /*redo=*/false, /*bb=*/true);
+  }
+
+  /// Queue the freshly absorbed snapshot for draining to the PFS. A newer
+  /// snapshot subsumes any older one still *waiting* for the token (its
+  /// fast-tier space is reclaimed); an already-draining transfer finishes.
+  void enqueue_drain(JobRt& rt) {
+    for (auto it = rt.drains.begin(); it != rt.drains.end();) {
+      if (io_->cancel(*it)) {
+        release_drain(*it);
+        ++result_.counters.bb_drains_superseded;
+        it = rt.drains.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++result_.counters.io_requests;
+    IoRequest request;
+    request.job = rt.job.id;
+    request.kind = IoKind::kDrain;
+    request.volume = rt.job.checkpoint_bytes;
+    request.nodes = rt.job.nodes;
+    const JobId jid = rt.job.id;
+    RequestCallbacks callbacks;
+    callbacks.on_start = [this, jid](RequestId) {
+      auto it = jobs_.find(jid);
+      if (it != jobs_.end()) {
+        tr(jid, TraceKind::kIoStart, IoKind::kDrain,
+           it->second.job.checkpoint_bytes);
+      }
+    };
+    callbacks.on_complete = [this](RequestId id) { on_drain_complete(id); };
+    const RequestId id =
+        io_->submit(request, std::move(callbacks), rt.last_drained_end,
+                    rt.cls->recovery_seconds);
+    drains_.emplace(id, DrainRec{jid, rt.job.checkpoint_bytes,
+                                 rt.absorb_pos});
+    rt.drains.push_back(id);
+  }
+
+  /// Drop the bookkeeping of a drain that will never complete (cancelled,
+  /// aborted or torn down) and reclaim its fast-tier space.
+  void release_drain(RequestId id) {
+    auto it = drains_.find(id);
+    COOPCR_ASSERT(it != drains_.end(), "releasing unknown drain");
+    bb_free_ += it->second.volume;
+    drains_.erase(it);
+  }
+
+  void on_drain_complete(RequestId id) {
+    auto it = drains_.find(id);
+    COOPCR_ASSERT(it != drains_.end(), "completion for unknown drain");
+    const DrainRec rec = it->second;
+    drains_.erase(it);
+    bb_free_ += rec.volume;
+    ++result_.counters.bb_drains_completed;
+    auto jit = jobs_.find(rec.jid);
+    COOPCR_ASSERT(jit != jobs_.end(), "drain outlived its job");
+    JobRt& rt = jit->second;
+    rt.drains.erase(std::find(rt.drains.begin(), rt.drains.end(), id));
+    // The snapshot is durable now: restarts can resume from here.
+    rt.has_snapshot = true;
+    rt.snapshot_pos = std::max(rt.snapshot_pos, rec.pos);
+    rt.last_drained_end = engine_.now();
+    tr(rec.jid, TraceKind::kIoEnd, IoKind::kDrain, rec.volume);
+  }
+
+  /// Tear down every outstanding drain of a finished or killed job. For a
+  /// failure (`lost` = true) this is the lost-on-failure semantics:
+  /// un-drained snapshots lived on the failed nodes' fast tier and are
+  /// gone. At job completion the snapshots are merely obsolete.
+  void abort_drains(JobRt& rt, bool lost) {
+    for (const RequestId id : rt.drains) {
+      io_->abort(id);
+      release_drain(id);
+      if (lost) {
+        ++result_.counters.bb_drains_aborted;
+      } else {
+        ++result_.counters.bb_drains_withdrawn;
+      }
+    }
+    rt.drains.clear();
   }
 
   void begin_output(JobRt& rt) {
@@ -519,6 +678,9 @@ class Runner {
   void complete_job(JobRt& rt) {
     ++result_.counters.jobs_completed;
     tr(rt.job.id, TraceKind::kJobComplete);
+    // Snapshots of a finished job are garbage: withdraw their drains so the
+    // PFS (and the fast tier) stop paying for them.
+    abort_drains(rt, /*lost=*/false);
     const JobId jid = rt.job.id;
     note_alloc_change();
     pool_.release(jid);
@@ -563,9 +725,19 @@ class Runner {
         ++result_.counters.checkpoints_aborted;
       }
       const RequestId id = rt.req.id;
+      const bool was_absorb = rt.req.bb;
+      const double volume = rt.req.volume;
       rt.req = ActiveReq{};
-      if (id != kInvalidRequest) io_->abort(id);
+      if (id != kInvalidRequest) {
+        (was_absorb ? *bb_io_ : *io_).abort(id);
+      }
+      // A torn-down absorb frees its reserved fast-tier space.
+      if (was_absorb) bb_free_ += volume;
     }
+    // Un-drained snapshots die with the node: the restart below resumes
+    // from `snapshot_pos`, which only ever advanced when a snapshot became
+    // durable.
+    abort_drains(rt, /*lost=*/true);
 
     // Build the restart (§5: highest priority; remaining work from the last
     // snapshot; the initial read becomes recovery I/O).
@@ -638,6 +810,18 @@ class Runner {
   JobScheduler scheduler_;
   std::unique_ptr<IoSubsystem> io_;
   SimulationResult result_;
+
+  /// One absorbed-but-not-yet-durable snapshot draining through `io_`.
+  struct DrainRec {
+    JobId jid = kNoJob;
+    double volume = 0.0;
+    double pos = 0.0;  ///< work position the snapshot captured
+  };
+
+  std::unique_ptr<IoSubsystem> bb_io_;  ///< fast tier (tiered commits only)
+  bool tiered_ = false;
+  double bb_free_ = 0.0;  ///< free fast-tier capacity (bytes)
+  std::unordered_map<RequestId, DrainRec> drains_;
 
   std::unordered_map<JobId, JobRt> jobs_;
   std::unordered_map<JobId, double> lineage_max_;

@@ -42,6 +42,13 @@ struct SimulationCounters {
   std::uint64_t jobs_completed = 0;
   std::uint64_t restarts_submitted = 0;
   std::uint64_t io_requests = 0;
+  // Tiered (burst-buffer) commit path; all zero under direct commits.
+  std::uint64_t bb_absorbs = 0;           ///< checkpoints absorbed by the fast tier
+  std::uint64_t bb_fallbacks = 0;         ///< tiered commits sent to the PFS (no space)
+  std::uint64_t bb_drains_completed = 0;  ///< checkpoints durable on the PFS
+  std::uint64_t bb_drains_aborted = 0;    ///< drains lost to a node failure
+  std::uint64_t bb_drains_withdrawn = 0;  ///< drains dropped at job completion
+  std::uint64_t bb_drains_superseded = 0; ///< pending drains replaced by a newer commit
 };
 
 /// Outcome of one simulation run.

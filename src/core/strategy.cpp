@@ -17,18 +17,31 @@ StrategySpec::StrategySpec(
     std::shared_ptr<const CheckpointPeriodPolicy> period,
     std::shared_ptr<const RequestOffsetPolicy> offset,
     std::string display_name)
+    : StrategySpec(std::move(coordination), std::move(period),
+                   std::move(offset), direct_commit(),
+                   std::move(display_name)) {}
+
+StrategySpec::StrategySpec(
+    std::shared_ptr<const IoCoordinationPolicy> coordination,
+    std::shared_ptr<const CheckpointPeriodPolicy> period,
+    std::shared_ptr<const RequestOffsetPolicy> offset,
+    std::shared_ptr<const CommitPolicy> commit, std::string display_name)
     : coordination_(std::move(coordination)),
       period_(std::move(period)),
       offset_(std::move(offset)),
+      commit_(std::move(commit)),
       display_name_(std::move(display_name)) {
   COOPCR_CHECK(coordination_ != nullptr, "strategy needs a coordination policy");
   COOPCR_CHECK(period_ != nullptr, "strategy needs a period policy");
   COOPCR_CHECK(offset_ != nullptr, "strategy needs a request-offset policy");
+  COOPCR_CHECK(commit_ != nullptr, "strategy needs a commit policy");
 }
 
 std::string StrategySpec::name() const {
   if (!display_name_.empty()) return display_name_;
-  return coordination_->name() + "-" + period_->name();
+  std::string composed = coordination_->name() + "-" + period_->name();
+  if (commit_->name() != "direct") composed += "-" + commit_->name();
+  return composed;
 }
 
 StrategySpec StrategySpec::named(std::string display_name) const {
@@ -37,10 +50,35 @@ StrategySpec StrategySpec::named(std::string display_name) const {
   return copy;
 }
 
+StrategySpec StrategySpec::with_commit(
+    std::shared_ptr<const CommitPolicy> commit) const {
+  COOPCR_CHECK(commit != nullptr, "strategy needs a commit policy");
+  StrategySpec copy = *this;
+  if (!copy.display_name_.empty()) {
+    // Swap the suffix the current commit contributed for the new one, so
+    // the name always tells the truth about the commit path — including
+    // when a tiered spec is switched back to direct commits.
+    const std::string old_suffix = "-" + commit_->name();
+    if (commit_->name() != "direct" &&
+        copy.display_name_.size() > old_suffix.size() &&
+        copy.display_name_.compare(
+            copy.display_name_.size() - old_suffix.size(), old_suffix.size(),
+            old_suffix) == 0) {
+      copy.display_name_.erase(copy.display_name_.size() - old_suffix.size());
+    }
+    if (commit->name() != "direct") {
+      copy.display_name_ += "-" + commit->name();
+    }
+  }
+  copy.commit_ = std::move(commit);
+  return copy;
+}
+
 bool StrategySpec::operator==(const StrategySpec& other) const {
   return coordination_->name() == other.coordination_->name() &&
          period_->name() == other.period_->name() &&
-         offset_->name() == other.offset_->name() && name() == other.name();
+         offset_->name() == other.offset_->name() &&
+         commit_->name() == other.commit_->name() && name() == other.name();
 }
 
 // --- paper strategy constructors --------------------------------------------
@@ -136,31 +174,58 @@ StrategyRegistry& strategy_registry() {
     r->add("OrderedNB-Daly", [] { return ordered_nb_daly(); });
     // Cooperative coordination with the energy-optimal period (Aupy et al.).
     r->add(coop_energy());
+    // "coop-daly" spelling of the paper's cooperative strategy, so the
+    // commit-suffix fallback resolves "coop-daly-tiered" and friends.
+    r->add("coop-daly", [] { return least_waste(); });
     return r;
   }();
   return *registry;
 }
 
-StrategySpec strategy_from_name(const std::string& name) {
+namespace {
+
+/// Non-throwing resolution used by strategy_from_name and its commit-suffix
+/// recursion. Returns false when the name matches nothing.
+bool try_strategy_from_name(const std::string& name, StrategySpec& out) {
   if (strategy_registry().contains(name)) {
-    return strategy_registry().make(name);
+    out = strategy_registry().make(name);
+    return true;
+  }
+  const auto dash = name.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= name.size()) {
+    return false;
+  }
+  const std::string head = name.substr(0, dash);
+  const std::string tail = name.substr(dash + 1);
+  // Commit-suffix fallback: "<strategy>-<commit>" composes the resolved
+  // strategy with the named commit path ("coop-daly-tiered").
+  if (commit_registry().contains(tail)) {
+    StrategySpec base;
+    if (try_strategy_from_name(head, base)) {
+      out = base.with_commit(commit_registry().make(tail));
+      return true;
+    }
   }
   // Compositional fallback: "<coordination>-<period>", split at the last '-'
   // so multi-part coordination names ("Ordered-NB", "Smallest-First") work.
-  const auto dash = name.rfind('-');
-  if (dash != std::string::npos && dash > 0 && dash + 1 < name.size()) {
-    const std::string coord_name = name.substr(0, dash);
-    const std::string period_name = name.substr(dash + 1);
-    if (coordination_registry().contains(coord_name) &&
-        period_registry().contains(period_name)) {
-      const auto coordination = coordination_registry().make(coord_name);
-      const auto offset =
-          offset_registry().make(coordination->default_offset_name());
-      return {coordination, period_registry().make(period_name), offset};
-    }
+  if (coordination_registry().contains(head) &&
+      period_registry().contains(tail)) {
+    const auto coordination = coordination_registry().make(head);
+    const auto offset =
+        offset_registry().make(coordination->default_offset_name());
+    out = {coordination, period_registry().make(tail), offset};
+    return true;
   }
-  COOPCR_CHECK(false, "unknown strategy name: " + name);
-  return {};
+  return false;
+}
+
+}  // namespace
+
+StrategySpec strategy_from_name(const std::string& name) {
+  StrategySpec spec;
+  COOPCR_CHECK(try_strategy_from_name(name, spec),
+               "unknown strategy name: " + name);
+  return spec;
 }
 
 }  // namespace coopcr

@@ -1,9 +1,10 @@
 // coopcr/core/strategy.hpp
 //
-// A checkpoint/I/O scheduling strategy is the composition of three policy
+// A checkpoint/I/O scheduling strategy is the composition of four policy
 // objects (core/policy.hpp): an I/O-coordination policy, a checkpoint-period
-// policy and a request-offset policy. The paper's seven strategies (§3) are
-// prebuilt compositions:
+// policy, a request-offset policy and a commit policy (direct-to-PFS vs
+// tiered through the scenario's burst buffer). The paper's seven strategies
+// (§3) are prebuilt compositions:
 //
 //   Oblivious-Fixed   Oblivious-Daly     — uncoordinated, linear interference
 //   Ordered-Fixed     Ordered-Daly       — serialized FCFS, blocking wait
@@ -28,9 +29,10 @@
 namespace coopcr {
 
 /// One fully-specified scheduling strategy: a coordination policy, a period
-/// policy, a request-offset policy and an optional display-name override
-/// (the paper calls "Least-Waste + Daly periods" just "Least-Waste").
-/// Policies are immutable and shared, so copies are cheap and thread-safe.
+/// policy, a request-offset policy, a commit policy and an optional
+/// display-name override (the paper calls "Least-Waste + Daly periods" just
+/// "Least-Waste"). Policies are immutable and shared, so copies are cheap
+/// and thread-safe.
 class StrategySpec {
  public:
   /// The baseline composition: Oblivious coordination with Daly periods.
@@ -41,13 +43,21 @@ class StrategySpec {
                std::shared_ptr<const RequestOffsetPolicy> offset,
                std::string display_name = "");
 
+  StrategySpec(std::shared_ptr<const IoCoordinationPolicy> coordination,
+               std::shared_ptr<const CheckpointPeriodPolicy> period,
+               std::shared_ptr<const RequestOffsetPolicy> offset,
+               std::shared_ptr<const CommitPolicy> commit,
+               std::string display_name = "");
+
   /// Canonical display name: the override when set, otherwise
-  /// "<coordination>-<period>", e.g. "Ordered-NB-Daly".
+  /// "<coordination>-<period>", e.g. "Ordered-NB-Daly". A non-direct commit
+  /// policy appends its name ("Least-Waste-tiered").
   std::string name() const;
 
   const IoCoordinationPolicy& coordination() const { return *coordination_; }
   const CheckpointPeriodPolicy& period() const { return *period_; }
   const RequestOffsetPolicy& offset() const { return *offset_; }
+  const CommitPolicy& commit() const { return *commit_; }
 
   /// True when the strategy serialises I/O behind a token.
   bool serialized() const { return coordination_->serialized(); }
@@ -59,9 +69,14 @@ class StrategySpec {
   /// Same-composition copy with a different display name.
   StrategySpec named(std::string display_name) const;
 
-  /// Equality is by composition identity: the three policy names plus the
+  /// Same-composition copy with a different commit policy. A non-direct
+  /// commit extends an explicit display name with its suffix, so
+  /// least_waste().with_commit(tiered_commit()) reads "Least-Waste-tiered".
+  StrategySpec with_commit(std::shared_ptr<const CommitPolicy> commit) const;
+
+  /// Equality is by composition identity: the four policy names plus the
   /// resolved display name (policies are registered by name, so the name
-  /// triple identifies the composition).
+  /// tuple identifies the composition).
   bool operator==(const StrategySpec& other) const;
   bool operator!=(const StrategySpec& other) const { return !(*this == other); }
 
@@ -69,6 +84,7 @@ class StrategySpec {
   std::shared_ptr<const IoCoordinationPolicy> coordination_;
   std::shared_ptr<const CheckpointPeriodPolicy> period_;
   std::shared_ptr<const RequestOffsetPolicy> offset_;
+  std::shared_ptr<const CommitPolicy> commit_;
   std::string display_name_;
 };
 
@@ -127,7 +143,10 @@ StrategyRegistry& strategy_registry();
 /// Resolve a name into a StrategySpec. Looks up strategy_registry() first;
 /// unregistered names of the form "<coordination>-<period>" (split at the
 /// last '-') are composed from the axis registries with the coordination's
-/// default request offset. Throws on unknown names.
+/// default request offset. A trailing "-<commit>" component naming a
+/// registered commit policy composes the rest of the name with that commit
+/// path, so "coop-daly-tiered" is the registered "coop-daly" (Least-Waste)
+/// composition with burst-buffer commits. Throws on unknown names.
 StrategySpec strategy_from_name(const std::string& name);
 
 }  // namespace coopcr

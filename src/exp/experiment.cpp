@@ -129,6 +129,19 @@ ExperimentSpec& ExperimentSpec::power_cap_axis(
               [](ScenarioBuilder& b, double v) { b.power_cap(v); });
 }
 
+ExperimentSpec& ExperimentSpec::bb_capacity_axis(
+    const std::vector<double>& factors) {
+  return axis("bb_capacity_factor", factors,
+              [](ScenarioBuilder& b, double v) { b.bb_capacity_factor(v); });
+}
+
+ExperimentSpec& ExperimentSpec::bb_bandwidth_axis(
+    const std::vector<double>& gbps) {
+  return axis("bb_bandwidth_gbps", gbps, [](ScenarioBuilder& b, double v) {
+    b.bb_bandwidth(units::gb_per_s(v));
+  });
+}
+
 ExperimentSpec& ExperimentSpec::scenario_axis(
     const std::string& name,
     std::vector<std::pair<std::string, ScenarioBuilder>> presets) {

@@ -113,6 +113,17 @@ class ExperimentSpec {
   /// scenario's PowerProfile is clamped to the cap.
   ExperimentSpec& power_cap_axis(const std::vector<double>& watts);
 
+  /// Burst-buffer capacity factor ("bb_capacity_factor"): for each factor f
+  /// the fast tier holds f × the workload's checkpoint working set
+  /// (ScenarioBuilder::bb_capacity_factor). Factor 0 degrades tiered
+  /// strategies bit-identically to direct commits. The base builder must
+  /// carry a bb_bandwidth (or sweep one with bb_bandwidth_axis).
+  ExperimentSpec& bb_capacity_axis(const std::vector<double>& factors);
+
+  /// Burst-buffer bandwidth in GB/s ("bb_bandwidth_gbps"):
+  /// ScenarioBuilder::bb_bandwidth per point.
+  ExperimentSpec& bb_bandwidth_axis(const std::vector<double>& gbps);
+
   /// Whole-scenario axis (workload/platform presets): each point replaces
   /// the base builder, so it must be the *first* declared axis (enforced) —
   /// later value axes then apply on top of the preset. Values are the

@@ -1,5 +1,6 @@
 #include "exp/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/units.hpp"
 
 namespace coopcr::exp {
 
@@ -60,6 +62,7 @@ const SampleSet& metric_samples(const StrategyOutcome& outcome,
     case Metric::kCheckpoints: return outcome.checkpoints;
     case Metric::kEnergyJoules: return outcome.energy_joules;
     case Metric::kEnergyWasteRatio: return outcome.energy_waste_ratio;
+    case Metric::kCkptWasteRatio: return outcome.ckpt_waste_ratio;
   }
   COOPCR_CHECK(false, "unknown metric");
   return outcome.waste_ratio;  // unreachable
@@ -74,6 +77,7 @@ std::string metric_name(Metric metric) {
     case Metric::kCheckpoints: return "checkpoints";
     case Metric::kEnergyJoules: return "energy_joules";
     case Metric::kEnergyWasteRatio: return "energy_waste_ratio";
+    case Metric::kCkptWasteRatio: return "ckpt_waste_ratio";
   }
   COOPCR_CHECK(false, "unknown metric");
   return "";  // unreachable
@@ -83,7 +87,7 @@ const std::vector<Metric>& all_metrics() {
   static const std::vector<Metric> kAll = {
       Metric::kWasteRatio,   Metric::kEfficiency,   Metric::kUtilization,
       Metric::kFailuresHit,  Metric::kCheckpoints,  Metric::kEnergyJoules,
-      Metric::kEnergyWasteRatio};
+      Metric::kEnergyWasteRatio, Metric::kCkptWasteRatio};
   return kAll;
 }
 
@@ -95,9 +99,31 @@ const PointResult& ExperimentReport::at(std::size_t index) const {
   return points[index];
 }
 
+namespace {
+
+/// The point's burst-buffer coordinates for the always-on bb_* columns.
+double bb_column_value(const PointResult& pr, const std::string& column) {
+  const BurstBufferConfig& bb = pr.point.scenario.simulation.burst_buffer;
+  return column == "bb_capacity_factor" ? bb.capacity_factor
+                                        : bb.bandwidth / units::kGB;
+}
+
+}  // namespace
+
 void ExperimentReport::write_csv(std::ostream& os) const {
   CsvWriter csv(os);
   std::vector<std::string> header = axis_names;
+  // Burst-buffer configuration columns ride along unconditionally so
+  // tiered-commit results are self-describing — unless a sweep axis of the
+  // same name already emits the value.
+  std::vector<std::string> bb_columns;
+  for (const char* column : {"bb_capacity_factor", "bb_bandwidth_gbps"}) {
+    if (std::find(axis_names.begin(), axis_names.end(), column) ==
+        axis_names.end()) {
+      bb_columns.push_back(column);
+      header.push_back(column);
+    }
+  }
   for (const char* column :
        {"strategy", "metric", "mean", "d1", "q1", "median", "q3", "d9", "n"}) {
     header.push_back(column);
@@ -105,9 +131,12 @@ void ExperimentReport::write_csv(std::ostream& os) const {
   csv.write_row(header);
   for (const auto& pr : points) {
     std::vector<std::string> prefix;
-    prefix.reserve(axis_names.size());
+    prefix.reserve(axis_names.size() + bb_columns.size());
     for (const auto& coord : pr.point.coords) {
       prefix.push_back(format_number(coord.value));
+    }
+    for (const auto& column : bb_columns) {
+      prefix.push_back(format_number(bb_column_value(pr, column)));
     }
     for (const auto& outcome : pr.report.outcomes) {
       for (const Metric metric : all_metrics()) {
@@ -147,7 +176,11 @@ void ExperimentReport::write_json(std::ostream& os) const {
          << format_number(coord.value) << ",\"label\":\""
          << json_escape(coord.label) << "\"}";
     }
-    os << "],\"baseline_useful\":";
+    const BurstBufferConfig& bb = pr.point.scenario.simulation.burst_buffer;
+    os << "],\"burst_buffer\":{\"capacity_factor\":"
+       << format_number(bb.capacity_factor) << ",\"bandwidth_gbps\":"
+       << format_number(bb.bandwidth / units::kGB) << "}";
+    os << ",\"baseline_useful\":";
     write_candlestick_json(os, pr.report.baseline_useful.candlestick());
     os << ",\"baseline_useful_energy\":";
     write_candlestick_json(os, pr.report.baseline_useful_energy.candlestick());

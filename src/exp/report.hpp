@@ -36,6 +36,9 @@ enum class Metric {
   kCheckpoints,
   kEnergyJoules,      ///< total joules over the measured segment
   kEnergyWasteRatio,  ///< wasted joules / baseline useful joules
+  /// Intrinsic commit-transfer unit-seconds (kCheckpoint only — token waits
+  /// and contention dilation excluded) / baseline useful.
+  kCkptWasteRatio,
 };
 
 /// The outcome's sample set for `metric`.
@@ -70,12 +73,17 @@ struct ExperimentReport {
   /// Bounds-checked point access; throws coopcr::Error.
   const PointResult& at(std::size_t index) const;
 
-  /// Long-format CSV: header `<axes...>,strategy,metric,mean,d1,q1,median,
-  /// q3,d9,n`, one row per point × strategy × metric. An empty grid emits
-  /// the header row only.
+  /// Long-format CSV: header `<axes...>,bb_capacity_factor,
+  /// bb_bandwidth_gbps,strategy,metric,mean,d1,q1,median,q3,d9,n`, one row
+  /// per point × strategy × metric. The two bb_* columns always carry the
+  /// point's burst-buffer configuration (0,0 when none) so tiered-commit
+  /// sweeps are self-describing without callers opting in; each is omitted
+  /// only when a sweep axis of the same name already emits it. An empty
+  /// grid emits the header row only.
   void write_csv(std::ostream& os) const;
 
-  /// JSON document with the same content plus per-point baseline summaries.
+  /// JSON document with the same content plus per-point baseline summaries
+  /// and the per-point `burst_buffer` configuration object.
   void write_json(std::ostream& os) const;
 
   /// COOPCR_CSV_DIR emission of the structured artifacts as `<stem>.csv` /

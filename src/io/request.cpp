@@ -14,12 +14,14 @@ std::string to_string(IoKind kind) {
       return "checkpoint";
     case IoKind::kRoutine:
       return "routine";
+    case IoKind::kDrain:
+      return "drain";
   }
   return "?";
 }
 
 bool is_inherently_blocking(IoKind kind) {
-  return kind != IoKind::kCheckpoint;
+  return kind != IoKind::kCheckpoint && kind != IoKind::kDrain;
 }
 
 }  // namespace coopcr

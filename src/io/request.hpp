@@ -22,6 +22,8 @@ enum class IoKind : int {
   kRecovery = 2,   ///< checkpoint read of a restarted job (blocking)
   kCheckpoint = 3, ///< periodic checkpoint commit
   kRoutine = 4,    ///< regular (non-CR) application I/O (blocking)
+  kDrain = 5,      ///< async burst-buffer → PFS drain (tiered commits; the
+                   ///< job computes on — only durability is at stake)
 };
 
 /// Human-readable name of an IoKind.

@@ -8,7 +8,11 @@
 namespace coopcr {
 
 bool is_io_candidate(const PendingEntry& entry) {
-  return entry.request.kind != IoKind::kCheckpoint;
+  // Checkpoint commits and burst-buffer drains form category C_Ckpt: nobody
+  // idles while they wait — the cost of delaying them is the failure-risk
+  // term (lost work since the last durable snapshot), Eq. (2).
+  return entry.request.kind != IoKind::kCheckpoint &&
+         entry.request.kind != IoKind::kDrain;
 }
 
 std::size_t FcfsPolicy::select(const std::vector<PendingEntry>& pending,

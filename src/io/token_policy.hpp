@@ -129,7 +129,8 @@ class LeastWastePolicy final : public TokenPolicy {
 };
 
 /// True when a pending entry belongs to category C_IO (blocking operations);
-/// false for checkpoint candidates (category C_Ckpt).
+/// false for category C_Ckpt — checkpoint commits and burst-buffer drains,
+/// whose waiting cost is failure risk rather than idle nodes.
 bool is_io_candidate(const PendingEntry& entry);
 
 }  // namespace coopcr

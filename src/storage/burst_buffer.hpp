@@ -17,8 +17,13 @@
 // drains release enough space (admission is FIFO to avoid starvation).
 //
 // This component is deliberately self-contained (it owns its two channels)
-// so the ablation bench and tests can study commit-latency behaviour in
-// isolation from the full platform simulation.
+// so tests can study commit-latency behaviour in isolation from the full
+// platform simulation. The *integrated* tiered commit path — absorbs and
+// drains wired into the real engine, contending with all other I/O under
+// the strategy's coordination, with lost-on-failure semantics — lives in
+// core/simulation.cpp behind the CommitPolicy axis ("tiered") and the
+// ScenarioBuilder::burst_buffer knobs; bench/ablation_burst_buffer sweeps
+// it.
 
 #pragma once
 

@@ -1,5 +1,6 @@
 #include "workload/app_class.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/daly.hpp"
@@ -67,6 +68,17 @@ std::vector<ClassOnPlatform> resolve_all(
   resolved.reserve(apps.size());
   for (const auto& app : apps) resolved.push_back(resolve(app, platform));
   return resolved;
+}
+
+double checkpoint_working_set(const std::vector<ClassOnPlatform>& classes,
+                              const PlatformSpec& platform) {
+  double sum = 0.0;
+  for (const auto& cls : classes) {
+    const double jobs =
+        std::max(1.0, std::floor(cls.steady_state_jobs(platform) + 0.5));
+    sum += jobs * cls.checkpoint_bytes;
+  }
+  return sum;
 }
 
 }  // namespace coopcr

@@ -81,4 +81,11 @@ ClassOnPlatform resolve(const ApplicationClass& app,
 std::vector<ClassOnPlatform> resolve_all(
     const std::vector<ApplicationClass>& apps, const PlatformSpec& platform);
 
+/// Aggregate checkpoint working set (bytes): Σ over classes of
+/// checkpoint_bytes × the steady-state concurrent job count (rounded,
+/// at least one job per class). The unit burst-buffer capacity factors are
+/// expressed against (ScenarioBuilder::burst_buffer, the A4 ablation).
+double checkpoint_working_set(const std::vector<ClassOnPlatform>& classes,
+                              const PlatformSpec& platform);
+
 }  // namespace coopcr

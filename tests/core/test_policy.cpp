@@ -105,12 +105,23 @@ TEST(PolicyRegistryTest, BuiltinsArePreSeeded) {
   EXPECT_TRUE(period_registry().contains("Daly"));
   EXPECT_TRUE(offset_registry().contains("P-minus-C"));
   EXPECT_TRUE(offset_registry().contains("full-period"));
+  EXPECT_TRUE(commit_registry().contains("direct"));
+  EXPECT_TRUE(commit_registry().contains("tiered"));
 }
 
 TEST(PolicyRegistryTest, MakeThrowsOnUnknownName) {
   EXPECT_THROW(coordination_registry().make("nope"), Error);
   EXPECT_THROW(period_registry().make("nope"), Error);
   EXPECT_THROW(offset_registry().make("nope"), Error);
+  EXPECT_THROW(commit_registry().make("nope"), Error);
+}
+
+TEST(CommitPolicy, DirectAndTieredClassify) {
+  EXPECT_EQ(direct_commit()->name(), "direct");
+  EXPECT_FALSE(direct_commit()->tiered());
+  EXPECT_EQ(tiered_commit()->name(), "tiered");
+  EXPECT_TRUE(tiered_commit()->tiered());
+  EXPECT_TRUE(commit_registry().make("tiered")->tiered());
 }
 
 TEST(PolicyRegistryTest, CustomPeriodPolicyReachableByName) {

@@ -118,6 +118,60 @@ TEST(Strategy, UnknownNameThrows) {
   EXPECT_THROW(strategy_from_name("Magic"), Error);
   EXPECT_THROW(strategy_from_name("Magic-Daly"), Error);
   EXPECT_THROW(strategy_from_name("Oblivious-Magic"), Error);
+  EXPECT_THROW(strategy_from_name("Magic-tiered"), Error);
+}
+
+// --- commit axis -------------------------------------------------------------
+
+TEST(Strategy, DefaultCommitIsDirect) {
+  for (const auto& s : paper_strategies()) {
+    EXPECT_EQ(s.commit().name(), "direct") << s.name();
+    EXPECT_FALSE(s.commit().tiered()) << s.name();
+  }
+}
+
+TEST(Strategy, WithCommitExtendsDisplayName) {
+  const StrategySpec tiered = least_waste().with_commit(tiered_commit());
+  EXPECT_EQ(tiered.name(), "Least-Waste-tiered");
+  EXPECT_TRUE(tiered.commit().tiered());
+  EXPECT_TRUE(tiered != least_waste());
+  // Composed (override-free) names get the suffix too.
+  EXPECT_EQ(ordered_nb_daly().with_commit(tiered_commit()).name(),
+            "Ordered-NB-Daly-tiered");
+  // Re-applying the direct commit changes nothing.
+  EXPECT_TRUE(least_waste().with_commit(direct_commit()) == least_waste());
+  // Switching a tiered spec back to direct strips the suffix again, so the
+  // name keeps telling the truth about the commit path.
+  EXPECT_TRUE(tiered.with_commit(direct_commit()) == least_waste());
+  EXPECT_EQ(tiered.with_commit(direct_commit()).name(), "Least-Waste");
+  EXPECT_TRUE(tiered.with_commit(tiered_commit()) == tiered);
+}
+
+TEST(Strategy, CommitSuffixResolvesThroughRegistryAliases) {
+  // The acceptance spelling: "coop-daly" aliases the paper's cooperative
+  // strategy, and the "-tiered" suffix composes the burst-buffer commit.
+  const StrategySpec coop = strategy_from_name("coop-daly");
+  EXPECT_TRUE(coop == least_waste());
+  const StrategySpec tiered = strategy_from_name("coop-daly-tiered");
+  EXPECT_EQ(tiered.name(), "Least-Waste-tiered");
+  EXPECT_TRUE(tiered.commit().tiered());
+  EXPECT_EQ(tiered.coordination().name(), "Least-Waste");
+  EXPECT_EQ(tiered.period().name(), "Daly");
+  EXPECT_EQ(tiered.offset().name(), "full-period");
+  // The suffix also composes with the axis-registry fallback.
+  const StrategySpec composed = strategy_from_name("Ordered-NB-Daly-tiered");
+  EXPECT_TRUE(composed ==
+              strategy_from_name("Ordered-NB-Daly").with_commit(
+                  tiered_commit()));
+}
+
+TEST(Strategy, TieredNamesRoundTrip) {
+  for (const char* name :
+       {"Least-Waste-tiered", "Ordered-Daly-tiered", "coop-energy-tiered"}) {
+    const StrategySpec s = strategy_from_name(name);
+    EXPECT_TRUE(s.commit().tiered()) << name;
+    EXPECT_TRUE(strategy_from_name(s.name()) == s) << name;
+  }
 }
 
 // --- registry extensibility -------------------------------------------------

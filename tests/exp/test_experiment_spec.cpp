@@ -32,6 +32,32 @@ TEST(ExperimentSpec, NamedAxesEditTheScenario) {
             "node_mtbf_years=4, interference_alpha=0.5, seed=0x2a");
 }
 
+TEST(ExperimentSpec, BurstBufferAxesResolveCapacityAgainstTheWorkload) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.bb_capacity_axis({0.0, 2.0}).bb_bandwidth_axis({400});
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  const BurstBufferConfig& none = points[0].scenario.simulation.burst_buffer;
+  EXPECT_DOUBLE_EQ(none.capacity_factor, 0.0);
+  EXPECT_DOUBLE_EQ(none.capacity, 0.0);
+  EXPECT_FALSE(none.usable());
+  const BurstBufferConfig& bb = points[1].scenario.simulation.burst_buffer;
+  EXPECT_DOUBLE_EQ(bb.capacity_factor, 2.0);
+  EXPECT_DOUBLE_EQ(bb.bandwidth, units::gb_per_s(400));
+  const ScenarioConfig& sc = points[1].scenario;
+  EXPECT_DOUBLE_EQ(
+      bb.capacity,
+      2.0 * checkpoint_working_set(sc.simulation.classes, sc.platform));
+  EXPECT_TRUE(bb.usable());
+  EXPECT_EQ(points[1].label(), "bb_capacity_factor=2, bb_bandwidth_gbps=400");
+}
+
+TEST(ExperimentSpec, BurstBufferCapacityWithoutBandwidthFailsToBuild) {
+  exp::ExperimentSpec spec(tiny_base());
+  spec.bb_capacity_axis({1.0});
+  EXPECT_THROW(spec.expand(), Error);
+}
+
 TEST(ExperimentSpec, InterferenceAlphaZeroStaysLinear) {
   exp::ExperimentSpec spec(tiny_base());
   spec.interference_axis({0.0});

@@ -144,6 +144,69 @@ TEST(GoldenCandlesticks, CoopEnergyMatchesPinnedSummaries) {
   EXPECT_EQ(energy.n, 16u);
 }
 
+// The tiered-commit (burst-buffer) statistical guard, over the same pinned
+// campaign with a 400 GB/s fast tier sized to the full checkpoint working
+// set (capacity factor 1). Two claims are pinned: the acceptance property —
+// tiered commits strictly reduce blocked-checkpoint waste vs direct at
+// capacity factor >= 1 on Cielo/APEX — and the exact candlesticks of the
+// "coop-daly-tiered" (Least-Waste-tiered) composition, captured from this
+// implementation when the storage-tier subsystem landed. The direct
+// Least-Waste series in the same sweep must stay bit-identical to
+// pinned_candles() above: configuring a buffer must not perturb direct runs.
+TEST(GoldenCandlesticks, TieredCommitMatchesPinnedSummariesAndBeatsDirect) {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .pfs_bandwidth(units::gb_per_s(40))
+                               .node_mtbf(units::years(2))
+                               .min_makespan(units::days(10))
+                               .segment(units::days(1), units::days(9))
+                               .burst_buffer(1.0, units::gb_per_s(400)),
+                           "golden_tiered");
+  MonteCarloOptions options;
+  options.replicas = 16;
+  spec.strategies({least_waste(), strategy_from_name("coop-daly-tiered")})
+      .options(options);
+  exp::SweepRunner runner(/*threads=*/2);
+  const exp::ExperimentReport report = runner.run(spec);
+  const MonteCarloReport& mc = report.at(0).report;
+
+  const StrategyOutcome& direct = mc.outcome("Least-Waste");
+  const StrategyOutcome& tiered = mc.outcome("Least-Waste-tiered");
+
+  // Direct runs ignore the buffer entirely (same numbers as pinned_candles).
+  const Candlestick dw = direct.waste_ratio.candlestick();
+  EXPECT_NEAR(dw.mean, 0.43342627631086311, kTol);
+  EXPECT_NEAR(dw.median, 0.44614197540514861, kTol);
+
+  // Blocked-commit waste: absorbing at 10x bandwidth collapses the time
+  // applications spend blocked in commits — strictly, per replica.
+  const Candlestick dc = direct.ckpt_waste_ratio.candlestick();
+  const Candlestick tc = tiered.ckpt_waste_ratio.candlestick();
+  for (std::size_t r = 0; r < tiered.ckpt_waste_ratio.samples().size(); ++r) {
+    EXPECT_LT(tiered.ckpt_waste_ratio.samples()[r],
+              direct.ckpt_waste_ratio.samples()[r])
+        << "replica " << r;
+  }
+  EXPECT_NEAR(dc.mean, 0.064366665067896567, kTol);
+
+  EXPECT_NEAR(tc.d1, 0.010640780703330084, kTol);
+  EXPECT_NEAR(tc.q1, 0.011187975073743701, kTol);
+  EXPECT_NEAR(tc.mean, 0.01221958752549572, kTol);
+  EXPECT_NEAR(tc.median, 0.011915027768685429, kTol);
+  EXPECT_NEAR(tc.q3, 0.013020368789642557, kTol);
+  EXPECT_NEAR(tc.d9, 0.014465885574692802, kTol);
+  EXPECT_EQ(tc.n, 16u);
+
+  // The total waste ratio of the tiered run (drains contend for the PFS and
+  // failures lose un-drained snapshots — see EXPERIMENTS.md).
+  const Candlestick tw = tiered.waste_ratio.candlestick();
+  EXPECT_NEAR(tw.d1, 0.31849524794390438, kTol);
+  EXPECT_NEAR(tw.q1, 0.43107171037498587, kTol);
+  EXPECT_NEAR(tw.mean, 0.50362420515405926, kTol);
+  EXPECT_NEAR(tw.median, 0.51426858822237231, kTol);
+  EXPECT_NEAR(tw.q3, 0.62245551892406226, kTol);
+  EXPECT_NEAR(tw.d9, 0.64837795584540336, kTol);
+}
+
 // The Figure 1 bench's 160 GB/s row with the default seeds and 3 replicas,
 // as emitted by the pre-migration bench's CSV (6-decimal fixed precision —
 // hence the looser rounding tolerance).

@@ -46,51 +46,62 @@ TEST(ReportEmission, CsvSchemaAndExactRoundTrip) {
   std::string line;
   ASSERT_TRUE(std::getline(iss, line));
   EXPECT_EQ(line,
-            "pfs_bandwidth_gbps,strategy,metric,mean,d1,q1,median,q3,d9,n");
+            "pfs_bandwidth_gbps,bb_capacity_factor,bb_bandwidth_gbps,"
+            "strategy,metric,mean,d1,q1,median,q3,d9,n");
 
-  // 2 points x 1 strategy x 7 metrics (5 time metrics + 2 energy metrics).
+  // 2 points x 1 strategy x 8 metrics (6 time metrics + 2 energy metrics).
   std::vector<std::vector<std::string>> rows;
   while (std::getline(iss, line)) rows.push_back(split_csv_line(line));
-  ASSERT_EQ(rows.size(), 14u);
+  ASSERT_EQ(rows.size(), 16u);
 
   // First data row: point 0, waste_ratio. 17 significant digits round-trip
   // doubles exactly through strtod.
   const Candlestick c =
       report.at(0).report.outcomes[0].waste_ratio.candlestick();
   const std::vector<std::string>& row = rows[0];
-  ASSERT_EQ(row.size(), 10u);
+  ASSERT_EQ(row.size(), 12u);
   EXPECT_EQ(std::strtod(row[0].c_str(), nullptr), 40.0);
-  EXPECT_EQ(row[1], "Least-Waste");
-  EXPECT_EQ(row[2], "waste_ratio");
-  EXPECT_EQ(std::strtod(row[3].c_str(), nullptr), c.mean);
-  EXPECT_EQ(std::strtod(row[4].c_str(), nullptr), c.d1);
-  EXPECT_EQ(std::strtod(row[5].c_str(), nullptr), c.q1);
-  EXPECT_EQ(std::strtod(row[6].c_str(), nullptr), c.median);
-  EXPECT_EQ(std::strtod(row[7].c_str(), nullptr), c.q3);
-  EXPECT_EQ(std::strtod(row[8].c_str(), nullptr), c.d9);
-  EXPECT_EQ(row[9], "2");
+  // The scenario carries no burst buffer: the always-on bb columns emit 0.
+  EXPECT_EQ(std::strtod(row[1].c_str(), nullptr), 0.0);
+  EXPECT_EQ(std::strtod(row[2].c_str(), nullptr), 0.0);
+  EXPECT_EQ(row[3], "Least-Waste");
+  EXPECT_EQ(row[4], "waste_ratio");
+  EXPECT_EQ(std::strtod(row[5].c_str(), nullptr), c.mean);
+  EXPECT_EQ(std::strtod(row[6].c_str(), nullptr), c.d1);
+  EXPECT_EQ(std::strtod(row[7].c_str(), nullptr), c.q1);
+  EXPECT_EQ(std::strtod(row[8].c_str(), nullptr), c.median);
+  EXPECT_EQ(std::strtod(row[9].c_str(), nullptr), c.q3);
+  EXPECT_EQ(std::strtod(row[10].c_str(), nullptr), c.d9);
+  EXPECT_EQ(row[11], "2");
 
   // Every metric of every strategy appears, in emission order.
-  EXPECT_EQ(rows[1][2], "efficiency");
-  EXPECT_EQ(rows[2][2], "utilization");
-  EXPECT_EQ(rows[3][2], "failures_hit");
-  EXPECT_EQ(rows[4][2], "checkpoints");
-  EXPECT_EQ(rows[5][2], "energy_joules");
-  EXPECT_EQ(rows[6][2], "energy_waste_ratio");
-  EXPECT_EQ(std::strtod(rows[7][0].c_str(), nullptr), 80.0);
+  EXPECT_EQ(rows[1][4], "efficiency");
+  EXPECT_EQ(rows[2][4], "utilization");
+  EXPECT_EQ(rows[3][4], "failures_hit");
+  EXPECT_EQ(rows[4][4], "checkpoints");
+  EXPECT_EQ(rows[5][4], "energy_joules");
+  EXPECT_EQ(rows[6][4], "energy_waste_ratio");
+  EXPECT_EQ(rows[7][4], "ckpt_waste_ratio");
+  EXPECT_EQ(std::strtod(rows[8][0].c_str(), nullptr), 80.0);
 
   // The energy rows round-trip exactly too (joules reach 1e13+ and lean on
   // the 17-significant-digit format).
   const Candlestick joules =
       report.at(0).report.outcomes[0].energy_joules.candlestick();
-  EXPECT_EQ(std::strtod(rows[5][3].c_str(), nullptr), joules.mean);
-  EXPECT_EQ(std::strtod(rows[5][4].c_str(), nullptr), joules.d1);
-  EXPECT_EQ(std::strtod(rows[5][8].c_str(), nullptr), joules.d9);
+  EXPECT_EQ(std::strtod(rows[5][5].c_str(), nullptr), joules.mean);
+  EXPECT_EQ(std::strtod(rows[5][6].c_str(), nullptr), joules.d1);
+  EXPECT_EQ(std::strtod(rows[5][10].c_str(), nullptr), joules.d9);
   const Candlestick ewr =
       report.at(0).report.outcomes[0].energy_waste_ratio.candlestick();
-  EXPECT_EQ(std::strtod(rows[6][3].c_str(), nullptr), ewr.mean);
+  EXPECT_EQ(std::strtod(rows[6][5].c_str(), nullptr), ewr.mean);
   EXPECT_GT(joules.mean, 0.0);
   EXPECT_GT(ewr.mean, 0.0);
+  // Blocked-commit waste is a strict sub-component of the waste ratio.
+  const Candlestick cwr =
+      report.at(0).report.outcomes[0].ckpt_waste_ratio.candlestick();
+  EXPECT_EQ(std::strtod(rows[7][5].c_str(), nullptr), cwr.mean);
+  EXPECT_GT(cwr.mean, 0.0);
+  EXPECT_LT(cwr.mean, c.mean);
 }
 
 TEST(ReportEmission, JsonCarriesTheFullSummaries) {
@@ -109,6 +120,12 @@ TEST(ReportEmission, JsonCarriesTheFullSummaries) {
   EXPECT_NE(json.find("\"baseline_useful_energy\":{"), std::string::npos);
   EXPECT_NE(json.find("\"energy_joules\":{\"mean\":"), std::string::npos);
   EXPECT_NE(json.find("\"energy_waste_ratio\":{\"mean\":"), std::string::npos);
+  // The burst-buffer schema extension: per-point configuration object and
+  // the blocked-commit metric.
+  EXPECT_NE(json.find("\"burst_buffer\":{\"capacity_factor\":0,"
+                      "\"bandwidth_gbps\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ckpt_waste_ratio\":{\"mean\":"), std::string::npos);
   // The exact mean value must appear verbatim (17-digit round-trip format).
   const Candlestick c =
       report.at(0).report.outcomes[0].waste_ratio.candlestick();
@@ -156,7 +173,8 @@ TEST(ReportEmission, EmptyGridEmitsHeaderOnlyCsvAndValidJson) {
   std::ostringstream csv;
   empty.write_csv(csv);
   EXPECT_EQ(csv.str(),
-            "alpha,beta,strategy,metric,mean,d1,q1,median,q3,d9,n\n");
+            "alpha,beta,bb_capacity_factor,bb_bandwidth_gbps,strategy,"
+            "metric,mean,d1,q1,median,q3,d9,n\n");
   std::ostringstream json;
   empty.write_json(json);
   EXPECT_EQ(json.str(),
@@ -183,7 +201,9 @@ TEST(ReportEmission, SinglePointAxislessGrid) {
   std::istringstream iss(csv.str());
   std::string header;
   ASSERT_TRUE(std::getline(iss, header));
-  EXPECT_EQ(header, "strategy,metric,mean,d1,q1,median,q3,d9,n");
+  EXPECT_EQ(header,
+            "bb_capacity_factor,bb_bandwidth_gbps,strategy,metric,mean,d1,"
+            "q1,median,q3,d9,n");
   // x defaults to 0 when the grid has no axes.
   const auto rows = report.figure_rows();
   ASSERT_EQ(rows.size(), 1u);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the given markdown files (or every tracked *.md when none are given)
+for inline links/images `[text](target)` and reference definitions
+`[label]: target`, and verifies that every relative target resolves to an
+existing file or directory, relative to the containing file. External
+schemes (http/https/mailto) and pure in-page anchors (#...) are skipped;
+a `path#fragment` target is checked for the path part only.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link: `file:line: broken link -> target`). Stdlib only — runs anywhere CI
+has a python3.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline [text](target) — also matches images; reference [label]: target.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) pairs outside fenced code blocks."""
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE.finditer(line):
+            yield number, match.group(1)
+        match = REFERENCE.match(line)
+        if match:
+            yield number, match.group(1)
+
+
+def tracked_markdown(root: Path):
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=root, check=True,
+        capture_output=True, text=True)
+    return [root / name for name in out.stdout.splitlines()]
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv[1:]] or tracked_markdown(root)
+    broken = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            broken.append(f"{md}: file does not exist")
+            continue
+        for line, target in iter_links(md):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            checked += 1
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (md.parent / relative).exists():
+                broken.append(f"{md}:{line}: broken link -> {target}")
+    for problem in broken:
+        print(problem)
+    print(f"checked {checked} intra-repo links in {len(files)} files: "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
