@@ -1,0 +1,99 @@
+// End-to-end Monte Carlo replica throughput on the cielo_apex preset.
+//
+// Where micro_engine bounds the cost of the substrate's individual
+// operations, this bench measures what the user actually pays: full
+// replicas — workload generation, a fault-free baseline run and all seven
+// paper strategies — per wall-clock second. It is the number every
+// SweepRunner grid point multiplies.
+//
+// Output is one machine-readable line per metric ("key = value") plus a
+// short human summary; tools/bench_to_json.py folds these lines (together
+// with micro_engine's JSON) into BENCH_engine.json, the repo's tracked
+// perf trajectory. EXPERIMENTS.md ("Benchmarking methodology") documents
+// how to run and read it.
+//
+// Knobs: COOPCR_REPLICAS (default 8) and COOPCR_THREADS (default 1 — keep
+// single-threaded for comparable replicas/sec across machines; raise it to
+// measure scaling instead).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace coopcr;
+
+struct Measurement {
+  double wall_seconds = 0.0;
+  int replicas = 0;
+  std::size_t strategies = 0;
+  std::uint64_t events = 0;  ///< engine events executed, all runs summed
+};
+
+Measurement run_campaign(const MonteCarloOptions& options) {
+  const ScenarioConfig scenario =
+      ScenarioBuilder::cielo_apex()
+          .pfs_bandwidth(units::gb_per_s(40))
+          .node_mtbf(units::years(2))
+          .min_makespan(units::days(10))
+          .segment(units::days(1), units::days(9))
+          .build();
+  const std::vector<Strategy> strategies = paper_strategies();
+
+  MonteCarloOptions opts = options;
+  opts.keep_results = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const MonteCarloReport report = run_monte_carlo(scenario, strategies, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Measurement m;
+  m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.replicas = report.replicas;
+  m.strategies = report.outcomes.size();
+  for (const StrategyOutcome& outcome : report.outcomes) {
+    for (const SimulationResult& result : outcome.results) {
+      m.events += result.events;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const MonteCarloOptions options =
+      MonteCarloOptions::from_env(/*default_replicas=*/8,
+                                  /*default_threads=*/1);
+
+  // One untimed warm-up replica so lazy initialisation (thread pools, libc
+  // arenas) does not pollute the measured run.
+  {
+    MonteCarloOptions warmup = options;
+    warmup.replicas = 1;
+    run_campaign(warmup);
+  }
+
+  const Measurement m = run_campaign(options);
+  const double replicas_per_sec =
+      static_cast<double>(m.replicas) / m.wall_seconds;
+  const double events_per_sec =
+      static_cast<double>(m.events) / m.wall_seconds;
+
+  std::printf("macro_campaign.scenario = cielo_apex_40GBs_2y_8day\n");
+  std::printf("macro_campaign.replicas = %d\n", m.replicas);
+  std::printf("macro_campaign.strategies = %zu\n", m.strategies);
+  std::printf("macro_campaign.threads = %d\n", options.threads);
+  std::printf("macro_campaign.wall_seconds = %.6f\n", m.wall_seconds);
+  std::printf("macro_campaign.replicas_per_sec = %.6f\n", replicas_per_sec);
+  std::printf("macro_campaign.strategy_runs_per_sec = %.6f\n",
+              replicas_per_sec * static_cast<double>(m.strategies));
+  std::printf("macro_campaign.events_per_sec = %.0f\n", events_per_sec);
+  std::printf(
+      "\n%d replicas x %zu strategies in %.2f s -> %.3f replicas/s "
+      "(%.0f engine events/s)\n",
+      m.replicas, m.strategies, m.wall_seconds, replicas_per_sec,
+      events_per_sec);
+  return 0;
+}

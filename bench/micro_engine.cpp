@@ -5,8 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/lower_bound.hpp"
-#include "io/channel.hpp"
+#include "io/io_subsystem.hpp"
 #include "io/token_policy.hpp"
+#include "platform/node_pool.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,50 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000)->Arg(100000);
 
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state engine pattern: a fixed live population with every fired
+  // event scheduling its successor — the shape a Monte Carlo replica
+  // actually drives (checkpoint timers, milestones, completion events).
+  const auto live = static_cast<std::uint64_t>(state.range(0));
+  sim::Engine engine;
+  Rng rng(4);
+  for (std::uint64_t i = 0; i < live; ++i) {
+    engine.at(rng.uniform(0.0, 100.0), [] {});
+  }
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      auto fired = engine.queue().pop();
+      engine.queue().set_now(fired.time);
+      engine.queue().schedule(fired.time + rng.uniform(0.0, 100.0), [] {});
+      ++executed;
+    }
+  }
+  benchmark::DoNotOptimize(executed);
+  state.SetItemsProcessed(1024 * state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(256)->Arg(4096);
+
+void BM_EventQueueWorkspaceReuse(benchmark::State& state) {
+  // Per-replica engine reuse: clear() keeps slab/bucket capacity, so warm
+  // runs schedule with zero allocation. Compare against ScheduleRun, which
+  // pays the cold-start growth every iteration.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    engine.reset();
+    Rng rng(1);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      engine.at(rng.uniform(0.0, 1000.0), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueWorkspaceReuse)->Arg(10000);
+
 void BM_ChannelProcessorSharing(benchmark::State& state) {
   const auto flows = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -68,6 +113,60 @@ void BM_ChannelProcessorSharing(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ChannelProcessorSharing)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_IoSubsystemSerialChurn(benchmark::State& state) {
+  // Token-queue pressure: `depth` requests outstanding, FCFS-granted one at
+  // a time, each completion submitting a replacement — slab record reuse,
+  // move-only callbacks and the pending-queue pump in one loop.
+  const auto depth = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  IoSubsystem io(engine, units::gb_per_s(100), AdmissionMode::kSerial,
+                 InterferenceModel::kLinear, 0.0,
+                 std::make_unique<FcfsPolicy>());
+  std::uint64_t completed = 0;
+  IoRequest req;
+  req.kind = IoKind::kCheckpoint;
+  req.volume = units::gigabytes(2);
+  req.nodes = 128;
+  for (int i = 0; i < depth; ++i) {
+    io.submit(req, RequestCallbacks{});
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      RequestCallbacks cb;
+      cb.on_complete = [&completed](RequestId) { ++completed; };
+      io.submit(req, std::move(cb));
+      engine.run_steps(1);  // one completion event -> one grant
+    }
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(256 * state.iterations());
+}
+BENCHMARK(BM_IoSubsystemSerialChurn)->Arg(4)->Arg(32);
+
+void BM_NodePoolAllocRelease(benchmark::State& state) {
+  // The scheduler's hot pair at Cielo scale: multi-thousand-node jobs
+  // starting and finishing. Segment moves + epoch-invalidated release make
+  // this O(nodes) once (at allocate) instead of four per-node touches.
+  const PlatformSpec cielo = PlatformSpec::cielo();
+  NodePool pool(cielo.nodes);
+  const std::int64_t job_nodes = state.range(0);
+  JobId next = 0;
+  std::vector<JobId> held;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      if (!pool.can_allocate(job_nodes)) {
+        for (const JobId j : held) pool.release(j);
+        held.clear();
+      }
+      pool.allocate(next, job_nodes);
+      held.push_back(next++);
+    }
+  }
+  for (const JobId j : held) pool.release(j);
+  state.SetItemsProcessed(64 * state.iterations());
+}
+BENCHMARK(BM_NodePoolAllocRelease)->Arg(512)->Arg(2048);
 
 void BM_LeastWasteSelect(benchmark::State& state) {
   const auto candidates = static_cast<std::size_t>(state.range(0));

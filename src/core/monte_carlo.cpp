@@ -80,9 +80,13 @@ void MonteCarloCampaign::run_replica_task(int r) {
   const std::vector<Failure> failures =
       scenario_.failures.generate(scenario_.platform, stop, rng);
 
+  // One warm substrate per replica task: the baseline and every strategy run
+  // reuse the same engine/IO slabs, so only the first run of the task pays
+  // for their growth (results are bit-identical to fresh construction).
+  SimWorkspace workspace;
   ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
   const SimulationResult baseline =
-      simulate_baseline(scenario_.simulation, jobs);
+      simulate_baseline(scenario_.simulation, jobs, workspace);
   out.baseline_useful = baseline.useful;
   out.baseline_useful_energy = baseline.energy.useful();
   COOPCR_CHECK(out.baseline_useful > 0.0,
@@ -97,7 +101,7 @@ void MonteCarloCampaign::run_replica_task(int r) {
   for (const Strategy& strategy : strategies_) {
     SimulationConfig cfg = scenario_.simulation;
     cfg.strategy = strategy;
-    SimulationResult result = simulate(cfg, jobs, failures);
+    SimulationResult result = simulate(cfg, jobs, failures, workspace);
     out.waste_ratio.push_back(result.wasted / out.baseline_useful);
     out.efficiency.push_back(result.useful / out.baseline_useful);
     out.per_strategy.push_back(std::move(result));
@@ -224,11 +228,12 @@ ReplicaRun run_replica(const ScenarioConfig& scenario,
                                   scenario.simulation.segment_end);
   const std::vector<Failure> failures =
       scenario.failures.generate(scenario.platform, stop, rng);
+  SimWorkspace workspace;
   const SimulationResult baseline =
-      simulate_baseline(scenario.simulation, jobs);
+      simulate_baseline(scenario.simulation, jobs, workspace);
   SimulationConfig cfg = scenario.simulation;
   cfg.strategy = strategy;
-  ReplicaRun run(simulate(cfg, jobs, failures));
+  ReplicaRun run(simulate(cfg, jobs, failures, workspace));
   run.baseline_useful = baseline.useful;
   run.waste_ratio = run.result.wasted / baseline.useful;
   run.baseline_useful_energy = baseline.energy.useful();

@@ -13,6 +13,24 @@
 
 namespace coopcr {
 
+namespace detail {
+
+/// The reusable substrate behind SimWorkspace: one engine and (lazily
+/// created) I/O subsystems whose slabs stay warm across runs. reset() paths
+/// restore bit-identical pristine state, so a reused workspace produces
+/// exactly the results of fresh construction.
+struct SimWorkspaceImpl {
+  sim::Engine engine;
+  std::unique_ptr<IoSubsystem> io;     ///< PFS front-end
+  std::unique_ptr<IoSubsystem> bb_io;  ///< fast tier (tiered commits only)
+};
+
+}  // namespace detail
+
+SimWorkspace::SimWorkspace()
+    : impl_(std::make_unique<detail::SimWorkspaceImpl>()) {}
+SimWorkspace::~SimWorkspace() = default;
+
 namespace {
 
 /// Minimum residual work of a restart (guards Job::well_formed when a
@@ -34,26 +52,41 @@ enum class JobState {
 class Runner {
  public:
   Runner(const SimulationConfig& config, const std::vector<Job>& jobs,
-         const std::vector<Failure>& failures)
+         const std::vector<Failure>& failures, detail::SimWorkspaceImpl& ws)
       : cfg_(config),
+        engine_(ws.engine),
         pool_(config.platform.nodes),
         scheduler_(pool_),
         result_(config.segment_start, config.segment_end) {
     COOPCR_CHECK(!cfg_.classes.empty(), "simulation needs resolved classes");
     cfg_.platform.validate();
     stop_time_ = std::min(cfg_.horizon, cfg_.segment_end);
-    io_ = std::make_unique<IoSubsystem>(
-        engine_, cfg_.platform.pfs_bandwidth, admission_mode(),
-        cfg_.interference, cfg_.degradation_alpha, make_policy());
+    engine_.reset();
+    if (ws.io) {
+      ws.io->reset(cfg_.platform.pfs_bandwidth, admission_mode(),
+                   cfg_.interference, cfg_.degradation_alpha, make_policy());
+    } else {
+      ws.io = std::make_unique<IoSubsystem>(
+          engine_, cfg_.platform.pfs_bandwidth, admission_mode(),
+          cfg_.interference, cfg_.degradation_alpha, make_policy());
+    }
+    io_ = ws.io.get();
     // Tiered commit path: a fast tier in front of the PFS. Absorbs need no
     // token — NVRAM-style buffers are processor-shared among concurrent
     // writers (kConcurrent + kLinear) — while drains go through `io_` and
     // contend under the strategy's coordination policy like any transfer.
     tiered_ = cfg_.strategy.commit().tiered() && cfg_.burst_buffer.usable();
     if (tiered_) {
-      bb_io_ = std::make_unique<IoSubsystem>(
-          engine_, cfg_.burst_buffer.bandwidth, AdmissionMode::kConcurrent,
-          InterferenceModel::kLinear);
+      if (ws.bb_io) {
+        ws.bb_io->reset(cfg_.burst_buffer.bandwidth,
+                        AdmissionMode::kConcurrent, InterferenceModel::kLinear,
+                        /*degradation_alpha=*/0.0, /*policy=*/nullptr);
+      } else {
+        ws.bb_io = std::make_unique<IoSubsystem>(
+            engine_, cfg_.burst_buffer.bandwidth, AdmissionMode::kConcurrent,
+            InterferenceModel::kLinear);
+      }
+      bb_io_ = ws.bb_io.get();
       bb_free_ = cfg_.burst_buffer.capacity;
     }
     next_job_id_ = 0;
@@ -82,6 +115,7 @@ class Runner {
                        result_.accounting.segment_length());
     result_.stop_time = stop_time_;
     result_.events = engine_.events_executed();
+    result_.events_scheduled = engine_.queue().total_scheduled();
     return std::move(result_);
   }
 
@@ -805,10 +839,10 @@ class Runner {
   }
 
   SimulationConfig cfg_;
-  sim::Engine engine_;
+  sim::Engine& engine_;  ///< workspace-owned, reset at construction
   NodePool pool_;
   JobScheduler scheduler_;
-  std::unique_ptr<IoSubsystem> io_;
+  IoSubsystem* io_ = nullptr;  ///< workspace-owned
   SimulationResult result_;
 
   /// One absorbed-but-not-yet-durable snapshot draining through `io_`.
@@ -818,7 +852,7 @@ class Runner {
     double pos = 0.0;  ///< work position the snapshot captured
   };
 
-  std::unique_ptr<IoSubsystem> bb_io_;  ///< fast tier (tiered commits only)
+  IoSubsystem* bb_io_ = nullptr;  ///< workspace-owned fast tier (tiered only)
   bool tiered_ = false;
   double bb_free_ = 0.0;  ///< free fast-tier capacity (bytes)
   std::unordered_map<RequestId, DrainRec> drains_;
@@ -837,19 +871,34 @@ class Runner {
 
 SimulationResult simulate(const SimulationConfig& config,
                           const std::vector<Job>& jobs,
+                          const std::vector<Failure>& failures,
+                          SimWorkspace& workspace) {
+  Runner runner(config, jobs, failures, workspace.impl());
+  return runner.run();
+}
+
+SimulationResult simulate(const SimulationConfig& config,
+                          const std::vector<Job>& jobs,
                           const std::vector<Failure>& failures) {
-  Runner runner(config, jobs, failures);
+  SimWorkspace workspace;
+  return simulate(config, jobs, failures, workspace);
+}
+
+SimulationResult simulate_baseline(const SimulationConfig& config,
+                                   const std::vector<Job>& jobs,
+                                   SimWorkspace& workspace) {
+  SimulationConfig baseline = config;
+  baseline.strategy = oblivious_daly();
+  baseline.checkpoints_enabled = false;
+  baseline.interference = InterferenceModel::kNone;
+  Runner runner(baseline, jobs, /*failures=*/{}, workspace.impl());
   return runner.run();
 }
 
 SimulationResult simulate_baseline(const SimulationConfig& config,
                                    const std::vector<Job>& jobs) {
-  SimulationConfig baseline = config;
-  baseline.strategy = oblivious_daly();
-  baseline.checkpoints_enabled = false;
-  baseline.interference = InterferenceModel::kNone;
-  Runner runner(baseline, jobs, /*failures=*/{});
-  return runner.run();
+  SimWorkspace workspace;
+  return simulate_baseline(config, jobs, workspace);
 }
 
 }  // namespace coopcr

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/accounting.hpp"
@@ -63,9 +64,35 @@ struct SimulationResult {
   double avg_utilization = 0.0; ///< mean allocated node fraction over segment
   double stop_time = 0.0;       ///< simulated time at which the run stopped
   std::uint64_t events = 0;     ///< engine events executed
+  std::uint64_t events_scheduled = 0;  ///< events ever scheduled on the queue
 
   SimulationResult(sim::Time seg_start, sim::Time seg_end)
       : accounting(seg_start, seg_end) {}
+};
+
+namespace detail {
+struct SimWorkspaceImpl;
+}  // namespace detail
+
+/// Reusable simulation substrate: the discrete-event engine (slab-backed
+/// event queue) and the I/O subsystems, kept warm across runs so a
+/// strategy×replica loop allocates only while the slabs grow to their
+/// high-water mark — steady state schedules, admits and completes with zero
+/// heap traffic. Reuse is behaviour-neutral: every component resets to a
+/// pristine state (same ids, same event order), so results are bit-identical
+/// to fresh construction. One workspace serves one thread at a time;
+/// core/monte_carlo.cpp keeps one per worker task across its strategy loop.
+class SimWorkspace {
+ public:
+  SimWorkspace();
+  ~SimWorkspace();
+  SimWorkspace(const SimWorkspace&) = delete;
+  SimWorkspace& operator=(const SimWorkspace&) = delete;
+
+  detail::SimWorkspaceImpl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<detail::SimWorkspaceImpl> impl_;
 };
 
 /// Run one simulation. `jobs` is the shuffled arrival-ordered list; `failures`
@@ -74,10 +101,22 @@ SimulationResult simulate(const SimulationConfig& config,
                           const std::vector<Job>& jobs,
                           const std::vector<Failure>& failures);
 
+/// Same run on a caller-owned workspace (bit-identical results, no per-run
+/// substrate allocation once the workspace is warm).
+SimulationResult simulate(const SimulationConfig& config,
+                          const std::vector<Job>& jobs,
+                          const std::vector<Failure>& failures,
+                          SimWorkspace& workspace);
+
 /// Fault-free, checkpoint-free, interference-free run over the same job list
 /// (the baseline of §6.1). Returns the same result type; `useful` is the
 /// waste-ratio denominator.
 SimulationResult simulate_baseline(const SimulationConfig& config,
                                    const std::vector<Job>& jobs);
+
+/// Workspace-reusing twin of simulate_baseline.
+SimulationResult simulate_baseline(const SimulationConfig& config,
+                                   const std::vector<Job>& jobs,
+                                   SimWorkspace& workspace);
 
 }  // namespace coopcr

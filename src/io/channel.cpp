@@ -13,6 +13,13 @@ namespace {
 // leaves sub-byte residues, and one byte of slack is 25 ps at 40 GB/s —
 // entirely negligible against any modelled quantity.
 constexpr double kByteEpsilon = 1.0;
+
+/// Pack a slab index and its generation into an opaque FlowId. Index is
+/// offset by one so that kInvalidFlow (0) is never produced.
+FlowId make_flow_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<FlowId>(generation) << 32) |
+         static_cast<FlowId>(slot + 1);
+}
 }  // namespace
 
 SharedChannel::SharedChannel(sim::Engine& engine, double bandwidth,
@@ -23,25 +30,75 @@ SharedChannel::SharedChannel(sim::Engine& engine, double bandwidth,
   last_advance_ = engine_.now();
 }
 
-std::int64_t SharedChannel::total_weight() const {
-  std::int64_t sum = 0;
-  for (const auto& [id, flow] : flows_) sum += flow.weight;
-  return sum;
+void SharedChannel::reset(double bandwidth, InterferenceModel model,
+                          double alpha) {
+  bandwidth_ = bandwidth;
+  model_ = model;
+  alpha_ = alpha;
+  COOPCR_CHECK(bandwidth_ > 0.0, "channel bandwidth must be positive");
+  COOPCR_CHECK(alpha_ >= 0.0, "degradation alpha must be non-negative");
+  slots_.clear();  // keeps capacity; fresh slots restart at generation 0
+  active_.clear();
+  expected_done_.clear();
+  finished_.clear();
+  free_head_ = kNoSlot;
+  total_weight_ = 0;
+  last_advance_ = engine_.now();
+  pending_event_ = sim::kInvalidEventId;
+  busy_accum_ = 0.0;
+  bytes_done_ = 0.0;
+}
+
+std::uint32_t SharedChannel::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  COOPCR_CHECK(slots_.size() < 0xffffffffull, "flow slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void SharedChannel::release_slot(std::uint32_t index) {
+  Flow& flow = slots_[index];
+  flow.on_complete = nullptr;
+  ++flow.generation;  // invalidate every outstanding handle
+  flow.next_free = free_head_;
+  free_head_ = index;
+}
+
+std::uint32_t SharedChannel::live_slot(FlowId id) const {
+  const std::uint64_t slot_plus_one = id & 0xffffffffull;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return kNoSlot;
+  const auto index = static_cast<std::uint32_t>(slot_plus_one - 1);
+  if (slots_[index].generation != static_cast<std::uint32_t>(id >> 32)) {
+    return kNoSlot;
+  }
+  return index;
+}
+
+void SharedChannel::deactivate(std::uint32_t index) {
+  const auto it = std::find(active_.begin(), active_.end(), index);
+  COOPCR_ASSERT(it != active_.end(), "deactivating an inactive flow");
+  total_weight_ -= slots_[index].weight;
+  active_.erase(it);  // order-preserving: callbacks fire in admission order
 }
 
 double SharedChannel::flow_rate(std::int64_t weight) const {
-  if (flows_.empty()) return 0.0;
+  if (active_.empty()) return 0.0;
   switch (model_) {
     case InterferenceModel::kNone:
       return bandwidth_;
     case InterferenceModel::kLinear: {
-      const auto tw = static_cast<double>(total_weight());
+      const auto tw = static_cast<double>(total_weight_);
       return bandwidth_ * static_cast<double>(weight) / tw;
     }
     case InterferenceModel::kDegrading: {
-      const auto k = static_cast<double>(flows_.size());
+      const auto k = static_cast<double>(active_.size());
       const double effective = bandwidth_ / (1.0 + alpha_ * (k - 1.0));
-      const auto tw = static_cast<double>(total_weight());
+      const auto tw = static_cast<double>(total_weight_);
       return effective * static_cast<double>(weight) / tw;
     }
   }
@@ -52,9 +109,10 @@ void SharedChannel::advance() {
   const sim::Time now = engine_.now();
   const double dt = now - last_advance_;
   COOPCR_ASSERT(dt >= 0.0, "channel time ran backwards");
-  if (dt > 0.0 && !flows_.empty()) {
+  if (dt > 0.0 && !active_.empty()) {
     busy_accum_ += dt;
-    for (auto& [id, flow] : flows_) {
+    for (const std::uint32_t index : active_) {
+      Flow& flow = slots_[index];
       flow.remaining =
           std::max(0.0, flow.remaining - flow_rate(flow.weight) * dt);
     }
@@ -68,9 +126,10 @@ void SharedChannel::reschedule() {
     pending_event_ = sim::kInvalidEventId;
   }
   expected_done_.clear();
-  if (flows_.empty()) return;
+  if (active_.empty()) return;
   double min_ttf = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
+  for (const std::uint32_t index : active_) {
+    const Flow& flow = slots_[index];
     const double rate = flow_rate(flow.weight);
     COOPCR_ASSERT(rate > 0.0, "active flow with zero rate");
     min_ttf = std::min(min_ttf, std::max(0.0, flow.remaining) / rate);
@@ -79,10 +138,12 @@ void SharedChannel::reschedule() {
   // event time: they complete *by construction* when the event fires, which
   // makes completion immune to double rounding in rate*dt updates.
   const double slack = 1e-9 * std::max(min_ttf, 1.0);
-  for (const auto& [id, flow] : flows_) {
-    const double ttf =
-        std::max(0.0, flow.remaining) / flow_rate(flow.weight);
-    if (ttf <= min_ttf + slack) expected_done_.push_back(id);
+  for (const std::uint32_t index : active_) {
+    const Flow& flow = slots_[index];
+    const double ttf = std::max(0.0, flow.remaining) / flow_rate(flow.weight);
+    if (ttf <= min_ttf + slack) {
+      expected_done_.push_back(make_flow_id(index, flow.generation));
+    }
   }
   pending_event_ = engine_.after(min_ttf, [this] { on_completion_event(); });
 }
@@ -91,46 +152,57 @@ FlowId SharedChannel::start(double volume, std::int64_t weight,
                             CompletionFn on_complete) {
   COOPCR_CHECK(volume >= 0.0, "flow volume must be non-negative");
   COOPCR_CHECK(weight > 0, "flow weight must be positive");
-  COOPCR_CHECK(static_cast<bool>(on_complete), "flow needs a completion callback");
+  COOPCR_CHECK(static_cast<bool>(on_complete),
+               "flow needs a completion callback");
   advance();
-  const FlowId id = next_id_++;
-  flows_.emplace(id, Flow{volume, volume, weight, std::move(on_complete)});
+  const std::uint32_t index = acquire_slot();
+  Flow& flow = slots_[index];
+  flow.remaining = volume;
+  flow.volume = volume;
+  flow.weight = weight;
+  flow.on_complete = std::move(on_complete);
+  active_.push_back(index);
+  total_weight_ += weight;
   reschedule();
-  return id;
+  return make_flow_id(index, flow.generation);
 }
 
 bool SharedChannel::abort(FlowId id) {
   advance();
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  flows_.erase(it);
+  const std::uint32_t index = live_slot(id);
+  if (index == kNoSlot) return false;
+  deactivate(index);
+  release_slot(index);
   reschedule();
   return true;
 }
 
 double SharedChannel::rate_of(FlowId id) const {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
-  return flow_rate(it->second.weight);
+  const std::uint32_t index = live_slot(id);
+  if (index == kNoSlot) return 0.0;
+  return flow_rate(slots_[index].weight);
 }
 
 double SharedChannel::remaining_of(FlowId id) const {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
+  const std::uint32_t index = live_slot(id);
+  if (index == kNoSlot) return 0.0;
+  const Flow& flow = slots_[index];
   // Advance analytically without mutating (const view).
   const double dt = engine_.now() - last_advance_;
-  return std::max(0.0, it->second.remaining - flow_rate(it->second.weight) * dt);
+  return std::max(0.0, flow.remaining - flow_rate(flow.weight) * dt);
 }
 
 double SharedChannel::aggregate_rate() const {
   double sum = 0.0;
-  for (const auto& [id, flow] : flows_) sum += flow_rate(flow.weight);
+  for (const std::uint32_t index : active_) {
+    sum += flow_rate(slots_[index].weight);
+  }
   return sum;
 }
 
 double SharedChannel::busy_time() const {
   double extra = 0.0;
-  if (!flows_.empty()) extra = engine_.now() - last_advance_;
+  if (!active_.empty()) extra = engine_.now() - last_advance_;
   return busy_accum_ + extra;
 }
 
@@ -140,18 +212,23 @@ void SharedChannel::on_completion_event() {
   // Collect every drained flow first, then mutate, then notify: completion
   // callbacks may start new flows on this very channel (serial token pump).
   // The flows this event was scheduled for complete by construction; any
-  // other flow whose residue drained to (near) zero joins them.
-  std::vector<std::pair<FlowId, CompletionFn>> finished;
+  // other flow whose residue drained to (near) zero joins them. Collection
+  // walks the admission-ordered active list, so simultaneous completions
+  // fire their callbacks in admission order — deterministically.
+  finished_.clear();
   for (const FlowId id : expected_done_) {
-    auto it = flows_.find(id);
-    if (it == flows_.end()) continue;  // aborted meanwhile
-    finished.emplace_back(id, std::move(it->second.on_complete));
-    bytes_done_ += it->second.volume;
-    it->second.remaining = 0.0;
+    const std::uint32_t index = live_slot(id);
+    if (index == kNoSlot) continue;  // aborted meanwhile
+    Flow& flow = slots_[index];
+    finished_.emplace_back(id, std::move(flow.on_complete));
+    bytes_done_ += flow.volume;
+    flow.remaining = 0.0;
   }
-  for (auto& [id, flow] : flows_) {
+  for (const std::uint32_t index : active_) {
+    Flow& flow = slots_[index];
     if (flow.remaining > 0.0 && flow.remaining <= kByteEpsilon) {
-      finished.emplace_back(id, std::move(flow.on_complete));
+      finished_.emplace_back(make_flow_id(index, flow.generation),
+                             std::move(flow.on_complete));
       bytes_done_ += flow.volume;
       flow.remaining = 0.0;
     }
@@ -159,10 +236,18 @@ void SharedChannel::on_completion_event() {
   // A spurious wake-up (all flows still draining) can only happen if an
   // abort/start changed rates after this event was scheduled — reschedule()
   // cancels the stale event in those paths, so something drained here.
-  COOPCR_ASSERT(!finished.empty(), "completion event with no drained flow");
-  for (const auto& [id, fn] : finished) flows_.erase(id);
+  COOPCR_ASSERT(!finished_.empty(), "completion event with no drained flow");
+  for (const auto& [id, fn] : finished_) {
+    const std::uint32_t index = live_slot(id);
+    COOPCR_ASSERT(index != kNoSlot, "finished flow vanished");
+    deactivate(index);
+    release_slot(index);
+  }
   reschedule();
-  for (auto& [id, fn] : finished) fn(id);
+  for (auto& [id, fn] : finished_) fn(id);
+  // Destroy the fired callbacks now: the scratch vector keeps its capacity,
+  // but captured state must not outlive the completion it belonged to.
+  finished_.clear();
 }
 
 }  // namespace coopcr

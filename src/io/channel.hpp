@@ -17,16 +17,22 @@
 // The channel is a processor-sharing queue simulated exactly: on every
 // admission/abort/completion the remaining volumes are advanced analytically
 // and the next completion event is (re)scheduled. No time-stepping.
+//
+// Storage: flows live in a free-listed slab addressed by generation-tagged
+// FlowIds; the active set is a contiguous admission-ordered index vector and
+// the total interference weight is a cached aggregate maintained
+// incrementally — admissions and completions touch no hash table and never
+// re-sum weights. Completion callbacks are move-only (sim::InlineFunction),
+// so per-request callback state is moved, never duplicated.
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "io/request.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 
 namespace coopcr {
 
@@ -37,21 +43,27 @@ enum class InterferenceModel {
   kDegrading,  ///< adversarial: aggregate shrinks with concurrency
 };
 
-/// Identifier of an active flow within one channel.
+/// Generation-tagged identifier of an active flow within one channel.
 using FlowId = std::uint64_t;
 inline constexpr FlowId kInvalidFlow = 0;
 
 /// Processor-sharing bandwidth channel.
 class SharedChannel {
  public:
-  /// Called when a flow's last byte is transferred.
-  using CompletionFn = std::function<void(FlowId)>;
+  /// Called when a flow's last byte is transferred. Move-only; captures up
+  /// to the inline capacity are stored without allocation.
+  using CompletionFn = sim::InlineFunction<void(FlowId), 48>;
 
   /// `bandwidth` — aggregated bytes/s; `alpha` — degradation coefficient for
   /// kDegrading (ignored otherwise).
   SharedChannel(sim::Engine& engine, double bandwidth,
                 InterferenceModel model = InterferenceModel::kLinear,
                 double alpha = 0.0);
+
+  /// Re-arm for a new run with fresh parameters, keeping slab capacity. The
+  /// engine must already be reset; behaves bit-identically to constructing a
+  /// fresh channel.
+  void reset(double bandwidth, InterferenceModel model, double alpha);
 
   /// Admit a flow transferring `volume` bytes with interference weight
   /// `weight` (the job's node count). Zero-volume flows complete at the next
@@ -63,7 +75,7 @@ class SharedChannel {
   bool abort(FlowId id);
 
   /// Number of currently active flows.
-  std::size_t active() const { return flows_.size(); }
+  std::size_t active() const { return active_.size(); }
 
   /// Instantaneous rate of a flow (bytes/s); 0 for unknown flows.
   double rate_of(FlowId id) const;
@@ -84,12 +96,24 @@ class SharedChannel {
   InterferenceModel model() const { return model_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct Flow {
     double remaining = 0.0;
     double volume = 0.0;  ///< original request size (for transfer accounting)
     std::int64_t weight = 0;
     CompletionFn on_complete;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
   };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  /// Slab index of a live flow, or kNoSlot for stale/unknown handles.
+  std::uint32_t live_slot(FlowId id) const;
+  /// Remove a slot from the admission-ordered active list (order preserved —
+  /// completion callbacks fire in admission order, deterministically).
+  void deactivate(std::uint32_t index);
 
   /// Advance all remaining volumes to the current engine time.
   void advance();
@@ -99,24 +123,27 @@ class SharedChannel {
   void on_completion_event();
   /// Current per-flow rate for `weight` given the active set.
   double flow_rate(std::int64_t weight) const;
-  std::int64_t total_weight() const;
 
   sim::Engine& engine_;
   double bandwidth_;
   InterferenceModel model_;
   double alpha_;
 
-  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> active_;  ///< live slab indices, admission order
+  std::uint32_t free_head_ = kNoSlot;
+  std::int64_t total_weight_ = 0;  ///< cached Σ weight over active flows
   /// Flows the pending completion event was computed for: they are complete
   /// at that instant by construction, regardless of accumulated double
   /// rounding in remaining-volume updates.
   std::vector<FlowId> expected_done_;
-  FlowId next_id_ = 1;
+  /// Scratch for on_completion_event (reused across events — the handler
+  /// never re-enters itself, callbacks only run after state is consistent).
+  std::vector<std::pair<FlowId, CompletionFn>> finished_;
   sim::Time last_advance_ = 0.0;
   sim::EventId pending_event_ = sim::kInvalidEventId;
 
   double busy_accum_ = 0.0;
-  sim::Time busy_since_ = 0.0;
   double bytes_done_ = 0.0;
 };
 

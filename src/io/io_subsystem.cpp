@@ -19,20 +19,70 @@ IoSubsystem::IoSubsystem(sim::Engine& engine, double bandwidth,
   }
 }
 
+void IoSubsystem::reset(double bandwidth, AdmissionMode mode,
+                        InterferenceModel interference,
+                        double degradation_alpha,
+                        std::unique_ptr<TokenPolicy> policy) {
+  channel_.reset(bandwidth, interference, degradation_alpha);
+  mode_ = mode;
+  policy_ = std::move(policy);
+  if (mode_ == AdmissionMode::kSerial) {
+    COOPCR_CHECK(policy_ != nullptr, "serial admission needs a token policy");
+  }
+  records_.clear();  // keeps capacity; ids restart like a fresh subsystem
+  free_head_ = kNoSlot;
+  pending_.clear();
+  active_count_ = 0;
+  next_seq_ = 1;
+  stats_ = IoSubsystemStats{};
+  pumping_ = false;
+}
+
+std::uint32_t IoSubsystem::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = records_[index].next_free;
+    records_[index].next_free = kNoSlot;
+    return index;
+  }
+  COOPCR_CHECK(records_.size() < kSlotMask, "request slab exhausted");
+  records_.emplace_back();
+  return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void IoSubsystem::release_slot(std::uint32_t index) {
+  Record& rec = records_[index];
+  rec.id = kInvalidRequest;
+  rec.callbacks = RequestCallbacks{};
+  rec.flow = kInvalidFlow;
+  rec.active = false;
+  rec.next_free = free_head_;
+  free_head_ = index;
+}
+
+std::uint32_t IoSubsystem::live_slot(RequestId id) const {
+  const std::uint64_t slot_plus_one = id & kSlotMask;
+  if (slot_plus_one == 0 || slot_plus_one > records_.size()) return kNoSlot;
+  const auto index = static_cast<std::uint32_t>(slot_plus_one - 1);
+  if (records_[index].id != id) return kNoSlot;  // stale or reused
+  return index;
+}
+
 RequestId IoSubsystem::submit(const IoRequest& request,
                               RequestCallbacks callbacks,
                               sim::Time last_checkpoint_end,
                               double recovery_seconds) {
   COOPCR_CHECK(request.volume >= 0.0, "request volume must be >= 0");
   COOPCR_CHECK(request.nodes > 0, "request weight (nodes) must be positive");
-  const RequestId id = next_id_++;
-  Record rec;
+  const std::uint32_t index = acquire_slot();
+  const RequestId id =
+      (next_seq_++ << kSlotBits) | static_cast<RequestId>(index + 1);
+  Record& rec = records_[index];
+  rec.id = id;
   rec.request = request;
   rec.callbacks = std::move(callbacks);
   rec.submitted = engine_.now();
-  rec.last_checkpoint_end = last_checkpoint_end;
-  rec.recovery_seconds = recovery_seconds;
-  records_.emplace(id, std::move(rec));
+  rec.started = sim::kTimeNever;
   ++stats_.submitted;
 
   if (mode_ == AdmissionMode::kConcurrent) {
@@ -54,26 +104,28 @@ RequestId IoSubsystem::submit(const IoRequest& request,
 }
 
 void IoSubsystem::grant(RequestId id) {
-  auto it = records_.find(id);
-  COOPCR_ASSERT(it != records_.end(), "granting unknown request");
-  Record& rec = it->second;
+  const std::uint32_t index = live_slot(id);
+  COOPCR_ASSERT(index != kNoSlot, "granting unknown request");
+  Record& rec = records_[index];
   COOPCR_ASSERT(!rec.active, "granting an already-active request");
   rec.started = engine_.now();
   rec.active = true;
   stats_.total_wait_time += rec.started - rec.submitted;
-  active_.emplace(id, 0);
+  ++active_count_;
   rec.flow = channel_.start(rec.request.volume, rec.request.nodes,
                             [this, id](FlowId) { on_flow_complete(id); });
-  // Notify after internal state is consistent; the callback may re-enter
-  // submit()/cancel() on this subsystem.
-  if (rec.callbacks.on_start) rec.callbacks.on_start(id);
+  // Notify after internal state is consistent. The callback may re-enter
+  // submit() and grow the record slab, so it must be moved out of the
+  // (reallocatable) record before it runs — it fires exactly once anyway.
+  RequestCallbacks::Fn on_start = std::move(rec.callbacks.on_start);
+  if (on_start) on_start(id);
 }
 
 void IoSubsystem::pump() {
   if (mode_ == AdmissionMode::kConcurrent) return;
   if (pumping_) return;  // re-entrant submit() during a grant; outer loop wins
   pumping_ = true;
-  while (active_.empty() && !pending_.empty()) {
+  while (active_count_ == 0 && !pending_.empty()) {
     const std::size_t pick = policy_->select(pending_, engine_.now());
     COOPCR_ASSERT(pick < pending_.size(), "policy returned bad index");
     const RequestId id = pending_[pick].id;
@@ -84,40 +136,44 @@ void IoSubsystem::pump() {
 }
 
 void IoSubsystem::on_flow_complete(RequestId id) {
-  auto it = records_.find(id);
-  COOPCR_ASSERT(it != records_.end(), "completion for unknown request");
-  Record rec = std::move(it->second);
-  records_.erase(it);
-  active_.erase(id);
+  const std::uint32_t index = live_slot(id);
+  COOPCR_ASSERT(index != kNoSlot, "completion for unknown request");
+  Record& rec = records_[index];
+  RequestCallbacks::Fn on_complete = std::move(rec.callbacks.on_complete);
+  const sim::Time started = rec.started;
+  COOPCR_ASSERT(rec.active, "completion for an inactive request");
+  --active_count_;
+  release_slot(index);
   ++stats_.completed;
-  stats_.total_transfer_time += engine_.now() - rec.started;
+  stats_.total_transfer_time += engine_.now() - started;
   // Completion callback may submit follow-up requests; the token queue is
   // already consistent (this request fully removed).
-  if (rec.callbacks.on_complete) rec.callbacks.on_complete(id);
+  if (on_complete) on_complete(id);
   pump();
 }
 
 bool IoSubsystem::cancel(RequestId id) {
-  auto it = records_.find(id);
-  if (it == records_.end() || it->second.active) return false;
+  const std::uint32_t index = live_slot(id);
+  if (index == kNoSlot || records_[index].active) return false;
   const auto pending_it =
       std::find_if(pending_.begin(), pending_.end(),
                    [id](const PendingEntry& e) { return e.id == id; });
   // In concurrent mode nothing is ever pending, so cancel() always fails.
   if (pending_it == pending_.end()) return false;
   pending_.erase(pending_it);
-  records_.erase(it);
+  release_slot(index);
   ++stats_.cancelled;
   return true;
 }
 
 bool IoSubsystem::abort(RequestId id) {
-  auto it = records_.find(id);
-  if (it == records_.end()) return false;
-  if (it->second.active) {
-    channel_.abort(it->second.flow);
-    active_.erase(id);
-    records_.erase(it);
+  const std::uint32_t index = live_slot(id);
+  if (index == kNoSlot) return false;
+  Record& rec = records_[index];
+  if (rec.active) {
+    channel_.abort(rec.flow);
+    --active_count_;
+    release_slot(index);
     ++stats_.aborted;
     pump();  // token freed — hand it to the next candidate
     return true;
@@ -128,31 +184,31 @@ bool IoSubsystem::abort(RequestId id) {
   if (pending_it != pending_.end()) {
     pending_.erase(pending_it);
   }
-  records_.erase(it);
+  release_slot(index);
   ++stats_.aborted;
   return true;
 }
 
 bool IoSubsystem::is_pending(RequestId id) const {
-  const auto it = records_.find(id);
-  return it != records_.end() && !it->second.active;
+  const std::uint32_t index = live_slot(id);
+  return index != kNoSlot && !records_[index].active;
 }
 
 bool IoSubsystem::is_active(RequestId id) const {
-  const auto it = records_.find(id);
-  return it != records_.end() && it->second.active;
+  const std::uint32_t index = live_slot(id);
+  return index != kNoSlot && records_[index].active;
 }
 
 sim::Time IoSubsystem::submitted_at(RequestId id) const {
-  const auto it = records_.find(id);
-  COOPCR_CHECK(it != records_.end(), "unknown request");
-  return it->second.submitted;
+  const std::uint32_t index = live_slot(id);
+  COOPCR_CHECK(index != kNoSlot, "unknown request");
+  return records_[index].submitted;
 }
 
 sim::Time IoSubsystem::started_at(RequestId id) const {
-  const auto it = records_.find(id);
-  COOPCR_CHECK(it != records_.end(), "unknown request");
-  return it->second.started;
+  const std::uint32_t index = live_slot(id);
+  COOPCR_CHECK(index != kNoSlot, "unknown request");
+  return records_[index].started;
 }
 
 }  // namespace coopcr

@@ -12,18 +12,25 @@
 // Whether a *waiting* job keeps computing (non-blocking variants) is the
 // simulator's concern; the subsystem only reports when a request starts and
 // completes.
+//
+// Storage: request records live in a free-listed slab. A RequestId packs a
+// monotone submission sequence over the slab slot ((seq << 20) | slot+1), so
+// ids are O(1) to resolve without hashing *and* numerically ordered by
+// submission time — the ordering TokenPolicy tie-breaks rely on. Lifecycle
+// callbacks are move-only (sim::InlineFunction): submission moves them into
+// the record, completion moves them out — no std::function state is ever
+// duplicated per request.
 
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "io/channel.hpp"
 #include "io/request.hpp"
 #include "io/token_policy.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 
 namespace coopcr {
 
@@ -33,13 +40,15 @@ enum class AdmissionMode {
   kSerial,      ///< one-at-a-time with a token policy
 };
 
-/// Lifecycle notifications for a request.
+/// Lifecycle notifications for a request. Move-only.
 struct RequestCallbacks {
+  /// Callback type; captures up to the inline capacity need no allocation.
+  using Fn = sim::InlineFunction<void(RequestId), 48>;
   /// Transfer begins (token granted / admitted). Invoked synchronously from
   /// submit() when admission is immediate, otherwise from the grant path.
-  std::function<void(RequestId)> on_start;
+  Fn on_start;
   /// Last byte transferred.
-  std::function<void(RequestId)> on_complete;
+  Fn on_complete;
 };
 
 /// Aggregate counters for diagnostics and tests.
@@ -60,6 +69,13 @@ class IoSubsystem {
               InterferenceModel interference = InterferenceModel::kLinear,
               double degradation_alpha = 0.0,
               std::unique_ptr<TokenPolicy> policy = nullptr);
+
+  /// Re-arm for a new run with fresh parameters, keeping slab/queue capacity.
+  /// The engine must already be reset; behaves bit-identically to
+  /// constructing a fresh subsystem (same RequestIds, same order).
+  void reset(double bandwidth, AdmissionMode mode,
+             InterferenceModel interference, double degradation_alpha,
+             std::unique_ptr<TokenPolicy> policy);
 
   /// Submit a request. `last_checkpoint_end` / `recovery_seconds` feed the
   /// Least-Waste candidate model (ignored by other policies).
@@ -86,23 +102,34 @@ class IoSubsystem {
   sim::Time started_at(RequestId id) const;
 
   std::size_t pending_count() const { return pending_.size(); }
-  std::size_t active_count() const { return active_.size(); }
+  std::size_t active_count() const { return active_count_; }
 
   const IoSubsystemStats& stats() const { return stats_; }
   SharedChannel& channel() { return channel_; }
   AdmissionMode mode() const { return mode_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Slot bits in a RequestId: up to ~1M concurrently-live requests, with
+  /// 44 bits of monotone submission sequence above them.
+  static constexpr unsigned kSlotBits = 20;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
   struct Record {
+    RequestId id = kInvalidRequest;  ///< full id; kInvalidRequest when free
     IoRequest request;
     RequestCallbacks callbacks;
     sim::Time submitted = 0.0;
     sim::Time started = sim::kTimeNever;
-    sim::Time last_checkpoint_end = 0.0;
-    double recovery_seconds = 0.0;
     FlowId flow = kInvalidFlow;
     bool active = false;
+    std::uint32_t next_free = kNoSlot;
   };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  /// Slab index of a live request, or kNoSlot for stale/unknown ids.
+  std::uint32_t live_slot(RequestId id) const;
 
   void grant(RequestId id);
   void pump();
@@ -113,10 +140,11 @@ class IoSubsystem {
   AdmissionMode mode_;
   std::unique_ptr<TokenPolicy> policy_;
 
-  std::unordered_map<RequestId, Record> records_;
+  std::vector<Record> records_;        ///< free-listed request slab
+  std::uint32_t free_head_ = kNoSlot;
   std::vector<PendingEntry> pending_;  ///< arrival-ordered token queue
-  std::unordered_map<RequestId, std::size_t> active_;  ///< id -> dummy (set)
-  RequestId next_id_ = 1;
+  std::size_t active_count_ = 0;
+  std::uint64_t next_seq_ = 1;
   IoSubsystemStats stats_;
   bool pumping_ = false;
 };

@@ -8,9 +8,16 @@ namespace coopcr {
 
 const std::vector<std::int64_t> NodePool::kEmpty{};
 
+namespace {
+/// Job ids are packed with a 32-bit allocation epoch into one ownership
+/// word, so they must fit 32 bits (minus the +1 free-sentinel offset). Every
+/// simulation id is tiny compared to this.
+constexpr JobId kMaxJobId = 0xfffffffell;
+}  // namespace
+
 NodePool::NodePool(std::int64_t node_count) {
   COOPCR_CHECK(node_count > 0, "node pool must have at least one unit");
-  owner_.assign(static_cast<std::size_t>(node_count), kNoJob);
+  owner_.assign(static_cast<std::size_t>(node_count), 0);
   free_list_.resize(static_cast<std::size_t>(node_count));
   // Free list kept LIFO; initialised descending so that allocation hands out
   // low indices first (purely cosmetic, but makes traces easy to read).
@@ -22,44 +29,56 @@ NodePool::NodePool(std::int64_t node_count) {
 
 void NodePool::allocate(JobId job, std::int64_t count) {
   COOPCR_CHECK(job >= 0, "invalid job id");
+  COOPCR_CHECK(job <= kMaxJobId, "job id too large for the ownership table");
   COOPCR_CHECK(count > 0, "allocation size must be positive");
   COOPCR_CHECK(count <= free_count_, "not enough free nodes");
   COOPCR_CHECK(allocations_.find(job) == allocations_.end(),
                "job already holds an allocation");
-  std::vector<std::int64_t> taken;
-  taken.reserve(static_cast<std::size_t>(count));
-  for (std::int64_t i = 0; i < count; ++i) {
-    const std::int64_t node = free_list_.back();
-    free_list_.pop_back();
-    owner_[static_cast<std::size_t>(node)] = job;
-    taken.push_back(node);
+  Allocation alloc;
+  alloc.epoch = ++next_epoch_;
+  alloc.nodes.resize(static_cast<std::size_t>(count));
+  // Take the top `count` stack entries as one segment; reverse_copy matches
+  // the node order per-node pop_back() would have produced.
+  std::reverse_copy(free_list_.end() - count, free_list_.end(),
+                    alloc.nodes.begin());
+  free_list_.resize(free_list_.size() - static_cast<std::size_t>(count));
+  const std::uint64_t word = (static_cast<std::uint64_t>(alloc.epoch) << 32) |
+                             static_cast<std::uint64_t>(job + 1);
+  for (const std::int64_t node : alloc.nodes) {
+    owner_[static_cast<std::size_t>(node)] = word;
   }
   free_count_ -= count;
-  allocations_.emplace(job, std::move(taken));
+  allocations_.emplace(job, std::move(alloc));
 }
 
 void NodePool::release(JobId job) {
   auto it = allocations_.find(job);
   COOPCR_CHECK(it != allocations_.end(), "job holds no allocation");
-  for (const std::int64_t node : it->second) {
-    COOPCR_ASSERT(owner_[static_cast<std::size_t>(node)] == job,
-                  "ownership table corrupt");
-    owner_[static_cast<std::size_t>(node)] = kNoJob;
-    free_list_.push_back(node);
-  }
-  free_count_ += static_cast<std::int64_t>(it->second.size());
+  const std::vector<std::int64_t>& nodes = it->second.nodes;
+  // Re-append the whole segment; ownership words go stale and are
+  // invalidated by the epoch check in owner_of() instead of being cleared.
+  free_list_.insert(free_list_.end(), nodes.begin(), nodes.end());
+  free_count_ += static_cast<std::int64_t>(nodes.size());
   allocations_.erase(it);
 }
 
 JobId NodePool::owner_of(std::int64_t index) const {
   COOPCR_CHECK(index >= 0 && index < total(), "node index out of range");
-  return owner_[static_cast<std::size_t>(index)];
+  const std::uint64_t word = owner_[static_cast<std::size_t>(index)];
+  if (word == 0) return kNoJob;  // never allocated
+  const JobId job = static_cast<JobId>(word & 0xffffffffull) - 1;
+  const auto epoch = static_cast<std::uint32_t>(word >> 32);
+  const auto it = allocations_.find(job);
+  if (it == allocations_.end() || it->second.epoch != epoch) {
+    return kNoJob;  // stale word: the owning allocation was released
+  }
+  return job;
 }
 
 const std::vector<std::int64_t>& NodePool::nodes_of(JobId job) const {
   const auto it = allocations_.find(job);
   if (it == allocations_.end()) return kEmpty;
-  return it->second;
+  return it->second.nodes;
 }
 
 double NodePool::utilization() const {

@@ -8,6 +8,17 @@
 // are assumed to be swapped for hot spares instantly (paper §2: "only one
 // node has failed and is replaced by a hot spare"), so the pool size is
 // constant for the whole simulation.
+//
+// Hot path: jobs hold thousands of nodes and start/finish constantly, so
+// allocate() takes the top of the LIFO free stack as one bulk segment and
+// release() re-appends the job's segment wholesale — no per-node free-list
+// churn. Per-node ownership is written once at allocation as an
+// epoch-tagged word and never cleared: owner_of() (rare — one call per
+// failure strike) validates the epoch against the job's live allocation, so
+// stale words from finished jobs read as "free". Node-to-job assignment
+// order is identical to the historical per-node pop/push implementation,
+// which keeps failure victims — and therefore whole simulations —
+// bit-identical.
 
 #pragma once
 
@@ -56,10 +67,16 @@ class NodePool {
   double utilization() const;
 
  private:
-  std::vector<JobId> owner_;                 // per-unit owner
-  std::vector<std::int64_t> free_list_;      // indices of free units (LIFO)
-  std::unordered_map<JobId, std::vector<std::int64_t>> allocations_;
+  struct Allocation {
+    std::vector<std::int64_t> nodes;
+    std::uint32_t epoch = 0;
+  };
+
+  std::vector<std::uint64_t> owner_;     // per-unit (epoch << 32 | job+1)
+  std::vector<std::int64_t> free_list_;  // free units (LIFO stack)
+  std::unordered_map<JobId, Allocation> allocations_;
   std::int64_t free_count_ = 0;
+  std::uint32_t next_epoch_ = 0;
   static const std::vector<std::int64_t> kEmpty;
 };
 

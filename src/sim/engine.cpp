@@ -23,9 +23,10 @@ void Engine::advance_to(Time t) {
 
 std::uint64_t Engine::run(Time horizon) {
   stop_requested_ = false;
+  const bool bounded = horizon != kTimeNever;
   std::uint64_t n = 0;
   while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > horizon) break;
+    if (bounded && queue_.next_time() > horizon) break;
     auto fired = queue_.pop();
     advance_to(fired.time);
     fired.fn();

@@ -53,6 +53,17 @@ class Engine {
   /// Total number of events executed over the engine's lifetime.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Reset to a pristine state (t = 0, no events, zeroed counters) while
+  /// keeping the queue's slab/heap capacity. A reset engine behaves
+  /// bit-identically to a freshly constructed one — the basis of
+  /// per-replica engine reuse (core/simulation.hpp SimWorkspace).
+  void reset() {
+    queue_.clear();
+    now_ = 0.0;
+    executed_ = 0;
+    stop_requested_ = false;
+  }
+
   /// Direct queue access for advanced components/tests.
   EventQueue& queue() { return queue_; }
 

@@ -1,0 +1,187 @@
+// Engine-equivalence guard for the slab/calendar simulation substrate.
+//
+// The hot-path overhaul (slab-backed EventQueue with generation-tagged
+// handles, slab SharedChannel with a cached weight aggregate, slab
+// IoSubsystem records, SimWorkspace reuse) must be *observationally
+// invisible*: every event fired, every event scheduled and every
+// SimulationCounters field must match the seed (hash-map + std::function)
+// implementation bit for bit. This suite pins those values — captured from
+// the seed implementation immediately before the overhaul — for all seven
+// paper strategies plus the tiered burst-buffer commit path, and asserts
+// that workspace-reusing runs are identical to fresh-workspace runs.
+//
+// If a *deliberate* behaviour change invalidates these numbers, re-pin them
+// and say so explicitly in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "core/scenario.hpp"
+#include "platform/failure_model.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace coopcr {
+namespace {
+
+ScenarioConfig pinned_scenario() {
+  return ScenarioBuilder::cielo_apex(/*seed=*/0xD373C7ull)
+      .pfs_bandwidth(units::gb_per_s(40))
+      .node_mtbf(units::years(2))
+      .min_makespan(units::days(10))
+      .segment(units::days(1), units::days(9))
+      .build();
+}
+
+struct PinnedRun {
+  const char* strategy;
+  std::uint64_t events_executed;
+  std::uint64_t events_scheduled;
+  std::uint64_t failures_total;
+  std::uint64_t failures_on_jobs;
+  std::uint64_t checkpoint_requests;
+  std::uint64_t checkpoints_completed;
+  std::uint64_t checkpoints_aborted;
+  std::uint64_t checkpoints_cancelled;
+  std::uint64_t jobs_started;
+  std::uint64_t jobs_completed;
+  std::uint64_t restarts_submitted;
+  std::uint64_t io_requests;
+};
+
+// Captured from the seed (pre-overhaul) implementation: replica 0, seed
+// 0xD373C7, Cielo/APEX @ 40 GB/s, node MTBF 2 y, 8-day measured segment.
+const std::vector<PinnedRun>& pinned_runs() {
+  static const std::vector<PinnedRun> kPinned = {
+      {"Oblivious-Fixed", 1795ull, 3868ull, 223, 217, 788, 664, 112, 0, 232,
+       0, 217, 1020},
+      {"Oblivious-Daly", 1588ull, 3399ull, 223, 215, 631, 556, 67, 0, 240,
+       13, 215, 886},
+      {"Ordered-Fixed", 1987ull, 2952ull, 223, 217, 867, 729, 23, 0, 232, 0,
+       217, 1099},
+      {"Ordered-Daly", 1657ull, 2575ull, 223, 214, 641, 573, 19, 0, 239, 13,
+       214, 893},
+      {"Ordered-NB-Fixed", 1652ull, 2431ull, 223, 208, 671, 547, 22, 12, 234,
+       20, 208, 926},
+      {"Ordered-NB-Daly", 1416ull, 2179ull, 223, 207, 518, 446, 15, 6, 233,
+       20, 207, 771},
+      {"Least-Waste", 1416ull, 2203ull, 223, 204, 513, 439, 22, 8, 230, 20,
+       204, 763},
+  };
+  return kPinned;
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineEquivalence, EventStreamMatchesSeedImplementation) {
+  const PinnedRun& expected = pinned_runs()[GetParam()];
+  const ScenarioConfig scenario = pinned_scenario();
+  const StrategySpec strategy = strategy_from_name(expected.strategy);
+  const ReplicaRun run = run_replica(scenario, strategy, /*replica=*/0);
+  const SimulationCounters& c = run.result.counters;
+  EXPECT_EQ(run.result.events, expected.events_executed);
+  EXPECT_EQ(run.result.events_scheduled, expected.events_scheduled);
+  EXPECT_EQ(c.failures_total, expected.failures_total);
+  EXPECT_EQ(c.failures_on_jobs, expected.failures_on_jobs);
+  EXPECT_EQ(c.checkpoint_requests, expected.checkpoint_requests);
+  EXPECT_EQ(c.checkpoints_completed, expected.checkpoints_completed);
+  EXPECT_EQ(c.checkpoints_aborted, expected.checkpoints_aborted);
+  EXPECT_EQ(c.checkpoints_cancelled, expected.checkpoints_cancelled);
+  EXPECT_EQ(c.jobs_started, expected.jobs_started);
+  EXPECT_EQ(c.jobs_completed, expected.jobs_completed);
+  EXPECT_EQ(c.restarts_submitted, expected.restarts_submitted);
+  EXPECT_EQ(c.io_requests, expected.io_requests);
+}
+
+std::string pinned_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = pinned_runs()[info.param].strategy;
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperStrategies, EngineEquivalence,
+                         ::testing::Range<std::size_t>(0, 7), pinned_name);
+
+TEST(EngineEquivalence, CoversEveryPaperStrategy) {
+  ASSERT_EQ(pinned_runs().size(), paper_strategies().size());
+  for (std::size_t i = 0; i < pinned_runs().size(); ++i) {
+    EXPECT_EQ(pinned_runs()[i].strategy, paper_strategies()[i].name());
+  }
+}
+
+// The tiered commit path exercises the second (burst-buffer) IoSubsystem,
+// drain supersession and failure teardown — the paths a slab bug would most
+// plausibly disturb. Pinned from the seed implementation.
+TEST(EngineEquivalence, TieredCommitPathMatchesSeedImplementation) {
+  const ScenarioConfig scenario =
+      ScenarioBuilder::cielo_apex(/*seed=*/0xD373C7ull)
+          .pfs_bandwidth(units::gb_per_s(40))
+          .node_mtbf(units::years(2))
+          .min_makespan(units::days(10))
+          .segment(units::days(1), units::days(9))
+          .burst_buffer(1.0, units::gb_per_s(400))
+          .build();
+  const StrategySpec strategy = strategy_from_name("coop-daly-tiered");
+  const ReplicaRun run = run_replica(scenario, strategy, /*replica=*/0);
+  const SimulationCounters& c = run.result.counters;
+  EXPECT_EQ(run.result.events, 2515u);
+  EXPECT_EQ(run.result.events_scheduled, 3809u);
+  EXPECT_EQ(c.bb_absorbs, 762u);
+  EXPECT_EQ(c.bb_fallbacks, 0u);
+  EXPECT_EQ(c.bb_drains_completed, 520u);
+  EXPECT_EQ(c.bb_drains_aborted, 76u);
+  EXPECT_EQ(c.bb_drains_withdrawn, 9u);
+  EXPECT_EQ(c.bb_drains_superseded, 154u);
+  EXPECT_DOUBLE_EQ(run.waste_ratio, 0.49727453853373377);
+}
+
+// Workspace reuse must be behaviour-neutral: running the same simulation
+// repeatedly on one SimWorkspace — including across different strategies —
+// must reproduce the fresh-workspace results bit for bit.
+TEST(EngineEquivalence, WorkspaceReuseIsBitIdentical) {
+  const ScenarioConfig scenario = pinned_scenario();
+  Rng rng = Rng::stream(scenario.seed, /*replica=*/0);
+  WorkloadGenerator generator(scenario.simulation.classes, scenario.platform,
+                              scenario.workload);
+  const std::vector<Job> jobs = generator.generate(rng);
+  const sim::Time stop = std::min(scenario.simulation.horizon,
+                                  scenario.simulation.segment_end);
+  const std::vector<Failure> failures =
+      scenario.failures.generate(scenario.platform, stop, rng);
+
+  SimWorkspace workspace;
+  for (const Strategy& strategy : paper_strategies()) {
+    SimulationConfig cfg = scenario.simulation;
+    cfg.strategy = strategy;
+    const SimulationResult fresh = simulate(cfg, jobs, failures);
+    const SimulationResult reused = simulate(cfg, jobs, failures, workspace);
+    EXPECT_EQ(fresh.events, reused.events) << strategy.name();
+    EXPECT_EQ(fresh.events_scheduled, reused.events_scheduled)
+        << strategy.name();
+    EXPECT_EQ(fresh.counters.io_requests, reused.counters.io_requests)
+        << strategy.name();
+    EXPECT_EQ(fresh.counters.checkpoints_completed,
+              reused.counters.checkpoints_completed)
+        << strategy.name();
+    EXPECT_EQ(fresh.useful, reused.useful) << strategy.name();
+    EXPECT_EQ(fresh.wasted, reused.wasted) << strategy.name();
+    EXPECT_EQ(fresh.stop_time, reused.stop_time) << strategy.name();
+  }
+  // And the baseline path (different admission/interference configuration)
+  // on the same already-warm workspace.
+  const SimulationResult fresh_base =
+      simulate_baseline(scenario.simulation, jobs);
+  const SimulationResult reused_base =
+      simulate_baseline(scenario.simulation, jobs, workspace);
+  EXPECT_EQ(fresh_base.events, reused_base.events);
+  EXPECT_EQ(fresh_base.useful, reused_base.useful);
+}
+
+}  // namespace
+}  // namespace coopcr

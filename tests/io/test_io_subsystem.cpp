@@ -174,9 +174,9 @@ TEST(IoSubsystem, CompletionCallbackCanSubmitFollowUp) {
   RequestCallbacks first;
   first.on_complete = [&](RequestId) {
     completes.push_back(engine.now());
-    io.submit(req(2, IoKind::kOutput, 300.0, 1), second);
+    io.submit(req(2, IoKind::kOutput, 300.0, 1), std::move(second));
   };
-  io.submit(req(1, IoKind::kInput, 200.0, 1), first);
+  io.submit(req(1, IoKind::kInput, 200.0, 1), std::move(first));
   engine.run();
   ASSERT_EQ(completes.size(), 2u);
   EXPECT_DOUBLE_EQ(completes[0], 2.0);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "util/error.hpp"
@@ -116,6 +117,141 @@ TEST(EventQueue, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 5; ++i) q.schedule(1.0, [] {});
   EXPECT_EQ(q.total_scheduled(), 5u);
+}
+
+// --- slab / stale-handle semantics ------------------------------------------
+
+TEST(EventQueue, IdsAreMonotoneInScheduleOrder) {
+  EventQueue q;
+  EventId last = kInvalidEventId;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.schedule(static_cast<Time>(100 - i), [] {});
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+TEST(EventQueue, StaleHandleCancelIsNoopAfterSlotReuse) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  // The freed slot is recycled for b, but with a fresh id: the stale handle
+  // must not be able to kill the new occupant.
+  bool b_fired = false;
+  const EventId b = q.schedule(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(EventQueue, StaleHandleCancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.pop().fn();
+  bool b_fired = false;
+  q.schedule(2.0, [&] { b_fired = true; });
+  EXPECT_FALSE(q.cancel(a));  // a's slot now belongs to b
+  q.pop().fn();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(EventQueue, CancelReclaimsTheCallbackImmediately) {
+  // The callback (and its captures) must be destroyed at cancel() time, not
+  // lazily when the entry would have been popped.
+  EventQueue q;
+  auto probe = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = probe;
+  const EventId id = q.schedule(1e9, [probe] { (void)*probe; });
+  probe.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside the queue
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(watch.expired());  // reclaimed at cancel, queue still nonempty?
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledSlotsAreReusedNotLeaked) {
+  // Regression for the seed's unbounded growth: events scheduled past the
+  // horizon and cancelled (never popped) must recycle their slab slot.
+  EventQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id =
+        q.schedule(1e12 + static_cast<Time>(i), [] {});  // far future
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  // One live slot's worth of slab, not ten thousand.
+  EXPECT_LE(q.slab_slots(), 2u);
+  // Stale bookkeeping is compacted away, not accumulated.
+  EXPECT_LE(q.stale_items(), 128u);
+}
+
+TEST(EventQueue, CancelHeavyLongHorizonStaysBounded) {
+  // A long-horizon run keeping a bounded live set while churning through
+  // schedule+cancel cycles: slab and stale bookkeeping must stay
+  // proportional to the live population, never to the total churn.
+  EventQueue q;
+  std::vector<EventId> live;
+  std::uint64_t x = 99;
+  Time base = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      live.push_back(
+          q.schedule(base + 1.0 + static_cast<double>(x >> 50), [] {}));
+    }
+    // Cancel most of them (horizon-crossed checkpoint timers), pop a few.
+    for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+      q.cancel(live[i]);
+    }
+    live.clear();
+    for (int i = 0; i < 8 && !q.empty(); ++i) {
+      auto fired = q.pop();
+      base = fired.time;
+      q.set_now(base);
+    }
+  }
+  // Slab tracks the live high-water mark (~ final live set + one round's
+  // burst), not the 12800 events churned through the queue.
+  EXPECT_LE(q.slab_slots(), q.size() + 256u);
+  EXPECT_LE(q.stale_items(), q.size() + 128u);
+}
+
+TEST(EventQueue, ClearRestartsIdsLikeAFreshQueue) {
+  EventQueue q;
+  std::vector<EventId> first;
+  for (int i = 0; i < 5; ++i) {
+    first.push_back(q.schedule(1.0 + i, [] {}));
+  }
+  q.pop().fn();
+  q.cancel(first[3]);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_scheduled(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.schedule(1.0 + i, [] {}), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(EventQueue, InterleavedCancelStressOrdering) {
+  EventQueue q;
+  std::uint64_t x = 7;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 3000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    ids.push_back(q.schedule(static_cast<double>(x >> 40), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2000u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

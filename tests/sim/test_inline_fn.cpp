@@ -1,0 +1,113 @@
+// Unit tests for the small-buffer move-only callable backing the event
+// queue: inline storage for small captures, heap fallback for large ones,
+// move semantics that transfer (never duplicate) the capture state.
+
+#include "sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace coopcr::sim {
+namespace {
+
+using Fn = InlineFunction<int(), 48>;
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  Fn null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFunction, InvokesSmallCapture) {
+  int x = 41;
+  Fn fn = [&x] { return x + 1; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunction, MoveTransfersTheCallable) {
+  auto counter = std::make_shared<int>(0);
+  Fn fn = [counter] { return ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  Fn moved = std::move(fn);
+  // Moved, not copied: still exactly one stored reference.
+  EXPECT_EQ(counter.use_count(), 2);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_EQ(moved(), 1);
+}
+
+TEST(InlineFunction, DestroyReleasesCaptures) {
+  auto probe = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = probe;
+  {
+    Fn fn = [probe] { return *probe; };
+    probe.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, NullAssignmentReleasesCaptures) {
+  auto probe = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = probe;
+  Fn fn = [probe] { return *probe; };
+  probe.reset();
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, LargeCapturesFallBackToTheHeap) {
+  // A capture bigger than the inline capacity still works (boxed).
+  std::array<double, 16> big{};  // 128 bytes > 48
+  big[0] = 1.5;
+  big[15] = 2.5;
+  Fn fn = [big] { return static_cast<int>(big[0] + big[15]); };
+  EXPECT_EQ(fn(), 4);
+  Fn moved = std::move(fn);
+  EXPECT_EQ(moved(), 4);
+}
+
+TEST(InlineFunction, LargeCaptureDestructionReleasesState) {
+  auto probe = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = probe;
+  std::array<char, 100> pad{};
+  {
+    Fn fn = [probe, pad] { return *probe + pad[0]; };
+    probe.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MoveAssignmentReplacesExisting) {
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  std::weak_ptr<int> watch_a = a;
+  Fn fn = [a] { return *a; };
+  a.reset();
+  Fn other = [b] { return *b; };
+  fn = std::move(other);
+  EXPECT_TRUE(watch_a.expired());  // previous callable destroyed
+  EXPECT_EQ(fn(), 2);
+}
+
+TEST(InlineFunction, ArgumentsArePassedThrough) {
+  InlineFunction<int(int, int), 48> add = [](int x, int y) { return x + y; };
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  Fn fn = [] { return 5; };
+  Fn& alias = fn;
+  fn = std::move(alias);
+  EXPECT_EQ(fn(), 5);
+}
+
+}  // namespace
+}  // namespace coopcr::sim

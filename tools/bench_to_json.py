@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fold bench outputs into BENCH_engine.json — the repo's perf trajectory.
+
+Inputs (either may be omitted; at least one is required):
+  --micro micro.json   Google Benchmark JSON from
+                       `micro_engine --benchmark_out=micro.json
+                                     --benchmark_out_format=json`
+  --macro macro.txt    stdout of `macro_campaign` ("key = value" lines)
+
+Output (--output, default BENCH_engine.json):
+  {
+    "schema": 1,
+    "context": {...google-benchmark host context...},
+    "micro":  {"BM_EventQueueScheduleRun/10000": {
+                  "real_time_ns": ..., "cpu_time_ns": ...,
+                  "items_per_second": ...}, ...},
+    "macro":  {"replicas_per_sec": ..., "wall_seconds": ..., ...}
+  }
+
+The file is meant to be tracked over time (CI uploads it per commit): compare
+`items_per_second` / `replicas_per_sec` across commits to see the engine's
+trajectory. See docs/ARCHITECTURE.md ("Performance model") for how to read
+each metric and EXPERIMENTS.md for the measurement methodology.
+
+stdlib only — no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_micro(path: Path) -> tuple[dict, dict]:
+    """Extract per-benchmark metrics from Google Benchmark JSON output."""
+    data = json.loads(path.read_text())
+    context = data.get("context", {})
+    micro: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) — keep raw repetitions
+        # only when no aggregate exists; prefer the median aggregate.
+        name = bench.get("name", "")
+        run_name = bench.get("run_name", name)
+        run_type = bench.get("run_type", "iteration")
+        aggregate = bench.get("aggregate_name", "")
+        if run_type == "aggregate" and aggregate != "median":
+            continue
+        if run_type == "aggregate":
+            key = run_name
+        else:
+            key = name
+            if key in micro:
+                continue  # keep the first repetition; median overwrites below
+        entry = {
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        micro[key] = entry
+    return context, micro
+
+
+def parse_macro(path: Path) -> dict:
+    """Extract `macro_campaign.key = value` lines from the bench stdout."""
+    macro: dict[str, object] = {}
+    for line in path.read_text().splitlines():
+        if "=" not in line or not line.startswith("macro_campaign."):
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().removeprefix("macro_campaign.")
+        value = value.strip()
+        try:
+            macro[key] = int(value)
+        except ValueError:
+            try:
+                macro[key] = float(value)
+            except ValueError:
+                macro[key] = value
+    return macro
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--micro", type=Path, help="google-benchmark JSON")
+    parser.add_argument("--macro", type=Path, help="macro_campaign stdout")
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_engine.json"))
+    args = parser.parse_args(argv)
+    if args.micro is None and args.macro is None:
+        parser.error("provide at least one of --micro / --macro")
+
+    result: dict[str, object] = {"schema": 1}
+    if args.micro is not None:
+        context, micro = parse_micro(args.micro)
+        result["context"] = context
+        result["micro"] = micro
+        if not micro:
+            print(f"warning: no benchmarks found in {args.micro}",
+                  file=sys.stderr)
+    if args.macro is not None:
+        macro = parse_macro(args.macro)
+        result["macro"] = macro
+        if not macro:
+            print(f"warning: no macro_campaign lines found in {args.macro}",
+                  file=sys.stderr)
+
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
