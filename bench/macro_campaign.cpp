@@ -12,6 +12,14 @@
 // perf trajectory. EXPERIMENTS.md ("Benchmarking methodology") documents
 // how to run and read it.
 //
+// A second section measures the dist layer: the same campaign run through
+// DistSweepRunner at 1/2/4/8 worker processes, reported as
+// "macro_campaign.dist_scaling.shards_N.*" lines — the shard-count scaling
+// curve, tracked in BENCH_engine.json alongside the single-process number.
+// The dominant cost per unit is the replica simulation itself, so the curve
+// mostly reads as fork/pipe/journal-free coordination overhead at N=1 and
+// scheduling efficiency beyond.
+//
 // Knobs: COOPCR_REPLICAS (default 8) and COOPCR_THREADS (default 1 — keep
 // single-threaded for comparable replicas/sec across machines; raise it to
 // measure scaling instead).
@@ -20,6 +28,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "dist/dist_runner.hpp"
 
 namespace {
 
@@ -32,14 +41,16 @@ struct Measurement {
   std::uint64_t events = 0;  ///< engine events executed, all runs summed
 };
 
+ScenarioBuilder bench_base() {
+  return ScenarioBuilder::cielo_apex()
+      .pfs_bandwidth(units::gb_per_s(40))
+      .node_mtbf(units::years(2))
+      .min_makespan(units::days(10))
+      .segment(units::days(1), units::days(9));
+}
+
 Measurement run_campaign(const MonteCarloOptions& options) {
-  const ScenarioConfig scenario =
-      ScenarioBuilder::cielo_apex()
-          .pfs_bandwidth(units::gb_per_s(40))
-          .node_mtbf(units::years(2))
-          .min_makespan(units::days(10))
-          .segment(units::days(1), units::days(9))
-          .build();
+  const ScenarioConfig scenario = bench_base().build();
   const std::vector<Strategy> strategies = paper_strategies();
 
   MonteCarloOptions opts = options;
@@ -58,6 +69,24 @@ Measurement run_campaign(const MonteCarloOptions& options) {
     }
   }
   return m;
+}
+
+/// Wall-clock one DistSweepRunner pass over the bench campaign with
+/// `shards` worker processes (same scenario and strategy set as the
+/// single-process measurement, no journal — pure execution cost).
+double run_dist_campaign(int replicas, int shards) {
+  exp::ExperimentSpec spec(bench_base(), "macro_dist");
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  spec.pfs_bandwidth_axis({40}).strategies(paper_strategies()).options(options);
+
+  dist::DistOptions dist_options;
+  dist_options.shards = shards;
+  dist::DistSweepRunner runner(dist_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.run(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
 }
 
 }  // namespace
@@ -95,5 +124,22 @@ int main() {
       "(%.0f engine events/s)\n",
       m.replicas, m.strategies, m.wall_seconds, replicas_per_sec,
       events_per_sec);
+
+  // Shard-count scaling curve through the dist layer. Per-shard lines nest
+  // under macro_campaign.dist_scaling in BENCH_engine.json.
+  double one_shard_seconds = 0.0;
+  for (const int shards : {1, 2, 4, 8}) {
+    const double seconds = run_dist_campaign(options.replicas, shards);
+    if (shards == 1) one_shard_seconds = seconds;
+    const double dist_replicas_per_sec =
+        static_cast<double>(options.replicas) / seconds;
+    std::printf("macro_campaign.dist_scaling.shards_%d.wall_seconds = %.6f\n",
+                shards, seconds);
+    std::printf(
+        "macro_campaign.dist_scaling.shards_%d.replicas_per_sec = %.6f\n",
+        shards, dist_replicas_per_sec);
+    std::printf("macro_campaign.dist_scaling.shards_%d.speedup = %.3f\n",
+                shards, one_shard_seconds / seconds);
+  }
   return 0;
 }

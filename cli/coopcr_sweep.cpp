@@ -1,0 +1,280 @@
+// coopcr_sweep — distributed, resumable sweep campaigns from the command
+// line.
+//
+// The CLI drives a registry of predefined experiments (a fast demo grid
+// plus the paper's Figure 1 / Figure 2 sweeps) through either execution
+// engine:
+//
+//   --shards 0   in-process exp::SweepRunner (the thread-pool reference)
+//   --shards N   dist::DistSweepRunner with N worker processes
+//
+// Both paths produce byte-identical CSV/JSON artifacts — that equivalence
+// is what the CI kill-resume smoke job diffs. With --journal the sweep is
+// durable: kill it (or a worker) at any point and rerun with --resume to
+// finish only the missing units.
+//
+//   coopcr_sweep --spec fig1 --replicas 20 --shards 4 \
+//       --journal fig1.journal --out artifacts/
+//   ...SIGKILL...
+//   coopcr_sweep --spec fig1 --replicas 20 --shards 4 \
+//       --journal fig1.journal --resume --out artifacts/
+//
+// --exec-workers spawns workers by re-executing this binary with --worker
+// (they rebuild the spec from their own command line and the coordinator
+// verifies the spec digest) instead of forking the coordinator's image —
+// the mode a future multi-host launcher would use.
+//
+// Env knobs (flags win): COOPCR_SHARDS, COOPCR_JOURNAL, COOPCR_REPLICAS,
+// COOPCR_CSV_DIR.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+#include "dist/dist_runner.hpp"
+#include "dist/journal.hpp"
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
+#include "util/env.hpp"
+
+using namespace coopcr;
+
+namespace {
+
+struct SpecEntry {
+  const char* name;
+  const char* blurb;
+  exp::ExperimentSpec (*build)(int replicas);
+};
+
+// Registry specs must be pure functions of (name, replicas): an exec-mode
+// worker rebuilds its spec from those two values alone, and the spec digest
+// check only helps if both sides deterministically build the same grid.
+
+exp::ExperimentSpec build_demo(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                               .node_mtbf(units::years(2))
+                               .min_makespan(units::days(8))
+                               .segment(units::days(1), units::days(7)),
+                           "sweep_demo");
+  spec.pfs_bandwidth_axis({40, 120})
+      .interference_axis({0.0, 1.0})
+      .strategies({ordered_nb_daly(), oblivious_daly()})
+      .options(options);
+  return spec;
+}
+
+exp::ExperimentSpec build_fig1(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  exp::ExperimentSpec spec(
+      ScenarioBuilder::cielo_apex().node_mtbf(units::years(2)),
+      "fig1_bandwidth_sweep");
+  spec.pfs_bandwidth_axis({40, 60, 80, 100, 120, 140, 160})
+      .strategies(paper_strategies())
+      .options(options);
+  return spec;
+}
+
+exp::ExperimentSpec build_fig2(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(), "fig2_mtbf_sweep");
+  spec.node_mtbf_axis({2, 4, 8, 16, 25, 50})
+      .strategies(paper_strategies())
+      .options(options);
+  return spec;
+}
+
+constexpr SpecEntry kSpecs[] = {
+    {"demo", "2x2 bandwidth x interference demo grid, 2 strategies",
+     build_demo},
+    {"fig1", "paper Figure 1: waste vs PFS bandwidth, 7 strategies",
+     build_fig1},
+    {"fig2", "paper Figure 2: waste vs node MTBF, 7 strategies", build_fig2},
+};
+
+exp::ExperimentSpec build_spec(const std::string& name, int replicas) {
+  for (const SpecEntry& entry : kSpecs) {
+    if (name == entry.name) return entry.build(replicas);
+  }
+  throw Error("unknown spec \"" + name + "\" — try --list-specs");
+}
+
+void usage(std::ostream& os) {
+  os << "usage: coopcr_sweep [options]\n"
+        "  --spec NAME        experiment to run (--list-specs; default demo)\n"
+        "  --replicas N       Monte Carlo replicas per grid point "
+        "(COOPCR_REPLICAS; default 4)\n"
+        "  --shards N         worker processes; 0 = in-process reference "
+        "runner (COOPCR_SHARDS; default 2)\n"
+        "  --journal PATH     durable campaign journal (COOPCR_JOURNAL)\n"
+        "  --resume           replay --journal, run only the missing units\n"
+        "  --out DIR          write <spec>.csv / <spec>.json artifacts "
+        "(COOPCR_CSV_DIR)\n"
+        "  --exec-workers     spawn workers by re-executing this binary\n"
+        "  --max-units N      abort after N fresh units (kill-resume "
+        "testing)\n"
+        "  --kill-worker-after N  worker 0 SIGKILLs itself after N units\n"
+        "  --list-specs       list registry specs and exit\n"
+        "  --worker           internal: serve units on fds 3/4\n"
+        "  --kill-after N     internal: worker self-kill hook\n";
+}
+
+int int_arg(const std::string& flag, const char* value) {
+  COOPCR_CHECK(value != nullptr, flag + " needs a value");
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(value, &used);
+    COOPCR_CHECK(used == std::string(value).size() && parsed >= 0,
+                 flag + ": bad value \"" + value + "\"");
+    return parsed;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error(flag + ": bad value \"" + std::string(value) + "\"");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string spec_name = "demo";
+    int replicas = env::int_knob("COOPCR_REPLICAS", 4, 1);
+    int shards = env::int_knob("COOPCR_SHARDS", 2, 0);
+    std::string journal = env::string_knob("COOPCR_JOURNAL").value_or("");
+    std::string out_dir;
+    bool resume = false;
+    bool exec_workers = false;
+    bool worker_mode = false;
+    int max_units = 0;
+    int kill_after = 0;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const char* next = (i + 1 < argc) ? argv[i + 1] : nullptr;
+      if (arg == "--spec") {
+        COOPCR_CHECK(next, "--spec needs a value");
+        spec_name = next;
+        ++i;
+      } else if (arg == "--replicas") {
+        replicas = int_arg(arg, next);
+        COOPCR_CHECK(replicas >= 1, "--replicas must be >= 1");
+        ++i;
+      } else if (arg == "--shards") {
+        shards = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--journal") {
+        COOPCR_CHECK(next, "--journal needs a value");
+        journal = next;
+        ++i;
+      } else if (arg == "--out") {
+        COOPCR_CHECK(next, "--out needs a value");
+        out_dir = next;
+        ++i;
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg == "--exec-workers") {
+        exec_workers = true;
+      } else if (arg == "--max-units") {
+        max_units = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--kill-worker-after") {
+        kill_after = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--worker") {
+        worker_mode = true;
+      } else if (arg == "--kill-after") {
+        kill_after = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--list-specs") {
+        for (const SpecEntry& entry : kSpecs) {
+          std::cout << entry.name << "\t" << entry.blurb << "\n";
+        }
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        usage(std::cerr);
+        throw Error("unknown argument: " + arg);
+      }
+    }
+
+    const exp::ExperimentSpec spec = build_spec(spec_name, replicas);
+
+    if (worker_mode) {
+      // Exec-mode worker: rebuilt the spec above from --spec/--replicas;
+      // serve units on the fixed pipe fds until shutdown.
+      dist::worker_serve(spec, dist::kWorkerInFd, dist::kWorkerOutFd,
+                         kill_after);
+      return 0;
+    }
+
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir);
+      ::setenv("COOPCR_CSV_DIR", out_dir.c_str(), 1);
+    }
+
+    std::cerr << "[coopcr_sweep] spec " << spec.name() << ": "
+              << spec.grid_size() << " points x " << replicas
+              << " replicas, engine "
+              << (shards == 0 ? std::string("in-process")
+                              : std::to_string(shards) + " shards")
+              << (journal.empty() ? "" : ", journal " + journal)
+              << (resume ? " (resume)" : "") << "\n";
+
+    exp::ExperimentReport report;
+    if (shards == 0) {
+      COOPCR_CHECK(!resume && journal.empty() && max_units == 0 &&
+                       kill_after == 0,
+                   "--journal/--resume/--max-units/--kill-worker-after "
+                   "require --shards >= 1");
+      exp::SweepRunner runner(env::int_knob("COOPCR_THREADS", 0, 0));
+      report = runner.run(spec);
+    } else {
+      dist::DistOptions options;
+      options.shards = shards;
+      options.journal = journal;
+      options.resume = resume;
+      options.max_units = max_units;
+      options.kill_worker_after = kill_after;
+      if (exec_workers) {
+        options.worker_command = {argv[0], "--worker", "--spec", spec_name,
+                                  "--replicas", std::to_string(replicas)};
+      }
+      dist::DistSweepRunner runner(options);
+      runner.on_point([](const exp::GridPoint& point, const MonteCarloReport&) {
+        std::cerr << "[coopcr_sweep] " << point.label() << " done\n";
+      });
+      report = runner.run(spec);
+    }
+
+    // Human-readable summary on stdout; machine artifacts via --out.
+    for (const auto& pr : report.points) {
+      std::cout << pr.point.label() << "\n";
+      for (const auto& outcome : pr.report.outcomes) {
+        std::cout << "  " << outcome.strategy.name()
+                  << ": waste ratio mean = "
+                  << TablePrinter::fmt(outcome.waste_ratio.mean(), 4) << "\n";
+      }
+    }
+    if (const auto path = report.emit_csv()) {
+      std::cout << "[csv] wrote " << *path << "\n";
+    }
+    if (const auto path = report.emit_json()) {
+      std::cout << "[json] wrote " << *path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "coopcr_sweep: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -43,6 +43,13 @@
 #include "exp/report.hpp"
 #include "exp/sweep_runner.hpp"
 
+// Distributed execution: multi-process shard workers, the durable campaign
+// journal and the kill-resume coordinator (byte-identical reports for any
+// shard count or crash history).
+#include "dist/dist_runner.hpp"
+#include "dist/journal.hpp"
+#include "dist/worker.hpp"
+
 // I/O subsystem: channel, requests, token policies.
 #include "io/channel.hpp"
 #include "io/io_subsystem.hpp"

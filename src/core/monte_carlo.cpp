@@ -1,47 +1,24 @@
 #include "core/monte_carlo.hpp"
 
 #include <atomic>
-#include <cerrno>
 #include <exception>
-#include <climits>
-#include <cstdlib>
 #include <thread>
 
 #include "platform/failure_model.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace coopcr {
 
-namespace {
-
-/// Strict integer parse of an environment variable: the whole value must be
-/// a base-10 integer in [min_value, INT_MAX]. Unset/empty falls back.
-int env_int_strict(const char* name, int fallback, int min_value) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  COOPCR_CHECK(end != value && *end == '\0',
-               std::string(name) + "=\"" + value +
-                   "\" is not a valid integer");
-  COOPCR_CHECK(errno != ERANGE && parsed >= min_value && parsed <= INT_MAX,
-               std::string(name) + "=" + value + " is out of range (minimum " +
-                   std::to_string(min_value) + ")");
-  return static_cast<int>(parsed);
-}
-
-}  // namespace
-
 MonteCarloOptions MonteCarloOptions::from_env(int default_replicas,
                                               int default_threads) {
   MonteCarloOptions options;
-  options.replicas = env_int_strict("COOPCR_REPLICAS", default_replicas,
-                                    /*min_value=*/1);
-  options.threads = env_int_strict("COOPCR_THREADS", default_threads,
-                                   /*min_value=*/0);
+  options.replicas = env::int_knob("COOPCR_REPLICAS", default_replicas,
+                                   /*min_value=*/1);
+  options.threads = env::int_knob("COOPCR_THREADS", default_threads,
+                                  /*min_value=*/0);
   return options;
 }
 
@@ -87,25 +64,66 @@ void MonteCarloCampaign::run_replica_task(int r) {
   ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
   const SimulationResult baseline =
       simulate_baseline(scenario_.simulation, jobs, workspace);
-  out.baseline_useful = baseline.useful;
-  out.baseline_useful_energy = baseline.energy.useful();
-  COOPCR_CHECK(out.baseline_useful > 0.0,
+  out.slot.baseline_useful = baseline.useful;
+  out.slot.baseline_useful_energy = baseline.energy.useful();
+  COOPCR_CHECK(out.slot.baseline_useful > 0.0,
                "baseline run produced no useful work — check the workload");
 
-  out.per_strategy.clear();
-  out.waste_ratio.clear();
-  out.efficiency.clear();
-  out.per_strategy.reserve(strategies_.size());
-  out.waste_ratio.reserve(strategies_.size());
-  out.efficiency.reserve(strategies_.size());
+  // Metrics are finished at task time (not at reduce time) so a slot is a
+  // flat double tuple any executor — local pool, worker process, journal
+  // replay — can hand to reduce() bit-identically.
+  out.slot.per_strategy.clear();
+  out.slot.per_strategy.reserve(strategies_.size());
+  out.results.clear();
+  if (options_.keep_results) out.results.reserve(strategies_.size());
   for (const Strategy& strategy : strategies_) {
     SimulationConfig cfg = scenario_.simulation;
     cfg.strategy = strategy;
     SimulationResult result = simulate(cfg, jobs, failures, workspace);
-    out.waste_ratio.push_back(result.wasted / out.baseline_useful);
-    out.efficiency.push_back(result.useful / out.baseline_useful);
-    out.per_strategy.push_back(std::move(result));
+    ReplicaStrategyMetrics m;
+    m.waste_ratio = result.wasted / out.slot.baseline_useful;
+    m.efficiency = result.useful / out.slot.baseline_useful;
+    m.utilization = result.avg_utilization;
+    m.failures_hit = static_cast<double>(result.counters.failures_on_jobs);
+    m.checkpoints =
+        static_cast<double>(result.counters.checkpoints_completed);
+    m.energy_joules = result.energy.total();
+    m.energy_waste_ratio =
+        result.energy.wasted() / out.slot.baseline_useful_energy;
+    m.ckpt_waste_ratio = result.accounting.total(TimeCategory::kCheckpoint) /
+                         out.slot.baseline_useful;
+    out.slot.per_strategy.push_back(m);
+    if (options_.keep_results) out.results.push_back(std::move(result));
   }
+  out.done = true;
+}
+
+bool MonteCarloCampaign::slot_done(int r) const {
+  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
+  return outputs_[static_cast<std::size_t>(r)].done;
+}
+
+const ReplicaSlot& MonteCarloCampaign::slot(int r) const {
+  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
+  const ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
+  COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
+                             " has not run — no slot to export");
+  return out.slot;
+}
+
+void MonteCarloCampaign::install_slot(int r, ReplicaSlot slot) {
+  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
+  COOPCR_CHECK(!options_.keep_results,
+               "install_slot is incompatible with keep_results — full "
+               "SimulationResults never cross the process boundary");
+  COOPCR_CHECK(slot.per_strategy.size() == strategies_.size(),
+               "slot carries " + std::to_string(slot.per_strategy.size()) +
+                   " strategy tuples, campaign expects " +
+                   std::to_string(strategies_.size()));
+  ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
+  COOPCR_CHECK(!out.done, "replica " + std::to_string(r) +
+                              " already has results — duplicate work unit");
+  out.slot = std::move(slot);
   out.done = true;
 }
 
@@ -125,26 +143,21 @@ MonteCarloReport MonteCarloCampaign::reduce() {
     ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
     COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
                                " never ran — reduce() before completion");
-    report.baseline_useful.add(out.baseline_useful);
-    report.baseline_useful_energy.add(out.baseline_useful_energy);
+    report.baseline_useful.add(out.slot.baseline_useful);
+    report.baseline_useful_energy.add(out.slot.baseline_useful_energy);
     for (std::size_t s = 0; s < strategies_.size(); ++s) {
       StrategyOutcome& outcome = report.outcomes[s];
-      const SimulationResult& result = out.per_strategy[s];
-      outcome.waste_ratio.add(out.waste_ratio[s]);
-      outcome.efficiency.add(out.efficiency[s]);
-      outcome.utilization.add(result.avg_utilization);
-      outcome.failures_hit.add(
-          static_cast<double>(result.counters.failures_on_jobs));
-      outcome.checkpoints.add(
-          static_cast<double>(result.counters.checkpoints_completed));
-      outcome.energy_joules.add(result.energy.total());
-      outcome.energy_waste_ratio.add(result.energy.wasted() /
-                                     out.baseline_useful_energy);
-      outcome.ckpt_waste_ratio.add(
-          result.accounting.total(TimeCategory::kCheckpoint) /
-          out.baseline_useful);
+      const ReplicaStrategyMetrics& m = out.slot.per_strategy[s];
+      outcome.waste_ratio.add(m.waste_ratio);
+      outcome.efficiency.add(m.efficiency);
+      outcome.utilization.add(m.utilization);
+      outcome.failures_hit.add(m.failures_hit);
+      outcome.checkpoints.add(m.checkpoints);
+      outcome.energy_joules.add(m.energy_joules);
+      outcome.energy_waste_ratio.add(m.energy_waste_ratio);
+      outcome.ckpt_waste_ratio.add(m.ckpt_waste_ratio);
       if (options_.keep_results) {
-        outcome.results.push_back(std::move(out.per_strategy[s]));
+        outcome.results.push_back(std::move(out.results[s]));
       }
     }
   }

@@ -79,6 +79,32 @@ struct MonteCarloReport {
   const StrategyOutcome& outcome(const std::string& name) const;
 };
 
+/// The flat, serialisable metric tuple one replica produces for one
+/// strategy — exactly the values reduce() folds into the report's
+/// SampleSets, computed once at task time. Because these are finished
+/// doubles (not intermediate SimulationResults), a slot can cross a process
+/// boundary (dist/ wire protocol, campaign journal) bit-exactly, which is
+/// what extends the thread-invariance guarantee to process- and
+/// resume-invariance.
+struct ReplicaStrategyMetrics {
+  double waste_ratio = 0.0;
+  double efficiency = 0.0;
+  double utilization = 0.0;
+  double failures_hit = 0.0;
+  double checkpoints = 0.0;
+  double energy_joules = 0.0;
+  double energy_waste_ratio = 0.0;
+  double ckpt_waste_ratio = 0.0;
+};
+
+/// Everything one replica contributes to the reduced report: the baseline
+/// denominators plus one metric tuple per strategy (in strategy order).
+struct ReplicaSlot {
+  double baseline_useful = 0.0;
+  double baseline_useful_energy = 0.0;
+  std::vector<ReplicaStrategyMetrics> per_strategy;
+};
+
 /// One campaign decomposed into schedulable replica tasks.
 ///
 /// Usage (what run_monte_carlo does internally):
@@ -92,7 +118,10 @@ struct MonteCarloReport {
 /// run_replica_task is thread-safe for distinct replica indices (each writes
 /// its own slot); reduce() is deterministic in replica order regardless of
 /// task scheduling, which is what makes sweep results bit-identical across
-/// thread counts.
+/// thread counts. A remote executor (dist::DistSweepRunner) runs the same
+/// decomposition in worker processes: the worker calls run_replica_task +
+/// slot(), ships the doubles over the wire, and the coordinator calls
+/// install_slot() — reduce() cannot tell the difference.
 class MonteCarloCampaign {
  public:
   /// Validates the inputs (non-empty strategy set, positive replicas, built
@@ -108,6 +137,22 @@ class MonteCarloCampaign {
   /// store the outputs in slot r.
   void run_replica_task(int r);
 
+  /// True once replica `r`'s slot holds results (run locally or installed).
+  bool slot_done(int r) const;
+
+  /// Replica `r`'s finished metric slot, for shipping to a remote reducer
+  /// (wire protocol, journal). Throws coopcr::Error when the task has not
+  /// run.
+  const ReplicaSlot& slot(int r) const;
+
+  /// Install a slot computed elsewhere (a worker process or a journal
+  /// replay) as replica `r`'s output. The slot must carry exactly one
+  /// metric tuple per strategy; incompatible with options.keep_results
+  /// (full SimulationResults never cross the process boundary). Installing
+  /// over an already-done slot throws — a duplicated work unit is a
+  /// dispatcher bug, not something to paper over.
+  void install_slot(int r, ReplicaSlot slot);
+
   /// Fold all replica slots into a report, in replica order. Every replica
   /// task must have completed; throws coopcr::Error on missing slots.
   /// Single-use: reduce() moves results out of the slots, so a second call
@@ -118,11 +163,9 @@ class MonteCarloCampaign {
   /// Everything one replica produces, kept per-replica so reduction order is
   /// deterministic regardless of thread scheduling.
   struct ReplicaOutput {
-    double baseline_useful = 0.0;
-    double baseline_useful_energy = 0.0;
-    std::vector<SimulationResult> per_strategy;
-    std::vector<double> waste_ratio;
-    std::vector<double> efficiency;
+    ReplicaSlot slot;
+    /// Full per-strategy results, only populated under options.keep_results.
+    std::vector<SimulationResult> results;
     bool done = false;
   };
 

@@ -1,0 +1,414 @@
+#include "dist/dist_runner.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "dist/journal.hpp"
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::dist {
+
+namespace {
+
+/// Coordinator-side view of one worker process.
+struct Worker {
+  pid_t pid = -1;
+  int to_fd = -1;    ///< coordinator → worker (kUnit / kShutdown)
+  int from_fd = -1;  ///< worker → coordinator (kHello / kResult)
+  bool alive = false;
+  bool hello_ok = false;           ///< digest verified, may receive units
+  std::optional<UnitMsg> inflight;  ///< dispatched, result not yet seen
+  FrameBuffer buffer;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void reap(Worker& w) {
+  if (w.pid > 0) {
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+  }
+  w.alive = false;
+  close_fd(w.to_fd);
+  close_fd(w.from_fd);
+}
+
+/// Kills and reaps every still-live worker on scope exit, so an exception
+/// (digest mismatch, max_units abort, journal error) never leaks processes
+/// or pipe fds. A graceful shutdown reaps workers first, making this a
+/// no-op.
+class FleetGuard {
+ public:
+  explicit FleetGuard(std::vector<Worker>& workers) : workers_(workers) {}
+  ~FleetGuard() {
+    for (Worker& w : workers_) {
+      if (w.pid > 0) ::kill(w.pid, SIGKILL);
+      reap(w);
+    }
+  }
+
+ private:
+  std::vector<Worker>& workers_;
+};
+
+/// The worker writes into a pipe whose read end the coordinator may have
+/// closed after deciding the worker is dead; that must surface as an error
+/// return, not a process-killing SIGPIPE.
+void ignore_sigpipe() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+/// Fork a worker that inherits `spec` in memory. `extra_close` lists
+/// coordinator-side fds (the journal, other workers' pipe ends) the child
+/// must not hold open — a forked child keeping a dead sibling's pipe alive
+/// would mask its EOF.
+Worker spawn_fork(const exp::ExperimentSpec& spec, int kill_after,
+                  const std::vector<int>& extra_close) {
+  int to_child[2];
+  int from_child[2];
+  COOPCR_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+               std::string("pipe failed: ") + std::strerror(errno));
+  const pid_t pid = ::fork();
+  COOPCR_CHECK(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    for (int fd : extra_close) {
+      if (fd >= 0) ::close(fd);
+    }
+    try {
+      worker_serve(spec, to_child[0], from_child[1], kill_after);
+      ::_exit(0);
+    } catch (const std::exception& e) {
+      // _exit (not exit): the child shares the coordinator's memory image
+      // and must not run its atexit handlers or flush its stdio copies.
+      const std::string msg =
+          std::string("coopcr worker failed: ") + e.what() + "\n";
+      (void)!::write(STDERR_FILENO, msg.data(), msg.size());
+      ::_exit(1);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Worker w;
+  w.pid = pid;
+  w.to_fd = to_child[1];
+  w.from_fd = from_child[0];
+  w.alive = true;
+  return w;
+}
+
+/// Fork+exec a worker command; the child's pipe ends land on the fixed
+/// kWorkerInFd/kWorkerOutFd descriptors.
+Worker spawn_exec(const std::vector<std::string>& command) {
+  COOPCR_CHECK(!command.empty(), "empty worker command");
+  int to_child[2];
+  int from_child[2];
+  COOPCR_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+               std::string("pipe failed: ") + std::strerror(errno));
+  const pid_t pid = ::fork();
+  COOPCR_CHECK(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    // Move the child's ends off the target descriptors before landing them
+    // there, in case a pipe fd already equals kWorkerInFd/kWorkerOutFd.
+    int in = to_child[0];
+    int out = from_child[1];
+    while (in == kWorkerInFd || in == kWorkerOutFd) in = ::dup(in);
+    while (out == kWorkerInFd || out == kWorkerOutFd) out = ::dup(out);
+    if (::dup2(in, kWorkerInFd) < 0 || ::dup2(out, kWorkerOutFd) < 0) {
+      ::_exit(127);
+    }
+    std::vector<char*> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string& arg : command) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    const std::string msg = std::string("coopcr worker exec failed: ") +
+                            command[0] + ": " + std::strerror(errno) + "\n";
+    (void)!::write(STDERR_FILENO, msg.data(), msg.size());
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Worker w;
+  w.pid = pid;
+  w.to_fd = to_child[1];
+  w.from_fd = from_child[0];
+  w.alive = true;
+  return w;
+}
+
+}  // namespace
+
+DistSweepRunner::DistSweepRunner(DistOptions options)
+    : options_(std::move(options)) {
+  COOPCR_CHECK(options_.shards >= 1, "dist sweep needs at least 1 shard, got " +
+                                         std::to_string(options_.shards));
+}
+
+DistSweepRunner& DistSweepRunner::on_point(PointCallback callback) {
+  on_point_ = std::move(callback);
+  return *this;
+}
+
+exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
+  COOPCR_CHECK(!spec.campaign_options().keep_results,
+               "distributed sweeps cannot keep full simulation results — "
+               "only reduced slots cross the process boundary");
+  COOPCR_CHECK(options_.journal.empty() || !options_.resume ||
+                   std::filesystem::exists(options_.journal),
+               "cannot resume: journal does not exist: " + options_.journal);
+  COOPCR_CHECK(!options_.resume || !options_.journal.empty(),
+               "resume requires a journal path");
+  ignore_sigpipe();
+
+  std::vector<exp::GridPoint> points = spec.expand();
+  const int replicas = spec.campaign_options().replicas;
+  std::vector<std::unique_ptr<MonteCarloCampaign>> campaigns;
+  campaigns.reserve(points.size());
+  for (const exp::GridPoint& point : points) {
+    campaigns.push_back(std::make_unique<MonteCarloCampaign>(
+        point.scenario, spec.strategy_set(), spec.campaign_options()));
+  }
+
+  JournalHeader header;
+  header.spec_digest = spec_digest(spec, points);
+  header.points = static_cast<std::uint32_t>(points.size());
+  header.replicas = static_cast<std::uint32_t>(replicas);
+  header.strategies = static_cast<std::uint32_t>(spec.strategy_set().size());
+
+  // Journal setup: replay-then-append on resume, create-fresh otherwise.
+  std::optional<JournalWriter> journal;
+  if (!options_.journal.empty()) {
+    if (options_.resume) {
+      JournalReplay replay = replay_journal(options_.journal, header);
+      for (const JournalRecord& record : replay.records) {
+        // Duplicate records (a unit journaled, then re-run after a crash
+        // landed between append and the coordinator's bookkeeping) keep the
+        // first copy; both are bit-identical by construction.
+        if (campaigns[record.point]->slot_done(
+                static_cast<int>(record.replica))) {
+          continue;
+        }
+        campaigns[record.point]->install_slot(
+            static_cast<int>(record.replica), record.slot);
+      }
+      journal.emplace(
+          JournalWriter::append_after(options_.journal, replay.valid_bytes));
+    } else {
+      COOPCR_CHECK(!std::filesystem::exists(options_.journal),
+                   "journal already exists: " + options_.journal +
+                       " — pass resume to continue it, or remove it");
+      journal.emplace(JournalWriter::create(options_.journal, header));
+    }
+  }
+
+  // Pending units in (point, replica) order; dispatch order does not matter
+  // for the results (slots are preassigned), only for load balance.
+  std::deque<UnitMsg> pending;
+  for (std::uint32_t p = 0; p < header.points; ++p) {
+    for (std::uint32_t r = 0; r < header.replicas; ++r) {
+      if (!campaigns[p]->slot_done(static_cast<int>(r))) {
+        pending.push_back(UnitMsg{p, r});
+      }
+    }
+  }
+  std::size_t outstanding = pending.size();
+  int fresh_results = 0;
+
+  std::vector<Worker> workers;
+  FleetGuard guard(workers);
+
+  const int shard_count = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(options_.shards),
+                            outstanding));
+  for (int i = 0; i < shard_count; ++i) {
+    const int kill_after = (i == 0) ? options_.kill_worker_after : 0;
+    if (options_.worker_command.empty()) {
+      std::vector<int> extra_close;
+      if (journal) extra_close.push_back(journal->fd());
+      for (const Worker& w : workers) {
+        extra_close.push_back(w.to_fd);
+        extra_close.push_back(w.from_fd);
+      }
+      workers.push_back(spawn_fork(spec, kill_after, extra_close));
+    } else {
+      std::vector<std::string> command = options_.worker_command;
+      if (kill_after > 0) {
+        command.push_back("--kill-after");
+        command.push_back(std::to_string(kill_after));
+      }
+      workers.push_back(spawn_exec(command));
+    }
+  }
+
+  // Dispatch the next pending unit to `w`; on a broken pipe the worker is
+  // treated as dead and the unit goes back to the front of the queue.
+  auto dispatch = [&](Worker& w) {
+    if (pending.empty() || !w.alive || !w.hello_ok || w.inflight) return;
+    const UnitMsg unit = pending.front();
+    pending.pop_front();
+    try {
+      write_frame(w.to_fd, MsgType::kUnit, encode_unit(unit));
+      w.inflight = unit;
+    } catch (const Error&) {
+      pending.push_front(unit);
+      if (w.pid > 0) ::kill(w.pid, SIGKILL);
+      reap(w);
+    }
+  };
+
+  // A worker died: requeue its in-flight unit and hand it to an idle
+  // survivor. Buffered complete frames were already drained by the caller,
+  // so anything still in flight truly never completed.
+  auto handle_death = [&](Worker& w) {
+    reap(w);
+    if (w.inflight) {
+      pending.push_front(*w.inflight);
+      w.inflight.reset();
+    }
+    for (Worker& other : workers) {
+      if (pending.empty()) break;
+      dispatch(other);
+    }
+  };
+
+  auto handle_frame = [&](Worker& w, const Frame& frame) {
+    if (frame.type == MsgType::kHello) {
+      COOPCR_CHECK(!w.hello_ok, "worker sent a second kHello");
+      const HelloMsg hello = decode_hello(frame.payload);
+      COOPCR_CHECK(hello.protocol == kProtocolVersion,
+                   "worker speaks protocol " + std::to_string(hello.protocol) +
+                       ", coordinator speaks " +
+                       std::to_string(kProtocolVersion));
+      COOPCR_CHECK(hello.spec_digest == header.spec_digest,
+                   "worker rebuilt a different experiment grid (spec digest "
+                   "mismatch) — refusing to dispatch units to it");
+      w.hello_ok = true;
+      dispatch(w);
+      return;
+    }
+    COOPCR_CHECK(frame.type == MsgType::kResult,
+                 "coordinator expected kResult, got frame type " +
+                     std::to_string(static_cast<int>(frame.type)));
+    ResultMsg result = decode_result(frame.payload);
+    COOPCR_CHECK(w.inflight && w.inflight->point == result.point &&
+                     w.inflight->replica == result.replica,
+                 "worker returned a result for a unit it was not assigned");
+    w.inflight.reset();
+    campaigns[result.point]->install_slot(static_cast<int>(result.replica),
+                                          result.slot);
+    if (journal) {
+      journal->append_record(
+          JournalRecord{result.point, result.replica, std::move(result.slot)});
+    }
+    --outstanding;
+    ++fresh_results;
+    COOPCR_CHECK(options_.max_units <= 0 || fresh_results < options_.max_units,
+                 "sweep interrupted after " + std::to_string(fresh_results) +
+                     " units (max_units) — resume from the journal");
+    dispatch(w);
+  };
+
+  // Event loop: poll the worker pipes, feed per-worker frame buffers, and
+  // handle whatever completes. Runs until every unit is accounted for.
+  while (outstanding > 0) {
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back(pollfd{workers[i].from_fd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    COOPCR_CHECK(!fds.empty(),
+                 "all workers died with " + std::to_string(outstanding) +
+                     " units outstanding" +
+                     (journal ? " — completed units are journaled, resume to "
+                                "continue"
+                              : ""));
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      COOPCR_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Worker& w = workers[owner[i]];
+      if (!w.alive) continue;  // reaped by an earlier handler this round
+      std::uint8_t chunk[4096];
+      const ssize_t n = ::read(w.from_fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        handle_death(w);
+        continue;
+      }
+      if (n > 0) w.buffer.feed(chunk, static_cast<std::size_t>(n));
+      // Drain every complete frame first: a result the worker managed to
+      // send before dying must count before its death requeues anything.
+      while (std::optional<Frame> frame = w.buffer.next()) {
+        handle_frame(w, *frame);
+      }
+      if (n == 0) handle_death(w);
+      if (outstanding == 0) break;
+    }
+  }
+
+  // Graceful shutdown: tell survivors to exit, then reap everyone.
+  for (Worker& w : workers) {
+    if (!w.alive) continue;
+    try {
+      write_frame(w.to_fd, MsgType::kShutdown, {});
+    } catch (const Error&) {
+      // Already gone; reap below.
+    }
+    reap(w);
+  }
+  if (journal) journal->close();
+
+  // Reduction and report assembly mirror exp::SweepRunner::run exactly —
+  // grid order, same callback contract — which is what makes the reports
+  // byte-identical across the two runners.
+  exp::ExperimentReport report;
+  report.name = spec.name();
+  report.replicas = replicas;
+  for (const auto& axis : spec.axes()) report.axis_names.push_back(axis.name);
+  report.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    MonteCarloReport point_report = campaigns[p]->reduce();
+    if (on_point_) on_point_(points[p], point_report);
+    report.points.push_back(
+        exp::PointResult{std::move(points[p]), std::move(point_report)});
+  }
+  return report;
+}
+
+}  // namespace coopcr::dist

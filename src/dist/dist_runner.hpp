@@ -1,0 +1,98 @@
+// coopcr/dist/dist_runner.hpp
+//
+// Multi-process sweep execution behind the exp::SweepRunner interface
+// shape: the coordinator half of the dist/ subsystem.
+//
+// DistSweepRunner expands an ExperimentSpec exactly like SweepRunner, but
+// instead of scheduling (grid point × replica) tasks on a thread pool it
+// shards them across a fleet of worker *processes* (fork of the current
+// process by default, or fork+exec of a driver command) that pull units
+// over the dist/wire.hpp pipe protocol. Dynamic pull is built-in work
+// stealing: a fast worker simply asks for more. Completed units are
+// appended to a crash-safe campaign journal (dist/journal.hpp), so a
+// SIGKILLed sweep resumes by replaying the journal and dispatching only the
+// missing units.
+//
+// Determinism contract, extending the thread-invariance guarantee to
+// processes and crashes: every unit writes a preassigned
+// MonteCarloCampaign slot whose metrics are finished doubles, slots cross
+// the wire and the journal bit-exactly, and reduction folds slots in
+// (point, replica) order after all units complete. Reports are therefore
+// byte-identical (CSV and JSON) across 1 thread-pool run, any shard count,
+// and any kill/resume history — pinned by tests/dist/test_dist_runner.cpp.
+//
+// Fault model: a worker that dies mid-unit has its in-flight unit re-queued
+// to the surviving workers; the sweep only fails once *no* workers remain,
+// and then the journal already holds every completed unit. Workers are
+// processes, so a crash (or a SIGKILL from the CI smoke job) cannot corrupt
+// the coordinator's state.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+
+namespace coopcr::dist {
+
+/// Execution options for a distributed sweep.
+struct DistOptions {
+  /// Worker process count. COOPCR_SHARDS is the conventional env knob
+  /// (cli/coopcr_sweep.cpp); at most one worker per pending unit is
+  /// actually spawned.
+  int shards = 2;
+
+  /// Campaign journal path; empty disables journaling (the sweep is then
+  /// not resumable). A fresh run refuses to overwrite an existing journal;
+  /// set `resume` to continue it instead.
+  std::string journal;
+
+  /// Replay `journal` before dispatching: completed units are installed
+  /// from the journal and only the missing ones run. The journal header
+  /// must match this spec's digest, dimensions and code version.
+  bool resume = false;
+
+  /// Worker launch command (fork+exec). Empty forks the current process —
+  /// the worker inherits the spec, which is why specs never need
+  /// serialising. When set, the command must start a process that rebuilds
+  /// the same spec and calls worker_serve on kWorkerInFd/kWorkerOutFd
+  /// (coopcr_sweep --worker does); the coordinator verifies the worker's
+  /// digest before dispatching. With kill_worker_after, "--kill-after <n>"
+  /// is appended to worker 0's command.
+  std::vector<std::string> worker_command;
+
+  /// Test/CI hook: worker 0 SIGKILLs itself after completing this many
+  /// units without reporting the last one (worker_serve's kill_after).
+  int kill_worker_after = 0;
+
+  /// Test/CI hook: abort the sweep (coopcr::Error) after this many *fresh*
+  /// results have been journaled — a deterministic stand-in for killing
+  /// the coordinator mid-run.
+  int max_units = 0;
+};
+
+class DistSweepRunner {
+ public:
+  explicit DistSweepRunner(DistOptions options);
+
+  /// Called after each grid point's report is reduced, in grid order —
+  /// same contract as exp::SweepRunner::on_point.
+  using PointCallback =
+      std::function<void(const exp::GridPoint&, const MonteCarloReport&)>;
+  DistSweepRunner& on_point(PointCallback callback);
+
+  /// Expand `spec` and run the full grid across the worker fleet. Throws
+  /// coopcr::Error on journal/digest mismatches, when every worker died
+  /// with units outstanding, or when the spec requests keep_results (full
+  /// SimulationResults never cross the process boundary).
+  exp::ExperimentReport run(const exp::ExperimentSpec& spec);
+
+ private:
+  DistOptions options_;
+  PointCallback on_point_;
+};
+
+}  // namespace coopcr::dist

@@ -1,0 +1,254 @@
+#include "dist/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "dist/wire.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::dist {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'O', 'P', 'C', 'R', 'J', '1'};
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Wraps fnv1a64 with typed feeds for the spec digest.
+class Hasher {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ = (state_ ^ p[i]) * kFnvPrime;
+    }
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffset;
+};
+
+std::vector<std::uint8_t> encode_header_payload(const JournalHeader& header) {
+  Encoder enc;
+  enc.u32(header.format_version);
+  enc.u64(header.spec_digest);
+  enc.str(header.code_version);
+  enc.u32(header.points);
+  enc.u32(header.replicas);
+  enc.u32(header.strategies);
+  return enc.bytes();
+}
+
+JournalHeader decode_header_payload(const std::vector<std::uint8_t>& payload) {
+  Decoder dec(payload);
+  JournalHeader header;
+  header.format_version = dec.u32();
+  header.spec_digest = dec.u64();
+  header.code_version = dec.str();
+  header.points = dec.u32();
+  header.replicas = dec.u32();
+  header.strategies = dec.u32();
+  dec.expect_done();
+  return header;
+}
+
+/// Length-prefixed checksummed block: u32 len | u64 fnv | payload.
+std::vector<std::uint8_t> frame_block(
+    const std::vector<std::uint8_t>& payload) {
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(payload.size()));
+  enc.u64(fnv1a64(payload.data(), payload.size()));
+  std::vector<std::uint8_t> block = enc.bytes();
+  block.insert(block.end(), payload.begin(), payload.end());
+  return block;
+}
+
+/// Parse one block out of `data` at `pos`. Returns false (without moving
+/// `pos`) when the remaining bytes do not hold a complete, checksum-valid
+/// block — the torn-tail case.
+bool parse_block(const std::vector<std::uint8_t>& data, std::size_t& pos,
+                 std::vector<std::uint8_t>& payload) {
+  if (data.size() - pos < 12) return false;
+  Decoder head(data.data() + pos, 12);
+  const std::uint32_t len = head.u32();
+  const std::uint64_t checksum = head.u64();
+  if (len > kMaxFramePayload) return false;
+  if (data.size() - pos - 12 < len) return false;
+  const std::uint8_t* body = data.data() + pos + 12;
+  if (fnv1a64(body, len) != checksum) return false;
+  payload.assign(body, body + len);
+  pos += 12 + len;
+  return true;
+}
+
+void write_all_fd(int fd, const std::vector<std::uint8_t>& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t rc = ::write(fd, data.data() + written,
+                               data.size() - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      COOPCR_CHECK(false, std::string("journal write failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t state = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = (state ^ data[i]) * kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t spec_digest(const exp::ExperimentSpec& spec,
+                          const std::vector<exp::GridPoint>& points) {
+  Hasher h;
+  h.str("coopcr-spec-digest-v1");
+  h.str(spec.name());
+  h.u32(static_cast<std::uint32_t>(spec.campaign_options().replicas));
+  const std::vector<Strategy>& strategies = spec.strategy_set();
+  h.u64(strategies.size());
+  for (const Strategy& s : strategies) h.str(s.name());
+  h.u64(spec.axes().size());
+  for (const exp::SweepAxis& axis : spec.axes()) {
+    h.str(axis.name);
+    h.u64(axis.points.size());
+    for (const exp::AxisPoint& p : axis.points) {
+      h.f64(p.value);
+      h.str(p.label);
+    }
+  }
+  h.u64(points.size());
+  for (const exp::GridPoint& p : points) h.u64(p.scenario.seed);
+  return h.digest();
+}
+
+JournalReplay replay_journal(const std::string& path,
+                             const JournalHeader& expected) {
+  std::ifstream in(path, std::ios::binary);
+  COOPCR_CHECK(in.good(), "cannot open journal: " + path);
+  std::vector<std::uint8_t> data(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+
+  COOPCR_CHECK(data.size() >= sizeof(kMagic) &&
+                   std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0,
+               "not a coopcr campaign journal: " + path);
+  std::size_t pos = sizeof(kMagic);
+
+  JournalReplay replay;
+  std::vector<std::uint8_t> payload;
+  COOPCR_CHECK(parse_block(data, pos, payload),
+               "journal header is truncated or corrupt: " + path);
+  replay.header = decode_header_payload(payload);
+
+  // Identity checks: a mismatched journal must refuse to resume loudly.
+  const JournalHeader& h = replay.header;
+  COOPCR_CHECK(h.format_version == expected.format_version,
+               "journal format version " + std::to_string(h.format_version) +
+                   " != supported " + std::to_string(expected.format_version));
+  COOPCR_CHECK(h.code_version == expected.code_version,
+               "journal was written by " + h.code_version +
+                   ", this build is " + expected.code_version +
+                   " — results could differ, refusing to resume");
+  COOPCR_CHECK(h.spec_digest == expected.spec_digest,
+               "journal spec digest mismatch — it records a different "
+               "experiment grid than the one being resumed");
+  COOPCR_CHECK(h.points == expected.points && h.replicas == expected.replicas &&
+                   h.strategies == expected.strategies,
+               "journal dimensions mismatch the experiment grid");
+
+  replay.valid_bytes = pos;
+  while (parse_block(data, pos, payload)) {
+    Decoder dec(payload);
+    JournalRecord record;
+    record.point = dec.u32();
+    record.replica = dec.u32();
+    record.slot = decode_slot(dec);
+    dec.expect_done();
+    COOPCR_CHECK(record.point < h.points && record.replica < h.replicas,
+                 "journal record addresses unit (" +
+                     std::to_string(record.point) + ", " +
+                     std::to_string(record.replica) + ") outside the grid");
+    replay.records.push_back(std::move(record));
+    replay.valid_bytes = pos;
+  }
+  replay.dropped_tail = replay.valid_bytes < data.size();
+  return replay;
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& header) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                        0644);
+  COOPCR_CHECK(fd >= 0, "cannot create journal " + path + ": " +
+                            std::strerror(errno));
+  JournalWriter writer(fd);
+  std::vector<std::uint8_t> block(kMagic, kMagic + sizeof(kMagic));
+  const std::vector<std::uint8_t> body =
+      frame_block(encode_header_payload(header));
+  block.insert(block.end(), body.begin(), body.end());
+  write_all_fd(fd, block);
+  COOPCR_CHECK(::fdatasync(fd) == 0, "journal fdatasync failed");
+  return writer;
+}
+
+JournalWriter JournalWriter::append_after(const std::string& path,
+                                          std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  COOPCR_CHECK(fd >= 0, "cannot open journal " + path + ": " +
+                            std::strerror(errno));
+  JournalWriter writer(fd);
+  // Drop any torn tail so new records append at a clean block boundary.
+  COOPCR_CHECK(::ftruncate(fd, static_cast<off_t>(valid_bytes)) == 0,
+               "cannot truncate journal tail: " + path);
+  COOPCR_CHECK(::lseek(fd, 0, SEEK_END) >= 0, "journal seek failed");
+  return writer;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::append_record(const JournalRecord& record) {
+  COOPCR_CHECK(fd_ >= 0, "journal writer is closed");
+  Encoder enc;
+  enc.u32(record.point);
+  enc.u32(record.replica);
+  encode_slot(enc, record.slot);
+  write_all_fd(fd_, frame_block(enc.bytes()));
+  COOPCR_CHECK(::fdatasync(fd_) == 0, "journal fdatasync failed");
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace coopcr::dist

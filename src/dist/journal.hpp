@@ -1,0 +1,128 @@
+// coopcr/dist/journal.hpp
+//
+// Crash-safe campaign journal: the durable half of kill-resume recovery.
+//
+// A journal is an append-only file of completed (grid point × replica) work
+// units. The coordinator appends a record — the unit's full-precision
+// ReplicaSlot, serialised with the wire encoding — as each result arrives
+// and fdatasyncs it, so a SIGKILLed sweep can resume by replaying the
+// journal and dispatching only the missing units. Replayed slots are the
+// same IEEE-754 bit patterns the workers produced, which is why a resumed
+// report is byte-identical to an uninterrupted run.
+//
+// Layout (all integers little-endian):
+//
+//   header   magic "COOPCRJ1" | u32 len | u64 fnv1a(payload) | payload
+//            payload = format version, spec digest, code version string,
+//                      grid points, replicas per point, strategy count
+//   record*  u32 len | u64 fnv1a(payload) | payload
+//            payload = u32 point, u32 replica, ReplicaSlot (wire encoding)
+//
+// Torn-write discipline: every record is length-prefixed and checksummed. A
+// record cut short by a crash (or with a corrupt checksum) and everything
+// after it is dropped at replay, the file is truncated back to the last
+// good record on reopen, and the affected units simply re-run. The header
+// binds the spec digest (dist/journal.cpp spec_digest) and the code
+// version, so a journal from a different grid — or a different build of the
+// simulator — refuses to resume instead of silently mixing results.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "exp/experiment.hpp"
+
+namespace coopcr::dist {
+
+/// Identifies the simulator build a journal was written by. Bump on any
+/// change that can alter simulation results; resuming across versions is
+/// refused.
+inline constexpr const char* kCodeVersion = "coopcr-6";
+
+/// Journal file format version (layout changes only).
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+/// FNV-1a 64-bit over `data` (checksums and the spec digest).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+/// Order- and content-sensitive digest of a materialised experiment:
+/// spec name, replica count, strategy names, every axis point (name, value
+/// bit pattern, label) and every grid point's scenario seed. Two sweeps
+/// with the same digest dispatch the same work units with the same RNG
+/// streams; anything else must not share a journal.
+std::uint64_t spec_digest(const exp::ExperimentSpec& spec,
+                          const std::vector<exp::GridPoint>& points);
+
+/// Identity block bound into the journal header.
+struct JournalHeader {
+  std::uint32_t format_version = kJournalFormatVersion;
+  std::uint64_t spec_digest = 0;
+  std::string code_version = kCodeVersion;
+  std::uint32_t points = 0;    ///< grid points
+  std::uint32_t replicas = 0;  ///< replicas per point
+  std::uint32_t strategies = 0;
+};
+
+/// One durable completed work unit.
+struct JournalRecord {
+  std::uint32_t point = 0;
+  std::uint32_t replica = 0;
+  ReplicaSlot slot;
+};
+
+/// Result of replaying a journal file.
+struct JournalReplay {
+  JournalHeader header;
+  std::vector<JournalRecord> records;  ///< good records, in append order
+  std::uint64_t valid_bytes = 0;  ///< offset just past the last good record
+  bool dropped_tail = false;      ///< a torn/corrupt tail was discarded
+};
+
+/// Replay `path`, validating the header against `expected` (digest, code
+/// version, dimensions). Throws coopcr::Error when the file is missing,
+/// the header is unreadable, or any identity field mismatches — a journal
+/// from a different grid must refuse to resume. A torn or corrupt *record*
+/// tail is not an error: parsing stops at the last good record and
+/// dropped_tail is set (those units re-run).
+JournalReplay replay_journal(const std::string& path,
+                             const JournalHeader& expected);
+
+/// Appending journal writer over a raw POSIX fd; every record is flushed
+/// and fdatasynced before append_record returns, so a completed unit is
+/// durable the moment the coordinator counts it.
+class JournalWriter {
+ public:
+  /// Create a fresh journal at `path` (must not exist) and write the
+  /// header.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+
+  /// Open an existing journal for appending after a replay, truncating any
+  /// torn tail back to `valid_bytes` first.
+  static JournalWriter append_after(const std::string& path,
+                                    std::uint64_t valid_bytes);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&&) = delete;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Append + fdatasync one completed unit.
+  void append_record(const JournalRecord& record);
+
+  void close();
+
+  /// Underlying fd — forked workers close their inherited copy.
+  int fd() const { return fd_; }
+
+ private:
+  explicit JournalWriter(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace coopcr::dist

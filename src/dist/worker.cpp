@@ -1,0 +1,61 @@
+#include "dist/worker.hpp"
+
+#include <csignal>
+#include <memory>
+#include <vector>
+
+#include "dist/journal.hpp"
+#include "dist/wire.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::dist {
+
+void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
+                  int kill_after) {
+  // The worker expands the grid itself (fork mode inherits the spec; exec
+  // mode rebuilt it from the command line) and proves which grid it holds
+  // by announcing the digest.
+  const std::vector<exp::GridPoint> points = spec.expand();
+  std::vector<std::unique_ptr<MonteCarloCampaign>> campaigns;
+  campaigns.reserve(points.size());
+  MonteCarloOptions options = spec.campaign_options();
+  options.keep_results = false;  // full results never cross the wire
+  for (const exp::GridPoint& point : points) {
+    campaigns.push_back(std::make_unique<MonteCarloCampaign>(
+        point.scenario, spec.strategy_set(), options));
+  }
+
+  HelloMsg hello;
+  hello.spec_digest = spec_digest(spec, points);
+  write_frame(out_fd, MsgType::kHello, encode_hello(hello));
+
+  int units_done = 0;
+  for (;;) {
+    const std::optional<Frame> frame = read_frame(in_fd);
+    if (!frame) return;  // coordinator went away — nothing durable to lose
+    if (frame->type == MsgType::kShutdown) return;
+    COOPCR_CHECK(frame->type == MsgType::kUnit,
+                 "worker expected kUnit, got frame type " +
+                     std::to_string(static_cast<int>(frame->type)));
+    const UnitMsg unit = decode_unit(frame->payload);
+    COOPCR_CHECK(unit.point < campaigns.size(), "unit addresses grid point " +
+                                                    std::to_string(unit.point) +
+                                                    " outside the grid");
+    MonteCarloCampaign& campaign = *campaigns[unit.point];
+    campaign.run_replica_task(static_cast<int>(unit.replica));
+    ++units_done;
+    if (kill_after > 0 && units_done >= kill_after) {
+      // Die *before* the result is sent: the unit is complete in this
+      // process but never becomes durable, exactly the torn state a real
+      // mid-unit SIGKILL leaves behind.
+      ::raise(SIGKILL);
+    }
+    ResultMsg result;
+    result.point = unit.point;
+    result.replica = unit.replica;
+    result.slot = campaign.slot(static_cast<int>(unit.replica));
+    write_frame(out_fd, MsgType::kResult, encode_result(result));
+  }
+}
+
+}  // namespace coopcr::dist

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -10,6 +9,7 @@
 
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -305,8 +305,7 @@ void Figure::render(std::ostream& os) const {
     os << "\n[csv] wrote " << *path << "\n";
   }
   // Optional terminal plot of the mean curves (COOPCR_PLOT=1).
-  const char* plot = std::getenv("COOPCR_PLOT");
-  if (plot != nullptr && *plot == '1') {
+  if (env::flag_knob("COOPCR_PLOT")) {
     std::map<std::string, std::vector<std::pair<double, double>>> by_series;
     for (const auto& row : rows) {
       by_series[row.series].emplace_back(row.x, row.stats.mean);

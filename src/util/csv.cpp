@@ -1,10 +1,10 @@
 #include "util/csv.hpp"
 
-#include <cstdlib>
 #include <locale>
 #include <ostream>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace coopcr {
@@ -67,9 +67,7 @@ void CsvWriter::close() {
 }
 
 std::optional<std::string> CsvWriter::env_output_dir() {
-  const char* dir = std::getenv("COOPCR_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return std::nullopt;
-  return std::string(dir);
+  return env::string_knob("COOPCR_CSV_DIR");
 }
 
 }  // namespace coopcr

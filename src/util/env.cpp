@@ -1,0 +1,60 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace coopcr::env {
+
+std::optional<std::string> raw(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+int int_knob(const char* name, int fallback, int min_value) {
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  // strtol tolerates leading whitespace; a knob must not.
+  const char front = value->front();
+  COOPCR_CHECK((front == '-' || (front >= '0' && front <= '9')) &&
+                   end != value->c_str() && *end == '\0',
+               std::string(name) + "=\"" + *value +
+                   "\" is not a valid integer");
+  COOPCR_CHECK(errno != ERANGE && parsed >= min_value && parsed <= INT_MAX,
+               std::string(name) + "=" + *value + " is out of range (minimum " +
+                   std::to_string(min_value) + ")");
+  return static_cast<int>(parsed);
+}
+
+std::uint64_t u64_knob(const char* name, std::uint64_t fallback) {
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 0);
+  COOPCR_CHECK(value->front() >= '0' && value->front() <= '9' &&
+                   end != value->c_str() && *end == '\0',
+               std::string(name) + "=\"" + *value +
+                   "\" is not a valid unsigned integer");
+  COOPCR_CHECK(errno != ERANGE,
+               std::string(name) + "=" + *value + " is out of range");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<std::string> string_knob(const char* name) { return raw(name); }
+
+bool flag_knob(const char* name) {
+  const std::optional<std::string> value = raw(name);
+  if (!value || *value == "0") return false;
+  COOPCR_CHECK(*value == "1", std::string(name) + "=\"" + *value +
+                                  "\" is not a valid flag (use 0 or 1)");
+  return true;
+}
+
+}  // namespace coopcr::env

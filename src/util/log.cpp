@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "util/env.hpp"
 
 namespace coopcr {
 
@@ -29,9 +30,8 @@ const char* level_name(LogLevel level) {
 }
 
 int init_from_env() {
-  const char* env = std::getenv("COOPCR_LOG");
-  const LogLevel level =
-      (env != nullptr) ? Log::parse(env) : LogLevel::kOff;
+  const std::optional<std::string> value = env::raw("COOPCR_LOG");
+  const LogLevel level = value ? Log::parse(*value) : LogLevel::kOff;
   return static_cast<int>(level);
 }
 

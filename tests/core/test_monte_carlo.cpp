@@ -167,6 +167,69 @@ TEST(MonteCarlo, RejectsBadArguments) {
   EXPECT_THROW(run_monte_carlo(unbuilt, paper_strategies(), options), Error);
 }
 
+TEST(MonteCarlo, ReduceTwiceNamesTheFootgun) {
+  MonteCarloOptions options;
+  options.replicas = 1;
+  MonteCarloCampaign campaign(tiny_scenario(), {least_waste()}, options);
+  campaign.run_replica_task(0);
+  campaign.reduce();
+  try {
+    campaign.reduce();
+    FAIL() << "expected the second reduce() to throw";
+  } catch (const Error& e) {
+    // The message must say *what* went wrong, not just that it did — the
+    // single-use contract is easy to trip from generic runner code.
+    EXPECT_NE(std::string(e.what()).find("campaign already reduced"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MonteCarlo, SlotExportAndInstallRoundTrip) {
+  // The dist layer's core primitive: a slot computed in one campaign can be
+  // installed into a fresh campaign of the same shape (think: another
+  // process), and the reduced report cannot tell the difference.
+  MonteCarloOptions options;
+  options.replicas = 2;
+  MonteCarloCampaign source(tiny_scenario(), {least_waste()}, options);
+  EXPECT_FALSE(source.slot_done(0));
+  source.run_replica_task(0);
+  source.run_replica_task(1);
+  EXPECT_TRUE(source.slot_done(0));
+
+  MonteCarloCampaign target(tiny_scenario(), {least_waste()}, options);
+  target.install_slot(0, source.slot(0));
+  target.install_slot(1, source.slot(1));
+  const MonteCarloReport from_slots = target.reduce();
+  const MonteCarloReport direct = source.reduce();
+  const auto& a = direct.outcomes[0].waste_ratio.samples();
+  const auto& b = from_slots.outcomes[0].waste_ratio.samples();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MonteCarlo, InstallSlotRejectsDuplicatesAndBadShapes) {
+  MonteCarloOptions options;
+  options.replicas = 2;
+  MonteCarloCampaign campaign(tiny_scenario(), {least_waste()}, options);
+  campaign.run_replica_task(0);
+
+  // Duplicate: slot 0 already holds a result.
+  EXPECT_THROW(campaign.install_slot(0, campaign.slot(0)), Error);
+
+  // Wrong shape: a slot with the wrong per-strategy tuple count.
+  ReplicaSlot malformed = campaign.slot(0);
+  malformed.per_strategy.clear();
+  EXPECT_THROW(campaign.install_slot(1, malformed), Error);
+
+  // keep_results campaigns cannot accept foreign slots (no SimulationResult
+  // travels with them).
+  MonteCarloOptions keep = options;
+  keep.keep_results = true;
+  MonteCarloCampaign keeper(tiny_scenario(), {least_waste()}, keep);
+  EXPECT_THROW(keeper.install_slot(0, campaign.slot(0)), Error);
+}
+
 TEST(MonteCarlo, DifferentSeedsDifferentSamples) {
   auto scenario = tiny_scenario();
   MonteCarloOptions options;

@@ -1,0 +1,144 @@
+// Wire protocol invariants: bit-exact slot round trips, incremental frame
+// parsing under arbitrary chunking, and corrupt-stream rejection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dist/wire.hpp"
+#include "util/error.hpp"
+
+namespace coopcr::dist {
+namespace {
+
+ReplicaSlot sample_slot() {
+  ReplicaSlot slot;
+  slot.baseline_useful = 1.0 / 3.0;
+  slot.baseline_useful_energy = 6.02214076e23;
+  slot.per_strategy.resize(2);
+  slot.per_strategy[0].waste_ratio = 0.1234567890123456789;
+  slot.per_strategy[0].efficiency = -0.0;  // signed zero must survive
+  slot.per_strategy[0].utilization = std::numeric_limits<double>::denorm_min();
+  slot.per_strategy[0].failures_hit = 3.0;
+  slot.per_strategy[0].checkpoints = 17.0;
+  slot.per_strategy[0].energy_joules = 1e9 + 1e-9;
+  slot.per_strategy[0].energy_waste_ratio = 0.25;
+  slot.per_strategy[0].ckpt_waste_ratio = 0.0625;
+  slot.per_strategy[1].waste_ratio = std::nextafter(1.0, 2.0);
+  return slot;
+}
+
+bool bit_equal(double a, double b) {
+  std::uint64_t ba;
+  std::uint64_t bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(Wire, SlotRoundTripIsBitExact) {
+  const ReplicaSlot slot = sample_slot();
+  Encoder enc;
+  encode_slot(enc, slot);
+  Decoder dec(enc.bytes());
+  const ReplicaSlot out = decode_slot(dec);
+  dec.expect_done();
+
+  EXPECT_TRUE(bit_equal(out.baseline_useful, slot.baseline_useful));
+  EXPECT_TRUE(
+      bit_equal(out.baseline_useful_energy, slot.baseline_useful_energy));
+  ASSERT_EQ(out.per_strategy.size(), slot.per_strategy.size());
+  for (std::size_t s = 0; s < slot.per_strategy.size(); ++s) {
+    const ReplicaStrategyMetrics& a = slot.per_strategy[s];
+    const ReplicaStrategyMetrics& b = out.per_strategy[s];
+    EXPECT_TRUE(bit_equal(a.waste_ratio, b.waste_ratio));
+    EXPECT_TRUE(bit_equal(a.efficiency, b.efficiency));
+    EXPECT_TRUE(bit_equal(a.utilization, b.utilization));
+    EXPECT_TRUE(bit_equal(a.failures_hit, b.failures_hit));
+    EXPECT_TRUE(bit_equal(a.checkpoints, b.checkpoints));
+    EXPECT_TRUE(bit_equal(a.energy_joules, b.energy_joules));
+    EXPECT_TRUE(bit_equal(a.energy_waste_ratio, b.energy_waste_ratio));
+    EXPECT_TRUE(bit_equal(a.ckpt_waste_ratio, b.ckpt_waste_ratio));
+  }
+}
+
+TEST(Wire, TypedMessagesRoundTrip) {
+  HelloMsg hello;
+  hello.spec_digest = 0xDEADBEEFCAFEF00Dull;
+  const HelloMsg hello2 = decode_hello(encode_hello(hello));
+  EXPECT_EQ(hello2.protocol, kProtocolVersion);
+  EXPECT_EQ(hello2.spec_digest, hello.spec_digest);
+
+  const UnitMsg unit2 = decode_unit(encode_unit(UnitMsg{7, 42}));
+  EXPECT_EQ(unit2.point, 7u);
+  EXPECT_EQ(unit2.replica, 42u);
+
+  ResultMsg result;
+  result.point = 3;
+  result.replica = 9;
+  result.slot = sample_slot();
+  const ResultMsg result2 = decode_result(encode_result(result));
+  EXPECT_EQ(result2.point, 3u);
+  EXPECT_EQ(result2.replica, 9u);
+  ASSERT_EQ(result2.slot.per_strategy.size(), 2u);
+  EXPECT_TRUE(bit_equal(result2.slot.per_strategy[1].waste_ratio,
+                        result.slot.per_strategy[1].waste_ratio));
+}
+
+TEST(Wire, FrameBufferReassemblesByteAtATime) {
+  // Serialise two frames, then feed the bytes one at a time: each frame
+  // must pop exactly once, exactly when its last byte arrives.
+  Encoder enc;
+  enc.u32(8);  // first frame: 8-byte payload
+  enc.u16(static_cast<std::uint16_t>(MsgType::kHello));
+  enc.u64(123);
+  enc.u32(0);  // second frame: empty shutdown
+  enc.u16(static_cast<std::uint16_t>(MsgType::kShutdown));
+  const std::vector<std::uint8_t>& stream = enc.bytes();
+
+  FrameBuffer buffer;
+  int frames = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    buffer.feed(&stream[i], 1);
+    while (auto frame = buffer.next()) {
+      if (frames == 0) {
+        EXPECT_EQ(frame->type, MsgType::kHello);
+        EXPECT_EQ(frame->payload.size(), 8u);
+      } else {
+        EXPECT_EQ(frame->type, MsgType::kShutdown);
+        EXPECT_TRUE(frame->payload.empty());
+      }
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_FALSE(buffer.has_partial());
+}
+
+TEST(Wire, FrameBufferRejectsOversizedFrames) {
+  Encoder enc;
+  enc.u32(kMaxFramePayload + 1);
+  enc.u16(static_cast<std::uint16_t>(MsgType::kResult));
+  FrameBuffer buffer;
+  buffer.feed(enc.bytes().data(), enc.bytes().size());
+  EXPECT_THROW(buffer.next(), Error);
+}
+
+TEST(Wire, DecoderRejectsOverrunAndTrailingBytes) {
+  Encoder enc;
+  enc.u32(5);
+  {
+    Decoder dec(enc.bytes());
+    (void)dec.u32();
+    EXPECT_THROW(dec.u64(), Error);  // only 4 bytes there
+  }
+  {
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(dec.expect_done(), Error);  // 4 unread bytes
+  }
+}
+
+}  // namespace
+}  // namespace coopcr::dist

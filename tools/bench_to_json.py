@@ -64,7 +64,12 @@ def parse_micro(path: Path) -> tuple[dict, dict]:
 
 
 def parse_macro(path: Path) -> dict:
-    """Extract `macro_campaign.key = value` lines from the bench stdout."""
+    """Extract `macro_campaign.key = value` lines from the bench stdout.
+
+    Dotted keys nest: `dist_scaling.shards_4.replicas_per_sec = 3.5`
+    becomes macro["dist_scaling"]["shards_4"]["replicas_per_sec"] — the
+    shard-count scaling curve lands as one structured object.
+    """
     macro: dict[str, object] = {}
     for line in path.read_text().splitlines():
         if "=" not in line or not line.startswith("macro_campaign."):
@@ -72,13 +77,22 @@ def parse_macro(path: Path) -> dict:
         key, _, value = line.partition("=")
         key = key.strip().removeprefix("macro_campaign.")
         value = value.strip()
+        parsed: object
         try:
-            macro[key] = int(value)
+            parsed = int(value)
         except ValueError:
             try:
-                macro[key] = float(value)
+                parsed = float(value)
             except ValueError:
-                macro[key] = value
+                parsed = value
+        *parents, leaf = key.split(".")
+        node = macro
+        for part in parents:
+            child = node.setdefault(part, {})
+            if not isinstance(child, dict):  # a leaf already used this name
+                child = node[part] = {}
+            node = child
+        node[leaf] = parsed
     return macro
 
 
