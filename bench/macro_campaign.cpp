@@ -29,6 +29,9 @@
 
 #include "bench_util.hpp"
 #include "dist/dist_runner.hpp"
+#include "exp/sweep_runner.hpp"
+#include "util/env.hpp"
+#include "workload/apex.hpp"
 
 namespace {
 
@@ -55,6 +58,13 @@ Measurement run_campaign(const MonteCarloOptions& options) {
 
   MonteCarloOptions opts = options;
   opts.keep_results = true;
+  // This section measures raw replica throughput; the estimator knobs from
+  // the environment (COOPCR_TARGET_CI drives the replica-economy section
+  // below, and antithetic pairing is incompatible with keep_results) must
+  // not leak into it.
+  opts.antithetic = false;
+  opts.control_variate = false;
+  opts.target_ci_width = 0.0;
   const auto t0 = std::chrono::steady_clock::now();
   const MonteCarloReport report = run_monte_carlo(scenario, strategies, opts);
   const auto t1 = std::chrono::steady_clock::now();
@@ -69,6 +79,65 @@ Measurement run_campaign(const MonteCarloOptions& options) {
     }
   }
   return m;
+}
+
+/// One sequential-stopping run on a Figure 1 160 GB/s spot row, least_waste
+/// only: grow replicas in doubling rounds until the waste-ratio 95% CI is at
+/// most `target_ci`. `vr` toggles the full estimator stack (antithetic pairs
+/// + control variate) against the plain sample mean — the replica counts'
+/// ratio is the "replica economy" the estimators buy.
+///
+/// Two rows are measured, because the estimators only attack *failure*
+/// randomness:
+///  - `eap_row`: the fig1 platform/bandwidth with the dominant APEX class
+///    (EAP, 66% of the mix) as the whole workload and duration jitter off.
+///    The workload is then deterministic, every bit of waste variance is
+///    failure-driven, and the closed-form control variate plus antithetic
+///    gap pairing cut the replica bill by >= 2x.
+///  - `apex_mix` (reference): the paper's full APEX mix, where the waste
+///    variance is dominated by the workload-schedule interaction that no
+///    estimator trick can cancel — vr_factor sits near 1 and sequential
+///    stopping alone is the economy. EXPERIMENTS.md ("Replica economy")
+///    documents both regimes.
+struct EconomyRun {
+  int replicas = 0;        ///< replicas consumed at convergence
+  double ci_width = 0.0;   ///< achieved 95% CI width
+  double vr_factor = 1.0;  ///< estimator variance reduction factor
+  double ess = 0.0;        ///< effective sample size
+};
+
+ScenarioBuilder economy_eap_row() {
+  WorkloadOptions workload;
+  workload.jitter = DurationJitter::kNone;
+  ApplicationClass eap = apex_eap();
+  eap.workload_share = 1.0;
+  return ScenarioBuilder()
+      .platform(PlatformSpec::cielo())
+      .applications({eap})
+      .workload(workload)
+      .node_mtbf(units::years(2));
+}
+
+EconomyRun run_economy(const ScenarioBuilder& row, const char* name, bool vr,
+                       double target_ci, int threads) {
+  exp::ExperimentSpec spec(row, name);
+  MonteCarloOptions options;
+  options.replicas = 16;
+  options.target_ci_width = target_ci;
+  options.max_replicas = 4096;
+  options.antithetic = vr;
+  options.control_variate = vr;
+  spec.pfs_bandwidth_axis({160}).strategies({least_waste()}).options(options);
+
+  exp::SweepRunner runner(threads);
+  const exp::ExperimentReport report = runner.run(spec);
+  const StrategyOutcome& outcome = report.points[0].report.outcomes[0];
+  EconomyRun run;
+  run.replicas = report.points[0].report.replicas;
+  run.ci_width = outcome.vr.estimate.ci_width;
+  run.vr_factor = outcome.vr.estimate.vr_factor;
+  run.ess = outcome.vr.estimate.ess;
+  return run;
 }
 
 /// Wall-clock one DistSweepRunner pass over the bench campaign with
@@ -141,5 +210,54 @@ int main() {
     std::printf("macro_campaign.dist_scaling.shards_%d.speedup = %.3f\n",
                 shards, one_shard_seconds / seconds);
   }
+
+  // Replica economy: replicas needed to hit a fixed CI on the Figure 1
+  // 160 GB/s spot row, plain estimator vs antithetic + control variate
+  // (COOPCR_TARGET_CI overrides the headline row's CI target). `reduction`
+  // is the headline: how many times fewer simulations the variance-reduced
+  // estimator needs on the failure-noise-dominated EAP row.
+  const double target_ci = env::double_knob("COOPCR_TARGET_CI", 0.0007, 0.0);
+  const ScenarioBuilder eap_row = economy_eap_row();
+  const EconomyRun plain =
+      run_economy(eap_row, "replica_economy", false, target_ci,
+                  options.threads);
+  const EconomyRun reduced =
+      run_economy(eap_row, "replica_economy", true, target_ci,
+                  options.threads);
+  std::printf("macro_campaign.replica_economy.target_ci = %.6f\n", target_ci);
+  std::printf("macro_campaign.replica_economy.plain_replicas = %d\n",
+              plain.replicas);
+  std::printf("macro_campaign.replica_economy.plain_ci_width = %.6f\n",
+              plain.ci_width);
+  std::printf("macro_campaign.replica_economy.vr_replicas = %d\n",
+              reduced.replicas);
+  std::printf("macro_campaign.replica_economy.vr_ci_width = %.6f\n",
+              reduced.ci_width);
+  std::printf("macro_campaign.replica_economy.vr_factor = %.3f\n",
+              reduced.vr_factor);
+  std::printf("macro_campaign.replica_economy.vr_ess = %.1f\n", reduced.ess);
+  std::printf("macro_campaign.replica_economy.reduction = %.3f\n",
+              static_cast<double>(plain.replicas) /
+                  static_cast<double>(reduced.replicas));
+
+  // Reference row: the full APEX mix, where workload-schedule variance
+  // dominates and the estimators are a wash (vr_factor ~ 1). Kept in the
+  // tracked bench output so the regime split stays visible.
+  const ScenarioBuilder mix_row =
+      ScenarioBuilder::cielo_apex().node_mtbf(units::years(2));
+  const double mix_target = env::double_knob("COOPCR_MIX_TARGET_CI", 0.004,
+                                             /*min_value=*/0.0);
+  const EconomyRun mix_plain =
+      run_economy(mix_row, "replica_economy_mix", false, mix_target,
+                  options.threads);
+  const EconomyRun mix_vr =
+      run_economy(mix_row, "replica_economy_mix", true, mix_target,
+                  options.threads);
+  std::printf("macro_campaign.replica_economy.apex_mix.plain_replicas = %d\n",
+              mix_plain.replicas);
+  std::printf("macro_campaign.replica_economy.apex_mix.vr_replicas = %d\n",
+              mix_vr.replicas);
+  std::printf("macro_campaign.replica_economy.apex_mix.vr_factor = %.3f\n",
+              mix_vr.vr_factor);
   return 0;
 }

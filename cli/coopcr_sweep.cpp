@@ -119,6 +119,14 @@ void usage(std::ostream& os) {
         "  --out DIR          write <spec>.csv / <spec>.json artifacts "
         "(COOPCR_CSV_DIR)\n"
         "  --exec-workers     spawn workers by re-executing this binary\n"
+        "  --antithetic       simulate replicas in antithetic pairs "
+        "(COOPCR_ANTITHETIC; needs even --replicas)\n"
+        "  --control-variate  closed-form control-variate estimator "
+        "(COOPCR_CONTROL_VARIATE)\n"
+        "  --target-ci W      sequential stopping: grow replicas until every "
+        "95% CI is <= W (COOPCR_TARGET_CI; in-process only)\n"
+        "  --max-replicas N   replica cap for --target-ci; 0 = 64x initial "
+        "(COOPCR_MAX_REPLICAS)\n"
         "  --max-units N      abort after N fresh units (kill-resume "
         "testing)\n"
         "  --kill-worker-after N  worker 0 SIGKILLs itself after N units\n"
@@ -142,6 +150,21 @@ int int_arg(const std::string& flag, const char* value) {
   }
 }
 
+double double_arg(const std::string& flag, const char* value) {
+  COOPCR_CHECK(value != nullptr, flag + " needs a value");
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    COOPCR_CHECK(used == std::string(value).size() && parsed >= 0.0,
+                 flag + ": bad value \"" + value + "\"");
+    return parsed;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error(flag + ": bad value \"" + std::string(value) + "\"");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,6 +179,10 @@ int main(int argc, char** argv) {
     bool worker_mode = false;
     int max_units = 0;
     int kill_after = 0;
+    bool antithetic = env::flag_knob("COOPCR_ANTITHETIC");
+    bool control_variate = env::flag_knob("COOPCR_CONTROL_VARIATE");
+    double target_ci = env::double_knob("COOPCR_TARGET_CI", 0.0, 0.0);
+    int max_replicas = env::int_knob("COOPCR_MAX_REPLICAS", 0, 0);
 
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -183,6 +210,16 @@ int main(int argc, char** argv) {
         resume = true;
       } else if (arg == "--exec-workers") {
         exec_workers = true;
+      } else if (arg == "--antithetic") {
+        antithetic = true;
+      } else if (arg == "--control-variate") {
+        control_variate = true;
+      } else if (arg == "--target-ci") {
+        target_ci = double_arg(arg, next);
+        ++i;
+      } else if (arg == "--max-replicas") {
+        max_replicas = int_arg(arg, next);
+        ++i;
       } else if (arg == "--max-units") {
         max_units = int_arg(arg, next);
         ++i;
@@ -208,7 +245,19 @@ int main(int argc, char** argv) {
       }
     }
 
-    const exp::ExperimentSpec spec = build_spec(spec_name, replicas);
+    // Registry specs stay pure functions of (name, replicas); the
+    // variance-reduction knobs are overlaid afterwards — in worker mode too,
+    // and *before* worker_serve, because the spec digest folds the pairing
+    // options in and both sides must build the same campaign shape.
+    exp::ExperimentSpec spec = build_spec(spec_name, replicas);
+    {
+      MonteCarloOptions mc = spec.campaign_options();
+      mc.antithetic = antithetic;
+      mc.control_variate = control_variate;
+      mc.target_ci_width = target_ci;
+      mc.max_replicas = max_replicas;
+      spec.options(mc);
+    }
 
     if (worker_mode) {
       // Exec-mode worker: rebuilt the spec above from --spec/--replicas;
@@ -249,6 +298,12 @@ int main(int argc, char** argv) {
       if (exec_workers) {
         options.worker_command = {argv[0], "--worker", "--spec", spec_name,
                                   "--replicas", std::to_string(replicas)};
+        // Forward the options the spec digest covers, so an exec worker
+        // rebuilds the exact same campaign shape.
+        if (antithetic) options.worker_command.push_back("--antithetic");
+        if (control_variate) {
+          options.worker_command.push_back("--control-variate");
+        }
       }
       dist::DistSweepRunner runner(options);
       runner.on_point([](const exp::GridPoint& point, const MonteCarloReport&) {
@@ -259,7 +314,13 @@ int main(int argc, char** argv) {
 
     // Human-readable summary on stdout; machine artifacts via --out.
     for (const auto& pr : report.points) {
-      std::cout << pr.point.label() << "\n";
+      std::cout << pr.point.label();
+      // Under sequential stopping each point may have grown to a different
+      // replica count — surface it next to the label.
+      if (pr.report.vr_enabled) {
+        std::cout << " [replicas " << pr.report.replicas << "]";
+      }
+      std::cout << "\n";
       for (const auto& outcome : pr.report.outcomes) {
         std::cout << "  " << outcome.strategy.name()
                   << ": waste ratio mean = "

@@ -36,6 +36,7 @@
 #include "core/simulation.hpp"
 #include "core/strategy.hpp"
 #include "core/trace.hpp"
+#include "core/variance_reduction.hpp"
 
 // Experiments: declarative sweep specs, grid-level parallel runner,
 // structured CSV/JSON reports and figure presentation.

@@ -1,9 +1,11 @@
 #include "core/monte_carlo.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <thread>
 
+#include "core/lower_bound.hpp"
 #include "platform/failure_model.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
@@ -19,6 +21,12 @@ MonteCarloOptions MonteCarloOptions::from_env(int default_replicas,
                                    /*min_value=*/1);
   options.threads = env::int_knob("COOPCR_THREADS", default_threads,
                                   /*min_value=*/0);
+  options.antithetic = env::flag_knob("COOPCR_ANTITHETIC");
+  options.control_variate = env::flag_knob("COOPCR_CONTROL_VARIATE");
+  options.target_ci_width =
+      env::double_knob("COOPCR_TARGET_CI", 0.0, /*min_value=*/0.0);
+  options.max_replicas = env::int_knob("COOPCR_MAX_REPLICAS", 0,
+                                       /*min_value=*/0);
   return options;
 }
 
@@ -42,13 +50,53 @@ MonteCarloCampaign::MonteCarloCampaign(ScenarioConfig scenario,
   COOPCR_CHECK(!scenario_.simulation.classes.empty(),
                "scenario has no resolved classes (build it with "
                "ScenarioBuilder::build)");
-  outputs_.resize(static_cast<std::size_t>(options_.replicas));
+  COOPCR_CHECK(!options_.antithetic || options_.replicas % 2 == 0,
+               "antithetic pairing needs an even replica count");
+  COOPCR_CHECK(!options_.antithetic || !options_.keep_results,
+               "antithetic pairing is incompatible with keep_results");
+  outputs_.resize(static_cast<std::size_t>(tasks()));
+  if (options_.control_variate) {
+    // Closed-form first-order waste prediction (Theorem 1): split the bound
+    // into the failure-free checkpoint overhead and the failure-driven rest,
+    // then scale the latter linearly in the replica's failure count around
+    // its expectation E[n] = horizon / system MTBF. The predictor
+    //   X(n) = ckpt_term + fail_term * n / E[n]
+    // then has known mean lb.waste, which is all a control variate needs —
+    // the per-point least-squares beta absorbs any model error.
+    const LowerBoundResult lb =
+        solve_lower_bound(scenario_.platform, scenario_.applications);
+    double ckpt_term = 0.0;
+    const double total_nodes = static_cast<double>(scenario_.platform.nodes);
+    for (const LowerBoundClass& cls : lb.classes) {
+      ckpt_term += (cls.steady_jobs * cls.nodes / total_nodes) *
+                   (cls.checkpoint_seconds / cls.period);
+    }
+    const sim::Time stop = std::min(scenario_.simulation.horizon,
+                                    scenario_.simulation.segment_end);
+    const double expected_failures = stop / scenario_.platform.system_mtbf();
+    cv_intercept_ = ckpt_term;
+    cv_slope_ = expected_failures > 0.0
+                    ? (lb.waste - ckpt_term) / expected_failures
+                    : 0.0;
+    cv_predictor_mean_ = lb.waste;
+  }
 }
 
-void MonteCarloCampaign::run_replica_task(int r) {
-  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
-  const std::uint64_t replica = static_cast<std::uint64_t>(r);
+void MonteCarloCampaign::run_replica_task(int t) {
+  COOPCR_CHECK(t >= 0 && t < tasks(), "task index out of range");
+  // Under antithetic pairing, task t owns the stream of replica 2t so the
+  // primal member stays bit-identical to replica 2t of a plain campaign.
+  const std::uint64_t replica = static_cast<std::uint64_t>(
+      options_.antithetic ? 2 * t : t);
   Rng rng = Rng::stream(scenario_.seed, replica);
+  // The antithetic partner replays the *same* stream with every continuous
+  // uniform reflected (u' = 1 - u): its workload, failure trace and baseline
+  // are the mirror draw of the primal member's. Forking before any draw is
+  // what couples the whole replica — pairing only the failure gaps leaves
+  // the workload variance (which dominates the waste ratio on quiet
+  // scenarios) uncancelled.
+  Rng anti_rng = rng;
+  anti_rng.set_antithetic(true);
   WorkloadGenerator generator(scenario_.simulation.classes, scenario_.platform,
                               scenario_.workload);
   const std::vector<Job> jobs = generator.generate(rng);
@@ -56,63 +104,125 @@ void MonteCarloCampaign::run_replica_task(int r) {
                                   scenario_.simulation.segment_end);
   const std::vector<Failure> failures =
       scenario_.failures.generate(scenario_.platform, stop, rng);
+  std::vector<Job> anti_jobs;
+  std::vector<Failure> anti_failures;
+  if (options_.antithetic) {
+    anti_jobs = generator.generate(anti_rng);
+    anti_failures =
+        scenario_.failures.generate(scenario_.platform, stop, anti_rng);
+  }
 
   // One warm substrate per replica task: the baseline and every strategy run
   // reuse the same engine/IO slabs, so only the first run of the task pays
   // for their growth (results are bit-identical to fresh construction).
   SimWorkspace workspace;
-  ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
+  ReplicaOutput& out = outputs_[static_cast<std::size_t>(t)];
   const SimulationResult baseline =
       simulate_baseline(scenario_.simulation, jobs, workspace);
   out.slot.baseline_useful = baseline.useful;
   out.slot.baseline_useful_energy = baseline.energy.useful();
   COOPCR_CHECK(out.slot.baseline_useful > 0.0,
                "baseline run produced no useful work — check the workload");
+  if (options_.antithetic) {
+    const SimulationResult anti_baseline =
+        simulate_baseline(scenario_.simulation, anti_jobs, workspace);
+    out.slot.baseline_useful_anti = anti_baseline.useful;
+    out.slot.baseline_useful_energy_anti = anti_baseline.energy.useful();
+    COOPCR_CHECK(out.slot.baseline_useful_anti > 0.0,
+                 "antithetic baseline run produced no useful work");
+  } else {
+    out.slot.baseline_useful_anti = 0.0;
+    out.slot.baseline_useful_energy_anti = 0.0;
+  }
+  out.slot.cv_predictor =
+      cv_intercept_ +
+      cv_slope_ * static_cast<double>(failures.size());
+  out.slot.cv_predictor_anti =
+      options_.antithetic
+          ? cv_intercept_ +
+                cv_slope_ * static_cast<double>(anti_failures.size())
+          : 0.0;
 
   // Metrics are finished at task time (not at reduce time) so a slot is a
   // flat double tuple any executor — local pool, worker process, journal
   // replay — can hand to reduce() bit-identically.
-  out.slot.per_strategy.clear();
-  out.slot.per_strategy.reserve(strategies_.size());
-  out.results.clear();
-  if (options_.keep_results) out.results.reserve(strategies_.size());
-  for (const Strategy& strategy : strategies_) {
+  auto run_one = [&](const Strategy& strategy, const std::vector<Job>& work,
+                     const std::vector<Failure>& trace,
+                     double baseline_useful, double baseline_energy,
+                     std::vector<SimulationResult>* keep) {
     SimulationConfig cfg = scenario_.simulation;
     cfg.strategy = strategy;
-    SimulationResult result = simulate(cfg, jobs, failures, workspace);
+    SimulationResult result = simulate(cfg, work, trace, workspace);
     ReplicaStrategyMetrics m;
-    m.waste_ratio = result.wasted / out.slot.baseline_useful;
-    m.efficiency = result.useful / out.slot.baseline_useful;
+    m.waste_ratio = result.wasted / baseline_useful;
+    m.efficiency = result.useful / baseline_useful;
     m.utilization = result.avg_utilization;
     m.failures_hit = static_cast<double>(result.counters.failures_on_jobs);
     m.checkpoints =
         static_cast<double>(result.counters.checkpoints_completed);
     m.energy_joules = result.energy.total();
-    m.energy_waste_ratio =
-        result.energy.wasted() / out.slot.baseline_useful_energy;
-    m.ckpt_waste_ratio = result.accounting.total(TimeCategory::kCheckpoint) /
-                         out.slot.baseline_useful;
-    out.slot.per_strategy.push_back(m);
-    if (options_.keep_results) out.results.push_back(std::move(result));
+    m.energy_waste_ratio = result.energy.wasted() / baseline_energy;
+    m.ckpt_waste_ratio =
+        result.accounting.total(TimeCategory::kCheckpoint) / baseline_useful;
+    if (keep) keep->push_back(std::move(result));
+    return m;
+  };
+
+  out.slot.per_strategy.clear();
+  out.slot.per_strategy.reserve(strategies_.size());
+  out.slot.antithetic.clear();
+  out.results.clear();
+  if (options_.keep_results) out.results.reserve(strategies_.size());
+  for (const Strategy& strategy : strategies_) {
+    double base_useful = out.slot.baseline_useful;
+    double base_energy = out.slot.baseline_useful_energy;
+    if (!options_.share_baseline) {
+      // The toggle that makes the baseline cache testable: recompute the
+      // (deterministic) baseline for this strategy instead of sharing the
+      // task-level run. Byte-identical output, strictly more work.
+      const SimulationResult again =
+          simulate_baseline(scenario_.simulation, jobs, workspace);
+      base_useful = again.useful;
+      base_energy = again.energy.useful();
+    }
+    out.slot.per_strategy.push_back(
+        run_one(strategy, jobs, failures, base_useful, base_energy,
+                options_.keep_results ? &out.results : nullptr));
+  }
+  if (options_.antithetic) {
+    out.slot.antithetic.reserve(strategies_.size());
+    for (const Strategy& strategy : strategies_) {
+      double base_useful = out.slot.baseline_useful_anti;
+      double base_energy = out.slot.baseline_useful_energy_anti;
+      if (!options_.share_baseline) {
+        const SimulationResult again =
+            simulate_baseline(scenario_.simulation, anti_jobs, workspace);
+        base_useful = again.useful;
+        base_energy = again.energy.useful();
+      }
+      out.slot.antithetic.push_back(run_one(strategy, anti_jobs, anti_failures,
+                                            base_useful, base_energy,
+                                            nullptr));
+    }
   }
   out.done = true;
 }
 
-bool MonteCarloCampaign::slot_done(int r) const {
-  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
-  return outputs_[static_cast<std::size_t>(r)].done;
+bool MonteCarloCampaign::slot_done(int t) const {
+  COOPCR_CHECK(t >= 0 && t < tasks(), "task index out of range");
+  return outputs_[static_cast<std::size_t>(t)].done;
 }
 
-const ReplicaSlot& MonteCarloCampaign::slot(int r) const {
-  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
-  const ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
-  COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
+const ReplicaSlot& MonteCarloCampaign::slot(int t) const {
+  COOPCR_CHECK(t >= 0 && t < tasks(), "task index out of range");
+  const ReplicaOutput& out = outputs_[static_cast<std::size_t>(t)];
+  COOPCR_CHECK(out.done, "replica task " + std::to_string(t) +
                              " has not run — no slot to export");
   return out.slot;
 }
 
-void MonteCarloCampaign::install_slot(int r, ReplicaSlot slot) {
-  COOPCR_CHECK(r >= 0 && r < options_.replicas, "replica index out of range");
+void MonteCarloCampaign::install_slot(int t, ReplicaSlot slot) {
+  COOPCR_CHECK(t >= 0 && t < tasks(), "task index out of range");
   COOPCR_CHECK(!options_.keep_results,
                "install_slot is incompatible with keep_results — full "
                "SimulationResults never cross the process boundary");
@@ -120,11 +230,99 @@ void MonteCarloCampaign::install_slot(int r, ReplicaSlot slot) {
                "slot carries " + std::to_string(slot.per_strategy.size()) +
                    " strategy tuples, campaign expects " +
                    std::to_string(strategies_.size()));
-  ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
-  COOPCR_CHECK(!out.done, "replica " + std::to_string(r) +
+  const std::size_t expected_anti =
+      options_.antithetic ? strategies_.size() : 0;
+  COOPCR_CHECK(slot.antithetic.size() == expected_anti,
+               "slot carries " + std::to_string(slot.antithetic.size()) +
+                   " antithetic tuples, campaign expects " +
+                   std::to_string(expected_anti));
+  ReplicaOutput& out = outputs_[static_cast<std::size_t>(t)];
+  COOPCR_CHECK(!out.done, "replica task " + std::to_string(t) +
                               " already has results — duplicate work unit");
   out.slot = std::move(slot);
   out.done = true;
+}
+
+MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
+  MonteCarloReport report;
+  report.replicas = options_.replicas;
+  report.vr_enabled = options_.vr_active();
+  report.outcomes.resize(strategies_.size());
+  for (std::size_t s = 0; s < strategies_.size(); ++s) {
+    report.outcomes[s].strategy = strategies_[s];
+  }
+  // Waste-ratio samples (and, under control variates, their predictors) per
+  // strategy, in fold order: under antithetic pairing that is primal(t),
+  // anti(t), primal(t+1), ... — the even/odd layout estimate_mean pairs on.
+  std::vector<std::vector<double>> vr_samples;
+  std::vector<std::vector<double>> vr_predictors;
+  if (report.vr_enabled) {
+    vr_samples.resize(strategies_.size());
+    if (options_.control_variate) vr_predictors.resize(strategies_.size());
+  }
+
+  auto fold_tuple = [&](StrategyOutcome& outcome,
+                        const ReplicaStrategyMetrics& m) {
+    outcome.waste_ratio.add(m.waste_ratio);
+    outcome.efficiency.add(m.efficiency);
+    outcome.utilization.add(m.utilization);
+    outcome.failures_hit.add(m.failures_hit);
+    outcome.checkpoints.add(m.checkpoints);
+    outcome.energy_joules.add(m.energy_joules);
+    outcome.energy_waste_ratio.add(m.energy_waste_ratio);
+    outcome.ckpt_waste_ratio.add(m.ckpt_waste_ratio);
+  };
+
+  // Deterministic reduction in task order.
+  for (int t = 0; t < tasks(); ++t) {
+    ReplicaOutput& out = outputs_[static_cast<std::size_t>(t)];
+    COOPCR_CHECK(out.done, "replica task " + std::to_string(t) +
+                               " never ran — reduce() before completion");
+    report.baseline_useful.add(out.slot.baseline_useful);
+    report.baseline_useful_energy.add(out.slot.baseline_useful_energy);
+    if (options_.antithetic) {
+      // The partner draws its own mirrored workload, so it folds its own
+      // baseline denominators — the report's baseline sample count stays
+      // replicas(), not tasks().
+      report.baseline_useful.add(out.slot.baseline_useful_anti);
+      report.baseline_useful_energy.add(out.slot.baseline_useful_energy_anti);
+    }
+    for (std::size_t s = 0; s < strategies_.size(); ++s) {
+      StrategyOutcome& outcome = report.outcomes[s];
+      const ReplicaStrategyMetrics& m = out.slot.per_strategy[s];
+      fold_tuple(outcome, m);
+      if (report.vr_enabled) {
+        vr_samples[s].push_back(m.waste_ratio);
+        if (options_.control_variate) {
+          vr_predictors[s].push_back(out.slot.cv_predictor);
+        }
+      }
+      if (options_.antithetic) {
+        const ReplicaStrategyMetrics& anti = out.slot.antithetic[s];
+        fold_tuple(outcome, anti);
+        if (report.vr_enabled) {
+          vr_samples[s].push_back(anti.waste_ratio);
+          if (options_.control_variate) {
+            vr_predictors[s].push_back(out.slot.cv_predictor_anti);
+          }
+        }
+      }
+      if (options_.keep_results && destructive) {
+        outcome.results.push_back(std::move(out.results[s]));
+      }
+    }
+  }
+  if (report.vr_enabled) {
+    for (std::size_t s = 0; s < strategies_.size(); ++s) {
+      StrategyOutcome& outcome = report.outcomes[s];
+      outcome.vr.enabled = true;
+      outcome.vr.estimate = estimate_mean(
+          vr_samples[s], options_.antithetic,
+          options_.control_variate ? vr_predictors[s] : std::vector<double>{},
+          cv_predictor_mean_);
+    }
+  }
+  return report;
 }
 
 MonteCarloReport MonteCarloCampaign::reduce() {
@@ -132,56 +330,53 @@ MonteCarloReport MonteCarloCampaign::reduce() {
                "campaign already reduced — reduce() moves the replica "
                "outputs and cannot be called twice");
   reduced_ = true;
-  MonteCarloReport report;
-  report.replicas = options_.replicas;
-  report.outcomes.resize(strategies_.size());
-  for (std::size_t s = 0; s < strategies_.size(); ++s) {
-    report.outcomes[s].strategy = strategies_[s];
-  }
-  // Deterministic reduction in replica order.
-  for (int r = 0; r < options_.replicas; ++r) {
-    ReplicaOutput& out = outputs_[static_cast<std::size_t>(r)];
-    COOPCR_CHECK(out.done, "replica task " + std::to_string(r) +
-                               " never ran — reduce() before completion");
-    report.baseline_useful.add(out.slot.baseline_useful);
-    report.baseline_useful_energy.add(out.slot.baseline_useful_energy);
-    for (std::size_t s = 0; s < strategies_.size(); ++s) {
-      StrategyOutcome& outcome = report.outcomes[s];
-      const ReplicaStrategyMetrics& m = out.slot.per_strategy[s];
-      outcome.waste_ratio.add(m.waste_ratio);
-      outcome.efficiency.add(m.efficiency);
-      outcome.utilization.add(m.utilization);
-      outcome.failures_hit.add(m.failures_hit);
-      outcome.checkpoints.add(m.checkpoints);
-      outcome.energy_joules.add(m.energy_joules);
-      outcome.energy_waste_ratio.add(m.energy_waste_ratio);
-      outcome.ckpt_waste_ratio.add(m.ckpt_waste_ratio);
-      if (options_.keep_results) {
-        outcome.results.push_back(std::move(out.results[s]));
-      }
-    }
-  }
-  return report;
+  return fold_report(/*destructive=*/true);
+}
+
+MonteCarloReport MonteCarloCampaign::snapshot() const {
+  COOPCR_CHECK(!reduced_,
+               "campaign already reduced — no snapshot after reduce()");
+  COOPCR_CHECK(!options_.keep_results,
+               "snapshot() is incompatible with keep_results");
+  // fold_report(false) never moves anything out, so the const_cast is only a
+  // plumbing convenience (the fold mutates SampleSets inside the *report*,
+  // not the campaign).
+  return const_cast<MonteCarloCampaign*>(this)->fold_report(
+      /*destructive=*/false);
+}
+
+void MonteCarloCampaign::extend(int new_replicas) {
+  COOPCR_CHECK(!reduced_,
+               "campaign already reduced — extend() before reduce()");
+  COOPCR_CHECK(new_replicas >= options_.replicas,
+               "extend() cannot shrink the campaign");
+  COOPCR_CHECK(!options_.antithetic || new_replicas % 2 == 0,
+               "antithetic pairing needs an even replica count");
+  options_.replicas = new_replicas;
+  outputs_.resize(static_cast<std::size_t>(tasks()));
 }
 
 MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
                                  const std::vector<Strategy>& strategies,
                                  const MonteCarloOptions& options) {
+  COOPCR_CHECK(options.target_ci_width == 0.0,
+               "sequential stopping (target_ci_width) runs through "
+               "exp::SweepRunner, not run_monte_carlo");
   MonteCarloCampaign campaign(scenario, strategies, options);
-  const int replicas = campaign.replicas();
+  const int task_count = campaign.tasks();
   unsigned thread_count =
       options.threads > 0 ? static_cast<unsigned>(options.threads)
                           : std::thread::hardware_concurrency();
   if (thread_count == 0) thread_count = 1;
   thread_count = std::min<unsigned>(thread_count,
-                                    static_cast<unsigned>(replicas));
+                                    static_cast<unsigned>(task_count));
 
   std::atomic<int> next{0};
   auto worker = [&] {
     for (;;) {
-      const int r = next.fetch_add(1);
-      if (r >= replicas) break;
-      campaign.run_replica_task(r);
+      const int t = next.fetch_add(1);
+      if (t >= task_count) break;
+      campaign.run_replica_task(t);
     }
   };
   if (thread_count <= 1) {
@@ -195,22 +390,34 @@ MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
   return campaign.reduce();
 }
 
-void submit_campaign_tasks(ThreadPool& pool, MonteCarloCampaign& campaign,
-                           std::vector<std::exception_ptr>& errors,
-                           std::function<void()> on_task_done) {
-  errors.clear();
-  errors.resize(static_cast<std::size_t>(campaign.replicas()));
-  for (int r = 0; r < campaign.replicas(); ++r) {
-    std::exception_ptr* error = &errors[static_cast<std::size_t>(r)];
-    pool.submit([&campaign, error, r, on_task_done] {
+void submit_campaign_task_range(ThreadPool& pool, MonteCarloCampaign& campaign,
+                                std::vector<std::exception_ptr>& errors,
+                                int first, int last,
+                                std::function<void()> on_task_done) {
+  COOPCR_CHECK(first >= 0 && last <= campaign.tasks() && first <= last,
+               "task range out of bounds");
+  if (errors.size() < static_cast<std::size_t>(last)) {
+    errors.resize(static_cast<std::size_t>(last));
+  }
+  for (int t = first; t < last; ++t) {
+    std::exception_ptr* error = &errors[static_cast<std::size_t>(t)];
+    pool.submit([&campaign, error, t, on_task_done] {
       try {
-        campaign.run_replica_task(r);
+        campaign.run_replica_task(t);
       } catch (...) {
         *error = std::current_exception();
       }
       if (on_task_done) on_task_done();
     });
   }
+}
+
+void submit_campaign_tasks(ThreadPool& pool, MonteCarloCampaign& campaign,
+                           std::vector<std::exception_ptr>& errors,
+                           std::function<void()> on_task_done) {
+  errors.clear();
+  submit_campaign_task_range(pool, campaign, errors, 0, campaign.tasks(),
+                             std::move(on_task_done));
 }
 
 void rethrow_first_error(const std::vector<std::exception_ptr>& errors) {
@@ -223,6 +430,9 @@ MonteCarloReport run_monte_carlo(const ScenarioConfig& scenario,
                                  const std::vector<Strategy>& strategies,
                                  const MonteCarloOptions& options,
                                  ThreadPool& pool) {
+  COOPCR_CHECK(options.target_ci_width == 0.0,
+               "sequential stopping (target_ci_width) runs through "
+               "exp::SweepRunner, not run_monte_carlo");
   MonteCarloCampaign campaign(scenario, strategies, options);
   std::vector<std::exception_ptr> errors;
   submit_campaign_tasks(pool, campaign, errors);

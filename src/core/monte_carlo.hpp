@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"
 #include "core/simulation.hpp"
+#include "core/variance_reduction.hpp"
 #include "util/stats.hpp"
 
 namespace coopcr {
@@ -37,9 +38,47 @@ struct MonteCarloOptions {
   int threads = 0;          ///< 0 = hardware concurrency
   bool keep_results = false; ///< retain the full per-replica SimulationResults
 
-  /// Read COOPCR_REPLICAS / COOPCR_THREADS from the environment, falling back
-  /// to the provided defaults when unset or empty. Used by every bench
-  /// binary. Throws coopcr::Error on malformed values (non-numeric, trailing
+  // --- variance reduction (core/variance_reduction.hpp) ---------------------
+
+  /// Simulate replicas in antithetic pairs: pair p covers replicas 2p (the
+  /// plain stream — bit-identical to a non-antithetic run of that replica)
+  /// and a partner drawn from the *reflected* copy of the same stream
+  /// (Rng antithetic mode: every continuous uniform inverted, u' = 1 - u),
+  /// so the partner's workload, failure trace and baseline mirror the primal
+  /// draw. Requires an even replica count; incompatible with keep_results.
+  bool antithetic = false;
+  /// Adjust the waste-ratio estimate with the closed-form first-order waste
+  /// prediction (core/lower_bound) evaluated at each replica's failure
+  /// count; the coefficient is fit per grid point at reduce time.
+  bool control_variate = false;
+  /// > 0 enables sequential stopping: exp::SweepRunner grows each campaign
+  /// in doubling rounds until the 95% CI of every strategy's waste-ratio
+  /// estimate is at most this wide (or max_replicas is hit). In-process
+  /// only — the dist runner rejects it.
+  double target_ci_width = 0.0;
+  /// Replica cap for sequential stopping; 0 means 64 x replicas.
+  int max_replicas = 0;
+  /// Compute the no-failure baseline once per replica task and share it
+  /// across all strategies (the default). Off re-runs the baseline per
+  /// strategy — byte-identical output, only slower; kept as a toggle so the
+  /// equivalence is testable.
+  bool share_baseline = true;
+
+  /// True when any estimator upgrade is on (vr_* columns are emitted).
+  bool vr_active() const {
+    return antithetic || control_variate || target_ci_width > 0.0;
+  }
+
+  /// Sequential-stopping replica cap with the 0-default resolved.
+  int resolved_max_replicas() const {
+    return max_replicas > 0 ? max_replicas : 64 * replicas;
+  }
+
+  /// Read COOPCR_REPLICAS / COOPCR_THREADS — plus the variance-reduction
+  /// knobs COOPCR_ANTITHETIC, COOPCR_CONTROL_VARIATE, COOPCR_TARGET_CI and
+  /// COOPCR_MAX_REPLICAS — from the environment, falling back to the
+  /// provided defaults when unset or empty. Used by every bench binary.
+  /// Throws coopcr::Error on malformed values (non-numeric, trailing
   /// garbage, out of range): COOPCR_REPLICAS must be >= 1 and COOPCR_THREADS
   /// >= 0 (0 keeps the hardware-concurrency default).
   static MonteCarloOptions from_env(int default_replicas,
@@ -64,6 +103,14 @@ struct StrategyOutcome {
   /// directly. Token waits before a commit land in kBlockedWait and
   /// contention stretch in kIoDilation; neither is included here.
   SampleSet ckpt_waste_ratio;
+  /// Variance-reduced estimate of the waste-ratio mean. `enabled` mirrors
+  /// MonteCarloOptions::vr_active(); when false `estimate` is
+  /// default-constructed and no vr_* columns are emitted.
+  struct VrSummary {
+    bool enabled = false;
+    VrEstimate estimate;
+  };
+  VrSummary vr;
   /// Per-replica full results (only when keep_results was set).
   std::vector<SimulationResult> results;
 };
@@ -74,6 +121,10 @@ struct MonteCarloReport {
   SampleSet baseline_useful;              ///< denominator, per replica
   SampleSet baseline_useful_energy;       ///< joules twin of the denominator
   int replicas = 0;
+  /// True when any variance-reduction option was active (antithetic pairing,
+  /// control variates, or sequential stopping) — gates the vr_* report
+  /// columns so VR-off output stays byte-identical to earlier releases.
+  bool vr_enabled = false;
 
   /// Outcome lookup by strategy name; throws when absent.
   const StrategyOutcome& outcome(const std::string& name) const;
@@ -97,12 +148,28 @@ struct ReplicaStrategyMetrics {
   double ckpt_waste_ratio = 0.0;
 };
 
-/// Everything one replica contributes to the reduced report: the baseline
-/// denominators plus one metric tuple per strategy (in strategy order).
+/// Everything one replica *task* contributes to the reduced report: the
+/// baseline denominators plus one metric tuple per strategy (in strategy
+/// order). Under antithetic pairing one task covers two replicas and the
+/// slot carries a second tuple vector (`antithetic`, same strategy order)
+/// plus the partner's own baseline denominators (the partner draws its own
+/// mirrored workload) and the control-variate predictor of each member;
+/// otherwise those v2 fields stay empty/zero. The dist wire protocol and
+/// campaign journal serialise all of it (slot layout v2), so paired
+/// campaigns keep the bit-exact process/resume invariance.
 struct ReplicaSlot {
   double baseline_useful = 0.0;
   double baseline_useful_energy = 0.0;
+  /// Antithetic partner's baseline denominators (0 when not paired).
+  double baseline_useful_anti = 0.0;
+  double baseline_useful_energy_anti = 0.0;
   std::vector<ReplicaStrategyMetrics> per_strategy;
+  /// Antithetic partner's tuples (antithetic pairing only).
+  std::vector<ReplicaStrategyMetrics> antithetic;
+  /// Closed-form waste prediction at the primal replica's failure count.
+  double cv_predictor = 0.0;
+  /// Same, for the antithetic partner (0 when not paired).
+  double cv_predictor_anti = 0.0;
 };
 
 /// One campaign decomposed into schedulable replica tasks.
@@ -110,54 +177,82 @@ struct ReplicaSlot {
 /// Usage (what run_monte_carlo does internally):
 ///
 ///   MonteCarloCampaign campaign(scenario, strategies, options);
-///   for (int r = 0; r < campaign.replicas(); ++r)
-///     pool.submit([&, r] { campaign.run_replica_task(r); });
+///   for (int t = 0; t < campaign.tasks(); ++t)
+///     pool.submit([&, t] { campaign.run_replica_task(t); });
 ///   pool.wait_idle();
 ///   MonteCarloReport report = campaign.reduce();
 ///
-/// run_replica_task is thread-safe for distinct replica indices (each writes
-/// its own slot); reduce() is deterministic in replica order regardless of
+/// run_replica_task is thread-safe for distinct task indices (each writes
+/// its own slot); reduce() is deterministic in task order regardless of
 /// task scheduling, which is what makes sweep results bit-identical across
 /// thread counts. A remote executor (dist::DistSweepRunner) runs the same
 /// decomposition in worker processes: the worker calls run_replica_task +
 /// slot(), ships the doubles over the wire, and the coordinator calls
 /// install_slot() — reduce() cannot tell the difference.
+///
+/// Without antithetic pairing, task t is exactly replica t. With it, task t
+/// covers the antithetic pair (2t, partner): the primal member draws its
+/// initial conditions from Rng::stream(seed, 2t) exactly as a plain replica
+/// 2t would, and the partner draws its own workload, baseline and failure
+/// trace from the reflected copy of that stream, so tasks() == replicas()/2.
 class MonteCarloCampaign {
  public:
   /// Validates the inputs (non-empty strategy set, positive replicas, built
-  /// scenario) — throws coopcr::Error otherwise.
+  /// scenario, even replica count when antithetic, no keep_results with
+  /// antithetic) — throws coopcr::Error otherwise.
   MonteCarloCampaign(ScenarioConfig scenario, std::vector<Strategy> strategies,
                      MonteCarloOptions options);
 
   int replicas() const { return options_.replicas; }
+  /// Schedulable task count: replicas(), halved under antithetic pairing.
+  int tasks() const {
+    return options_.antithetic ? options_.replicas / 2 : options_.replicas;
+  }
   const ScenarioConfig& scenario() const { return scenario_; }
   const std::vector<Strategy>& strategies() const { return strategies_; }
+  const MonteCarloOptions& options() const { return options_; }
 
-  /// Simulate replica `r` (0-based, < replicas()) under every strategy and
-  /// store the outputs in slot r.
-  void run_replica_task(int r);
+  /// Simulate task `t` (0-based, < tasks()) under every strategy and store
+  /// the outputs in slot t.
+  void run_replica_task(int t);
 
-  /// True once replica `r`'s slot holds results (run locally or installed).
-  bool slot_done(int r) const;
+  /// True once task `t`'s slot holds results (run locally or installed).
+  bool slot_done(int t) const;
 
-  /// Replica `r`'s finished metric slot, for shipping to a remote reducer
+  /// Task `t`'s finished metric slot, for shipping to a remote reducer
   /// (wire protocol, journal). Throws coopcr::Error when the task has not
   /// run.
-  const ReplicaSlot& slot(int r) const;
+  const ReplicaSlot& slot(int t) const;
 
   /// Install a slot computed elsewhere (a worker process or a journal
-  /// replay) as replica `r`'s output. The slot must carry exactly one
-  /// metric tuple per strategy; incompatible with options.keep_results
-  /// (full SimulationResults never cross the process boundary). Installing
-  /// over an already-done slot throws — a duplicated work unit is a
-  /// dispatcher bug, not something to paper over.
-  void install_slot(int r, ReplicaSlot slot);
+  /// replay) as task `t`'s output. The slot must carry exactly one
+  /// metric tuple per strategy (and, when antithetic, one partner tuple per
+  /// strategy); incompatible with options.keep_results (full
+  /// SimulationResults never cross the process boundary). Installing over an
+  /// already-done slot throws — a duplicated work unit is a dispatcher bug,
+  /// not something to paper over.
+  void install_slot(int t, ReplicaSlot slot);
 
-  /// Fold all replica slots into a report, in replica order. Every replica
+  /// Fold all replica slots into a report, in task order. Every replica
   /// task must have completed; throws coopcr::Error on missing slots.
   /// Single-use: reduce() moves results out of the slots, so a second call
   /// throws instead of returning corrupted statistics.
   MonteCarloReport reduce();
+
+  /// Non-destructive mid-campaign reduction for sequential stopping: folds
+  /// the currently configured tasks (all must be done) into a report by
+  /// copying the slots, leaving the campaign open for extend() + further
+  /// run_replica_task/install_slot calls and a final reduce(). Requires
+  /// !options.keep_results (full results are too heavy to copy per round)
+  /// and throws after reduce().
+  MonteCarloReport snapshot() const;
+
+  /// Grow the campaign to `new_replicas` (>= the current count; preserving
+  /// pair parity when antithetic). Existing slots are untouched — only the
+  /// new tail needs running — so a snapshot-extend-run loop is bit-identical
+  /// to a fixed-count campaign started at the final size. Throws after
+  /// reduce().
+  void extend(int new_replicas);
 
  private:
   /// Everything one replica produces, kept per-replica so reduction order is
@@ -169,15 +264,26 @@ class MonteCarloCampaign {
     bool done = false;
   };
 
+  /// Fold tasks [0, tasks()) into a report. `destructive` moves slot
+  /// contents out (reduce); snapshot passes false and copies.
+  MonteCarloReport fold_report(bool destructive);
+
   ScenarioConfig scenario_;
   std::vector<Strategy> strategies_;
   MonteCarloOptions options_;
   std::vector<ReplicaOutput> outputs_;
   bool reduced_ = false;
+  /// Control-variate predictor: predicted waste ratio at n failures is
+  /// cv_intercept_ + cv_slope_ * n, with known mean cv_predictor_mean_
+  /// (the closed-form lower-bound waste). Computed once in the constructor;
+  /// all zero when control_variate is off.
+  double cv_intercept_ = 0.0;
+  double cv_slope_ = 0.0;
+  double cv_predictor_mean_ = 0.0;
 };
 
-/// Submit every replica of `campaign` onto `pool` as non-throwing tasks:
-/// `errors` is resized to replicas() and each task stashes its exception (if
+/// Submit every task of `campaign` onto `pool` as non-throwing tasks:
+/// `errors` is resized to tasks() and each task stashes its exception (if
 /// any) into its own slot; `on_task_done` (optional) runs after every task,
 /// including failed ones. `campaign` and `errors` must outlive the tasks —
 /// drain the pool (wait_idle) before unwinding past them, then pass `errors`
@@ -186,6 +292,14 @@ class MonteCarloCampaign {
 void submit_campaign_tasks(ThreadPool& pool, MonteCarloCampaign& campaign,
                            std::vector<std::exception_ptr>& errors,
                            std::function<void()> on_task_done = nullptr);
+
+/// Range overload for sequential stopping: submit tasks [first, last) only,
+/// growing `errors` to at least `last` slots. submit_campaign_tasks is the
+/// (0, tasks()) special case.
+void submit_campaign_task_range(ThreadPool& pool, MonteCarloCampaign& campaign,
+                                std::vector<std::exception_ptr>& errors,
+                                int first, int last,
+                                std::function<void()> on_task_done = nullptr);
 
 /// Rethrow the first stashed task error, if any (deterministic slot order).
 void rethrow_first_error(const std::vector<std::exception_ptr>& errors);

@@ -1,0 +1,109 @@
+#include "core/variance_reduction.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace coopcr {
+
+namespace {
+
+constexpr double kZ95 = 1.959963984540054;  ///< 97.5% normal quantile
+
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+/// Unbiased sample variance (0 for fewer than 2 observations).
+double variance_of(const std::vector<double>& xs, double mean) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace
+
+VrEstimate estimate_mean(const std::vector<double>& samples, bool paired,
+                         const std::vector<double>& predictors,
+                         double predictor_mean) {
+  COOPCR_CHECK(!samples.empty(), "estimate_mean needs at least one sample");
+  COOPCR_CHECK(!paired || samples.size() % 2 == 0,
+               "paired estimation needs an even sample count");
+  COOPCR_CHECK(predictors.empty() || predictors.size() == samples.size(),
+               "control-variate predictors must parallel the samples");
+
+  VrEstimate est;
+  est.simulations = samples.size();
+
+  // Plain-estimator variance over the same simulation budget — the vr_factor
+  // numerator. (For paired samples this is still the iid sample-mean
+  // variance; the pairing is exactly what the factor gets credit for.)
+  const double raw_mean = mean_of(samples);
+  const double raw_var = variance_of(samples, raw_mean);
+  const double plain_est_var =
+      raw_var / static_cast<double>(samples.size());
+
+  // Reduce to estimation units: pair means when paired, raw samples
+  // otherwise. The control variate averages the same way.
+  std::vector<double> units;
+  std::vector<double> unit_predictors;
+  if (paired) {
+    units.reserve(samples.size() / 2);
+    for (std::size_t i = 0; i + 1 < samples.size(); i += 2) {
+      units.push_back(0.5 * (samples[i] + samples[i + 1]));
+    }
+    if (!predictors.empty()) {
+      unit_predictors.reserve(predictors.size() / 2);
+      for (std::size_t i = 0; i + 1 < predictors.size(); i += 2) {
+        unit_predictors.push_back(0.5 * (predictors[i] + predictors[i + 1]));
+      }
+    }
+  } else {
+    units = samples;
+    unit_predictors = predictors;
+  }
+  const std::size_t m = units.size();
+  const double unit_mean = mean_of(units);
+
+  double est_mean = unit_mean;
+  double est_var = variance_of(units, unit_mean);
+  if (!unit_predictors.empty()) {
+    const double x_mean = mean_of(unit_predictors);
+    const double x_var = variance_of(unit_predictors, x_mean);
+    double beta = 0.0;
+    if (x_var > 0.0 && m >= 2) {
+      double cov = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        cov += (units[i] - unit_mean) * (unit_predictors[i] - x_mean);
+      }
+      cov /= static_cast<double>(m - 1);
+      beta = cov / x_var;
+    }
+    est.cv_beta = beta;
+    // Adjusted units y_i = u_i - beta (x_i - E[X]); their mean is the CV
+    // estimate and their spread its residual variance.
+    std::vector<double> adjusted;
+    adjusted.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      adjusted.push_back(units[i] -
+                         beta * (unit_predictors[i] - predictor_mean));
+    }
+    est_mean = mean_of(adjusted);
+    est_var = variance_of(adjusted, est_mean);
+  }
+
+  est.mean = est_mean;
+  const double est_mean_var = m > 0 ? est_var / static_cast<double>(m) : 0.0;
+  est.std_error = std::sqrt(est_mean_var);
+  est.ci_width = 2.0 * kZ95 * est.std_error;
+  est.vr_factor = (est_mean_var > 0.0 && plain_est_var > 0.0)
+                      ? plain_est_var / est_mean_var
+                      : 1.0;
+  est.ess = static_cast<double>(samples.size()) * est.vr_factor;
+  return est;
+}
+
+}  // namespace coopcr

@@ -184,6 +184,10 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
   COOPCR_CHECK(!spec.campaign_options().keep_results,
                "distributed sweeps cannot keep full simulation results — "
                "only reduced slots cross the process boundary");
+  COOPCR_CHECK(spec.campaign_options().target_ci_width == 0.0,
+               "sequential stopping (target_ci_width) is in-process only — "
+               "the dist work-unit set must be fixed up front so the journal "
+               "stays replayable");
   COOPCR_CHECK(options_.journal.empty() || !options_.resume ||
                    std::filesystem::exists(options_.journal),
                "cannot resume: journal does not exist: " + options_.journal);
@@ -232,13 +236,16 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
     }
   }
 
-  // Pending units in (point, replica) order; dispatch order does not matter
-  // for the results (slots are preassigned), only for load balance.
+  // Pending units in (point, task) order; dispatch order does not matter
+  // for the results (slots are preassigned), only for load balance. Under
+  // antithetic pairing one unit is a replica *pair*, so the per-point unit
+  // count is tasks() (replicas / 2), not header.replicas.
   std::deque<UnitMsg> pending;
   for (std::uint32_t p = 0; p < header.points; ++p) {
-    for (std::uint32_t r = 0; r < header.replicas; ++r) {
-      if (!campaigns[p]->slot_done(static_cast<int>(r))) {
-        pending.push_back(UnitMsg{p, r});
+    const auto tasks = static_cast<std::uint32_t>(campaigns[p]->tasks());
+    for (std::uint32_t t = 0; t < tasks; ++t) {
+      if (!campaigns[p]->slot_done(static_cast<int>(t))) {
+        pending.push_back(UnitMsg{p, t});
       }
     }
   }

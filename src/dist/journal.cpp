@@ -129,6 +129,10 @@ std::uint64_t spec_digest(const exp::ExperimentSpec& spec,
   h.str("coopcr-spec-digest-v1");
   h.str(spec.name());
   h.u32(static_cast<std::uint32_t>(spec.campaign_options().replicas));
+  // The variance-reduction options change what a work unit *is* (a pair vs
+  // a single replica, predictors or not), so they are part of the identity.
+  h.u32(spec.campaign_options().antithetic ? 1 : 0);
+  h.u32(spec.campaign_options().control_variate ? 1 : 0);
   const std::vector<Strategy>& strategies = spec.strategy_set();
   h.u64(strategies.size());
   for (const Strategy& s : strategies) h.str(s.name());

@@ -18,6 +18,17 @@
 //   record*  u32 len | u64 fnv1a(payload) | payload
 //            payload = u32 point, u32 replica, ReplicaSlot (wire encoding)
 //
+// Format version 2 (slot layout v2): each record's ReplicaSlot additionally
+// carries the antithetic partner's own baseline denominators (useful work +
+// energy — the partner simulates its own mirrored workload), the partner
+// tuples (u32 count, 0 for unpaired campaigns, + the same 8-double tuples)
+// and two control-variate predictor doubles (primal + partner), matching
+// wire kProtocolVersion 2. Under antithetic pairing the
+// record's `replica` field holds the *task* index (< replicas / 2); the
+// spec digest folds the antithetic/control-variate options in, so a v2
+// journal can never be replayed into a campaign with a different pairing.
+// Version-1 journals refuse to resume (format_version mismatch).
+//
 // Torn-write discipline: every record is length-prefixed and checksummed. A
 // record cut short by a crash (or with a corrupt checksum) and everything
 // after it is dropped at replay, the file is truncated back to the last
@@ -42,8 +53,9 @@ namespace coopcr::dist {
 /// refused.
 inline constexpr const char* kCodeVersion = "coopcr-6";
 
-/// Journal file format version (layout changes only).
-inline constexpr std::uint32_t kJournalFormatVersion = 1;
+/// Journal file format version (layout changes only). v2: slot layout
+/// gained the variance-reduction fields (see the header comment).
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
 
 /// FNV-1a 64-bit over `data` (checksums and the spec digest).
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);

@@ -201,11 +201,12 @@ UnitMsg decode_unit(const std::vector<std::uint8_t>& payload) {
   return msg;
 }
 
-void encode_slot(Encoder& enc, const ReplicaSlot& slot) {
-  enc.f64(slot.baseline_useful);
-  enc.f64(slot.baseline_useful_energy);
-  enc.u32(static_cast<std::uint32_t>(slot.per_strategy.size()));
-  for (const ReplicaStrategyMetrics& m : slot.per_strategy) {
+namespace {
+
+void encode_tuples(Encoder& enc,
+                   const std::vector<ReplicaStrategyMetrics>& tuples) {
+  enc.u32(static_cast<std::uint32_t>(tuples.size()));
+  for (const ReplicaStrategyMetrics& m : tuples) {
     enc.f64(m.waste_ratio);
     enc.f64(m.efficiency);
     enc.f64(m.utilization);
@@ -217,14 +218,12 @@ void encode_slot(Encoder& enc, const ReplicaSlot& slot) {
   }
 }
 
-ReplicaSlot decode_slot(Decoder& dec) {
-  ReplicaSlot slot;
-  slot.baseline_useful = dec.f64();
-  slot.baseline_useful_energy = dec.f64();
+std::vector<ReplicaStrategyMetrics> decode_tuples(Decoder& dec) {
   const std::uint32_t n = dec.u32();
   COOPCR_CHECK(n <= 4096, "slot claims " + std::to_string(n) +
                               " strategy tuples — corrupt payload");
-  slot.per_strategy.reserve(n);
+  std::vector<ReplicaStrategyMetrics> tuples;
+  tuples.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
     ReplicaStrategyMetrics m;
     m.waste_ratio = dec.f64();
@@ -235,8 +234,38 @@ ReplicaSlot decode_slot(Decoder& dec) {
     m.energy_joules = dec.f64();
     m.energy_waste_ratio = dec.f64();
     m.ckpt_waste_ratio = dec.f64();
-    slot.per_strategy.push_back(m);
+    tuples.push_back(m);
   }
+  return tuples;
+}
+
+}  // namespace
+
+void encode_slot(Encoder& enc, const ReplicaSlot& slot) {
+  // Layout v2 (kProtocolVersion / journal format 2): the v1 prefix —
+  // primal baselines + primal tuples — followed by the antithetic partner's
+  // baselines and tuples (0.0 / count 0 for unpaired campaigns) and the two
+  // control-variate predictor doubles (0.0 when control variates are off).
+  enc.f64(slot.baseline_useful);
+  enc.f64(slot.baseline_useful_energy);
+  encode_tuples(enc, slot.per_strategy);
+  enc.f64(slot.baseline_useful_anti);
+  enc.f64(slot.baseline_useful_energy_anti);
+  encode_tuples(enc, slot.antithetic);
+  enc.f64(slot.cv_predictor);
+  enc.f64(slot.cv_predictor_anti);
+}
+
+ReplicaSlot decode_slot(Decoder& dec) {
+  ReplicaSlot slot;
+  slot.baseline_useful = dec.f64();
+  slot.baseline_useful_energy = dec.f64();
+  slot.per_strategy = decode_tuples(dec);
+  slot.baseline_useful_anti = dec.f64();
+  slot.baseline_useful_energy_anti = dec.f64();
+  slot.antithetic = decode_tuples(dec);
+  slot.cv_predictor = dec.f64();
+  slot.cv_predictor_anti = dec.f64();
   return slot;
 }
 

@@ -34,7 +34,9 @@
 namespace coopcr::dist {
 
 /// Bumped on any incompatible change to the frame or payload layout.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: slot layout gained the variance-reduction fields (antithetic partner
+/// tuples + control-variate predictors) — see encode_slot.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload; anything larger is a corrupt stream, not
 /// a real message (the largest real payload is a kResult slot: tens of

@@ -128,6 +128,17 @@ void ExperimentReport::write_csv(std::ostream& os) const {
        {"strategy", "metric", "mean", "d1", "q1", "median", "q3", "d9", "n"}) {
     header.push_back(column);
   }
+  // vr_* columns appear only when variance reduction was active, so VR-off
+  // reports stay byte-identical to earlier releases. Values are filled on
+  // waste_ratio rows (the metric the estimators target) and left empty
+  // elsewhere.
+  const bool vr = !points.empty() && points[0].report.vr_enabled;
+  if (vr) {
+    for (const char* column : {"vr_mean", "vr_std_error", "vr_ci_width",
+                               "vr_factor", "vr_ess", "vr_cv_beta"}) {
+      header.push_back(column);
+    }
+  }
   csv.write_row(header);
   for (const auto& pr : points) {
     std::vector<std::string> prefix;
@@ -151,6 +162,19 @@ void ExperimentReport::write_csv(std::ostream& os) const {
         row.push_back(format_number(c.q3));
         row.push_back(format_number(c.d9));
         row.push_back(std::to_string(c.n));
+        if (vr) {
+          if (metric == Metric::kWasteRatio && outcome.vr.enabled) {
+            const VrEstimate& est = outcome.vr.estimate;
+            row.push_back(format_number(est.mean));
+            row.push_back(format_number(est.std_error));
+            row.push_back(format_number(est.ci_width));
+            row.push_back(format_number(est.vr_factor));
+            row.push_back(format_number(est.ess));
+            row.push_back(format_number(est.cv_beta));
+          } else {
+            row.insert(row.end(), 6, std::string());
+          }
+        }
         csv.write_row(row);
       }
     }
@@ -198,7 +222,18 @@ void ExperimentReport::write_json(std::ostream& os) const {
                                metric_samples(outcome, metric).candlestick());
         first = false;
       }
-      os << "}}";
+      os << "}";
+      if (outcome.vr.enabled) {
+        const VrEstimate& est = outcome.vr.estimate;
+        os << ",\"vr\":{\"mean\":" << format_number(est.mean)
+           << ",\"std_error\":" << format_number(est.std_error)
+           << ",\"ci_width\":" << format_number(est.ci_width)
+           << ",\"vr_factor\":" << format_number(est.vr_factor)
+           << ",\"ess\":" << format_number(est.ess)
+           << ",\"cv_beta\":" << format_number(est.cv_beta)
+           << ",\"simulations\":" << est.simulations << "}";
+      }
+      os << "}";
     }
     os << "]}";
   }

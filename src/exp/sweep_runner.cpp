@@ -1,5 +1,6 @@
 #include "exp/sweep_runner.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -60,27 +61,71 @@ std::vector<MonteCarloReport> SweepRunner::run_batch(
     std::vector<Campaign> campaigns) {
   // Validate every campaign up front (MonteCarloCampaign's constructor
   // throws on bad input) so no task runs when any campaign is ill-formed.
+  // Replica caps for sequential stopping are resolved against the *initial*
+  // replica counts, before any extend() grows them.
   std::vector<std::unique_ptr<MonteCarloCampaign>> running;
+  std::vector<int> cap;
   running.reserve(campaigns.size());
+  cap.reserve(campaigns.size());
   for (auto& campaign : campaigns) {
+    int c = campaign.options.resolved_max_replicas();
+    if (campaign.options.antithetic) c -= c % 2;  // keep pair parity
+    cap.push_back(c);
     running.push_back(std::make_unique<MonteCarloCampaign>(
         std::move(campaign.scenario), std::move(campaign.strategies),
         campaign.options));
   }
 
-  // Schedule every (campaign, replica) task; tasks write preassigned slots,
-  // so pool scheduling cannot affect the reduced reports.
+  // Schedule (campaign, task) work in rounds; tasks write preassigned
+  // slots, so pool scheduling cannot affect the reduced reports. Fixed-count
+  // campaigns (no target_ci_width) settle after round one; sequential ones
+  // snapshot after each round and either converge or double their replicas
+  // up to the cap. Rounds are driven by the deterministic snapshots alone,
+  // so the growth schedule — and therefore the final report — is
+  // bit-identical for any thread count.
   std::vector<std::vector<std::exception_ptr>> errors(running.size());
+  std::vector<int> submitted(running.size(), 0);
+  std::vector<bool> settled(running.size(), false);
   DrainGuard guard(*pool_);
-  for (std::size_t c = 0; c < running.size(); ++c) {
-    submit_campaign_tasks(*pool_, *running[c], errors[c]);
-  }
-  pool_->wait_idle();
-  for (std::size_t c = 0; c < errors.size(); ++c) {
-    rethrow_first_error_with_context(
-        errors[c], "sweep batch campaign " + std::to_string(c) + " of " +
-                       std::to_string(errors.size()) + " (scenario \"" +
-                       running[c]->scenario().platform.name + "\") failed");
+  for (;;) {
+    for (std::size_t c = 0; c < running.size(); ++c) {
+      if (settled[c] || submitted[c] >= running[c]->tasks()) continue;
+      submit_campaign_task_range(*pool_, *running[c], errors[c], submitted[c],
+                                 running[c]->tasks());
+      submitted[c] = running[c]->tasks();
+    }
+    pool_->wait_idle();
+    for (std::size_t c = 0; c < errors.size(); ++c) {
+      rethrow_first_error_with_context(
+          errors[c], "sweep batch campaign " + std::to_string(c) + " of " +
+                         std::to_string(errors.size()) + " (scenario \"" +
+                         running[c]->scenario().platform.name + "\") failed");
+    }
+
+    bool all_settled = true;
+    for (std::size_t c = 0; c < running.size(); ++c) {
+      if (settled[c]) continue;
+      const MonteCarloOptions& opt = running[c]->options();
+      if (opt.target_ci_width <= 0.0) {
+        settled[c] = true;
+        continue;
+      }
+      const MonteCarloReport snap = running[c]->snapshot();
+      bool converged = true;
+      for (const StrategyOutcome& outcome : snap.outcomes) {
+        if (outcome.vr.estimate.ci_width > opt.target_ci_width) {
+          converged = false;
+          break;
+        }
+      }
+      if (converged || running[c]->replicas() >= cap[c]) {
+        settled[c] = true;
+        continue;
+      }
+      running[c]->extend(std::min(cap[c], 2 * running[c]->replicas()));
+      all_settled = false;
+    }
+    if (all_settled) break;
   }
 
   // Deterministic reduction in campaign order.
@@ -92,6 +137,35 @@ std::vector<MonteCarloReport> SweepRunner::run_batch(
 
 ExperimentReport SweepRunner::run(const ExperimentSpec& spec) {
   std::vector<GridPoint> points = spec.expand();
+
+  // Sequential stopping grows each point's campaign round by round, which
+  // is incompatible with the streamed fixed-count path below — delegate to
+  // run_batch and assemble the report (and fire callbacks) in grid order
+  // once every point has converged.
+  if (spec.campaign_options().target_ci_width > 0.0) {
+    std::vector<Campaign> batch;
+    batch.reserve(points.size());
+    for (const GridPoint& point : points) {
+      batch.push_back(
+          Campaign{point.scenario, spec.strategy_set(),
+                   spec.campaign_options()});
+    }
+    std::vector<MonteCarloReport> reports = run_batch(std::move(batch));
+    ExperimentReport report;
+    report.name = spec.name();
+    report.replicas = spec.campaign_options().replicas;
+    for (const auto& axis : spec.axes()) {
+      report.axis_names.push_back(axis.name);
+    }
+    report.points.reserve(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (on_point_) on_point_(points[p], reports[p]);
+      report.points.push_back(
+          PointResult{std::move(points[p]), std::move(reports[p])});
+    }
+    return report;
+  }
+
   std::vector<std::unique_ptr<MonteCarloCampaign>> campaigns;
   campaigns.reserve(points.size());
   for (const GridPoint& point : points) {
@@ -110,7 +184,7 @@ ExperimentReport SweepRunner::run(const ExperimentSpec& spec) {
   } progress;
   progress.remaining.reserve(campaigns.size());
   for (const auto& campaign : campaigns) {
-    progress.remaining.push_back(campaign->replicas());
+    progress.remaining.push_back(campaign->tasks());
   }
 
   std::vector<std::vector<std::exception_ptr>> errors(campaigns.size());

@@ -27,9 +27,13 @@ std::vector<Failure> FailureModel::generate(const PlatformSpec& platform,
 
   sim::Time t = 0.0;
   for (;;) {
-    const double gap = (law == FailureLaw::kExponential)
-                           ? rng.exponential(system_mtbf)
-                           : rng.weibull(weibull_shape, weibull_scale);
+    // In antithetic Rng mode the gap uniform arrives already reflected
+    // (1 - u), and a reflected u == 0 yields gap == +inf, which ends the
+    // trace cleanly.
+    const double gap =
+        (law == FailureLaw::kExponential)
+            ? rng.exponential(system_mtbf)
+            : rng.weibull(weibull_shape, weibull_scale);
     t += gap;
     if (t >= horizon) break;
     const auto victim = static_cast<std::int64_t>(

@@ -48,6 +48,13 @@ struct FailureModel {
   /// Failures form a renewal process at platform level with mean inter-arrival
   /// equal to the system MTBF (node_mtbf / nodes); each strike picks a
   /// uniformly random victim unit. Times are strictly increasing.
+  ///
+  /// Antithetic trace pairing is a property of the generator, not of this
+  /// model: pass an Rng with antithetic mode set (Rng::set_antithetic) and
+  /// every inter-arrival gap is drawn through the reflected uniform
+  /// u' = 1 - u of the same stream position. Victim draws (uniform_index,
+  /// raw bits) are identical either way. A reflected u == 0 yields a +inf
+  /// gap, which ends the trace cleanly.
   std::vector<Failure> generate(const PlatformSpec& platform,
                                 sim::Time horizon, Rng& rng) const;
 };

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -45,6 +46,27 @@ std::uint64_t u64_knob(const char* name, std::uint64_t fallback) {
   COOPCR_CHECK(errno != ERANGE,
                std::string(name) + "=" + *value + " is out of range");
   return static_cast<std::uint64_t>(parsed);
+}
+
+double double_knob(const char* name, double fallback, double min_value) {
+  const std::optional<std::string> value = raw(name);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  // strtod tolerates leading whitespace and accepts "inf"/"nan"; a knob must
+  // not.
+  const char front = value->front();
+  COOPCR_CHECK((front == '-' || front == '.' ||
+                (front >= '0' && front <= '9')) &&
+                   end != value->c_str() && *end == '\0' &&
+                   std::isfinite(parsed),
+               std::string(name) + "=\"" + *value +
+                   "\" is not a valid number");
+  COOPCR_CHECK(errno != ERANGE && parsed >= min_value,
+               std::string(name) + "=" + *value + " is out of range (minimum " +
+                   std::to_string(min_value) + ")");
+  return parsed;
 }
 
 std::optional<std::string> string_knob(const char* name) { return raw(name); }

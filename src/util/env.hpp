@@ -32,6 +32,12 @@ int int_knob(const char* name, int fallback, int min_value);
 /// seeds read naturally in hex). Unset/empty falls back.
 std::uint64_t u64_knob(const char* name, std::uint64_t fallback);
 
+/// Strict finite floating-point knob in [min_value, +inf). Unset/empty falls
+/// back (fallback is not range-checked). Throws coopcr::Error on non-numeric
+/// input, trailing garbage, non-finite or out-of-range values
+/// (COOPCR_TARGET_CI and friends).
+double double_knob(const char* name, double fallback, double min_value);
+
 /// String-valued knob (paths, spec names); unset/empty yields nullopt so
 /// callers can distinguish "not configured" from any real value.
 std::optional<std::string> string_knob(const char* name);

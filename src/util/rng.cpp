@@ -50,9 +50,14 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
-double Rng::uniform() {
+double Rng::uniform_raw() {
   // Top 53 bits -> double in [0, 1).
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform() {
+  const double u = uniform_raw();
+  return antithetic_ ? 1.0 - u : u;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -71,34 +76,50 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
 }
 
 double Rng::exponential(double mean) {
+  return exponential_from_uniform(uniform(), mean);
+}
+
+double Rng::exponential_from_uniform(double u, double mean) {
   COOPCR_CHECK(mean > 0.0, "exponential mean must be positive");
-  // Inverse CDF; 1 - uniform() is in (0, 1], so the log argument is nonzero.
-  return -mean * std::log(1.0 - uniform());
+  // Inverse CDF; 1 - u is in (0, 1] for u in [0, 1), so the log argument is
+  // nonzero. (u == 1 can only arrive from the antithetic inversion of u == 0
+  // and yields +inf — an event past any finite horizon.)
+  return -mean * std::log(1.0 - u);
 }
 
 double Rng::normal(double mean, double stddev) {
   COOPCR_CHECK(stddev >= 0.0, "normal stddev must be non-negative");
+  // Antithetic reflection happens on the standard deviate (z' = -z), not on
+  // the Box-Muller input uniforms: reflecting the angle uniform would leave
+  // cos(2*pi*u) unchanged and break the anticorrelation.
+  double z = 0.0;
   if (has_cached_normal_) {
     has_cached_normal_ = false;
-    return mean + stddev * cached_normal_;
+    z = cached_normal_;
+  } else {
+    // Box-Muller transform on raw (never-reflected) uniforms.
+    double u1 = 0.0;
+    do {
+      u1 = uniform_raw();
+    } while (u1 <= 0.0);
+    const double u2 = uniform_raw();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = radius * std::sin(theta);
+    has_cached_normal_ = true;
+    z = radius * std::cos(theta);
   }
-  // Box-Muller transform.
-  double u1 = 0.0;
-  do {
-    u1 = uniform();
-  } while (u1 <= 0.0);
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * 3.14159265358979323846 * u2;
-  cached_normal_ = radius * std::sin(theta);
-  has_cached_normal_ = true;
-  return mean + stddev * radius * std::cos(theta);
+  return antithetic_ ? mean - stddev * z : mean + stddev * z;
 }
 
 double Rng::weibull(double shape, double scale) {
+  return weibull_from_uniform(uniform(), shape, scale);
+}
+
+double Rng::weibull_from_uniform(double u, double shape, double scale) {
   COOPCR_CHECK(shape > 0.0 && scale > 0.0,
                "weibull shape and scale must be positive");
-  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
 }
 
 void Rng::long_jump() {

@@ -38,8 +38,34 @@ class Rng {
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 
-  /// Uniform double in [0, 1) with 53-bit resolution.
+  /// Uniform double in [0, 1) with 53-bit resolution. In antithetic mode the
+  /// reflected draw 1 - u is returned instead (see set_antithetic).
   double uniform();
+
+  /// Uniform double in [0, 1) that ignores antithetic mode. For categorical
+  /// and structural draws (class picks, branch decisions) that antithetic
+  /// pair members must *share*: reflecting a pick merely reshuffles which
+  /// branch is taken, decorrelating the pair instead of anticorrelating it.
+  /// Bit-identical to uniform() when the mode is off.
+  double uniform_raw();
+
+  /// Antithetic mode: when on, the *smooth* variates — uniform(),
+  /// uniform(lo, hi), exponential, weibull — return the reflected draw
+  /// u' = 1 - u of the same stream position, and normal() reflects around
+  /// its mean (z' = -z). A copy of an Rng with the mode flipped on is the
+  /// antithetic partner of the original: both consume identical raw bits,
+  /// every smooth draw is anticorrelated, and all marginal distributions are
+  /// exactly preserved (1 - U is uniform whenever U is; -Z is standard
+  /// normal whenever Z is). Structural draws — next_u64, uniform_index,
+  /// uniform_raw — are deliberately untouched so the pair members follow
+  /// the same categorical decisions and stay semantically aligned.
+  ///
+  /// The reflected uniform lies in (0, 1]; the closed endpoint u' == 1
+  /// arises only from u == 0 (probability 2^-53 per draw) and maps to +inf
+  /// under the exponential/Weibull inverse CDFs — an event past any finite
+  /// horizon.
+  void set_antithetic(bool on) { antithetic_ = on; }
+  bool antithetic() const { return antithetic_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -50,11 +76,21 @@ class Rng {
   /// Exponential variate with the given mean (inverse-CDF method).
   double exponential(double mean);
 
+  /// Inverse-CDF transform of an externally drawn uniform `u` in [0, 1].
+  /// exponential(mean) == exponential_from_uniform(uniform(), mean) bit for
+  /// bit; exposed so tests can verify the antithetic-mode identity
+  /// u -> 1 - u draw by draw.
+  static double exponential_from_uniform(double u, double mean);
+
   /// Normal variate (Box-Muller; caches the second deviate).
   double normal(double mean, double stddev);
 
   /// Weibull variate with shape k and scale lambda (inverse-CDF method).
   double weibull(double shape, double scale);
+
+  /// Inverse-CDF twin of weibull() on an externally drawn uniform (see
+  /// exponential_from_uniform).
+  static double weibull_from_uniform(double u, double shape, double scale);
 
   /// Long-jump: advance the state by 2^192 steps (stream separation helper).
   void long_jump();
@@ -63,6 +99,7 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
+  bool antithetic_ = false;
 };
 
 /// SplitMix64 step: mixes `x` and returns the next value in the sequence.

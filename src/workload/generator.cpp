@@ -87,7 +87,9 @@ std::vector<Job> WorkloadGenerator::generate(Rng& rng) const {
     if (weight_sum <= 0.0) {
       // All classes at/above target but makespan still short: draw by target
       // share to keep proportions stable while extending the horizon.
-      double r = rng.uniform() /* in [0,1) */;
+      // Raw draw: antithetic pair members share the class-pick sequence so
+      // their workloads stay structurally aligned (see Rng::uniform_raw).
+      double r = rng.uniform_raw();
       for (std::size_t i = 0; i < k; ++i) {
         if (r < target[i] || i + 1 == k) {
           pick = i;
@@ -96,7 +98,7 @@ std::vector<Job> WorkloadGenerator::generate(Rng& rng) const {
         r -= target[i];
       }
     } else {
-      double r = rng.uniform() * weight_sum;
+      double r = rng.uniform_raw() * weight_sum;
       for (std::size_t i = 0; i < k; ++i) {
         if (r < weight[i] || i + 1 == k) {
           pick = i;

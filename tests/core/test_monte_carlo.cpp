@@ -230,6 +230,91 @@ TEST(MonteCarlo, InstallSlotRejectsDuplicatesAndBadShapes) {
   EXPECT_THROW(keeper.install_slot(0, campaign.slot(0)), Error);
 }
 
+TEST(MonteCarlo, SnapshotExtendLoopIsBitIdenticalToFixedCount) {
+  // The sequential-stopping primitive: run 4 replicas, snapshot, grow to 8,
+  // run the tail, reduce. Every sample must equal the fixed-count 8-replica
+  // campaign's — extend() adds replicas without perturbing existing slots,
+  // and snapshot() is non-destructive.
+  MonteCarloOptions options;
+  options.replicas = 4;
+  MonteCarloCampaign campaign(tiny_scenario(), {least_waste()}, options);
+  for (int t = 0; t < campaign.tasks(); ++t) campaign.run_replica_task(t);
+
+  const MonteCarloReport snap = campaign.snapshot();
+  EXPECT_EQ(snap.replicas, 4);
+  ASSERT_EQ(snap.outcomes[0].waste_ratio.size(), 4u);
+
+  campaign.extend(8);
+  EXPECT_EQ(campaign.replicas(), 8);
+  for (int t = 4; t < campaign.tasks(); ++t) campaign.run_replica_task(t);
+  const MonteCarloReport grown = campaign.reduce();
+
+  MonteCarloOptions fixed = options;
+  fixed.replicas = 8;
+  const MonteCarloReport reference =
+      run_monte_carlo(tiny_scenario(), {least_waste()}, fixed);
+  const auto& gs = grown.outcomes[0].waste_ratio.samples();
+  const auto& rs = reference.outcomes[0].waste_ratio.samples();
+  ASSERT_EQ(gs.size(), rs.size());
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    EXPECT_EQ(gs[i], rs[i]) << "replica " << i;
+    // The snapshot saw the same prefix.
+    if (i < 4) EXPECT_EQ(snap.outcomes[0].waste_ratio.samples()[i], gs[i]);
+  }
+}
+
+TEST(MonteCarlo, InstallSlotStillWorksAfterSnapshotAndExtend) {
+  // The dist coordinator's round loop interleaves snapshots with remotely
+  // computed slots: installing into the extended tail after a snapshot must
+  // behave exactly like running the task locally.
+  MonteCarloOptions options;
+  options.replicas = 2;
+  MonteCarloCampaign campaign(tiny_scenario(), {least_waste()}, options);
+  campaign.run_replica_task(0);
+  campaign.run_replica_task(1);
+  (void)campaign.snapshot();
+  campaign.extend(4);
+
+  MonteCarloOptions source_options;
+  source_options.replicas = 4;
+  MonteCarloCampaign source(tiny_scenario(), {least_waste()}, source_options);
+  source.run_replica_task(2);
+  source.run_replica_task(3);
+  campaign.install_slot(2, source.slot(2));
+  campaign.install_slot(3, source.slot(3));
+
+  const MonteCarloReport mixed = campaign.reduce();
+  const MonteCarloReport reference =
+      run_monte_carlo(tiny_scenario(), {least_waste()}, source_options);
+  const auto& ms = mixed.outcomes[0].waste_ratio.samples();
+  const auto& rs = reference.outcomes[0].waste_ratio.samples();
+  ASSERT_EQ(ms.size(), rs.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) EXPECT_EQ(ms[i], rs[i]);
+}
+
+TEST(MonteCarlo, SnapshotRequiresCompletionAndRejectsKeepResults) {
+  MonteCarloOptions options;
+  options.replicas = 2;
+  MonteCarloCampaign incomplete(tiny_scenario(), {least_waste()}, options);
+  incomplete.run_replica_task(0);
+  EXPECT_THROW(incomplete.snapshot(), Error);  // task 1 never ran
+
+  MonteCarloOptions keep = options;
+  keep.keep_results = true;
+  MonteCarloCampaign keeper(tiny_scenario(), {least_waste()}, keep);
+  keeper.run_replica_task(0);
+  keeper.run_replica_task(1);
+  EXPECT_THROW(keeper.snapshot(), Error);
+
+  // After the destructive reduce(), both snapshot() and extend() are dead.
+  MonteCarloCampaign done(tiny_scenario(), {least_waste()}, options);
+  done.run_replica_task(0);
+  done.run_replica_task(1);
+  done.reduce();
+  EXPECT_THROW(done.snapshot(), Error);
+  EXPECT_THROW(done.extend(4), Error);
+}
+
 TEST(MonteCarlo, DifferentSeedsDifferentSamples) {
   auto scenario = tiny_scenario();
   MonteCarloOptions options;

@@ -234,6 +234,66 @@ TEST_F(DistRunnerTest, FreshRunRefusesAnExistingJournal) {
   }
 }
 
+TEST_F(DistRunnerTest, AntitheticCampaignCrossesTheWireByteIdentically) {
+  // Slot layout v2 end-to-end: antithetic pairs (partner tuples + partner
+  // baselines + control-variate predictors) computed in worker processes,
+  // with the shared-baseline cache off so the per-strategy recomputation
+  // path crosses the wire too. Reports must match the in-process runner
+  // byte for byte, including a journaled run resumed from disk.
+  exp::ExperimentSpec spec = grid_spec(/*replicas=*/4);
+  MonteCarloOptions options = spec.campaign_options();
+  options.antithetic = true;
+  options.control_variate = true;
+  options.share_baseline = false;
+  spec.options(options);
+  const exp::ExperimentReport reference = reference_report(spec);
+  EXPECT_TRUE(reference.points[0].report.vr_enabled);
+
+  for (const int shards : {1, 2}) {
+    dist::DistOptions dist_options;
+    dist_options.shards = shards;
+    dist::DistSweepRunner runner(dist_options);
+    const exp::ExperimentReport distributed = runner.run(spec);
+    EXPECT_EQ(csv_bytes(reference), csv_bytes(distributed))
+        << "shards=" << shards;
+    EXPECT_EQ(json_bytes(reference), json_bytes(distributed))
+        << "shards=" << shards;
+  }
+
+  // Journal the sweep, then rebuild the report purely from the journal: the
+  // v2 slot records must round-trip through disk as faithfully as through
+  // the pipe.
+  {
+    dist::DistOptions dist_options;
+    dist_options.shards = 2;
+    dist_options.journal = journal_;
+    dist::DistSweepRunner runner(dist_options);
+    runner.run(spec);
+  }
+  dist::DistOptions resume_options;
+  resume_options.shards = 2;
+  resume_options.journal = journal_;
+  resume_options.resume = true;
+  dist::DistSweepRunner resumer(resume_options);
+  const exp::ExperimentReport resumed = resumer.run(spec);
+  EXPECT_EQ(csv_bytes(reference), csv_bytes(resumed));
+  EXPECT_EQ(json_bytes(reference), json_bytes(resumed));
+}
+
+TEST_F(DistRunnerTest, RejectsSequentialStopping) {
+  // Sequential stopping's snapshot-extend loop is in-process only; the
+  // coordinator refuses the option up front rather than running the grid at
+  // the initial replica count and mislabelling the result.
+  exp::ExperimentSpec spec = grid_spec();
+  MonteCarloOptions mc = spec.campaign_options();
+  mc.target_ci_width = 0.01;
+  spec.options(mc);
+  dist::DistOptions options;
+  options.shards = 2;
+  dist::DistSweepRunner runner(options);
+  EXPECT_THROW(runner.run(spec), Error);
+}
+
 TEST_F(DistRunnerTest, RejectsKeepResultsAndBadShardCounts) {
   exp::ExperimentSpec spec = grid_spec();
   MonteCarloOptions mc = spec.campaign_options();

@@ -1,0 +1,81 @@
+// Statistical equivalence of the estimator stack on the Figure 1 160 GB/s
+// spot row: plain sample mean, antithetic pairing, control variate and the
+// combined estimator must all agree on E[waste ratio] within the pooled
+// 3-sigma band. The seeds are fixed, so each comparison is deterministic —
+// a systematic bias in any estimator (a mis-folded pair, a predictor with
+// the wrong known mean) shows up as a reproducible band violation, not a
+// flaky test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+/// The fig1 160 GB/s point (cielo platform, APEX mix), shrunk to a 6-day
+/// makespan so the suite stays fast.
+ScenarioConfig fig1_spot_row() {
+  return ScenarioBuilder::cielo_apex(/*seed=*/99)
+      .pfs_bandwidth(units::gb_per_s(160))
+      .min_makespan(units::days(6))
+      .segment(units::days(1), units::days(5))
+      .build();
+}
+
+struct Estimate {
+  std::string name;
+  double mean = 0.0;
+  double std_error = 0.0;
+};
+
+Estimate run_estimator(const ScenarioConfig& scenario, const std::string& name,
+                       bool antithetic, bool control_variate) {
+  MonteCarloOptions options;
+  options.replicas = 48;
+  options.threads = 4;
+  options.antithetic = antithetic;
+  options.control_variate = control_variate;
+  const MonteCarloReport report =
+      run_monte_carlo(scenario, {least_waste()}, options);
+  const StrategyOutcome& outcome = report.outcomes[0];
+  Estimate est;
+  est.name = name;
+  if (options.vr_active()) {
+    EXPECT_TRUE(outcome.vr.enabled);
+    EXPECT_EQ(outcome.vr.estimate.simulations, 48u);
+    est.mean = outcome.vr.estimate.mean;
+    est.std_error = outcome.vr.estimate.std_error;
+  } else {
+    est.mean = outcome.waste_ratio.mean();
+    est.std_error = outcome.waste_ratio.stddev() / std::sqrt(48.0);
+  }
+  EXPECT_GT(est.std_error, 0.0) << name;
+  return est;
+}
+
+TEST(EstimatorEquivalence, AllEstimatorsAgreeWithinPooledThreeSigma) {
+  const ScenarioConfig scenario = fig1_spot_row();
+  const std::vector<Estimate> estimates = {
+      run_estimator(scenario, "plain", false, false),
+      run_estimator(scenario, "antithetic", true, false),
+      run_estimator(scenario, "control_variate", false, true),
+      run_estimator(scenario, "combined", true, true),
+  };
+  for (std::size_t a = 0; a < estimates.size(); ++a) {
+    for (std::size_t b = a + 1; b < estimates.size(); ++b) {
+      const double pooled =
+          std::sqrt(estimates[a].std_error * estimates[a].std_error +
+                    estimates[b].std_error * estimates[b].std_error);
+      EXPECT_NEAR(estimates[a].mean, estimates[b].mean, 3.0 * pooled)
+          << estimates[a].name << " vs " << estimates[b].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -215,6 +216,91 @@ TEST(SweepRunner, RunBatchNamesTheFailingCampaign) {
         << what;
     EXPECT_NE(what.find("replica 0"), std::string::npos) << what;
   }
+}
+
+TEST(SweepRunner, SharedBaselineIsByteIdenticalToPerStrategyRecomputation) {
+  // share_baseline only changes *when* the no-failure baseline is computed
+  // (once per replica task vs once per strategy); the same RNG stream feeds
+  // the same simulation either way, so the emitted reports must be
+  // byte-identical — across thread counts too.
+  exp::ExperimentSpec spec = grid_spec();
+  MonteCarloOptions options = spec.campaign_options();
+  options.share_baseline = true;
+  spec.options(options);
+  exp::SweepRunner serial(/*threads=*/1);
+  const std::string reference_csv = csv_bytes(serial.run(spec));
+  const std::string reference_json = json_bytes(serial.run(spec));
+
+  options.share_baseline = false;
+  spec.options(options);
+  for (const int threads : {1, 4}) {
+    exp::SweepRunner runner(threads);
+    const exp::ExperimentReport report = runner.run(spec);
+    EXPECT_EQ(reference_csv, csv_bytes(report)) << "threads=" << threads;
+    EXPECT_EQ(reference_json, json_bytes(report)) << "threads=" << threads;
+  }
+}
+
+TEST(SweepRunner, SequentialStoppingMatchesTheFixedCountCampaign) {
+  // Pick the target from fixed-count reference runs so the test asserts the
+  // exact doubling trajectory: the runner must stop at the first replica
+  // count in {4, 8, 16, ...} whose plain 95% CI meets the target, and its
+  // samples must be bit-identical to a fixed-count campaign of that size
+  // (the snapshot-extend loop adds replicas, never perturbs existing ones).
+  constexpr double kZ95 = 1.959963984540054;
+  // Must match the swept grid point: the spec below pins bandwidth via its
+  // one-value axis, so the reference runs pin it too.
+  const ScenarioConfig scenario =
+      tiny_base().pfs_bandwidth(units::gb_per_s(80)).build();
+  const auto fixed_run = [&](int n) {
+    MonteCarloOptions options;
+    options.replicas = n;
+    options.threads = 2;
+    return run_monte_carlo(scenario, {least_waste()}, options);
+  };
+  const auto ci_width = [&](const MonteCarloReport& report) {
+    const SampleSet& w = report.outcomes[0].waste_ratio;
+    return 2.0 * kZ95 * w.stddev() /
+           std::sqrt(static_cast<double>(report.replicas));
+  };
+  const double target = ci_width(fixed_run(16)) * 1.0001;
+  int expected = 64;
+  for (const int n : {4, 8, 16, 32}) {
+    if (ci_width(fixed_run(n)) <= target) {
+      expected = n;
+      break;
+    }
+  }
+
+  exp::ExperimentSpec spec(tiny_base(), "sequential");
+  MonteCarloOptions options;
+  options.replicas = 4;
+  options.target_ci_width = target;
+  options.max_replicas = 64;
+  spec.pfs_bandwidth_axis({80}).strategies({least_waste()}).options(options);
+  exp::SweepRunner runner(/*threads=*/4);
+  const exp::ExperimentReport report = runner.run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  const MonteCarloReport& sequential = report.points[0].report;
+  EXPECT_EQ(sequential.replicas, expected);
+  EXPECT_TRUE(sequential.vr_enabled);
+  EXPECT_LE(sequential.outcomes[0].vr.estimate.ci_width, target);
+
+  const MonteCarloReport reference = fixed_run(expected);
+  const auto& ss = sequential.outcomes[0].waste_ratio.samples();
+  const auto& rs = reference.outcomes[0].waste_ratio.samples();
+  ASSERT_EQ(ss.size(), rs.size());
+  for (std::size_t i = 0; i < ss.size(); ++i) EXPECT_EQ(ss[i], rs[i]);
+}
+
+TEST(SweepRunner, RunMonteCarloRejectsSequentialStopping) {
+  // The doubling loop lives in SweepRunner; the one-shot wrapper refuses the
+  // option instead of silently ignoring it.
+  MonteCarloOptions options;
+  options.replicas = 2;
+  options.target_ci_width = 0.05;
+  EXPECT_THROW(
+      run_monte_carlo(tiny_base().build(), {least_waste()}, options), Error);
 }
 
 TEST(SweepRunner, EmptyAxisYieldsEmptyReport) {
