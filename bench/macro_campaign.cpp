@@ -28,10 +28,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "dist/dist_runner.hpp"
-#include "exp/sweep_runner.hpp"
-#include "util/env.hpp"
-#include "workload/apex.hpp"
+#include "coopcr.hpp"
 
 namespace {
 

@@ -4,15 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/lower_bound.hpp"
-#include "io/io_subsystem.hpp"
-#include "io/token_policy.hpp"
-#include "platform/node_pool.hpp"
-#include "platform/platform.hpp"
+// The facade covers everything here except the sim substrate and the RNG,
+// which micro-benchmarks legitimately reach below the facade for.
+#include "coopcr.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
-#include "util/units.hpp"
-#include "workload/apex.hpp"
 
 namespace {
 

@@ -1,9 +1,10 @@
 // coopcr_sweep — distributed, resumable sweep campaigns from the command
 // line.
 //
-// The CLI drives a registry of predefined experiments (a fast demo grid
-// plus the paper's Figure 1 / Figure 2 sweeps) through either execution
-// engine:
+// The CLI drives the exp::spec_registry of predefined experiments (a fast
+// demo grid plus the paper's Figure 1 / Figure 2 sweeps) through either
+// execution engine, selected purely via exp::ExecutorOptions and built
+// behind the exp::SweepExecutor interface:
 //
 //   --shards 0   in-process exp::SweepRunner (the thread-pool reference)
 //   --shards N   dist::DistSweepRunner with N worker processes
@@ -35,77 +36,11 @@
 #include <vector>
 
 #include "coopcr.hpp"
-#include "dist/dist_runner.hpp"
-#include "dist/journal.hpp"
-#include "dist/wire.hpp"
-#include "dist/worker.hpp"
-#include "util/env.hpp"
+#include "dist/wire.hpp"  // kWorkerInFd/kWorkerOutFd — below the facade
 
 using namespace coopcr;
 
 namespace {
-
-struct SpecEntry {
-  const char* name;
-  const char* blurb;
-  exp::ExperimentSpec (*build)(int replicas);
-};
-
-// Registry specs must be pure functions of (name, replicas): an exec-mode
-// worker rebuilds its spec from those two values alone, and the spec digest
-// check only helps if both sides deterministically build the same grid.
-
-exp::ExperimentSpec build_demo(int replicas) {
-  MonteCarloOptions options;
-  options.replicas = replicas;
-  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex()
-                               .node_mtbf(units::years(2))
-                               .min_makespan(units::days(8))
-                               .segment(units::days(1), units::days(7)),
-                           "sweep_demo");
-  spec.pfs_bandwidth_axis({40, 120})
-      .interference_axis({0.0, 1.0})
-      .strategies({ordered_nb_daly(), oblivious_daly()})
-      .options(options);
-  return spec;
-}
-
-exp::ExperimentSpec build_fig1(int replicas) {
-  MonteCarloOptions options;
-  options.replicas = replicas;
-  exp::ExperimentSpec spec(
-      ScenarioBuilder::cielo_apex().node_mtbf(units::years(2)),
-      "fig1_bandwidth_sweep");
-  spec.pfs_bandwidth_axis({40, 60, 80, 100, 120, 140, 160})
-      .strategies(paper_strategies())
-      .options(options);
-  return spec;
-}
-
-exp::ExperimentSpec build_fig2(int replicas) {
-  MonteCarloOptions options;
-  options.replicas = replicas;
-  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(), "fig2_mtbf_sweep");
-  spec.node_mtbf_axis({2, 4, 8, 16, 25, 50})
-      .strategies(paper_strategies())
-      .options(options);
-  return spec;
-}
-
-constexpr SpecEntry kSpecs[] = {
-    {"demo", "2x2 bandwidth x interference demo grid, 2 strategies",
-     build_demo},
-    {"fig1", "paper Figure 1: waste vs PFS bandwidth, 7 strategies",
-     build_fig1},
-    {"fig2", "paper Figure 2: waste vs node MTBF, 7 strategies", build_fig2},
-};
-
-exp::ExperimentSpec build_spec(const std::string& name, int replicas) {
-  for (const SpecEntry& entry : kSpecs) {
-    if (name == entry.name) return entry.build(replicas);
-  }
-  throw Error("unknown spec \"" + name + "\" — try --list-specs");
-}
 
 void usage(std::ostream& os) {
   os << "usage: coopcr_sweep [options]\n"
@@ -232,7 +167,7 @@ int main(int argc, char** argv) {
         kill_after = int_arg(arg, next);
         ++i;
       } else if (arg == "--list-specs") {
-        for (const SpecEntry& entry : kSpecs) {
+        for (const exp::NamedSpec& entry : exp::spec_registry()) {
           std::cout << entry.name << "\t" << entry.blurb << "\n";
         }
         return 0;
@@ -249,7 +184,7 @@ int main(int argc, char** argv) {
     // variance-reduction knobs are overlaid afterwards — in worker mode too,
     // and *before* worker_serve, because the spec digest folds the pairing
     // options in and both sides must build the same campaign shape.
-    exp::ExperimentSpec spec = build_spec(spec_name, replicas);
+    exp::ExperimentSpec spec = exp::build_named_spec(spec_name, replicas);
     {
       MonteCarloOptions mc = spec.campaign_options();
       mc.antithetic = antithetic;
@@ -280,16 +215,16 @@ int main(int argc, char** argv) {
               << (journal.empty() ? "" : ", journal " + journal)
               << (resume ? " (resume)" : "") << "\n";
 
-    exp::ExperimentReport report;
+    exp::ExecutorOptions options;
     if (shards == 0) {
       COOPCR_CHECK(!resume && journal.empty() && max_units == 0 &&
                        kill_after == 0,
                    "--journal/--resume/--max-units/--kill-worker-after "
                    "require --shards >= 1");
-      exp::SweepRunner runner(env::int_knob("COOPCR_THREADS", 0, 0));
-      report = runner.run(spec);
+      options.backend = exp::ExecutorBackend::kInProcess;
+      options.threads = env::int_knob("COOPCR_THREADS", 0, 0);
     } else {
-      dist::DistOptions options;
+      options.backend = exp::ExecutorBackend::kDist;
       options.shards = shards;
       options.journal = journal;
       options.resume = resume;
@@ -305,12 +240,16 @@ int main(int argc, char** argv) {
           options.worker_command.push_back("--control-variate");
         }
       }
-      dist::DistSweepRunner runner(options);
-      runner.on_point([](const exp::GridPoint& point, const MonteCarloReport&) {
-        std::cerr << "[coopcr_sweep] " << point.label() << " done\n";
-      });
-      report = runner.run(spec);
     }
+    std::unique_ptr<exp::SweepExecutor> executor =
+        exp::make_sweep_executor(options);
+    if (shards > 0) {
+      executor->on_point(
+          [](const exp::GridPoint& point, const MonteCarloReport&) {
+            std::cerr << "[coopcr_sweep] " << point.label() << " done\n";
+          });
+    }
+    exp::ExperimentReport report = executor->run(spec);
 
     // Human-readable summary on stdout; machine artifacts via --out.
     for (const auto& pr : report.points) {

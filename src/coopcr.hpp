@@ -38,10 +38,15 @@
 #include "core/trace.hpp"
 #include "core/variance_reduction.hpp"
 
-// Experiments: declarative sweep specs, grid-level parallel runner,
-// structured CSV/JSON reports and figure presentation.
+// Experiments: declarative sweep specs, the backend-neutral SweepExecutor
+// interface + factory, the named-spec registry, grid-level parallel runner,
+// structured CSV/JSON reports (and the loader reading them back) and figure
+// presentation.
+#include "exp/executor.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "exp/report_io.hpp"
+#include "exp/spec_registry.hpp"
 #include "exp/sweep_runner.hpp"
 
 // Distributed execution: multi-process shard workers, the durable campaign
@@ -50,6 +55,14 @@
 #include "dist/dist_runner.hpp"
 #include "dist/journal.hpp"
 #include "dist/worker.hpp"
+
+// Serving: the checkpoint advisor — artifact grid store, interpolating
+// query engine with Monte Carlo fallback, and the digest-keyed query cache.
+#include "serve/advisor.hpp"
+#include "serve/grid_store.hpp"
+#include "serve/query.hpp"
+#include "serve/query_cache.hpp"
+#include "serve/query_engine.hpp"
 
 // I/O subsystem: channel, requests, token policies.
 #include "io/channel.hpp"
@@ -69,7 +82,9 @@
 // Presentation and numeric utilities used by the examples and benches.
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/numeric.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

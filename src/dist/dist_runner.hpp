@@ -1,7 +1,7 @@
 // coopcr/dist/dist_runner.hpp
 //
-// Multi-process sweep execution behind the exp::SweepRunner interface
-// shape: the coordinator half of the dist/ subsystem.
+// Multi-process sweep execution behind the exp::SweepExecutor interface:
+// the coordinator half of the dist/ subsystem.
 //
 // DistSweepRunner expands an ExperimentSpec exactly like SweepRunner, but
 // instead of scheduling (grid point × replica) tasks on a thread pool it
@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/executor.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 
@@ -74,21 +75,23 @@ struct DistOptions {
   int max_units = 0;
 };
 
-class DistSweepRunner {
+class DistSweepRunner final : public exp::SweepExecutor {
  public:
   explicit DistSweepRunner(DistOptions options);
 
+  std::string backend_name() const override { return "dist"; }
+
   /// Called after each grid point's report is reduced, in grid order —
-  /// same contract as exp::SweepRunner::on_point.
-  using PointCallback =
-      std::function<void(const exp::GridPoint&, const MonteCarloReport&)>;
-  DistSweepRunner& on_point(PointCallback callback);
+  /// same contract as exp::SweepRunner::on_point. run_batch stays
+  /// unsupported (supports_run_batch() is false): adaptive rounds need the
+  /// journal-aware extend the coordinator does not implement yet.
+  DistSweepRunner& on_point(PointCallback callback) override;
 
   /// Expand `spec` and run the full grid across the worker fleet. Throws
   /// coopcr::Error on journal/digest mismatches, when every worker died
   /// with units outstanding, or when the spec requests keep_results (full
   /// SimulationResults never cross the process boundary).
-  exp::ExperimentReport run(const exp::ExperimentSpec& spec);
+  exp::ExperimentReport run(const exp::ExperimentSpec& spec) override;
 
  private:
   DistOptions options_;

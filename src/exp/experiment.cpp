@@ -142,6 +142,25 @@ ExperimentSpec& ExperimentSpec::bb_bandwidth_axis(
   });
 }
 
+ExperimentSpec& ExperimentSpec::named_axis(const std::string& name,
+                                           const std::vector<double>& values) {
+  if (name == "pfs_bandwidth_gbps") return pfs_bandwidth_axis(values);
+  if (name == "node_mtbf_years") return node_mtbf_axis(values);
+  if (name == "interference_alpha") return interference_axis(values);
+  if (name == "io_power_ratio") return energy_axis(values);
+  if (name == "power_cap_watts") return power_cap_axis(values);
+  if (name == "bb_capacity_factor") return bb_capacity_axis(values);
+  if (name == "bb_bandwidth_gbps") return bb_bandwidth_axis(values);
+  throw Error("axis \"" + name +
+              "\" has no numeric re-application rule — named_axis supports "
+              "the built-in value axes only");
+}
+
+ExperimentSpec& ExperimentSpec::clear_axes() {
+  axes_.clear();
+  return *this;
+}
+
 ExperimentSpec& ExperimentSpec::scenario_axis(
     const std::string& name,
     std::vector<std::pair<std::string, ScenarioBuilder>> presets) {

@@ -124,6 +124,23 @@ class ExperimentSpec {
   /// ScenarioBuilder::bb_bandwidth per point.
   ExperimentSpec& bb_bandwidth_axis(const std::vector<double>& gbps);
 
+  /// Re-declare one of the *named numeric* axes by its column name
+  /// ("pfs_bandwidth_gbps", "node_mtbf_years", "interference_alpha",
+  /// "io_power_ratio", "power_cap_watts", "bb_capacity_factor",
+  /// "bb_bandwidth_gbps"). This is how a caller that only knows an
+  /// artifact's axis *names* — the serve/ advisor rebuilding a registry
+  /// spec at a query point — re-applies the same scenario edits at new
+  /// values. Throws coopcr::Error on axis names with no numeric
+  /// re-application rule ("seed", scenario and custom axes).
+  ExperimentSpec& named_axis(const std::string& name,
+                             const std::vector<double>& values);
+
+  /// Drop every declared axis (base scenario, strategy set and options
+  /// stay). The advisor's fallback path turns a swept registry spec into a
+  /// single-point grid this way before re-declaring each axis at the query
+  /// coordinate.
+  ExperimentSpec& clear_axes();
+
   /// Whole-scenario axis (workload/platform presets): each point replaces
   /// the base builder, so it must be the *first* declared axis (enforced) —
   /// later value axes then apply on top of the preset. Values are the

@@ -1,6 +1,7 @@
 #include "exp/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -42,12 +43,17 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_candlestick_json(std::ostream& os, const Candlestick& c) {
+/// Candlestick summary plus the sample standard error ("se") the serving
+/// layer's interpolation propagates (0 for fewer than 2 samples).
+void write_candlestick_json(std::ostream& os, const SampleSet& samples) {
+  const Candlestick c = samples.candlestick();
+  const double se =
+      c.n >= 2 ? samples.stddev() / std::sqrt(static_cast<double>(c.n)) : 0.0;
   os << "{\"mean\":" << format_number(c.mean) << ",\"d1\":"
      << format_number(c.d1) << ",\"q1\":" << format_number(c.q1)
      << ",\"median\":" << format_number(c.median) << ",\"q3\":"
      << format_number(c.q3) << ",\"d9\":" << format_number(c.d9)
-     << ",\"n\":" << c.n << "}";
+     << ",\"se\":" << format_number(se) << ",\"n\":" << c.n << "}";
 }
 
 }  // namespace
@@ -182,8 +188,8 @@ void ExperimentReport::write_csv(std::ostream& os) const {
 }
 
 void ExperimentReport::write_json(std::ostream& os) const {
-  os << "{\"name\":\"" << json_escape(name) << "\",\"replicas\":" << replicas
-     << ",\"axes\":[";
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"name\":\""
+     << json_escape(name) << "\",\"replicas\":" << replicas << ",\"axes\":[";
   for (std::size_t a = 0; a < axis_names.size(); ++a) {
     if (a > 0) os << ",";
     os << "\"" << json_escape(axis_names[a]) << "\"";
@@ -205,9 +211,9 @@ void ExperimentReport::write_json(std::ostream& os) const {
        << format_number(bb.capacity_factor) << ",\"bandwidth_gbps\":"
        << format_number(bb.bandwidth / units::kGB) << "}";
     os << ",\"baseline_useful\":";
-    write_candlestick_json(os, pr.report.baseline_useful.candlestick());
+    write_candlestick_json(os, pr.report.baseline_useful);
     os << ",\"baseline_useful_energy\":";
-    write_candlestick_json(os, pr.report.baseline_useful_energy.candlestick());
+    write_candlestick_json(os, pr.report.baseline_useful_energy);
     os << ",\"strategies\":[";
     for (std::size_t s = 0; s < pr.report.outcomes.size(); ++s) {
       const StrategyOutcome& outcome = pr.report.outcomes[s];
@@ -218,8 +224,7 @@ void ExperimentReport::write_json(std::ostream& os) const {
       for (const Metric metric : all_metrics()) {
         if (!first) os << ",";
         os << "\"" << metric_name(metric) << "\":";
-        write_candlestick_json(os,
-                               metric_samples(outcome, metric).candlestick());
+        write_candlestick_json(os, metric_samples(outcome, metric));
         first = false;
       }
       os << "}";

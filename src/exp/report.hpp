@@ -65,6 +65,15 @@ struct FigureRow {
 
 /// Full result of a sweep experiment.
 struct ExperimentReport {
+  /// Version of the emitted JSON document. History: v1-v2 predate the
+  /// explicit field (base schema, energy columns), v3 added the
+  /// burst-buffer/ckpt_waste extensions, v4 adds the "schema_version" field
+  /// itself plus a per-candlestick standard error ("se") — the field the
+  /// serve/ advisor's interpolation propagates. exp::load_report_json
+  /// rejects documents whose version it does not understand, so bump this
+  /// whenever the document shape changes.
+  static constexpr int kSchemaVersion = 4;
+
   std::string name;
   std::vector<std::string> axis_names;  ///< in declaration order
   std::vector<PointResult> points;      ///< in grid (row-major) order
@@ -83,7 +92,10 @@ struct ExperimentReport {
   void write_csv(std::ostream& os) const;
 
   /// JSON document with the same content plus per-point baseline summaries
-  /// and the per-point `burst_buffer` configuration object.
+  /// and the per-point `burst_buffer` configuration object. Every
+  /// candlestick object carries the sample standard error ("se") next to
+  /// the quantiles, and the document leads with "schema_version"
+  /// (kSchemaVersion) — the contract exp::load_report_json validates.
   void write_json(std::ostream& os) const;
 
   /// COOPCR_CSV_DIR emission of the structured artifacts as `<stem>.csv` /

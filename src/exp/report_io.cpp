@@ -1,0 +1,106 @@
+#include "exp/report_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace coopcr::exp {
+
+namespace {
+
+LoadedSummary parse_summary(const JsonValue& value) {
+  LoadedSummary summary;
+  summary.candle.mean = value.at("mean").as_double();
+  summary.candle.d1 = value.at("d1").as_double();
+  summary.candle.q1 = value.at("q1").as_double();
+  summary.candle.median = value.at("median").as_double();
+  summary.candle.q3 = value.at("q3").as_double();
+  summary.candle.d9 = value.at("d9").as_double();
+  summary.candle.n = static_cast<std::size_t>(value.at("n").as_int());
+  summary.se = value.at("se").as_double();
+  return summary;
+}
+
+}  // namespace
+
+const LoadedSummary& LoadedStrategy::metric(const std::string& name) const {
+  for (const auto& entry : metrics) {
+    if (entry.first == name) return entry.second;
+  }
+  throw Error("strategy \"" + this->name + "\" has no metric \"" + name +
+              "\"");
+}
+
+LoadedReport parse_report_json(const std::string& text,
+                               const std::string& label) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const Error& e) {
+    throw Error("report artifact " + label + ": " + e.what());
+  }
+  try {
+    LoadedReport report;
+    COOPCR_CHECK(doc.has("schema_version"),
+                 "no schema_version field — artifact predates schema v" +
+                     std::to_string(ExperimentReport::kSchemaVersion) +
+                     "; re-emit it with this build");
+    report.schema_version = static_cast<int>(doc.at("schema_version").as_int());
+    COOPCR_CHECK(report.schema_version == ExperimentReport::kSchemaVersion,
+                 "unsupported schema_version " +
+                     std::to_string(report.schema_version) + " (loader " +
+                     "understands v" +
+                     std::to_string(ExperimentReport::kSchemaVersion) + ")");
+    report.name = doc.at("name").as_string();
+    report.replicas = static_cast<int>(doc.at("replicas").as_int());
+    for (const JsonValue& axis : doc.at("axes").as_array()) {
+      report.axes.push_back(axis.as_string());
+    }
+    for (const JsonValue& point_doc : doc.at("points").as_array()) {
+      LoadedPoint point;
+      point.index = static_cast<std::size_t>(point_doc.at("index").as_int());
+      for (const JsonValue& coord_doc : point_doc.at("coords").as_array()) {
+        AxisCoordinate coord;
+        coord.axis = coord_doc.at("axis").as_string();
+        coord.value = coord_doc.at("value").as_double();
+        coord.label = coord_doc.at("label").as_string();
+        point.coords.push_back(std::move(coord));
+      }
+      COOPCR_CHECK(point.coords.size() == report.axes.size(),
+                   "point " + std::to_string(point.index) + " has " +
+                       std::to_string(point.coords.size()) +
+                       " coords for " + std::to_string(report.axes.size()) +
+                       " axes");
+      point.baseline_useful = parse_summary(point_doc.at("baseline_useful"));
+      point.baseline_useful_energy =
+          parse_summary(point_doc.at("baseline_useful_energy"));
+      for (const JsonValue& strat_doc : point_doc.at("strategies").as_array()) {
+        LoadedStrategy strategy;
+        strategy.name = strat_doc.at("name").as_string();
+        for (const auto& [metric, summary] :
+             strat_doc.at("metrics").as_object()) {
+          strategy.metrics.emplace_back(metric, parse_summary(summary));
+        }
+        point.strategies.push_back(std::move(strategy));
+      }
+      report.points.push_back(std::move(point));
+    }
+    return report;
+  } catch (const Error& e) {
+    throw Error("report artifact " + label + ": " + e.what());
+  }
+}
+
+LoadedReport load_report_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  COOPCR_CHECK(in.good(), "cannot open report artifact: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  COOPCR_CHECK(!in.bad(), "error reading report artifact: " + path);
+  return parse_report_json(buffer.str(), path);
+}
+
+}  // namespace coopcr::exp

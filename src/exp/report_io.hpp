@@ -1,0 +1,74 @@
+// coopcr/exp/report_io.hpp
+//
+// Reading ExperimentReport JSON artifacts back in.
+//
+// ExperimentReport::write_json emits the 17-digit round-trip document that
+// is the repo's persistence format (EXPERIMENTS.md, "CSV/JSON schema");
+// load_report_json parses one such artifact into a LoadedReport — the
+// summary-level mirror of the report (candlesticks + standard errors, not
+// raw samples) that the serve/ layer's GridStore ingests. The loader is
+// strict: it requires the document's "schema_version" to be exactly
+// ExperimentReport::kSchemaVersion and rejects anything else with an error
+// naming the file and the offending version, so a grid is never silently
+// interpolated from artifacts whose fields mean something different.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "util/stats.hpp"
+
+namespace coopcr::exp {
+
+/// A candlestick summary plus the standard error of its mean, as stored in
+/// a v4 artifact.
+struct LoadedSummary {
+  Candlestick candle;
+  double se = 0.0;  ///< sample standard error of the mean
+};
+
+/// One strategy's metric summaries at one grid point.
+struct LoadedStrategy {
+  std::string name;
+  /// Keyed by metric column name ("waste_ratio", "energy_joules", ...), in
+  /// emission order.
+  std::vector<std::pair<std::string, LoadedSummary>> metrics;
+
+  /// Lookup by metric name; throws coopcr::Error when absent.
+  const LoadedSummary& metric(const std::string& name) const;
+};
+
+/// One grid point of a loaded artifact.
+struct LoadedPoint {
+  std::size_t index = 0;
+  std::vector<AxisCoordinate> coords;  ///< one per axis, in axis order
+  LoadedSummary baseline_useful;
+  LoadedSummary baseline_useful_energy;
+  std::vector<LoadedStrategy> strategies;
+};
+
+/// Summary-level mirror of an ExperimentReport, parsed from its JSON
+/// artifact.
+struct LoadedReport {
+  int schema_version = 0;
+  std::string name;  ///< experiment name ("fig1_bandwidth_sweep")
+  int replicas = 0;
+  std::vector<std::string> axes;
+  std::vector<LoadedPoint> points;
+};
+
+/// Parse the artifact at `path`. Throws coopcr::Error naming the file on
+/// I/O failures, malformed JSON, missing fields, or a schema_version other
+/// than ExperimentReport::kSchemaVersion (the error names the version).
+LoadedReport load_report_json(const std::string& path);
+
+/// Same, from an in-memory document (`label` stands in for the file name in
+/// errors — tests and future network ingest).
+LoadedReport parse_report_json(const std::string& text,
+                               const std::string& label);
+
+}  // namespace coopcr::exp

@@ -1,0 +1,80 @@
+#include "exp/spec_registry.hpp"
+
+#include "core/scenario.hpp"
+#include "core/strategy.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace coopcr::exp {
+
+namespace {
+
+ExperimentSpec build_demo(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  ExperimentSpec spec(ScenarioBuilder::cielo_apex()
+                          .node_mtbf(units::years(2))
+                          .min_makespan(units::days(8))
+                          .segment(units::days(1), units::days(7)),
+                      "sweep_demo");
+  spec.pfs_bandwidth_axis({40, 120})
+      .interference_axis({0.0, 1.0})
+      .strategies({ordered_nb_daly(), oblivious_daly()})
+      .options(options);
+  return spec;
+}
+
+ExperimentSpec build_fig1(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  ExperimentSpec spec(ScenarioBuilder::cielo_apex().node_mtbf(units::years(2)),
+                      "fig1_bandwidth_sweep");
+  spec.pfs_bandwidth_axis({40, 60, 80, 100, 120, 140, 160})
+      .strategies(paper_strategies())
+      .options(options);
+  return spec;
+}
+
+ExperimentSpec build_fig2(int replicas) {
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  ExperimentSpec spec(ScenarioBuilder::cielo_apex(), "fig2_mtbf_sweep");
+  spec.node_mtbf_axis({2, 4, 8, 16, 25, 50})
+      .strategies(paper_strategies())
+      .options(options);
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<NamedSpec>& spec_registry() {
+  static const std::vector<NamedSpec> kSpecs = {
+      {"demo", "sweep_demo",
+       "2x2 bandwidth x interference demo grid, 2 strategies", build_demo},
+      {"fig1", "fig1_bandwidth_sweep",
+       "paper Figure 1: waste vs PFS bandwidth, 7 strategies", build_fig1},
+      {"fig2", "fig2_mtbf_sweep",
+       "paper Figure 2: waste vs node MTBF, 7 strategies", build_fig2},
+  };
+  return kSpecs;
+}
+
+ExperimentSpec build_named_spec(const std::string& name, int replicas) {
+  for (const NamedSpec& entry : spec_registry()) {
+    if (name == entry.name) return entry.build(replicas);
+  }
+  std::string known;
+  for (const NamedSpec& entry : spec_registry()) {
+    known += (known.empty() ? "" : ", ") + entry.name;
+  }
+  throw Error("unknown spec \"" + name + "\" — registered: " + known);
+}
+
+const NamedSpec* find_spec_by_experiment(const std::string& experiment) {
+  for (const NamedSpec& entry : spec_registry()) {
+    if (experiment == entry.experiment) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace coopcr::exp

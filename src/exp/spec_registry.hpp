@@ -1,0 +1,42 @@
+// coopcr/exp/spec_registry.hpp
+//
+// The registry of named, deterministically-rebuildable experiment specs.
+//
+// Every entry is a pure function of (name, replicas): cli/coopcr_sweep
+// exec-mode workers rebuild their spec from those two values alone (the
+// dist spec digest only helps if both sides build the same grid), and the
+// serve/ advisor rebuilds the same spec to run on-demand fallback campaigns
+// for queries its stored grids cannot answer. Each entry also records the
+// *experiment name* its spec reports under ("fig1" builds
+// "fig1_bandwidth_sweep"), which is the key artifacts carry — the advisor
+// maps an ingested artifact back to its registry entry through it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace coopcr::exp {
+
+/// One registry entry. `build` must be a pure function of its arguments.
+struct NamedSpec {
+  std::string name;        ///< registry key, e.g. "fig1"
+  std::string experiment;  ///< ExperimentSpec::name() of the built spec
+  std::string blurb;       ///< one-line description (--list-specs)
+  ExperimentSpec (*build)(int replicas);
+};
+
+/// All registered specs, in registration order (demo, fig1, fig2).
+const std::vector<NamedSpec>& spec_registry();
+
+/// Build a registry spec by key; throws coopcr::Error on unknown names,
+/// listing the registered keys.
+ExperimentSpec build_named_spec(const std::string& name, int replicas);
+
+/// The entry whose built spec reports under `experiment` (e.g.
+/// "fig1_bandwidth_sweep"); nullptr when no entry matches.
+const NamedSpec* find_spec_by_experiment(const std::string& experiment);
+
+}  // namespace coopcr::exp

@@ -21,43 +21,39 @@
 #include <vector>
 
 #include "core/monte_carlo.hpp"
+#include "exp/executor.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 
 namespace coopcr::exp {
 
-/// One unit of sweep work: a Monte Carlo campaign (scenario × strategy set).
-struct Campaign {
-  ScenarioConfig scenario;
-  std::vector<Strategy> strategies;
-  MonteCarloOptions options;  ///< `threads` is ignored — the pool governs
-};
-
-class SweepRunner {
+class SweepRunner final : public SweepExecutor {
  public:
   /// `threads` sizes the shared pool; 0 selects hardware concurrency. The
   /// pool is created once and reused across run()/run_batch() calls.
   explicit SweepRunner(int threads = 0);
-  ~SweepRunner();
+  ~SweepRunner() override;
 
   SweepRunner(const SweepRunner&) = delete;
   SweepRunner& operator=(const SweepRunner&) = delete;
 
   int threads() const;
 
+  std::string backend_name() const override { return "in-process"; }
+
   /// Called after each grid point's report is reduced, in grid order
   /// (progress lines). Cleared with nullptr.
-  using PointCallback =
-      std::function<void(const GridPoint&, const MonteCarloReport&)>;
-  SweepRunner& on_point(PointCallback callback);
+  SweepRunner& on_point(PointCallback callback) override;
 
   /// Expand `spec` and run the full grid. The spec's strategy set and
   /// campaign options apply at every point.
-  ExperimentReport run(const ExperimentSpec& spec);
+  ExperimentReport run(const ExperimentSpec& spec) override;
 
   /// Run several campaigns concurrently on the shared pool; reports come
   /// back in campaign order.
-  std::vector<MonteCarloReport> run_batch(std::vector<Campaign> campaigns);
+  bool supports_run_batch() const override { return true; }
+  std::vector<MonteCarloReport> run_batch(
+      std::vector<Campaign> campaigns) override;
 
  private:
   std::unique_ptr<ThreadPool> pool_;

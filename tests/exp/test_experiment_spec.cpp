@@ -133,5 +133,47 @@ TEST(ExperimentSpec, CoordLookupThrowsOnUnknownAxis) {
   EXPECT_THROW(points[0].coord("nope"), Error);
 }
 
+TEST(ExperimentSpec, NamedAxisReappliesTheBuiltInNumericAxes) {
+  // named_axis("pfs_bandwidth_gbps", v) must perform the same scenario
+  // edit as pfs_bandwidth_axis(v) — the advisor's rebuild path relies on
+  // the column name alone.
+  exp::ExperimentSpec by_method(tiny_base(), "m");
+  by_method.pfs_bandwidth_axis({40, 80}).node_mtbf_axis({2});
+  exp::ExperimentSpec by_name(tiny_base(), "m");
+  by_name.named_axis("pfs_bandwidth_gbps", {40, 80})
+      .named_axis("node_mtbf_years", {2});
+
+  const auto a = by_method.expand();
+  const auto b = by_name.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].coords[0].axis, b[p].coords[0].axis);
+    EXPECT_EQ(a[p].coords[0].value, b[p].coords[0].value);
+    EXPECT_EQ(a[p].scenario.platform.pfs_bandwidth,
+              b[p].scenario.platform.pfs_bandwidth);
+  }
+
+  exp::ExperimentSpec bad(tiny_base());
+  EXPECT_THROW(bad.named_axis("seed", {1}), Error);  // no numeric rule
+  EXPECT_THROW(bad.named_axis("no_such_axis", {1}), Error);
+}
+
+TEST(ExperimentSpec, ClearAxesTurnsASweepIntoASinglePoint) {
+  exp::ExperimentSpec spec = exp::build_named_spec("demo", 2);
+  EXPECT_EQ(spec.grid_size(), 4u);
+  spec.clear_axes();
+  EXPECT_EQ(spec.grid_size(), 1u);
+  EXPECT_TRUE(spec.axes().empty());
+  // Strategy set and options survive; axes can be re-declared at a single
+  // value — the advisor fallback's exact move.
+  spec.named_axis("pfs_bandwidth_gbps", {75})
+      .named_axis("interference_alpha", {0.25});
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].coords[0].value, 75.0);
+  EXPECT_EQ(points[0].coords[1].value, 0.25);
+  EXPECT_EQ(spec.strategy_set().size(), 2u);
+}
+
 }  // namespace
 }  // namespace coopcr

@@ -109,6 +109,9 @@ TEST(ReportEmission, JsonCarriesTheFullSummaries) {
   std::ostringstream oss;
   report.write_json(oss);
   const std::string json = oss.str();
+  // The serving-layer schema contract: version first, se in every summary.
+  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u);
+  EXPECT_NE(json.find(",\"se\":"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"tiny\""), std::string::npos);
   EXPECT_NE(json.find("\"axes\":[\"pfs_bandwidth_gbps\"]"),
             std::string::npos);
@@ -178,8 +181,8 @@ TEST(ReportEmission, EmptyGridEmitsHeaderOnlyCsvAndValidJson) {
   std::ostringstream json;
   empty.write_json(json);
   EXPECT_EQ(json.str(),
-            "{\"name\":\"empty\",\"replicas\":0,\"axes\":[\"alpha\","
-            "\"beta\"],\"points\":[]}\n");
+            "{\"schema_version\":4,\"name\":\"empty\",\"replicas\":0,"
+            "\"axes\":[\"alpha\",\"beta\"],\"points\":[]}\n");
   EXPECT_THROW(empty.at(0), Error);
 }
 

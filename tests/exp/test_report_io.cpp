@@ -1,0 +1,128 @@
+// exp/report_io.hpp loader: a freshly-emitted v4 artifact parses back into
+// the exact summaries the report computed (candlesticks, the per-summary
+// standard error, metric emission order), and the strict schema_version
+// contract rejects foreign or stale documents with errors naming the file
+// and the offending version.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+exp::ExperimentReport tiny_report() {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(/*seed=*/31)
+                               .min_makespan(units::days(6))
+                               .segment(units::days(1), units::days(5)),
+                           "io_roundtrip");
+  MonteCarloOptions options;
+  options.replicas = 3;
+  spec.pfs_bandwidth_axis({60, 100})
+      .strategies({oblivious_daly(), least_waste()})
+      .options(options);
+  return exp::SweepRunner(/*threads=*/1).run(spec);
+}
+
+std::string json_bytes(const exp::ExperimentReport& report) {
+  std::ostringstream oss;
+  report.write_json(oss);
+  return oss.str();
+}
+
+TEST(ReportIo, RoundTripsTheEmittedDocument) {
+  const exp::ExperimentReport report = tiny_report();
+  const exp::LoadedReport loaded =
+      exp::parse_report_json(json_bytes(report), "<mem>");
+
+  EXPECT_EQ(loaded.schema_version, exp::ExperimentReport::kSchemaVersion);
+  EXPECT_EQ(loaded.name, "io_roundtrip");
+  EXPECT_EQ(loaded.replicas, 3);
+  ASSERT_EQ(loaded.axes, std::vector<std::string>{"pfs_bandwidth_gbps"});
+  ASSERT_EQ(loaded.points.size(), 2u);
+
+  for (std::size_t p = 0; p < loaded.points.size(); ++p) {
+    const exp::LoadedPoint& lp = loaded.points[p];
+    const exp::PointResult& pr = report.at(p);
+    EXPECT_EQ(lp.index, pr.point.index);
+    ASSERT_EQ(lp.coords.size(), 1u);
+    EXPECT_EQ(lp.coords[0].axis, "pfs_bandwidth_gbps");
+    EXPECT_EQ(lp.coords[0].value, pr.point.coords[0].value);
+    ASSERT_EQ(lp.strategies.size(), pr.report.outcomes.size());
+    for (std::size_t s = 0; s < lp.strategies.size(); ++s) {
+      const StrategyOutcome& outcome = pr.report.outcomes[s];
+      EXPECT_EQ(lp.strategies[s].name, outcome.strategy.name());
+      // Metrics come back in emission order, all of them.
+      ASSERT_EQ(lp.strategies[s].metrics.size(), exp::all_metrics().size());
+      for (std::size_t m = 0; m < exp::all_metrics().size(); ++m) {
+        EXPECT_EQ(lp.strategies[s].metrics[m].first,
+                  exp::metric_name(exp::all_metrics()[m]));
+      }
+      // Candlestick + se round-trip exactly (17-digit emission).
+      const SampleSet& samples =
+          exp::metric_samples(outcome, exp::Metric::kWasteRatio);
+      const Candlestick expected = samples.candlestick();
+      const exp::LoadedSummary& summary =
+          lp.strategies[s].metric("waste_ratio");
+      EXPECT_EQ(summary.candle.mean, expected.mean);
+      EXPECT_EQ(summary.candle.d1, expected.d1);
+      EXPECT_EQ(summary.candle.q3, expected.q3);
+      EXPECT_EQ(summary.candle.n, expected.n);
+      EXPECT_EQ(summary.se,
+                samples.stddev() /
+                    std::sqrt(static_cast<double>(samples.size())));
+      EXPECT_GT(summary.se, 0.0);
+    }
+    EXPECT_EQ(lp.baseline_useful.candle.mean,
+              pr.report.baseline_useful.candlestick().mean);
+  }
+}
+
+TEST(ReportIo, MetricLookupThrowsOnUnknownNames) {
+  const exp::LoadedReport loaded =
+      exp::parse_report_json(json_bytes(tiny_report()), "<mem>");
+  EXPECT_THROW(loaded.points[0].strategies[0].metric("no_such_metric"),
+               Error);
+}
+
+TEST(ReportIo, RejectsUnknownSchemaVersionsNamingFileAndVersion) {
+  std::string text = json_bytes(tiny_report());
+  const std::string needle = "\"schema_version\":4";
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"schema_version\":99");
+  try {
+    exp::parse_report_json(text, "future.json");
+    FAIL() << "expected a schema_version rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("future.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+  }
+}
+
+TEST(ReportIo, RejectsDocumentsWithoutSchemaVersion) {
+  // A pre-v4 artifact: no schema_version member at all.
+  EXPECT_THROW(
+      exp::parse_report_json(
+          "{\"name\":\"old\",\"replicas\":1,\"axes\":[],\"points\":[]}",
+          "old.json"),
+      Error);
+}
+
+TEST(ReportIo, LoadNamesTheFileOnIoErrors) {
+  try {
+    exp::load_report_json("/nonexistent/report.json");
+    FAIL() << "expected an I/O error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/report.json"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace coopcr

@@ -1,0 +1,138 @@
+// serve::GridStore: digest-keyed idempotent ingestion, merging shards of
+// the same experiment into one dense grid, conflict and shape validation,
+// and the sole-grid resolution rule.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "coopcr.hpp"
+
+namespace coopcr {
+namespace {
+
+/// The registry demo experiment restricted to the given axis values — the
+/// same experiment name, so artifacts merge into one "sweep_demo" grid.
+std::string demo_artifact(const std::vector<double>& bandwidths,
+                          const std::vector<double>& alphas,
+                          int replicas = 2) {
+  exp::ExperimentSpec spec = exp::build_named_spec("demo", replicas);
+  spec.clear_axes()
+      .named_axis("pfs_bandwidth_gbps", bandwidths)
+      .named_axis("interference_alpha", alphas);
+  const exp::ExperimentReport report =
+      exp::SweepRunner(/*threads=*/1).run(spec);
+  std::ostringstream oss;
+  report.write_json(oss);
+  return oss.str();
+}
+
+TEST(GridStore, IngestIsDigestKeyedAndIdempotent) {
+  serve::GridStore store;
+  const std::string text = demo_artifact({40, 120}, {0.0, 1.0});
+  EXPECT_TRUE(store.ingest_text(text, "a.json"));
+  EXPECT_FALSE(store.ingest_text(text, "a-copy.json"));  // same digest
+  EXPECT_EQ(store.artifact_count(), 1u);
+  ASSERT_EQ(store.grid_count(), 1u);
+
+  const serve::StoredGrid& grid = store.sole();
+  EXPECT_EQ(grid.experiment, "sweep_demo");
+  EXPECT_EQ(grid.replicas, 2);
+  EXPECT_EQ(grid.axes,
+            (std::vector<std::string>{"pfs_bandwidth_gbps",
+                                      "interference_alpha"}));
+  EXPECT_EQ(grid.axis_values[0], (std::vector<double>{40, 120}));
+  EXPECT_EQ(grid.axis_values[1], (std::vector<double>{0.0, 1.0}));
+  EXPECT_EQ(grid.strategies,
+            (std::vector<std::string>{"Ordered-NB-Daly", "Oblivious-Daly"}));
+  EXPECT_TRUE(grid.complete());
+  EXPECT_EQ(grid.point_count(), 4u);
+}
+
+TEST(GridStore, ShardedArtifactsMergeIntoOneCompleteGrid) {
+  serve::GridStore store;
+  // The campaign emitted in two halves, one bandwidth column each.
+  EXPECT_TRUE(store.ingest_text(demo_artifact({40}, {0.0, 1.0}), "lo.json"));
+  EXPECT_TRUE(
+      store.ingest_text(demo_artifact({120}, {0.0, 1.0}), "hi.json"));
+
+  const serve::StoredGrid& grid = store.sole();
+  EXPECT_EQ(grid.axis_values[0], (std::vector<double>{40, 120}));
+  EXPECT_TRUE(grid.complete());
+  EXPECT_EQ(grid.point_count(), 4u);
+  // Each cell is addressable and carries its own coordinates.
+  const exp::LoadedPoint& cell = grid.at({1, 0});
+  EXPECT_EQ(cell.coords[0].value, 120.0);
+  EXPECT_EQ(cell.coords[1].value, 0.0);
+}
+
+TEST(GridStore, ConflictingCellContentThrows) {
+  serve::GridStore store;
+  std::string text = demo_artifact({40, 120}, {0.0, 1.0});
+  ASSERT_TRUE(store.ingest_text(text, "a.json"));
+
+  // Same grid, same cells, one digit of one mean nudged: a different
+  // document digest but conflicting cell content.
+  const std::size_t pos = text.find("\"waste_ratio\":{\"mean\":0.");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t digit = pos + std::string("\"waste_ratio\":{\"mean\":0.").size();
+  text[digit] = text[digit] == '5' ? '6' : '5';
+  try {
+    store.ingest_text(text, "tampered.json");
+    FAIL() << "expected a cell conflict";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tampered.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("conflicting"), std::string::npos) << what;
+  }
+}
+
+TEST(GridStore, MismatchedReplicasOrAxesThrow) {
+  serve::GridStore store;
+  ASSERT_TRUE(
+      store.ingest_text(demo_artifact({40}, {0.0, 1.0}, 2), "a.json"));
+  // Same experiment re-run with a different replica count.
+  EXPECT_THROW(
+      store.ingest_text(demo_artifact({120}, {0.0, 1.0}, 3), "b.json"),
+      Error);
+}
+
+TEST(GridStore, SoleRequiresExactlyOneGrid) {
+  serve::GridStore store;
+  EXPECT_THROW(store.sole(), Error);  // empty store
+
+  ASSERT_TRUE(
+      store.ingest_text(demo_artifact({40, 120}, {0.0}), "demo.json"));
+  EXPECT_EQ(&store.sole(), store.find("sweep_demo"));
+
+  // A second experiment (the demo document renamed) makes sole() ambiguous.
+  std::string other = demo_artifact({40, 120}, {0.0});
+  const std::string needle = "\"name\":\"sweep_demo\"";
+  const std::size_t pos = other.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  other.replace(pos, needle.size(), "\"name\":\"other_demo\"");
+  ASSERT_TRUE(store.ingest_text(other, "other.json"));
+  EXPECT_EQ(store.grid_count(), 2u);
+  EXPECT_THROW(store.sole(), Error);
+  EXPECT_NE(store.find("other_demo"), nullptr);
+  EXPECT_EQ(store.find("unknown"), nullptr);
+  EXPECT_EQ(store.experiments(),
+            (std::vector<std::string>{"sweep_demo", "other_demo"}));
+}
+
+TEST(GridStore, UnfilledCellAccessThrows) {
+  serve::GridStore store;
+  // An L-shaped ingest: cells (40,0), (40,1), (120,0) — (120,1) missing.
+  ASSERT_TRUE(store.ingest_text(demo_artifact({40}, {0.0, 1.0}), "a.json"));
+  ASSERT_TRUE(store.ingest_text(demo_artifact({120}, {0.0}), "b.json"));
+  const serve::StoredGrid& grid = store.sole();
+  EXPECT_FALSE(grid.complete());
+  EXPECT_EQ(grid.point_count(), 3u);
+  EXPECT_NO_THROW(grid.at({0, 1}));
+  EXPECT_THROW(grid.at({1, 1}), Error);
+  EXPECT_THROW(grid.at({2, 0}), Error);  // out of range
+}
+
+}  // namespace
+}  // namespace coopcr

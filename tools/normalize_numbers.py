@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Normalize every number in a JSON-lines stream for golden comparison.
+
+The advisor's answers are bit-deterministic on one machine, but the
+committed golden has to survive *cross-toolchain* libm drift (exp/log may
+differ in the last ulp between glibc versions). Rounding every float to 9
+significant digits before diffing keeps the comparison strict far beyond
+any physically meaningful precision while ignoring last-ulp noise.
+
+Usage: normalize_numbers.py < answers.jsonl > answers.normalized.jsonl
+"""
+
+import json
+import sys
+
+
+def normalize(value):
+    if isinstance(value, float):
+        return float(f"{value:.9g}")
+    if isinstance(value, list):
+        return [normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: normalize(v) for k, v in value.items()}
+    return value
+
+
+def main():
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        json.dump(normalize(doc), sys.stdout, separators=(",", ":"))
+        sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
