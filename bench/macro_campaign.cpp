@@ -139,8 +139,12 @@ EconomyRun run_economy(const ScenarioBuilder& row, const char* name, bool vr,
 
 /// Wall-clock one DistSweepRunner pass over the bench campaign with
 /// `shards` worker processes (same scenario and strategy set as the
-/// single-process measurement, no journal — pure execution cost).
-double run_dist_campaign(int replicas, int shards) {
+/// single-process measurement, no journal — pure execution cost). With
+/// `empty_plan` an inert FaultPlan object rides along, so every
+/// fault-injection hook in the coordinator's hot loop executes against an
+/// empty action list — the seam whose overhead the fault_seam section pins
+/// at zero.
+double run_dist_campaign(int replicas, int shards, bool empty_plan = false) {
   exp::ExperimentSpec spec(bench_base(), "macro_dist");
   MonteCarloOptions options;
   options.replicas = replicas;
@@ -148,6 +152,9 @@ double run_dist_campaign(int replicas, int shards) {
 
   dist::DistOptions dist_options;
   dist_options.shards = shards;
+  if (empty_plan) {
+    dist_options.fault_plan = std::make_shared<dist::FaultPlan>();
+  }
   dist::DistSweepRunner runner(dist_options);
   const auto t0 = std::chrono::steady_clock::now();
   runner.run(spec);
@@ -206,6 +213,20 @@ int main() {
         shards, dist_replicas_per_sec);
     std::printf("macro_campaign.dist_scaling.shards_%d.speedup = %.3f\n",
                 shards, one_shard_seconds / seconds);
+  }
+
+  // Fault-seam guard: the same dist leg with an inert (empty) FaultPlan
+  // attached. The fault-injection hooks are compiled in always; this pins
+  // their cost on the fault-free path — overhead_ratio must track 1.0.
+  {
+    const double plain = run_dist_campaign(options.replicas, 2, false);
+    const double seamed = run_dist_campaign(options.replicas, 2, true);
+    std::printf("macro_campaign.fault_seam.plain_wall_seconds = %.6f\n",
+                plain);
+    std::printf("macro_campaign.fault_seam.empty_plan_wall_seconds = %.6f\n",
+                seamed);
+    std::printf("macro_campaign.fault_seam.overhead_ratio = %.4f\n",
+                seamed / plain);
   }
 
   // Replica economy: replicas needed to hit a fixed CI on the Figure 1

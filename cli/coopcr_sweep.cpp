@@ -26,11 +26,17 @@
 // the mode a future multi-host launcher would use.
 //
 // Env knobs (flags win): COOPCR_SHARDS, COOPCR_JOURNAL, COOPCR_REPLICAS,
-// COOPCR_CSV_DIR.
+// COOPCR_CSV_DIR, COOPCR_RESPAWN, COOPCR_HEARTBEAT_MS, COOPCR_TRANSPORT,
+// COOPCR_RESIZE_AT, COOPCR_FAULT_PLAN.
+//
+// A running dist campaign also resizes elastically on signals: SIGUSR1
+// grows the fleet by one worker, SIGUSR2 shrinks it by one (busy workers
+// drain their in-flight unit first).
 
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,12 +68,24 @@ void usage(std::ostream& os) {
         "95% CI is <= W (COOPCR_TARGET_CI; in-process only)\n"
         "  --max-replicas N   replica cap for --target-ci; 0 = 64x initial "
         "(COOPCR_MAX_REPLICAS)\n"
+        "  --respawn N        budget for respawning dead workers "
+        "(COOPCR_RESPAWN; default 0)\n"
+        "  --heartbeat-ms N   kill workers silent past N ms with a unit in "
+        "flight (COOPCR_HEARTBEAT_MS; 0 = off)\n"
+        "  --transport NAME   worker channel: pipe | socketpair "
+        "(COOPCR_TRANSPORT; default pipe)\n"
+        "  --resize-at N:S    resize the fleet to S workers after N units; "
+        "repeatable (COOPCR_RESIZE_AT, comma-separated)\n"
+        "  --fault-plan SPEC  scripted fault injection, e.g. "
+        "kill=0@3,interrupt=6 (COOPCR_FAULT_PLAN; see "
+        "dist/fault_injection.hpp)\n"
         "  --max-units N      abort after N fresh units (kill-resume "
         "testing)\n"
         "  --kill-worker-after N  worker 0 SIGKILLs itself after N units\n"
         "  --list-specs       list registry specs and exit\n"
         "  --worker           internal: serve units on fds 3/4\n"
-        "  --kill-after N     internal: worker self-kill hook\n";
+        "  --kill-after N     internal: worker self-kill hook\n"
+        "  --stall N:MS       internal: worker stalls MS ms before result N\n";
 }
 
 int int_arg(const std::string& flag, const char* value) {
@@ -100,6 +118,35 @@ double double_arg(const std::string& flag, const char* value) {
   }
 }
 
+/// Parse one "--stall N:MS" worker directive.
+dist::WorkerDirectives::Stall stall_arg(const std::string& flag,
+                                        const char* value) {
+  COOPCR_CHECK(value != nullptr, flag + " needs a value");
+  const std::string text = value;
+  const std::size_t at = text.find(':');
+  COOPCR_CHECK(at != std::string::npos,
+               flag + ": expected N:MS, got \"" + text + "\"");
+  dist::WorkerDirectives::Stall stall;
+  stall.before_result = int_arg(flag, text.substr(0, at).c_str());
+  stall.ms = int_arg(flag, text.substr(at + 1).c_str());
+  COOPCR_CHECK(stall.before_result >= 1 && stall.ms >= 1,
+               flag + ": N and MS must be >= 1 in \"" + text + "\"");
+  return stall;
+}
+
+/// Split a comma-separated env value ("4:3,8:1") into entries.
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +165,15 @@ int main(int argc, char** argv) {
     bool control_variate = env::flag_knob("COOPCR_CONTROL_VARIATE");
     double target_ci = env::double_knob("COOPCR_TARGET_CI", 0.0, 0.0);
     int max_replicas = env::int_knob("COOPCR_MAX_REPLICAS", 0, 0);
+    int max_respawns = env::int_knob("COOPCR_RESPAWN", 0, 0);
+    int heartbeat_ms = env::int_knob("COOPCR_HEARTBEAT_MS", 0, 0);
+    std::string transport = env::string_knob("COOPCR_TRANSPORT").value_or("");
+    std::vector<std::string> resize_at =
+        split_commas(env::string_knob("COOPCR_RESIZE_AT").value_or(""));
+    std::string fault_plan_text =
+        env::string_knob("COOPCR_FAULT_PLAN").value_or("");
+    std::string fault_plan_knob = "COOPCR_FAULT_PLAN";
+    std::vector<dist::WorkerDirectives::Stall> stalls;
 
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -161,10 +217,32 @@ int main(int argc, char** argv) {
       } else if (arg == "--kill-worker-after") {
         kill_after = int_arg(arg, next);
         ++i;
+      } else if (arg == "--respawn") {
+        max_respawns = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--heartbeat-ms") {
+        heartbeat_ms = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--transport") {
+        COOPCR_CHECK(next, "--transport needs a value");
+        transport = next;
+        ++i;
+      } else if (arg == "--resize-at") {
+        COOPCR_CHECK(next, "--resize-at needs a value");
+        resize_at.push_back(next);
+        ++i;
+      } else if (arg == "--fault-plan") {
+        COOPCR_CHECK(next, "--fault-plan needs a value");
+        fault_plan_text = next;
+        fault_plan_knob = "--fault-plan";
+        ++i;
       } else if (arg == "--worker") {
         worker_mode = true;
       } else if (arg == "--kill-after") {
         kill_after = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--stall") {
+        stalls.push_back(stall_arg(arg, next));
         ++i;
       } else if (arg == "--list-specs") {
         for (const exp::NamedSpec& entry : exp::spec_registry()) {
@@ -197,8 +275,11 @@ int main(int argc, char** argv) {
     if (worker_mode) {
       // Exec-mode worker: rebuilt the spec above from --spec/--replicas;
       // serve units on the fixed pipe fds until shutdown.
+      dist::WorkerDirectives directives;
+      directives.kill_after = kill_after;
+      directives.stalls = stalls;
       dist::worker_serve(spec, dist::kWorkerInFd, dist::kWorkerOutFd,
-                         kill_after);
+                         directives);
       return 0;
     }
 
@@ -221,15 +302,30 @@ int main(int argc, char** argv) {
                        kill_after == 0,
                    "--journal/--resume/--max-units/--kill-worker-after "
                    "require --shards >= 1");
+      COOPCR_CHECK(max_respawns == 0 && heartbeat_ms == 0 &&
+                       transport.empty() && resize_at.empty() &&
+                       fault_plan_text.empty(),
+                   "--respawn/--heartbeat-ms/--transport/--resize-at/"
+                   "--fault-plan require --shards >= 1");
       options.backend = exp::ExecutorBackend::kInProcess;
       options.threads = env::int_knob("COOPCR_THREADS", 0, 0);
     } else {
+      COOPCR_CHECK(!resume || !journal.empty(),
+                   "--resume requires --journal (or COOPCR_JOURNAL)");
       options.backend = exp::ExecutorBackend::kDist;
       options.shards = shards;
       options.journal = journal;
       options.resume = resume;
       options.max_units = max_units;
       options.kill_worker_after = kill_after;
+      options.max_respawns = max_respawns;
+      options.heartbeat_ms = heartbeat_ms;
+      options.transport = transport;
+      options.resize_at = resize_at;
+      if (!fault_plan_text.empty()) {
+        options.fault_plan = std::make_shared<dist::FaultPlan>(
+            dist::FaultPlan::parse(fault_plan_text, fault_plan_knob));
+      }
       if (exec_workers) {
         options.worker_command = {argv[0], "--worker", "--spec", spec_name,
                                   "--replicas", std::to_string(replicas)};

@@ -50,10 +50,13 @@
 #include "exp/sweep_runner.hpp"
 
 // Distributed execution: multi-process shard workers, the durable campaign
-// journal and the kill-resume coordinator (byte-identical reports for any
-// shard count or crash history).
+// journal, the kill-resume coordinator (byte-identical reports for any
+// shard count, transport, or crash/respawn/resize history) and the
+// scripted fault-injection harness that proves it.
 #include "dist/dist_runner.hpp"
+#include "dist/fault_injection.hpp"
 #include "dist/journal.hpp"
+#include "dist/transport.hpp"
 #include "dist/worker.hpp"
 
 // Serving: the checkpoint advisor — artifact grid store, interpolating

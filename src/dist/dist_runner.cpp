@@ -5,7 +5,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -14,6 +17,7 @@
 #include <utility>
 
 #include "dist/journal.hpp"
+#include "dist/transport.hpp"
 #include "dist/wire.hpp"
 #include "dist/worker.hpp"
 #include "util/error.hpp"
@@ -22,15 +26,26 @@ namespace coopcr::dist {
 
 namespace {
 
+/// A frame held back by a kDelayFrame fault; delivered once `rounds` poll
+/// rounds have elapsed.
+struct DelayedFrame {
+  Frame frame;
+  int rounds = 0;
+};
+
 /// Coordinator-side view of one worker process.
 struct Worker {
   pid_t pid = -1;
   int to_fd = -1;    ///< coordinator → worker (kUnit / kShutdown)
   int from_fd = -1;  ///< worker → coordinator (kHello / kResult)
   bool alive = false;
-  bool hello_ok = false;           ///< digest verified, may receive units
+  bool hello_ok = false;  ///< digest verified, may receive units
+  bool draining = false;  ///< shrinking: finish the in-flight unit, then retire
   std::optional<UnitMsg> inflight;  ///< dispatched, result not yet seen
   FrameBuffer buffer;
+  int frames_seen = 0;  ///< inbound frames popped (frame-fault trigger)
+  std::vector<DelayedFrame> delayed;
+  std::chrono::steady_clock::time_point last_heard;  ///< heartbeat clock
 };
 
 void close_fd(int& fd) {
@@ -48,17 +63,20 @@ void reap(Worker& w) {
     w.pid = -1;
   }
   w.alive = false;
+  // A socketpair channel aliases both directions onto one descriptor —
+  // close it exactly once.
+  if (w.from_fd == w.to_fd) w.from_fd = -1;
   close_fd(w.to_fd);
   close_fd(w.from_fd);
 }
 
 /// Kills and reaps every still-live worker on scope exit, so an exception
-/// (digest mismatch, max_units abort, journal error) never leaks processes
-/// or pipe fds. A graceful shutdown reaps workers first, making this a
-/// no-op.
+/// (digest mismatch, an injected interrupt, journal error) never leaks
+/// processes or pipe fds. A graceful shutdown reaps workers first, making
+/// this a no-op.
 class FleetGuard {
  public:
-  explicit FleetGuard(std::vector<Worker>& workers) : workers_(workers) {}
+  explicit FleetGuard(std::deque<Worker>& workers) : workers_(workers) {}
   ~FleetGuard() {
     for (Worker& w : workers_) {
       if (w.pid > 0) ::kill(w.pid, SIGKILL);
@@ -67,7 +85,7 @@ class FleetGuard {
   }
 
  private:
-  std::vector<Worker>& workers_;
+  std::deque<Worker>& workers_;
 };
 
 /// The worker writes into a pipe whose read end the coordinator may have
@@ -81,90 +99,42 @@ void ignore_sigpipe() {
   (void)done;
 }
 
-/// Fork a worker that inherits `spec` in memory. `extra_close` lists
-/// coordinator-side fds (the journal, other workers' pipe ends) the child
-/// must not hold open — a forked child keeping a dead sibling's pipe alive
-/// would mask its EOF.
-Worker spawn_fork(const exp::ExperimentSpec& spec, int kill_after,
-                  const std::vector<int>& extra_close) {
-  int to_child[2];
-  int from_child[2];
-  COOPCR_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
-               std::string("pipe failed: ") + std::strerror(errno));
-  const pid_t pid = ::fork();
-  COOPCR_CHECK(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
-  if (pid == 0) {
-    ::close(to_child[1]);
-    ::close(from_child[0]);
-    for (int fd : extra_close) {
-      if (fd >= 0) ::close(fd);
-    }
-    try {
-      worker_serve(spec, to_child[0], from_child[1], kill_after);
-      ::_exit(0);
-    } catch (const std::exception& e) {
-      // _exit (not exit): the child shares the coordinator's memory image
-      // and must not run its atexit handlers or flush its stdio copies.
-      const std::string msg =
-          std::string("coopcr worker failed: ") + e.what() + "\n";
-      (void)!::write(STDERR_FILENO, msg.data(), msg.size());
-      ::_exit(1);
-    } catch (...) {
-      ::_exit(1);
-    }
-  }
-  ::close(to_child[0]);
-  ::close(from_child[1]);
-  Worker w;
-  w.pid = pid;
-  w.to_fd = to_child[1];
-  w.from_fd = from_child[0];
-  w.alive = true;
-  return w;
-}
+// SIGUSR1 grows the fleet by one, SIGUSR2 shrinks it by one. The handlers
+// only bump counters; the poll loop consumes the deltas at a safe point.
+volatile std::sig_atomic_t g_grow_signals = 0;
+volatile std::sig_atomic_t g_shrink_signals = 0;
 
-/// Fork+exec a worker command; the child's pipe ends land on the fixed
-/// kWorkerInFd/kWorkerOutFd descriptors.
-Worker spawn_exec(const std::vector<std::string>& command) {
-  COOPCR_CHECK(!command.empty(), "empty worker command");
-  int to_child[2];
-  int from_child[2];
-  COOPCR_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
-               std::string("pipe failed: ") + std::strerror(errno));
-  const pid_t pid = ::fork();
-  COOPCR_CHECK(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
-  if (pid == 0) {
-    ::close(to_child[1]);
-    ::close(from_child[0]);
-    // Move the child's ends off the target descriptors before landing them
-    // there, in case a pipe fd already equals kWorkerInFd/kWorkerOutFd.
-    int in = to_child[0];
-    int out = from_child[1];
-    while (in == kWorkerInFd || in == kWorkerOutFd) in = ::dup(in);
-    while (out == kWorkerInFd || out == kWorkerOutFd) out = ::dup(out);
-    if (::dup2(in, kWorkerInFd) < 0 || ::dup2(out, kWorkerOutFd) < 0) {
-      ::_exit(127);
-    }
-    std::vector<char*> argv;
-    argv.reserve(command.size() + 1);
-    for (const std::string& arg : command) {
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    }
-    argv.push_back(nullptr);
-    ::execvp(argv[0], argv.data());
-    const std::string msg = std::string("coopcr worker exec failed: ") +
-                            command[0] + ": " + std::strerror(errno) + "\n";
-    (void)!::write(STDERR_FILENO, msg.data(), msg.size());
-    ::_exit(127);
+void on_grow_signal(int) { g_grow_signals = g_grow_signals + 1; }
+void on_shrink_signal(int) { g_shrink_signals = g_shrink_signals + 1; }
+
+/// Installs the resize signal handlers for the duration of a run (without
+/// SA_RESTART, so a signal wakes the poll loop) and restores the previous
+/// dispositions on exit.
+class ResizeSignalGuard {
+ public:
+  ResizeSignalGuard() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_handler = on_grow_signal;
+    ::sigaction(SIGUSR1, &sa, &old_grow_);
+    sa.sa_handler = on_shrink_signal;
+    ::sigaction(SIGUSR2, &sa, &old_shrink_);
   }
-  ::close(to_child[0]);
-  ::close(from_child[1]);
-  Worker w;
-  w.pid = pid;
-  w.to_fd = to_child[1];
-  w.from_fd = from_child[0];
-  w.alive = true;
-  return w;
+  ~ResizeSignalGuard() {
+    ::sigaction(SIGUSR1, &old_grow_, nullptr);
+    ::sigaction(SIGUSR2, &old_shrink_, nullptr);
+  }
+
+ private:
+  struct sigaction old_grow_;
+  struct sigaction old_shrink_;
+};
+
+int elapsed_ms_since(std::chrono::steady_clock::time_point then) {
+  const auto elapsed = std::chrono::steady_clock::now() - then;
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count());
 }
 
 }  // namespace
@@ -173,6 +143,17 @@ DistSweepRunner::DistSweepRunner(DistOptions options)
     : options_(std::move(options)) {
   COOPCR_CHECK(options_.shards >= 1, "dist sweep needs at least 1 shard, got " +
                                          std::to_string(options_.shards));
+  COOPCR_CHECK(options_.max_respawns >= 0,
+               "--respawn/COOPCR_RESPAWN must be >= 0, got " +
+                   std::to_string(options_.max_respawns));
+  COOPCR_CHECK(options_.heartbeat_ms >= 0,
+               "--heartbeat-ms/COOPCR_HEARTBEAT_MS must be >= 0, got " +
+                   std::to_string(options_.heartbeat_ms));
+  for (const ResizePoint& point : options_.resize_schedule) {
+    COOPCR_CHECK(point.shards >= 1 && point.after_units >= 0,
+                 "--resize-at/COOPCR_RESIZE_AT entries need shards >= 1 and "
+                 "a non-negative unit trigger");
+  }
 }
 
 DistSweepRunner& DistSweepRunner::on_point(PointCallback callback) {
@@ -192,7 +173,15 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
                    std::filesystem::exists(options_.journal),
                "cannot resume: journal does not exist: " + options_.journal);
   COOPCR_CHECK(!options_.resume || !options_.journal.empty(),
-               "resume requires a journal path");
+               "--resume/resume requires a journal path — set --journal or "
+               "COOPCR_JOURNAL");
+  // An inert reference keeps the hook sites unconditional: the seam always
+  // compiles, and an absent plan simply never matches a trigger.
+  FaultPlan inert_plan;
+  FaultPlan& plan = options_.fault_plan ? *options_.fault_plan : inert_plan;
+  COOPCR_CHECK(!plan.touches_journal() || !options_.journal.empty(),
+               "--fault-plan/COOPCR_FAULT_PLAN tears or flips the journal, "
+               "which needs --journal or COOPCR_JOURNAL set");
   ignore_sigpipe();
 
   std::vector<exp::GridPoint> points = spec.expand();
@@ -252,41 +241,122 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
   std::size_t outstanding = pending.size();
   int fresh_results = 0;
 
-  std::vector<Worker> workers;
+  // A deque keeps Worker references stable while respawn/resize push new
+  // workers mid-round — a vector's reallocation would dangle the reference
+  // the poll loop is holding.
+  std::deque<Worker> workers;
   FleetGuard guard(workers);
+  ResizeSignalGuard signal_guard;
+  int grow_signals_seen = 0;
+  int shrink_signals_seen = 0;
 
-  const int shard_count = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(options_.shards),
-                            outstanding));
-  for (int i = 0; i < shard_count; ++i) {
-    const int kill_after = (i == 0) ? options_.kill_worker_after : 0;
-    if (options_.worker_command.empty()) {
-      std::vector<int> extra_close;
-      if (journal) extra_close.push_back(journal->fd());
-      for (const Worker& w : workers) {
-        extra_close.push_back(w.to_fd);
-        extra_close.push_back(w.from_fd);
-      }
-      workers.push_back(spawn_fork(spec, kill_after, extra_close));
-    } else {
-      std::vector<std::string> command = options_.worker_command;
-      if (kill_after > 0) {
-        command.push_back("--kill-after");
-        command.push_back(std::to_string(kill_after));
-      }
-      workers.push_back(spawn_exec(command));
+  int respawns_left = options_.max_respawns;
+  bool kill_hook_armed = options_.kill_worker_after > 0;
+
+  std::vector<ResizePoint> resizes = options_.resize_schedule;
+  std::stable_sort(resizes.begin(), resizes.end(),
+                   [](const ResizePoint& a, const ResizePoint& b) {
+                     return a.after_units < b.after_units;
+                   });
+  std::size_t next_resize = 0;
+
+  int target_shards = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(options_.shards), outstanding));
+
+  auto active_count = [&]() {
+    int n = 0;
+    for (const Worker& w : workers) {
+      if (w.alive && !w.draining) ++n;
     }
-  }
+    return n;
+  };
+  auto idle_active_count = [&]() {
+    int n = 0;
+    for (const Worker& w : workers) {
+      if (w.alive && !w.draining && !w.inflight) ++n;
+    }
+    return n;
+  };
+
+  auto spawn_one = [&]() {
+    const int index = static_cast<int>(workers.size());
+    WorkerDirectives directives;
+    if (kill_hook_armed) {
+      // The legacy kill_worker_after hook arms the first worker ever
+      // spawned, exactly as before the fault plan existed.
+      directives.kill_after = options_.kill_worker_after;
+      kill_hook_armed = false;
+    }
+    for (const FaultAction& stall : plan.take_stalls(index)) {
+      directives.stalls.push_back(
+          WorkerDirectives::Stall{stall.after_units, stall.stall_ms});
+    }
+    WorkerLaunch launch;
+    launch.transport = options_.transport;
+    if (options_.worker_command.empty()) {
+      launch.spec = &spec;
+      launch.directives = directives;
+      if (journal) launch.extra_close.push_back(journal->fd());
+      for (const Worker& w : workers) {
+        launch.extra_close.push_back(w.to_fd);
+        if (w.from_fd != w.to_fd) launch.extra_close.push_back(w.from_fd);
+      }
+    } else {
+      launch.command = options_.worker_command;
+      if (directives.kill_after > 0) {
+        launch.command.push_back("--kill-after");
+        launch.command.push_back(std::to_string(directives.kill_after));
+      }
+      for (const WorkerDirectives::Stall& stall : directives.stalls) {
+        launch.command.push_back("--stall");
+        launch.command.push_back(std::to_string(stall.before_result) + ":" +
+                                 std::to_string(stall.ms));
+      }
+    }
+    const WorkerEndpoint endpoint = spawn_worker(launch);
+    Worker w;
+    w.pid = endpoint.pid;
+    w.to_fd = endpoint.to_fd;
+    w.from_fd = endpoint.from_fd;
+    w.alive = true;
+    w.last_heard = std::chrono::steady_clock::now();
+    workers.push_back(std::move(w));
+  };
+
+  // Replace casualties up to the respawn budget, but never spawn a worker
+  // that could not be handed a queued unit.
+  auto top_up = [&]() {
+    while (respawns_left > 0 && active_count() < target_shards &&
+           idle_active_count() < static_cast<int>(pending.size())) {
+      spawn_one();
+      --respawns_left;
+    }
+  };
+
+  // Graceful single-worker retirement (idle shrink target or a drained
+  // worker whose last unit just landed).
+  auto retire = [&](Worker& w) {
+    try {
+      write_frame(w.to_fd, MsgType::kShutdown, {});
+    } catch (const Error&) {
+      // Already gone; reap below.
+    }
+    reap(w);
+  };
 
   // Dispatch the next pending unit to `w`; on a broken pipe the worker is
   // treated as dead and the unit goes back to the front of the queue.
   auto dispatch = [&](Worker& w) {
-    if (pending.empty() || !w.alive || !w.hello_ok || w.inflight) return;
+    if (pending.empty() || !w.alive || !w.hello_ok || w.inflight ||
+        w.draining) {
+      return;
+    }
     const UnitMsg unit = pending.front();
     pending.pop_front();
     try {
       write_frame(w.to_fd, MsgType::kUnit, encode_unit(unit));
       w.inflight = unit;
+      w.last_heard = std::chrono::steady_clock::now();
     } catch (const Error&) {
       pending.push_front(unit);
       if (w.pid > 0) ::kill(w.pid, SIGKILL);
@@ -294,32 +364,103 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
     }
   };
 
-  // A worker died: requeue its in-flight unit and hand it to an idle
-  // survivor. Buffered complete frames were already drained by the caller,
-  // so anything still in flight truly never completed.
+  // A worker died: requeue its in-flight unit, top the fleet back up, and
+  // hand work to whoever is idle. Buffered complete frames were already
+  // drained by the caller, so anything still in flight truly never
+  // completed; held-back delayed frames die with the stream that produced
+  // them.
   auto handle_death = [&](Worker& w) {
     reap(w);
+    w.delayed.clear();
     if (w.inflight) {
       pending.push_front(*w.inflight);
       w.inflight.reset();
     }
+    top_up();
     for (Worker& other : workers) {
       if (pending.empty()) break;
       dispatch(other);
     }
   };
 
+  // Elastic resharding: grow by spawning (capped by queued work), shrink
+  // by retiring idle workers first and draining busy ones — their
+  // in-flight unit completes and ships before they exit, so no work is
+  // lost and the artifacts cannot change.
+  auto do_resize = [&](int new_shards) {
+    target_shards = std::max(1, new_shards);
+    while (active_count() < target_shards &&
+           idle_active_count() < static_cast<int>(pending.size())) {
+      spawn_one();
+    }
+    for (Worker& w : workers) {
+      if (active_count() <= target_shards) break;
+      if (!w.alive || w.draining || w.inflight) continue;
+      retire(w);
+    }
+    for (Worker& w : workers) {
+      if (active_count() <= target_shards) break;
+      if (!w.alive || w.draining) continue;
+      w.draining = true;
+    }
+  };
+
+  // Fire every unit-triggered fault and scheduled resize due at the
+  // current fresh-result count. Journal tear/flip and interrupts abort the
+  // run (FleetGuard cleans up); the journal then drives the resume.
+  auto fire_unit_faults = [&]() {
+    while (next_resize < resizes.size() &&
+           resizes[next_resize].after_units <= fresh_results) {
+      do_resize(resizes[next_resize].shards);
+      ++next_resize;
+    }
+    for (const FaultAction& action : plan.take_due(fresh_results)) {
+      switch (action.kind) {
+        case FaultKind::kKillWorker: {
+          if (action.worker < static_cast<int>(workers.size())) {
+            Worker& target = workers[action.worker];
+            // SIGKILL only — the death surfaces through the poll loop as
+            // an EOF, exercising the same path a real crash takes.
+            if (target.alive && target.pid > 0) {
+              ::kill(target.pid, SIGKILL);
+            }
+          }
+          break;
+        }
+        case FaultKind::kResize:
+          do_resize(action.shards);
+          break;
+        case FaultKind::kTearJournal:
+          if (journal) {
+            append_torn_journal_tail(journal->fd(), action.tear_bytes);
+          }
+          COOPCR_CHECK(false, "fault injection: journal torn after " +
+                                  std::to_string(fresh_results) +
+                                  " units — resume from the journal");
+        case FaultKind::kFlipJournalByte:
+          if (journal) {
+            journal->close();
+            flip_journal_byte_at(options_.journal, action.offset);
+          }
+          COOPCR_CHECK(false, "fault injection: journal byte " +
+                                  std::to_string(action.offset) +
+                                  " flipped after " +
+                                  std::to_string(fresh_results) + " units");
+        case FaultKind::kInterrupt:
+          COOPCR_CHECK(false, "sweep interrupted after " +
+                                  std::to_string(fresh_results) +
+                                  " units (fault plan) — resume from the "
+                                  "journal");
+        default:
+          break;
+      }
+    }
+  };
+
   auto handle_frame = [&](Worker& w, const Frame& frame) {
     if (frame.type == MsgType::kHello) {
       COOPCR_CHECK(!w.hello_ok, "worker sent a second kHello");
-      const HelloMsg hello = decode_hello(frame.payload);
-      COOPCR_CHECK(hello.protocol == kProtocolVersion,
-                   "worker speaks protocol " + std::to_string(hello.protocol) +
-                       ", coordinator speaks " +
-                       std::to_string(kProtocolVersion));
-      COOPCR_CHECK(hello.spec_digest == header.spec_digest,
-                   "worker rebuilt a different experiment grid (spec digest "
-                   "mismatch) — refusing to dispatch units to it");
+      validate_hello(decode_hello(frame.payload), header.spec_digest);
       w.hello_ok = true;
       dispatch(w);
       return;
@@ -343,26 +484,95 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
     COOPCR_CHECK(options_.max_units <= 0 || fresh_results < options_.max_units,
                  "sweep interrupted after " + std::to_string(fresh_results) +
                      " units (max_units) — resume from the journal");
+    fire_unit_faults();
+    if (!w.alive) return;  // a fired fault retired or killed this worker
+    if (w.draining) {
+      retire(w);
+      return;
+    }
     dispatch(w);
   };
 
-  // Event loop: poll the worker pipes, feed per-worker frame buffers, and
-  // handle whatever completes. Runs until every unit is accounted for.
+  for (int i = 0; i < target_shards; ++i) spawn_one();
+  fire_unit_faults();  // zero-trigger actions fire before any result
+
+  // Event loop: poll the worker channels, feed per-worker frame buffers,
+  // and handle whatever completes. Runs until every unit is accounted for.
   while (outstanding > 0) {
+    // Operator resize signals accumulated since the last round.
+    {
+      const int grow = static_cast<int>(g_grow_signals);
+      const int shrink = static_cast<int>(g_shrink_signals);
+      const int delta =
+          (grow - grow_signals_seen) - (shrink - shrink_signals_seen);
+      grow_signals_seen = grow;
+      shrink_signals_seen = shrink;
+      if (delta != 0) do_resize(target_shards + delta);
+    }
+
+    // Heartbeat deadline: a worker with a unit in flight that has been
+    // silent too long is presumed hung (e.g. a scripted stall) and killed;
+    // its unit re-runs elsewhere to the same bits.
+    if (options_.heartbeat_ms > 0) {
+      for (Worker& w : workers) {
+        if (!w.alive || !w.inflight) continue;
+        if (elapsed_ms_since(w.last_heard) > options_.heartbeat_ms) {
+          if (w.pid > 0) ::kill(w.pid, SIGKILL);
+          handle_death(w);
+        }
+      }
+    }
+
+    // Deliver delayed frames whose hold expired.
+    for (Worker& w : workers) {
+      if (!w.alive || w.delayed.empty()) continue;
+      std::size_t i = 0;
+      while (i < w.delayed.size()) {
+        if (--w.delayed[i].rounds > 0) {
+          ++i;
+          continue;
+        }
+        const Frame held = std::move(w.delayed[i].frame);
+        w.delayed.erase(w.delayed.begin() + static_cast<std::ptrdiff_t>(i));
+        handle_frame(w, held);
+        if (!w.alive || outstanding == 0) break;
+      }
+      if (outstanding == 0) break;
+    }
+    if (outstanding == 0) break;
+
+    top_up();
+
     std::vector<struct pollfd> fds;
     std::vector<std::size_t> owner;
+    bool any_delayed = false;
     for (std::size_t i = 0; i < workers.size(); ++i) {
       if (!workers[i].alive) continue;
       fds.push_back(pollfd{workers[i].from_fd, POLLIN, 0});
       owner.push_back(i);
+      if (!workers[i].delayed.empty()) any_delayed = true;
     }
-    COOPCR_CHECK(!fds.empty(),
-                 "all workers died with " + std::to_string(outstanding) +
-                     " units outstanding" +
-                     (journal ? " — completed units are journaled, resume to "
-                                "continue"
-                              : ""));
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    COOPCR_CHECK(
+        !fds.empty(),
+        "all workers died with " + std::to_string(outstanding) +
+            " units outstanding" +
+            (options_.max_respawns > 0 ? " (respawn budget exhausted)" : "") +
+            (journal ? " — completed units are journaled, resume to continue"
+                     : ""));
+
+    int timeout = -1;
+    if (any_delayed) {
+      timeout = 1;  // held frames advance one round per poll wakeup
+    } else if (options_.heartbeat_ms > 0) {
+      for (const Worker& w : workers) {
+        if (!w.alive || !w.inflight) continue;
+        const int remaining =
+            options_.heartbeat_ms - elapsed_ms_since(w.last_heard);
+        const int t = std::max(1, remaining + 1);
+        timeout = timeout < 0 ? t : std::min(timeout, t);
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
       COOPCR_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
@@ -378,13 +588,42 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
         handle_death(w);
         continue;
       }
-      if (n > 0) w.buffer.feed(chunk, static_cast<std::size_t>(n));
+      if (n > 0) {
+        w.buffer.feed(chunk, static_cast<std::size_t>(n));
+        w.last_heard = std::chrono::steady_clock::now();
+      }
       // Drain every complete frame first: a result the worker managed to
       // send before dying must count before its death requeues anything.
+      bool stream_cut = false;
       while (std::optional<Frame> frame = w.buffer.next()) {
+        ++w.frames_seen;
+        const FaultAction fault =
+            plan.take_frame_fault(static_cast<int>(owner[i]), w.frames_seen);
+        if (fault.fired) {
+          if (fault.kind == FaultKind::kDelayFrame) {
+            w.delayed.push_back(
+                DelayedFrame{std::move(*frame), fault.delay_rounds});
+            continue;
+          }
+          // Drop or truncate: the bytes are discarded and the stream past
+          // them cannot be trusted, so the worker is killed; its in-flight
+          // unit re-runs (bit-identically) elsewhere.
+          if (fault.kind == FaultKind::kTruncateFrame) {
+            // Leave the torn remainder in the buffer, as a real
+            // mid-frame cut would.
+            const std::uint8_t torn[3] = {0x08, 0x00, 0x00};
+            w.buffer.feed(torn, sizeof(torn));
+          }
+          if (w.pid > 0) ::kill(w.pid, SIGKILL);
+          handle_death(w);
+          stream_cut = true;
+          break;
+        }
         handle_frame(w, *frame);
+        if (!w.alive || outstanding == 0) break;
       }
-      if (n == 0) handle_death(w);
+      if (stream_cut) continue;
+      if (n == 0 && w.alive) handle_death(w);
       if (outstanding == 0) break;
     }
   }

@@ -7,11 +7,11 @@
 // instead of scheduling (grid point × replica) tasks on a thread pool it
 // shards them across a fleet of worker *processes* (fork of the current
 // process by default, or fork+exec of a driver command) that pull units
-// over the dist/wire.hpp pipe protocol. Dynamic pull is built-in work
-// stealing: a fast worker simply asks for more. Completed units are
-// appended to a crash-safe campaign journal (dist/journal.hpp), so a
-// SIGKILLed sweep resumes by replaying the journal and dispatching only the
-// missing units.
+// over the dist/wire.hpp protocol — pipes or a socketpair, see
+// dist/transport.hpp. Dynamic pull is built-in work stealing: a fast
+// worker simply asks for more. Completed units are appended to a
+// crash-safe campaign journal (dist/journal.hpp), so a SIGKILLed sweep
+// resumes by replaying the journal and dispatching only the missing units.
 //
 // Determinism contract, extending the thread-invariance guarantee to
 // processes and crashes: every unit writes a preassigned
@@ -19,20 +19,29 @@
 // the wire and the journal bit-exactly, and reduction folds slots in
 // (point, replica) order after all units complete. Reports are therefore
 // byte-identical (CSV and JSON) across 1 thread-pool run, any shard count,
-// and any kill/resume history — pinned by tests/dist/test_dist_runner.cpp.
+// any kill/respawn/resize history, and any resume point — pinned by
+// tests/dist/test_dist_runner.cpp and universally quantified over
+// scripted fault schedules by tests/dist/test_fault_soak.cpp.
 //
-// Fault model: a worker that dies mid-unit has its in-flight unit re-queued
-// to the surviving workers; the sweep only fails once *no* workers remain,
-// and then the journal already holds every completed unit. Workers are
-// processes, so a crash (or a SIGKILL from the CI smoke job) cannot corrupt
-// the coordinator's state.
+// Fault model (docs/ARCHITECTURE.md "Failure model of the campaign
+// engine"): a worker that dies mid-unit has its in-flight unit re-queued;
+// with a respawn budget (max_respawns) the coordinator also replaces the
+// casualty to keep the fleet at strength. A worker silent past
+// heartbeat_ms with a unit in flight is presumed hung and killed (then
+// respawned within budget). The fleet grows or shrinks mid-campaign via
+// resize_schedule, a scripted FaultPlan resize, or SIGUSR1/SIGUSR2. The
+// sweep only fails once no workers remain and the respawn budget is
+// spent — and then the journal already holds every completed unit.
 
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dist/fault_injection.hpp"
+#include "dist/transport.hpp"
 #include "exp/executor.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -61,8 +70,8 @@ struct DistOptions {
   /// serialising. When set, the command must start a process that rebuilds
   /// the same spec and calls worker_serve on kWorkerInFd/kWorkerOutFd
   /// (coopcr_sweep --worker does); the coordinator verifies the worker's
-  /// digest before dispatching. With kill_worker_after, "--kill-after <n>"
-  /// is appended to worker 0's command.
+  /// digest before dispatching. Fault directives ride along as
+  /// "--kill-after <n>" / "--stall <n>:<ms>" flags.
   std::vector<std::string> worker_command;
 
   /// Test/CI hook: worker 0 SIGKILLs itself after completing this many
@@ -73,6 +82,34 @@ struct DistOptions {
   /// results have been journaled — a deterministic stand-in for killing
   /// the coordinator mid-run.
   int max_units = 0;
+
+  /// Respawn budget: how many replacement workers may be spawned over the
+  /// whole run to keep the fleet at target strength after deaths
+  /// (including heartbeat kills and fault-plan casualties). 0 keeps the
+  /// historical requeue-to-survivors behaviour.
+  int max_respawns = 0;
+
+  /// > 0: a worker with a unit in flight that has been silent this many
+  /// milliseconds is presumed hung, SIGKILLed, and its unit re-queued
+  /// (respawning within budget). 0 disables the deadline.
+  int heartbeat_ms = 0;
+
+  /// How worker channels are built — see dist/transport.hpp. The wire
+  /// bytes and the results are identical across transports.
+  TransportKind transport = TransportKind::kPipe;
+
+  /// Scripted elastic resharding: once entry.after_units fresh results
+  /// have landed, grow or shrink the fleet to entry.shards. Shrinking
+  /// drains busy workers (their in-flight unit completes first); growing
+  /// spawns immediately. SIGUSR1/SIGUSR2 adjust the fleet by ±1 at run
+  /// time on top of this schedule.
+  std::vector<ResizePoint> resize_schedule;
+
+  /// Scripted fault injection (see dist/fault_injection.hpp). The hook
+  /// seam is always compiled in and inert when the plan is null or empty.
+  /// Held by shared_ptr so fired single-shot actions stay fired across a
+  /// resume retry loop — the soak's core trick.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 class DistSweepRunner final : public exp::SweepExecutor {
@@ -89,8 +126,9 @@ class DistSweepRunner final : public exp::SweepExecutor {
 
   /// Expand `spec` and run the full grid across the worker fleet. Throws
   /// coopcr::Error on journal/digest mismatches, when every worker died
-  /// with units outstanding, or when the spec requests keep_results (full
-  /// SimulationResults never cross the process boundary).
+  /// with units outstanding and no respawn budget remains, or when the
+  /// spec requests keep_results (full SimulationResults never cross the
+  /// process boundary).
   exp::ExperimentReport run(const exp::ExperimentSpec& spec) override;
 
  private:

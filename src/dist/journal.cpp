@@ -186,7 +186,32 @@ JournalReplay replay_journal(const std::string& path,
                "journal dimensions mismatch the experiment grid");
 
   replay.valid_bytes = pos;
-  while (parse_block(data, pos, payload)) {
+  while (true) {
+    const std::size_t block_start = pos;
+    if (!parse_block(data, pos, payload)) {
+      // A crash can only tear the *end* of an append-only, fdatasynced
+      // file, so a bad block with nothing after it is a torn tail (drop
+      // and re-run those units). A checksum-failed block that is complete
+      // *and followed by more data* cannot be a torn write — it is silent
+      // mid-file corruption (bit rot, a bad copy, tampering), and resuming
+      // would drop good records after it. Refuse, naming the offset.
+      const std::size_t remaining = data.size() - block_start;
+      if (remaining >= 12) {
+        Decoder head(data.data() + block_start, 12);
+        const std::uint32_t len = head.u32();
+        if (len <= kMaxFramePayload && remaining - 12 >= len &&
+            block_start + 12 + len < data.size()) {
+          COOPCR_CHECK(false,
+                       "journal record at byte offset " +
+                           std::to_string(block_start) +
+                           " fails its checksum with further records after "
+                           "it — " + path +
+                           " is corrupt mid-file (not merely torn), refusing "
+                           "to resume");
+        }
+      }
+      break;
+    }
     Decoder dec(payload);
     JournalRecord record;
     record.point = dec.u32();

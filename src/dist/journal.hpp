@@ -29,13 +29,17 @@
 // journal can never be replayed into a campaign with a different pairing.
 // Version-1 journals refuse to resume (format_version mismatch).
 //
-// Torn-write discipline: every record is length-prefixed and checksummed. A
-// record cut short by a crash (or with a corrupt checksum) and everything
-// after it is dropped at replay, the file is truncated back to the last
-// good record on reopen, and the affected units simply re-run. The header
-// binds the spec digest (dist/journal.cpp spec_digest) and the code
-// version, so a journal from a different grid — or a different build of the
-// simulator — refuses to resume instead of silently mixing results.
+// Torn-write discipline: every record is length-prefixed and checksummed.
+// A record cut short by a crash — or whose checksum fails at the *end* of
+// the file — is a torn tail: it is dropped at replay, the file is
+// truncated back to the last good record on reopen, and the affected units
+// simply re-run. A checksum-failed record that is complete and has further
+// data after it cannot be a torn append: that is silent mid-file
+// corruption, and replay refuses it loudly, naming the byte offset —
+// resuming past it would drop good records. The header binds the spec
+// digest (dist/journal.cpp spec_digest) and the code version, so a journal
+// from a different grid — or a different build of the simulator — refuses
+// to resume instead of silently mixing results.
 
 #pragma once
 

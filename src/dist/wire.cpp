@@ -185,6 +185,15 @@ HelloMsg decode_hello(const std::vector<std::uint8_t>& payload) {
   return msg;
 }
 
+void validate_hello(const HelloMsg& hello, std::uint64_t expected_digest) {
+  COOPCR_CHECK(hello.protocol == kProtocolVersion,
+               "worker speaks protocol " + std::to_string(hello.protocol) +
+                   ", coordinator speaks " + std::to_string(kProtocolVersion));
+  COOPCR_CHECK(hello.spec_digest == expected_digest,
+               "worker rebuilt a different experiment grid (spec digest "
+               "mismatch) — refusing to dispatch units to it");
+}
+
 std::vector<std::uint8_t> encode_unit(const UnitMsg& msg) {
   Encoder enc;
   enc.u32(msg.point);

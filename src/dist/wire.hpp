@@ -154,6 +154,11 @@ struct ResultMsg {
 std::vector<std::uint8_t> encode_hello(const HelloMsg& msg);
 HelloMsg decode_hello(const std::vector<std::uint8_t>& payload);
 
+/// Coordinator-side admission check: throws coopcr::Error when the hello
+/// announces a different protocol version or a different spec digest —
+/// a version-skewed or wrong-grid worker must never receive units.
+void validate_hello(const HelloMsg& hello, std::uint64_t expected_digest);
+
 std::vector<std::uint8_t> encode_unit(const UnitMsg& msg);
 UnitMsg decode_unit(const std::vector<std::uint8_t>& payload);
 

@@ -1,5 +1,8 @@
 #include "dist/worker.hpp"
 
+#include <time.h>
+
+#include <cerrno>
 #include <csignal>
 #include <memory>
 #include <vector>
@@ -10,8 +13,22 @@
 
 namespace coopcr::dist {
 
+namespace {
+
+/// Sleep that survives EINTR — a stalled worker must stall for the full
+/// scripted duration or the heartbeat test turns flaky.
+void sleep_ms(int ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
 void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
-                  int kill_after) {
+                  const WorkerDirectives& directives) {
   // The worker expands the grid itself (fork mode inherits the spec; exec
   // mode rebuilt it from the command line) and proves which grid it holds
   // by announcing the digest.
@@ -44,11 +61,19 @@ void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
     MonteCarloCampaign& campaign = *campaigns[unit.point];
     campaign.run_replica_task(static_cast<int>(unit.replica));
     ++units_done;
-    if (kill_after > 0 && units_done >= kill_after) {
+    if (directives.kill_after > 0 && units_done >= directives.kill_after) {
       // Die *before* the result is sent: the unit is complete in this
       // process but never becomes durable, exactly the torn state a real
       // mid-unit SIGKILL leaves behind.
       ::raise(SIGKILL);
+    }
+    for (const WorkerDirectives::Stall& stall : directives.stalls) {
+      // Stall *before* sending: the coordinator sees a silent worker with a
+      // unit in flight, which is what the heartbeat deadline detects. The
+      // result itself is unaffected — if the worker survives the stall the
+      // slot ships bit-identically, and if the heartbeat kills it first the
+      // unit re-runs elsewhere to the same bits.
+      if (stall.before_result == units_done) sleep_ms(stall.ms);
     }
     ResultMsg result;
     result.point = unit.point;
@@ -56,6 +81,13 @@ void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
     result.slot = campaign.slot(static_cast<int>(unit.replica));
     write_frame(out_fd, MsgType::kResult, encode_result(result));
   }
+}
+
+void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
+                  int kill_after) {
+  WorkerDirectives directives;
+  directives.kill_after = kill_after;
+  worker_serve(spec, in_fd, out_fd, directives);
 }
 
 }  // namespace coopcr::dist

@@ -15,16 +15,38 @@
 
 #pragma once
 
+#include <vector>
+
 #include "exp/experiment.hpp"
 
 namespace coopcr::dist {
 
+/// Deterministic fault hooks a worker applies to itself, carried either
+/// in-memory (fork mode) or via --kill-after / --stall flags (exec mode).
+struct WorkerDirectives {
+  /// > 0: raise(SIGKILL) after completing this many units *without sending
+  /// the last result* — the "worker killed mid-unit" hook used by the
+  /// kill-resume tests and the CI smoke job.
+  int kill_after = 0;
+
+  /// Sleep `ms` milliseconds *before* sending result number
+  /// `before_result` (1-based) — long enough sleeps trip the coordinator's
+  /// heartbeat deadline (DistOptions::heartbeat_ms).
+  struct Stall {
+    int before_result = 0;
+    int ms = 0;
+  };
+  std::vector<Stall> stalls;
+};
+
 /// Serve work units for `spec` on the given pipe fds until kShutdown or
-/// EOF. `kill_after` > 0 makes the worker raise(SIGKILL) on itself after
-/// completing that many units *without sending the last result* — the
-/// deterministic "worker killed mid-unit" hook used by the kill-resume
-/// tests and the CI smoke job. Returns normally on shutdown; throws
-/// coopcr::Error on protocol violations.
+/// EOF, applying `directives` at their trigger points. Returns normally on
+/// shutdown; throws coopcr::Error on protocol violations.
+void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
+                  const WorkerDirectives& directives);
+
+/// Directive-free convenience overload (kill_after keeps its historical
+/// meaning — see WorkerDirectives::kill_after).
 void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
                   int kill_after = 0);
 

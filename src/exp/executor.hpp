@@ -29,6 +29,10 @@
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 
+namespace coopcr::dist {
+class FaultPlan;  // dist/fault_injection.hpp — kept out of this header
+}  // namespace coopcr::dist
+
 namespace coopcr::exp {
 
 /// One unit of sweep work: a Monte Carlo campaign (scenario × strategy set).
@@ -97,6 +101,21 @@ struct ExecutorOptions {
   /// Dist test/CI fault hooks (dist::DistOptions).
   int kill_worker_after = 0;
   int max_units = 0;
+
+  /// Dist: respawn budget for replacing dead workers mid-campaign.
+  int max_respawns = 0;
+  /// Dist: silent-worker deadline in milliseconds; 0 disables.
+  int heartbeat_ms = 0;
+  /// Dist: worker channel transport, "pipe" (default) or "socketpair";
+  /// parsed by make_sweep_executor, which names the knob on bad values.
+  std::string transport;
+  /// Dist: elastic resharding schedule, "UNITS:SHARDS" entries (resize the
+  /// fleet to SHARDS once UNITS fresh results landed).
+  std::vector<std::string> resize_at;
+  /// Dist: scripted fault plan (dist::FaultPlan). Held as shared_ptr so
+  /// single-shot fault actions stay fired across a resume retry loop; the
+  /// CLI builds it from --fault-plan / COOPCR_FAULT_PLAN.
+  std::shared_ptr<dist::FaultPlan> fault_plan;
 };
 
 /// Build the selected engine behind the SweepExecutor interface.

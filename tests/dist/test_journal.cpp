@@ -142,6 +142,47 @@ TEST_F(JournalTest, CorruptChecksumDropsTheRecord) {
   ASSERT_EQ(replay.records.size(), 1u);
 }
 
+TEST_F(JournalTest, RefusesMidFileCorruptionNamingTheOffset) {
+  // A checksum failure at the END of the file is a torn tail — survivable
+  // (previous test). The same failure with intact records AFTER it is
+  // silent corruption: replay must refuse loudly, naming the bad record's
+  // byte offset, instead of quietly dropping committed results.
+  const JournalHeader header = sample_header();
+  std::uintmax_t size_after_first = 0;
+  {
+    JournalWriter writer = JournalWriter::create(path_, header);
+    writer.append_record(sample_record(0, 0));
+    writer.close();
+    size_after_first = file_size(path_);
+    JournalWriter writer2 =
+        JournalWriter::append_after(path_, size_after_first);
+    writer2.append_record(sample_record(1, 1));
+    writer2.append_record(sample_record(2, 2));
+  }
+  // Flip one payload byte inside the SECOND of three records.
+  {
+    const std::streamoff at =
+        static_cast<std::streamoff>(size_after_first) + 14;
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    f.seekg(at);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.seekp(at);
+    f.write(&byte, 1);
+  }
+  try {
+    replay_journal(path_, header);
+    FAIL() << "expected mid-file corruption to be refused";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt mid-file"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset " + std::to_string(size_after_first)),
+              std::string::npos)
+        << what;
+  }
+}
+
 TEST_F(JournalTest, RejectsSpecDigestMismatch) {
   const JournalHeader header = sample_header();
   { JournalWriter writer = JournalWriter::create(path_, header); }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -137,6 +139,124 @@ TEST(Wire, DecoderRejectsOverrunAndTrailingBytes) {
   {
     Decoder dec(enc.bytes());
     EXPECT_THROW(dec.expect_done(), Error);  // 4 unread bytes
+  }
+}
+
+// --- malformed-frame coverage ----------------------------------------------
+
+namespace {
+
+/// A complete kResult frame as raw stream bytes: length prefix, type,
+/// payload. The richest real message — its stream crosses every field kind
+/// (u16, u32, u64, f64, str).
+std::vector<std::uint8_t> sample_result_stream() {
+  ResultMsg result;
+  result.point = 3;
+  result.replica = 9;
+  result.slot = sample_slot();
+  const std::vector<std::uint8_t> payload = encode_result(result);
+  Encoder framing;
+  framing.u32(static_cast<std::uint32_t>(payload.size()));
+  framing.u16(static_cast<std::uint16_t>(MsgType::kResult));
+  std::vector<std::uint8_t> stream = framing.bytes();
+  stream.insert(stream.end(), payload.begin(), payload.end());
+  return stream;
+}
+
+/// Write the first `len` bytes of `stream` into a pipe, close the write
+/// end, and hand the read end to read_frame.
+std::optional<Frame>
+read_partial_stream(const std::vector<std::uint8_t>& stream, std::size_t len) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t rc = ::write(fds[1], stream.data() + written, len - written);
+    EXPECT_GT(rc, 0) << "pipe write failed";
+    if (rc <= 0) break;
+    written += static_cast<std::size_t>(rc);
+  }
+  ::close(fds[1]);
+  std::optional<Frame> frame;
+  try {
+    frame = read_frame(fds[0]);
+    ::close(fds[0]);
+  } catch (...) {
+    ::close(fds[0]);
+    throw;
+  }
+  return frame;
+}
+
+}  // namespace
+
+TEST(WireMalformed, ShortReadAtEveryByteBoundaryIsMidFrameEof) {
+  // Table-driven over every possible cut point of a full kResult frame:
+  // 0 bytes is a clean EOF (nullopt), any strict prefix is a mid-frame EOF
+  // (Error), the full stream pops the frame.
+  const std::vector<std::uint8_t> stream = sample_result_stream();
+  EXPECT_FALSE(read_partial_stream(stream, 0).has_value());
+  for (std::size_t len = 1; len < stream.size(); ++len) {
+    SCOPED_TRACE("cut after byte " + std::to_string(len) + " of " +
+                 std::to_string(stream.size()));
+    EXPECT_THROW((void)read_partial_stream(stream, len), Error);
+  }
+  const std::optional<Frame> full =
+      read_partial_stream(stream, stream.size());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->type, MsgType::kResult);
+}
+
+TEST(WireMalformed, DecoderRejectsTruncationAtEveryPayloadBoundary) {
+  // Any strict prefix of a kResult payload must throw: the decode sequence
+  // is deterministic, so some field read always lands past the cut.
+  ResultMsg result;
+  result.point = 1;
+  result.replica = 2;
+  result.slot = sample_slot();
+  const std::vector<std::uint8_t> payload = encode_result(result);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    SCOPED_TRACE("payload truncated to " + std::to_string(cut) + " of " +
+                 std::to_string(payload.size()) + " bytes");
+    const std::vector<std::uint8_t> truncated(payload.begin(),
+                                              payload.begin() + cut);
+    EXPECT_THROW((void)decode_result(truncated), Error);
+  }
+  EXPECT_EQ(decode_result(payload).replica, 2u);
+}
+
+TEST(WireMalformed, ReadFrameRejectsOversizedLengthPrefix) {
+  Encoder enc;
+  enc.u32(kMaxFramePayload + 1);
+  enc.u16(static_cast<std::uint16_t>(MsgType::kResult));
+  EXPECT_THROW((void)read_partial_stream(enc.bytes(), enc.bytes().size()),
+               Error);
+}
+
+TEST(WireMalformed, ValidateHelloRefusesVersionSkewAndWrongGrid) {
+  HelloMsg good;
+  good.spec_digest = 42;
+  validate_hello(good, 42);  // must not throw
+
+  HelloMsg skewed;
+  skewed.protocol = kProtocolVersion + 1;
+  skewed.spec_digest = 42;
+  try {
+    validate_hello(skewed, 42);
+    FAIL() << "expected a protocol-version mismatch to be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol"), std::string::npos)
+        << e.what();
+  }
+
+  HelloMsg wrong_grid;
+  wrong_grid.spec_digest = 41;
+  try {
+    validate_hello(wrong_grid, 42);
+    FAIL() << "expected a spec-digest mismatch to be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos)
+        << e.what();
   }
 }
 
