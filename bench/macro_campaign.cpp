@@ -25,6 +25,7 @@
 // measure scaling instead).
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -135,6 +136,94 @@ EconomyRun run_economy(const ScenarioBuilder& row, const char* name, bool vr,
   run.vr_factor = outcome.vr.estimate.vr_factor;
   run.ess = outcome.vr.estimate.ess;
   return run;
+}
+
+/// Paired strategy-contrast economy on one fig1 160 GB/s spot row: replicas
+/// needed to pin E[waste(least_waste) - waste(oblivious-daly)] to a target
+/// 95% CI, with the common-random-numbers contrast estimator versus the
+/// classical unpaired two-sample comparison over independent per-strategy
+/// estimates. Both legs follow the same doubling schedule from 16 replicas,
+/// so `reduction` reads directly as the replica bill the pairing saves —
+/// this is the headline of the "Strategy contrasts" estimator round: on the
+/// full APEX mix the workload-schedule variance that defeats the
+/// per-strategy estimators is *common* to every strategy of a replica, so
+/// the paired difference cancels it and the comparison converges in a
+/// fraction of the replicas.
+struct ContrastEconomy {
+  int contrast_replicas = 0;   ///< replicas the paired contrast consumed
+  double contrast_mean = 0.0;  ///< contrast point estimate at convergence
+  double contrast_ci = 0.0;    ///< achieved contrast 95% CI width
+  double vr_factor = 1.0;      ///< contrast vr_factor vs unpaired, measured
+  int unpaired_replicas = 0;   ///< replicas the unpaired comparison needed
+  double unpaired_ci = 0.0;    ///< achieved unpaired 95% CI width
+  double reduction = 1.0;      ///< unpaired_replicas / contrast_replicas
+};
+
+ContrastEconomy run_contrast_economy(const ScenarioBuilder& row,
+                                     const char* name, double target_ci,
+                                     int threads) {
+  constexpr double kZ95 = 1.959963984540054;
+  constexpr int kStart = 16;
+  constexpr int kCap = 8192;
+
+  const auto make_spec = [&](const MonteCarloOptions& options) {
+    exp::ExperimentSpec spec(row, name);
+    spec.pfs_bandwidth_axis({160})
+        .strategies({oblivious_daly(), least_waste()})
+        .options(options);
+    return spec;
+  };
+
+  ContrastEconomy economy;
+
+  // Contrast leg: sequential stopping on the paired-contrast CI (the
+  // reference strategy contributes a zero-width CI, so the target binds on
+  // the least_waste - reference difference alone).
+  {
+    MonteCarloOptions options;
+    options.replicas = kStart;
+    options.target_ci_width = target_ci;
+    options.max_replicas = kCap;
+    exp::ExperimentSpec spec = make_spec(options);
+    MonteCarloOptions with_contrast = spec.campaign_options();
+    with_contrast.contrast_reference = spec.strategy_set()[0].name();
+    spec.options(with_contrast);
+    exp::SweepRunner runner(threads);
+    const exp::ExperimentReport report = runner.run(spec);
+    const StrategyOutcome& outcome = report.points[0].report.outcomes[1];
+    economy.contrast_replicas = report.points[0].report.replicas;
+    economy.contrast_mean = outcome.contrast.estimate.mean;
+    economy.contrast_ci = outcome.contrast.estimate.ci_width;
+    economy.vr_factor = outcome.contrast.estimate.vr_factor;
+  }
+
+  // Unpaired baseline: the same doubling schedule, but each strategy
+  // estimated independently and the difference's CI taken as the classical
+  // two-sample width 2·z·sqrt(se_A² + se_B²). Replica r is a pure function
+  // of (seed, r), so rerunning at each doubled count reproduces the exact
+  // prefix the extend path would.
+  for (int n = kStart;; n *= 2) {
+    MonteCarloOptions options;
+    options.replicas = n;
+    exp::ExperimentSpec spec = make_spec(options);
+    exp::SweepRunner runner(threads);
+    const exp::ExperimentReport report = runner.run(spec);
+    const auto& outcomes = report.points[0].report.outcomes;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double variance = 0.0;
+    for (const StrategyOutcome& outcome : outcomes) {
+      const SampleSet& samples =
+          exp::metric_samples(outcome, exp::Metric::kWasteRatio);
+      variance += samples.stddev() * samples.stddev() * inv_n;
+    }
+    economy.unpaired_replicas = n;
+    economy.unpaired_ci = 2.0 * kZ95 * std::sqrt(variance);
+    if (economy.unpaired_ci <= target_ci || n >= kCap) break;
+  }
+
+  economy.reduction = static_cast<double>(economy.unpaired_replicas) /
+                      static_cast<double>(economy.contrast_replicas);
+  return economy;
 }
 
 /// Wall-clock one DistSweepRunner pass over the bench campaign with
@@ -277,5 +366,60 @@ int main() {
               mix_vr.replicas);
   std::printf("macro_campaign.replica_economy.apex_mix.vr_factor = %.3f\n",
               mix_vr.vr_factor);
+
+  // Contrast economy: replicas needed to pin the least_waste-vs-oblivious
+  // waste-ratio *difference* to a fixed CI — common-random-numbers paired
+  // contrast versus the unpaired two-sample comparison. Reported on both
+  // regimes: the failure-isolated EAP row (failure noise is shared too, so
+  // the pairing still wins) and the full APEX mix, where the contrast
+  // cancels the workload-schedule variance the per-strategy estimators
+  // cannot touch and the replica reduction is the headline number
+  // tools/bench_check.py holds a floor on.
+  const double contrast_target =
+      env::double_knob("COOPCR_CONTRAST_TARGET_CI", 0.004, 0.0);
+  const ContrastEconomy eap_contrast = run_contrast_economy(
+      eap_row, "contrast_economy", contrast_target, options.threads);
+  std::printf("macro_campaign.contrast_economy.target_ci = %.6f\n",
+              contrast_target);
+  std::printf("macro_campaign.contrast_economy.contrast_replicas = %d\n",
+              eap_contrast.contrast_replicas);
+  std::printf("macro_campaign.contrast_economy.contrast_ci_width = %.6f\n",
+              eap_contrast.contrast_ci);
+  std::printf("macro_campaign.contrast_economy.vr_factor = %.3f\n",
+              eap_contrast.vr_factor);
+  std::printf("macro_campaign.contrast_economy.unpaired_replicas = %d\n",
+              eap_contrast.unpaired_replicas);
+  std::printf("macro_campaign.contrast_economy.unpaired_ci_width = %.6f\n",
+              eap_contrast.unpaired_ci);
+  std::printf("macro_campaign.contrast_economy.reduction = %.3f\n",
+              eap_contrast.reduction);
+
+  const double mix_contrast_target =
+      env::double_knob("COOPCR_CONTRAST_MIX_TARGET_CI", 0.004, 0.0);
+  const ContrastEconomy mix_contrast = run_contrast_economy(
+      mix_row, "contrast_economy_mix", mix_contrast_target, options.threads);
+  std::printf("macro_campaign.contrast_economy.apex_mix.target_ci = %.6f\n",
+              mix_contrast_target);
+  std::printf(
+      "macro_campaign.contrast_economy.apex_mix.contrast_replicas = %d\n",
+      mix_contrast.contrast_replicas);
+  std::printf(
+      "macro_campaign.contrast_economy.apex_mix.contrast_ci_width = %.6f\n",
+      mix_contrast.contrast_ci);
+  std::printf("macro_campaign.contrast_economy.apex_mix.vr_factor = %.3f\n",
+              mix_contrast.vr_factor);
+  std::printf(
+      "macro_campaign.contrast_economy.apex_mix.unpaired_replicas = %d\n",
+      mix_contrast.unpaired_replicas);
+  std::printf(
+      "macro_campaign.contrast_economy.apex_mix.unpaired_ci_width = %.6f\n",
+      mix_contrast.unpaired_ci);
+  std::printf("macro_campaign.contrast_economy.apex_mix.reduction = %.3f\n",
+              mix_contrast.reduction);
+  std::printf(
+      "\ncontrast economy (apex mix): %d paired vs %d unpaired replicas "
+      "-> %.1fx fewer (vr_factor %.1f)\n",
+      mix_contrast.contrast_replicas, mix_contrast.unpaired_replicas,
+      mix_contrast.reduction, mix_contrast.vr_factor);
   return 0;
 }

@@ -40,6 +40,8 @@ void usage(std::ostream& os) {
         "half-width exceeds W (default: trust the grid)\n"
         "  --replicas N       fallback campaign replicas (default: the "
         "grid's own count)\n"
+        "  --target-ci W      fallback campaigns grow replicas until every "
+        "95% CI width is <= W, on either backend (default: fixed count)\n"
         "  --backend NAME     fallback engine: inprocess | dist (default "
         "inprocess)\n"
         "  --shards N         dist backend worker processes (default 2)\n"
@@ -123,6 +125,9 @@ int main(int argc, char** argv) {
         ++i;
       } else if (arg == "--replicas") {
         options.engine.fallback_replicas = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--target-ci") {
+        options.engine.fallback_target_ci = double_arg(arg, next);
         ++i;
       } else if (arg == "--backend") {
         COOPCR_CHECK(next, "--backend needs a value");

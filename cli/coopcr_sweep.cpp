@@ -65,9 +65,15 @@ void usage(std::ostream& os) {
         "  --control-variate  closed-form control-variate estimator "
         "(COOPCR_CONTROL_VARIATE)\n"
         "  --target-ci W      sequential stopping: grow replicas until every "
-        "95% CI is <= W (COOPCR_TARGET_CI; in-process only)\n"
+        "95% CI is <= W, on any backend (COOPCR_TARGET_CI)\n"
         "  --max-replicas N   replica cap for --target-ci; 0 = 64x initial "
         "(COOPCR_MAX_REPLICAS)\n"
+        "  --contrast NAME    paired strategy-contrast estimator vs reference "
+        "strategy NAME (COOPCR_CONTRAST)\n"
+        "  --strata-bins N    post-stratify estimates on N quantile bins of "
+        "a workload feature (COOPCR_STRATA_BINS; 0 = off)\n"
+        "  --strata-feature F stratification feature: work_total | work_jobs "
+        "| work_max_share (COOPCR_STRATA_FEATURE)\n"
         "  --respawn N        budget for respawning dead workers "
         "(COOPCR_RESPAWN; default 0)\n"
         "  --heartbeat-ms N   kill workers silent past N ms with a unit in "
@@ -165,6 +171,10 @@ int main(int argc, char** argv) {
     bool control_variate = env::flag_knob("COOPCR_CONTROL_VARIATE");
     double target_ci = env::double_knob("COOPCR_TARGET_CI", 0.0, 0.0);
     int max_replicas = env::int_knob("COOPCR_MAX_REPLICAS", 0, 0);
+    std::string contrast = env::string_knob("COOPCR_CONTRAST").value_or("");
+    int strata_bins = env::int_knob("COOPCR_STRATA_BINS", 0, 0);
+    std::string strata_feature =
+        env::string_knob("COOPCR_STRATA_FEATURE").value_or("");
     int max_respawns = env::int_knob("COOPCR_RESPAWN", 0, 0);
     int heartbeat_ms = env::int_knob("COOPCR_HEARTBEAT_MS", 0, 0);
     std::string transport = env::string_knob("COOPCR_TRANSPORT").value_or("");
@@ -210,6 +220,17 @@ int main(int argc, char** argv) {
         ++i;
       } else if (arg == "--max-replicas") {
         max_replicas = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--contrast") {
+        COOPCR_CHECK(next, "--contrast needs a value");
+        contrast = next;
+        ++i;
+      } else if (arg == "--strata-bins") {
+        strata_bins = int_arg(arg, next);
+        ++i;
+      } else if (arg == "--strata-feature") {
+        COOPCR_CHECK(next, "--strata-feature needs a value");
+        strata_feature = next;
         ++i;
       } else if (arg == "--max-units") {
         max_units = int_arg(arg, next);
@@ -269,6 +290,9 @@ int main(int argc, char** argv) {
       mc.control_variate = control_variate;
       mc.target_ci_width = target_ci;
       mc.max_replicas = max_replicas;
+      mc.contrast_reference = contrast;
+      mc.strata_bins = strata_bins;
+      if (!strata_feature.empty()) mc.strata_feature = strata_feature;
       spec.options(mc);
     }
 
@@ -334,6 +358,28 @@ int main(int argc, char** argv) {
         if (antithetic) options.worker_command.push_back("--antithetic");
         if (control_variate) {
           options.worker_command.push_back("--control-variate");
+        }
+        if (target_ci > 0.0) {
+          options.worker_command.push_back("--target-ci");
+          // Round-trip formatting: the spec digest folds the exact bit
+          // pattern, so the worker must parse back the identical double.
+          options.worker_command.push_back(format_number(target_ci));
+        }
+        if (max_replicas > 0) {
+          options.worker_command.push_back("--max-replicas");
+          options.worker_command.push_back(std::to_string(max_replicas));
+        }
+        if (!contrast.empty()) {
+          options.worker_command.push_back("--contrast");
+          options.worker_command.push_back(contrast);
+        }
+        if (strata_bins > 0) {
+          options.worker_command.push_back("--strata-bins");
+          options.worker_command.push_back(std::to_string(strata_bins));
+        }
+        if (!strata_feature.empty()) {
+          options.worker_command.push_back("--strata-feature");
+          options.worker_command.push_back(strata_feature);
         }
       }
     }

@@ -27,6 +27,14 @@ MonteCarloOptions MonteCarloOptions::from_env(int default_replicas,
       env::double_knob("COOPCR_TARGET_CI", 0.0, /*min_value=*/0.0);
   options.max_replicas = env::int_knob("COOPCR_MAX_REPLICAS", 0,
                                        /*min_value=*/0);
+  if (const auto contrast = env::string_knob("COOPCR_CONTRAST")) {
+    options.contrast_reference = *contrast;
+  }
+  options.strata_bins = env::int_knob("COOPCR_STRATA_BINS", 0,
+                                      /*min_value=*/0);
+  if (const auto feature = env::string_knob("COOPCR_STRATA_FEATURE")) {
+    options.strata_feature = *feature;
+  }
   return options;
 }
 
@@ -54,6 +62,23 @@ MonteCarloCampaign::MonteCarloCampaign(ScenarioConfig scenario,
                "antithetic pairing needs an even replica count");
   COOPCR_CHECK(!options_.antithetic || !options_.keep_results,
                "antithetic pairing is incompatible with keep_results");
+  if (options_.contrast_active()) {
+    for (std::size_t s = 0; s < strategies_.size(); ++s) {
+      if (strategies_[s].name() == options_.contrast_reference) {
+        contrast_index_ = static_cast<int>(s);
+        break;
+      }
+    }
+    COOPCR_CHECK(contrast_index_ >= 0,
+                 "contrast reference strategy \"" +
+                     options_.contrast_reference +
+                     "\" is not in the campaign's strategy set");
+  }
+  COOPCR_CHECK(options_.strata_feature == "work_total" ||
+                   options_.strata_feature == "work_jobs" ||
+                   options_.strata_feature == "work_max_share",
+               "unknown stratification feature \"" + options_.strata_feature +
+                   "\" — expected work_total, work_jobs or work_max_share");
   outputs_.resize(static_cast<std::size_t>(tasks()));
   if (options_.control_variate) {
     // Closed-form first-order waste prediction (Theorem 1): split the bound
@@ -142,6 +167,31 @@ void MonteCarloCampaign::run_replica_task(int t) {
           ? cv_intercept_ +
                 cv_slope_ * static_cast<double>(anti_failures.size())
           : 0.0;
+
+  // Realised workload summaries for post-stratification (slot layout v3).
+  // Recorded unconditionally: one compose() pass per replica is noise next
+  // to the simulations, and always-on features keep the slot layout (and so
+  // the wire/journal formats) independent of the estimator options.
+  auto record_features = [&](const std::vector<Job>& work, double& total,
+                             double& count, double& max_share) {
+    const WorkloadComposition comp = generator.compose(work);
+    total = comp.total_node_seconds;
+    count = static_cast<double>(work.size());
+    max_share = 0.0;
+    for (const double share : comp.shares) {
+      max_share = std::max(max_share, share);
+    }
+  };
+  record_features(jobs, out.slot.work_total, out.slot.work_jobs,
+                  out.slot.work_max_share);
+  if (options_.antithetic) {
+    record_features(anti_jobs, out.slot.work_total_anti,
+                    out.slot.work_jobs_anti, out.slot.work_max_share_anti);
+  } else {
+    out.slot.work_total_anti = 0.0;
+    out.slot.work_jobs_anti = 0.0;
+    out.slot.work_max_share_anti = 0.0;
+  }
 
   // Metrics are finished at task time (not at reduce time) so a slot is a
   // flat double tuple any executor — local pool, worker process, journal
@@ -247,6 +297,8 @@ MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
   MonteCarloReport report;
   report.replicas = options_.replicas;
   report.vr_enabled = options_.vr_active();
+  report.contrast_enabled = options_.contrast_active();
+  report.contrast_reference = options_.contrast_reference;
   report.outcomes.resize(strategies_.size());
   for (std::size_t s = 0; s < strategies_.size(); ++s) {
     report.outcomes[s].strategy = strategies_[s];
@@ -254,12 +306,29 @@ MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
   // Waste-ratio samples (and, under control variates, their predictors) per
   // strategy, in fold order: under antithetic pairing that is primal(t),
   // anti(t), primal(t+1), ... — the even/odd layout estimate_mean pairs on.
+  // The contrast estimator needs the same per-strategy alignment, so it
+  // shares the collection.
+  const bool collect_samples = report.vr_enabled || report.contrast_enabled;
   std::vector<std::vector<double>> vr_samples;
   std::vector<std::vector<double>> vr_predictors;
-  if (report.vr_enabled) {
+  if (collect_samples) {
     vr_samples.resize(strategies_.size());
     if (options_.control_variate) vr_predictors.resize(strategies_.size());
   }
+  // One shared stratification-feature stream (per sample, same interleaved
+  // order) — the feature is a property of the replica draw, not the
+  // strategy.
+  const bool stratify = options_.strata_bins > 1;
+  std::vector<double> strata_features;
+  auto slot_feature = [&](const ReplicaSlot& slot, bool anti) {
+    if (options_.strata_feature == "work_jobs") {
+      return anti ? slot.work_jobs_anti : slot.work_jobs;
+    }
+    if (options_.strata_feature == "work_max_share") {
+      return anti ? slot.work_max_share_anti : slot.work_max_share;
+    }
+    return anti ? slot.work_total_anti : slot.work_total;
+  };
 
   auto fold_tuple = [&](StrategyOutcome& outcome,
                         const ReplicaStrategyMetrics& m) {
@@ -287,11 +356,17 @@ MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
       report.baseline_useful.add(out.slot.baseline_useful_anti);
       report.baseline_useful_energy.add(out.slot.baseline_useful_energy_anti);
     }
+    if (stratify) {
+      strata_features.push_back(slot_feature(out.slot, /*anti=*/false));
+      if (options_.antithetic) {
+        strata_features.push_back(slot_feature(out.slot, /*anti=*/true));
+      }
+    }
     for (std::size_t s = 0; s < strategies_.size(); ++s) {
       StrategyOutcome& outcome = report.outcomes[s];
       const ReplicaStrategyMetrics& m = out.slot.per_strategy[s];
       fold_tuple(outcome, m);
-      if (report.vr_enabled) {
+      if (collect_samples) {
         vr_samples[s].push_back(m.waste_ratio);
         if (options_.control_variate) {
           vr_predictors[s].push_back(out.slot.cv_predictor);
@@ -300,7 +375,7 @@ MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
       if (options_.antithetic) {
         const ReplicaStrategyMetrics& anti = out.slot.antithetic[s];
         fold_tuple(outcome, anti);
-        if (report.vr_enabled) {
+        if (collect_samples) {
           vr_samples[s].push_back(anti.waste_ratio);
           if (options_.control_variate) {
             vr_predictors[s].push_back(out.slot.cv_predictor_anti);
@@ -319,7 +394,19 @@ MonteCarloReport MonteCarloCampaign::fold_report(bool destructive) {
       outcome.vr.estimate = estimate_mean(
           vr_samples[s], options_.antithetic,
           options_.control_variate ? vr_predictors[s] : std::vector<double>{},
-          cv_predictor_mean_);
+          cv_predictor_mean_, strata_features, options_.strata_bins);
+    }
+  }
+  if (report.contrast_enabled) {
+    const std::vector<double>& reference =
+        vr_samples[static_cast<std::size_t>(contrast_index_)];
+    for (std::size_t s = 0; s < strategies_.size(); ++s) {
+      if (s == static_cast<std::size_t>(contrast_index_)) continue;
+      StrategyOutcome& outcome = report.outcomes[s];
+      outcome.contrast.enabled = true;
+      outcome.contrast.estimate =
+          estimate_contrast(vr_samples[s], reference, options_.antithetic,
+                            strata_features, options_.strata_bins);
     }
   }
   return report;

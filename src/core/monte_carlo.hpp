@@ -64,10 +64,34 @@ struct MonteCarloOptions {
   /// equivalence is testable.
   bool share_baseline = true;
 
-  /// True when any estimator upgrade is on (vr_* columns are emitted).
+  // --- estimator upgrades, round two ----------------------------------------
+
+  /// Non-empty enables the paired strategy-contrast estimator: every other
+  /// strategy's waste ratio is differenced per replica against this (named)
+  /// reference strategy's — common random numbers, since all strategies of a
+  /// replica share the same workload and failure trace — and the report
+  /// carries a contrast estimate (core/variance_reduction.hpp
+  /// estimate_contrast) per non-reference strategy. The campaign constructor
+  /// throws when no strategy has this name.
+  std::string contrast_reference;
+  /// > 1 post-stratifies the waste-ratio means and contrasts on quantile
+  /// bins of a realised per-replica workload feature (recorded in every
+  /// ReplicaSlot) — the between-bin variance leaves the CI.
+  int strata_bins = 0;
+  /// Which recorded workload feature strata_bins bins on: "work_total"
+  /// (total submitted node-seconds, the default), "work_jobs" (job count)
+  /// or "work_max_share" (largest class share).
+  std::string strata_feature = "work_total";
+
+  /// True when any mean-estimator upgrade is on (vr_* columns are emitted).
   bool vr_active() const {
-    return antithetic || control_variate || target_ci_width > 0.0;
+    return antithetic || control_variate || target_ci_width > 0.0 ||
+           strata_bins > 1;
   }
+
+  /// True when the paired strategy-contrast estimator is on (contrast_*
+  /// columns are emitted).
+  bool contrast_active() const { return !contrast_reference.empty(); }
 
   /// Sequential-stopping replica cap with the 0-default resolved.
   int resolved_max_replicas() const {
@@ -75,8 +99,9 @@ struct MonteCarloOptions {
   }
 
   /// Read COOPCR_REPLICAS / COOPCR_THREADS — plus the variance-reduction
-  /// knobs COOPCR_ANTITHETIC, COOPCR_CONTROL_VARIATE, COOPCR_TARGET_CI and
-  /// COOPCR_MAX_REPLICAS — from the environment, falling back to the
+  /// knobs COOPCR_ANTITHETIC, COOPCR_CONTROL_VARIATE, COOPCR_TARGET_CI,
+  /// COOPCR_MAX_REPLICAS, COOPCR_CONTRAST, COOPCR_STRATA_BINS and
+  /// COOPCR_STRATA_FEATURE — from the environment, falling back to the
   /// provided defaults when unset or empty. Used by every bench binary.
   /// Throws coopcr::Error on malformed values (non-numeric, trailing
   /// garbage, out of range): COOPCR_REPLICAS must be >= 1 and COOPCR_THREADS
@@ -111,6 +136,16 @@ struct StrategyOutcome {
     VrEstimate estimate;
   };
   VrSummary vr;
+  /// Paired strategy-contrast estimate of E[waste_ratio - reference's
+  /// waste_ratio]. `enabled` is set on every non-reference strategy when
+  /// MonteCarloOptions::contrast_active(); the reference strategy itself
+  /// (and every strategy when the contrast is off) keeps it false with a
+  /// default-constructed estimate.
+  struct ContrastSummary {
+    bool enabled = false;
+    VrEstimate estimate;
+  };
+  ContrastSummary contrast;
   /// Per-replica full results (only when keep_results was set).
   std::vector<SimulationResult> results;
 };
@@ -122,9 +157,15 @@ struct MonteCarloReport {
   SampleSet baseline_useful_energy;       ///< joules twin of the denominator
   int replicas = 0;
   /// True when any variance-reduction option was active (antithetic pairing,
-  /// control variates, or sequential stopping) — gates the vr_* report
-  /// columns so VR-off output stays byte-identical to earlier releases.
+  /// control variates, sequential stopping or post-stratification) — gates
+  /// the vr_* report columns so VR-off output stays byte-identical to
+  /// earlier releases.
   bool vr_enabled = false;
+  /// True when the paired strategy-contrast estimator was active — gates the
+  /// contrast_* report columns the same way.
+  bool contrast_enabled = false;
+  /// The contrast's reference strategy name (empty when disabled).
+  std::string contrast_reference;
 
   /// Outcome lookup by strategy name; throws when absent.
   const StrategyOutcome& outcome(const std::string& name) const;
@@ -170,6 +211,18 @@ struct ReplicaSlot {
   double cv_predictor = 0.0;
   /// Same, for the antithetic partner (0 when not paired).
   double cv_predictor_anti = 0.0;
+  /// Realised workload summaries of the primal replica's job list (slot
+  /// layout v3) — always recorded, they cost one compose() pass: total
+  /// submitted node-seconds, job count, and the largest class share.
+  /// Post-stratification (MonteCarloOptions::strata_bins) bins on one of
+  /// them at reduce time.
+  double work_total = 0.0;
+  double work_jobs = 0.0;
+  double work_max_share = 0.0;
+  /// Same, for the antithetic partner's mirrored job list (0 unpaired).
+  double work_total_anti = 0.0;
+  double work_jobs_anti = 0.0;
+  double work_max_share_anti = 0.0;
 };
 
 /// One campaign decomposed into schedulable replica tasks.
@@ -273,6 +326,9 @@ class MonteCarloCampaign {
   MonteCarloOptions options_;
   std::vector<ReplicaOutput> outputs_;
   bool reduced_ = false;
+  /// Index of the contrast reference strategy (-1 when the contrast is off);
+  /// resolved from options.contrast_reference in the constructor.
+  int contrast_index_ = -1;
   /// Control-variate predictor: predicted waste ratio at n failures is
   /// cv_intercept_ + cv_slope_ * n, with known mean cv_predictor_mean_
   /// (the closed-form lower-bound waste). Computed once in the constructor;

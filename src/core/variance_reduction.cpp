@@ -1,6 +1,8 @@
 #include "core/variance_reduction.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/error.hpp"
 
@@ -24,16 +26,65 @@ double variance_of(const std::vector<double>& xs, double mean) {
   return sum / static_cast<double>(xs.size() - 1);
 }
 
+/// Average consecutive even/odd entries into antithetic pair means.
+std::vector<double> pair_means(const std::vector<double>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() / 2);
+  for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+    out.push_back(0.5 * (xs[i] + xs[i + 1]));
+  }
+  return out;
+}
+
+/// Post-stratified variance of the mean of `units`: split into `bins`
+/// quantile bins of `features` (ties and bin sizes resolved deterministically
+/// — sort by (feature, index), first bins take the extra units) and keep
+/// only the within-bin spread: Var(mean) = sum_b (n_b/m)^2 * s_b^2 / n_b.
+/// Returns the unstratified variance of the mean when the binning is
+/// degenerate (bins < 2, or any bin with fewer than 2 units) so a too-fine
+/// binning never fabricates a zero-width CI.
+double stratified_mean_variance(const std::vector<double>& units,
+                                const std::vector<double>& features,
+                                int bins, double fallback) {
+  const std::size_t m = units.size();
+  if (bins < 2 || m < 2 * static_cast<std::size_t>(bins)) return fallback;
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return features[a] < features[b];
+                   });
+  const std::size_t base = m / static_cast<std::size_t>(bins);
+  const std::size_t extra = m % static_cast<std::size_t>(bins);
+  double var = 0.0;
+  std::size_t pos = 0;
+  for (int b = 0; b < bins; ++b) {
+    const std::size_t n_b =
+        base + (static_cast<std::size_t>(b) < extra ? 1 : 0);
+    if (n_b < 2) return fallback;
+    std::vector<double> bin;
+    bin.reserve(n_b);
+    for (std::size_t i = 0; i < n_b; ++i) bin.push_back(units[order[pos + i]]);
+    pos += n_b;
+    const double w = static_cast<double>(n_b) / static_cast<double>(m);
+    var += w * w * variance_of(bin, mean_of(bin)) / static_cast<double>(n_b);
+  }
+  return var;
+}
+
 }  // namespace
 
 VrEstimate estimate_mean(const std::vector<double>& samples, bool paired,
                          const std::vector<double>& predictors,
-                         double predictor_mean) {
+                         double predictor_mean,
+                         const std::vector<double>& strata, int strata_bins) {
   COOPCR_CHECK(!samples.empty(), "estimate_mean needs at least one sample");
   COOPCR_CHECK(!paired || samples.size() % 2 == 0,
                "paired estimation needs an even sample count");
   COOPCR_CHECK(predictors.empty() || predictors.size() == samples.size(),
                "control-variate predictors must parallel the samples");
+  COOPCR_CHECK(strata.empty() || strata.size() == samples.size(),
+               "stratification features must parallel the samples");
 
   VrEstimate est;
   est.simulations = samples.size();
@@ -47,29 +98,18 @@ VrEstimate estimate_mean(const std::vector<double>& samples, bool paired,
       raw_var / static_cast<double>(samples.size());
 
   // Reduce to estimation units: pair means when paired, raw samples
-  // otherwise. The control variate averages the same way.
-  std::vector<double> units;
-  std::vector<double> unit_predictors;
-  if (paired) {
-    units.reserve(samples.size() / 2);
-    for (std::size_t i = 0; i + 1 < samples.size(); i += 2) {
-      units.push_back(0.5 * (samples[i] + samples[i + 1]));
-    }
-    if (!predictors.empty()) {
-      unit_predictors.reserve(predictors.size() / 2);
-      for (std::size_t i = 0; i + 1 < predictors.size(); i += 2) {
-        unit_predictors.push_back(0.5 * (predictors[i] + predictors[i + 1]));
-      }
-    }
-  } else {
-    units = samples;
-    unit_predictors = predictors;
-  }
+  // otherwise. The control variate and stratification features average the
+  // same way.
+  std::vector<double> units = paired ? pair_means(samples) : samples;
+  std::vector<double> unit_predictors =
+      paired && !predictors.empty() ? pair_means(predictors) : predictors;
+  std::vector<double> unit_strata =
+      paired && !strata.empty() ? pair_means(strata) : strata;
   const std::size_t m = units.size();
   const double unit_mean = mean_of(units);
 
   double est_mean = unit_mean;
-  double est_var = variance_of(units, unit_mean);
+  std::vector<double> adjusted;
   if (!unit_predictors.empty()) {
     const double x_mean = mean_of(unit_predictors);
     const double x_var = variance_of(unit_predictors, x_mean);
@@ -85,24 +125,67 @@ VrEstimate estimate_mean(const std::vector<double>& samples, bool paired,
     est.cv_beta = beta;
     // Adjusted units y_i = u_i - beta (x_i - E[X]); their mean is the CV
     // estimate and their spread its residual variance.
-    std::vector<double> adjusted;
     adjusted.reserve(m);
     for (std::size_t i = 0; i < m; ++i) {
       adjusted.push_back(units[i] -
                          beta * (unit_predictors[i] - predictor_mean));
     }
     est_mean = mean_of(adjusted);
-    est_var = variance_of(adjusted, est_mean);
   }
+  const std::vector<double>& final_units =
+      adjusted.empty() ? units : adjusted;
+  double est_var = variance_of(final_units, est_mean);
 
   est.mean = est_mean;
-  const double est_mean_var = m > 0 ? est_var / static_cast<double>(m) : 0.0;
+  double est_mean_var = m > 0 ? est_var / static_cast<double>(m) : 0.0;
+  if (!unit_strata.empty()) {
+    est_mean_var = stratified_mean_variance(final_units, unit_strata,
+                                            strata_bins, est_mean_var);
+  }
   est.std_error = std::sqrt(est_mean_var);
   est.ci_width = 2.0 * kZ95 * est.std_error;
   est.vr_factor = (est_mean_var > 0.0 && plain_est_var > 0.0)
                       ? plain_est_var / est_mean_var
                       : 1.0;
   est.ess = static_cast<double>(samples.size()) * est.vr_factor;
+  return est;
+}
+
+VrEstimate estimate_contrast(const std::vector<double>& samples,
+                             const std::vector<double>& reference,
+                             bool paired, const std::vector<double>& strata,
+                             int strata_bins) {
+  COOPCR_CHECK(!samples.empty(), "estimate_contrast needs at least one sample");
+  COOPCR_CHECK(reference.size() == samples.size(),
+               "contrast reference samples must parallel the samples");
+  COOPCR_CHECK(!paired || samples.size() % 2 == 0,
+               "paired estimation needs an even sample count");
+  COOPCR_CHECK(strata.empty() || strata.size() == samples.size(),
+               "stratification features must parallel the samples");
+
+  // Per-replica paired differences — the common-random-numbers estimator.
+  std::vector<double> diffs;
+  diffs.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    diffs.push_back(samples[i] - reference[i]);
+  }
+  VrEstimate est =
+      estimate_mean(diffs, paired, {}, 0.0, strata, strata_bins);
+
+  // Credit the pairing against the honest alternative: the *unpaired*
+  // two-sample difference-of-means estimator over the same budget,
+  // var(A)/n + var(B)/n. estimate_mean's own vr_factor compared against the
+  // iid mean of the differences, which already assumes the pairing.
+  const double n = static_cast<double>(samples.size());
+  const double unpaired_var =
+      (variance_of(samples, mean_of(samples)) +
+       variance_of(reference, mean_of(reference))) /
+      n;
+  const double est_mean_var = est.std_error * est.std_error;
+  est.vr_factor = (est_mean_var > 0.0 && unpaired_var > 0.0)
+                      ? unpaired_var / est_mean_var
+                      : 1.0;
+  est.ess = n * est.vr_factor;
   return est;
 }
 

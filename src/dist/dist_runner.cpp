@@ -20,6 +20,7 @@
 #include "dist/transport.hpp"
 #include "dist/wire.hpp"
 #include "dist/worker.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/error.hpp"
 
 namespace coopcr::dist {
@@ -165,10 +166,6 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
   COOPCR_CHECK(!spec.campaign_options().keep_results,
                "distributed sweeps cannot keep full simulation results — "
                "only reduced slots cross the process boundary");
-  COOPCR_CHECK(spec.campaign_options().target_ci_width == 0.0,
-               "sequential stopping (target_ci_width) is in-process only — "
-               "the dist work-unit set must be fixed up front so the journal "
-               "stays replayable");
   COOPCR_CHECK(options_.journal.empty() || !options_.resume ||
                    std::filesystem::exists(options_.journal),
                "cannot resume: journal does not exist: " + options_.journal);
@@ -186,25 +183,49 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
 
   std::vector<exp::GridPoint> points = spec.expand();
   const int replicas = spec.campaign_options().replicas;
+  // Sequential stopping shares its round logic with the in-process runner:
+  // the cap, the clamped round-one count and the per-round grow-or-settle
+  // decision all come from exp::sequential_stopping_* helpers, so the growth
+  // schedule — and therefore the reduced artifacts — cannot drift between
+  // backends.
+  MonteCarloOptions start_options = spec.campaign_options();
+  const int replica_cap = exp::sequential_stopping_cap(start_options);
+  start_options.replicas = exp::sequential_stopping_start(start_options);
+  const bool adaptive = start_options.target_ci_width > 0.0;
   std::vector<std::unique_ptr<MonteCarloCampaign>> campaigns;
   campaigns.reserve(points.size());
   for (const exp::GridPoint& point : points) {
     campaigns.push_back(std::make_unique<MonteCarloCampaign>(
-        point.scenario, spec.strategy_set(), spec.campaign_options()));
+        point.scenario, spec.strategy_set(), start_options));
   }
 
   JournalHeader header;
   header.spec_digest = spec_digest(spec, points);
   header.points = static_cast<std::uint32_t>(points.size());
-  header.replicas = static_cast<std::uint32_t>(replicas);
+  header.replicas = static_cast<std::uint32_t>(start_options.replicas);
   header.strategies = static_cast<std::uint32_t>(spec.strategy_set().size());
 
   // Journal setup: replay-then-append on resume, create-fresh otherwise.
+  // `rounds_recorded` is the highest extend-round index already journaled,
+  // so a resumed run numbers its further rounds past the replayed ones.
+  std::uint32_t rounds_recorded = 0;
   std::optional<JournalWriter> journal;
   if (!options_.journal.empty()) {
     if (options_.resume) {
       JournalReplay replay = replay_journal(options_.journal, header);
       for (const JournalRecord& record : replay.records) {
+        if (record.kind == JournalRecord::Kind::kRound) {
+          // Round records were appended *before* their round's units
+          // dispatched; applying them in append order re-grows every
+          // campaign to the sizes the original run's snapshots decided, so
+          // later unit records land inside bounds and a mid-round resume
+          // finishes exactly the round that was interrupted.
+          for (std::uint32_t p = 0; p < header.points; ++p) {
+            campaigns[p]->extend(static_cast<int>(record.round_replicas[p]));
+          }
+          rounds_recorded = record.round;
+          continue;
+        }
         // Duplicate records (a unit journaled, then re-run after a crash
         // landed between append and the coordinator's bookkeeping) keep the
         // first copy; both are bit-identical by construction.
@@ -228,17 +249,25 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
   // Pending units in (point, task) order; dispatch order does not matter
   // for the results (slots are preassigned), only for load balance. Under
   // antithetic pairing one unit is a replica *pair*, so the per-point unit
-  // count is tasks() (replicas / 2), not header.replicas.
+  // count is tasks() (replicas / 2), not header.replicas. Sequential
+  // stopping refills the queue at every round boundary from the grown
+  // campaign sizes; slot_done is the authoritative "already ran" record, so
+  // a refill can never duplicate a unit.
   std::deque<UnitMsg> pending;
-  for (std::uint32_t p = 0; p < header.points; ++p) {
-    const auto tasks = static_cast<std::uint32_t>(campaigns[p]->tasks());
-    for (std::uint32_t t = 0; t < tasks; ++t) {
-      if (!campaigns[p]->slot_done(static_cast<int>(t))) {
-        pending.push_back(UnitMsg{p, t});
+  std::size_t outstanding = 0;
+  auto refill_pending = [&]() {
+    pending.clear();
+    for (std::uint32_t p = 0; p < header.points; ++p) {
+      const auto tasks = static_cast<std::uint32_t>(campaigns[p]->tasks());
+      for (std::uint32_t t = 0; t < tasks; ++t) {
+        if (!campaigns[p]->slot_done(static_cast<int>(t))) {
+          pending.push_back(UnitMsg{p, t});
+        }
       }
     }
-  }
-  std::size_t outstanding = pending.size();
+    outstanding = pending.size();
+  };
+  refill_pending();
   int fresh_results = 0;
 
   // A deque keeps Worker references stable while respawn/resize push new
@@ -476,8 +505,11 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
     campaigns[result.point]->install_slot(static_cast<int>(result.replica),
                                           result.slot);
     if (journal) {
-      journal->append_record(
-          JournalRecord{result.point, result.replica, std::move(result.slot)});
+      JournalRecord record;
+      record.point = result.point;
+      record.replica = result.replica;
+      record.slot = std::move(result.slot);
+      journal->append_record(record);
     }
     --outstanding;
     ++fresh_results;
@@ -496,135 +528,190 @@ exp::ExperimentReport DistSweepRunner::run(const exp::ExperimentSpec& spec) {
   for (int i = 0; i < target_shards; ++i) spawn_one();
   fire_unit_faults();  // zero-trigger actions fire before any result
 
-  // Event loop: poll the worker channels, feed per-worker frame buffers,
-  // and handle whatever completes. Runs until every unit is accounted for.
-  while (outstanding > 0) {
-    // Operator resize signals accumulated since the last round.
-    {
-      const int grow = static_cast<int>(g_grow_signals);
-      const int shrink = static_cast<int>(g_shrink_signals);
-      const int delta =
-          (grow - grow_signals_seen) - (shrink - shrink_signals_seen);
-      grow_signals_seen = grow;
-      shrink_signals_seen = shrink;
-      if (delta != 0) do_resize(target_shards + delta);
-    }
+  // Round loop: run the event loop until the current round's units are all
+  // accounted for, then (under sequential stopping) take the shared
+  // grow-or-settle decision per campaign, journal the round boundary, grow
+  // the campaigns, and go again. Fixed-count sweeps take exactly one trip.
+  for (;;) {
+    // Event loop: poll the worker channels, feed per-worker frame buffers,
+    // and handle whatever completes. Runs until every unit is accounted for.
+    while (outstanding > 0) {
+      // Operator resize signals accumulated since the last round.
+      {
+        const int grow = static_cast<int>(g_grow_signals);
+        const int shrink = static_cast<int>(g_shrink_signals);
+        const int delta =
+            (grow - grow_signals_seen) - (shrink - shrink_signals_seen);
+        grow_signals_seen = grow;
+        shrink_signals_seen = shrink;
+        if (delta != 0) do_resize(target_shards + delta);
+      }
 
-    // Heartbeat deadline: a worker with a unit in flight that has been
-    // silent too long is presumed hung (e.g. a scripted stall) and killed;
-    // its unit re-runs elsewhere to the same bits.
-    if (options_.heartbeat_ms > 0) {
+      // Heartbeat deadline: a worker with a unit in flight that has been
+      // silent too long is presumed hung (e.g. a scripted stall) and killed;
+      // its unit re-runs elsewhere to the same bits.
+      if (options_.heartbeat_ms > 0) {
+        for (Worker& w : workers) {
+          if (!w.alive || !w.inflight) continue;
+          if (elapsed_ms_since(w.last_heard) > options_.heartbeat_ms) {
+            if (w.pid > 0) ::kill(w.pid, SIGKILL);
+            handle_death(w);
+          }
+        }
+      }
+
+      // Deliver delayed frames whose hold expired.
       for (Worker& w : workers) {
-        if (!w.alive || !w.inflight) continue;
-        if (elapsed_ms_since(w.last_heard) > options_.heartbeat_ms) {
-          if (w.pid > 0) ::kill(w.pid, SIGKILL);
-          handle_death(w);
-        }
-      }
-    }
-
-    // Deliver delayed frames whose hold expired.
-    for (Worker& w : workers) {
-      if (!w.alive || w.delayed.empty()) continue;
-      std::size_t i = 0;
-      while (i < w.delayed.size()) {
-        if (--w.delayed[i].rounds > 0) {
-          ++i;
-          continue;
-        }
-        const Frame held = std::move(w.delayed[i].frame);
-        w.delayed.erase(w.delayed.begin() + static_cast<std::ptrdiff_t>(i));
-        handle_frame(w, held);
-        if (!w.alive || outstanding == 0) break;
-      }
-      if (outstanding == 0) break;
-    }
-    if (outstanding == 0) break;
-
-    top_up();
-
-    std::vector<struct pollfd> fds;
-    std::vector<std::size_t> owner;
-    bool any_delayed = false;
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      if (!workers[i].alive) continue;
-      fds.push_back(pollfd{workers[i].from_fd, POLLIN, 0});
-      owner.push_back(i);
-      if (!workers[i].delayed.empty()) any_delayed = true;
-    }
-    COOPCR_CHECK(
-        !fds.empty(),
-        "all workers died with " + std::to_string(outstanding) +
-            " units outstanding" +
-            (options_.max_respawns > 0 ? " (respawn budget exhausted)" : "") +
-            (journal ? " — completed units are journaled, resume to continue"
-                     : ""));
-
-    int timeout = -1;
-    if (any_delayed) {
-      timeout = 1;  // held frames advance one round per poll wakeup
-    } else if (options_.heartbeat_ms > 0) {
-      for (const Worker& w : workers) {
-        if (!w.alive || !w.inflight) continue;
-        const int remaining =
-            options_.heartbeat_ms - elapsed_ms_since(w.last_heard);
-        const int t = std::max(1, remaining + 1);
-        timeout = timeout < 0 ? t : std::min(timeout, t);
-      }
-    }
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      COOPCR_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
-    }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      Worker& w = workers[owner[i]];
-      if (!w.alive) continue;  // reaped by an earlier handler this round
-      std::uint8_t chunk[4096];
-      const ssize_t n = ::read(w.from_fd, chunk, sizeof(chunk));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        handle_death(w);
-        continue;
-      }
-      if (n > 0) {
-        w.buffer.feed(chunk, static_cast<std::size_t>(n));
-        w.last_heard = std::chrono::steady_clock::now();
-      }
-      // Drain every complete frame first: a result the worker managed to
-      // send before dying must count before its death requeues anything.
-      bool stream_cut = false;
-      while (std::optional<Frame> frame = w.buffer.next()) {
-        ++w.frames_seen;
-        const FaultAction fault =
-            plan.take_frame_fault(static_cast<int>(owner[i]), w.frames_seen);
-        if (fault.fired) {
-          if (fault.kind == FaultKind::kDelayFrame) {
-            w.delayed.push_back(
-                DelayedFrame{std::move(*frame), fault.delay_rounds});
+        if (!w.alive || w.delayed.empty()) continue;
+        std::size_t i = 0;
+        while (i < w.delayed.size()) {
+          if (--w.delayed[i].rounds > 0) {
+            ++i;
             continue;
           }
-          // Drop or truncate: the bytes are discarded and the stream past
-          // them cannot be trusted, so the worker is killed; its in-flight
-          // unit re-runs (bit-identically) elsewhere.
-          if (fault.kind == FaultKind::kTruncateFrame) {
-            // Leave the torn remainder in the buffer, as a real
-            // mid-frame cut would.
-            const std::uint8_t torn[3] = {0x08, 0x00, 0x00};
-            w.buffer.feed(torn, sizeof(torn));
-          }
-          if (w.pid > 0) ::kill(w.pid, SIGKILL);
-          handle_death(w);
-          stream_cut = true;
-          break;
+          const Frame held = std::move(w.delayed[i].frame);
+          w.delayed.erase(w.delayed.begin() + static_cast<std::ptrdiff_t>(i));
+          handle_frame(w, held);
+          if (!w.alive || outstanding == 0) break;
         }
-        handle_frame(w, *frame);
-        if (!w.alive || outstanding == 0) break;
+        if (outstanding == 0) break;
       }
-      if (stream_cut) continue;
-      if (n == 0 && w.alive) handle_death(w);
       if (outstanding == 0) break;
+
+      top_up();
+
+      std::vector<struct pollfd> fds;
+      std::vector<std::size_t> owner;
+      bool any_delayed = false;
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        if (!workers[i].alive) continue;
+        fds.push_back(pollfd{workers[i].from_fd, POLLIN, 0});
+        owner.push_back(i);
+        if (!workers[i].delayed.empty()) any_delayed = true;
+      }
+      COOPCR_CHECK(
+          !fds.empty(),
+          "all workers died with " + std::to_string(outstanding) +
+              " units outstanding" +
+              (options_.max_respawns > 0 ? " (respawn budget exhausted)" : "") +
+              (journal ? " — completed units are journaled, resume to continue"
+                       : ""));
+
+      int timeout = -1;
+      if (any_delayed) {
+        timeout = 1;  // held frames advance one round per poll wakeup
+      } else if (options_.heartbeat_ms > 0) {
+        for (const Worker& w : workers) {
+          if (!w.alive || !w.inflight) continue;
+          const int remaining =
+              options_.heartbeat_ms - elapsed_ms_since(w.last_heard);
+          const int t = std::max(1, remaining + 1);
+          timeout = timeout < 0 ? t : std::min(timeout, t);
+        }
+      }
+      const int ready = ::poll(fds.data(), fds.size(), timeout);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        COOPCR_CHECK(false, std::string("poll failed: ") + std::strerror(errno));
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        Worker& w = workers[owner[i]];
+        if (!w.alive) continue;  // reaped by an earlier handler this round
+        std::uint8_t chunk[4096];
+        const ssize_t n = ::read(w.from_fd, chunk, sizeof(chunk));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          handle_death(w);
+          continue;
+        }
+        if (n > 0) {
+          w.buffer.feed(chunk, static_cast<std::size_t>(n));
+          w.last_heard = std::chrono::steady_clock::now();
+        }
+        // Drain every complete frame first: a result the worker managed to
+        // send before dying must count before its death requeues anything.
+        bool stream_cut = false;
+        while (std::optional<Frame> frame = w.buffer.next()) {
+          ++w.frames_seen;
+          const FaultAction fault =
+              plan.take_frame_fault(static_cast<int>(owner[i]), w.frames_seen);
+          if (fault.fired) {
+            if (fault.kind == FaultKind::kDelayFrame) {
+              w.delayed.push_back(
+                  DelayedFrame{std::move(*frame), fault.delay_rounds});
+              continue;
+            }
+            // Drop or truncate: the bytes are discarded and the stream past
+            // them cannot be trusted, so the worker is killed; its in-flight
+            // unit re-runs (bit-identically) elsewhere.
+            if (fault.kind == FaultKind::kTruncateFrame) {
+              // Leave the torn remainder in the buffer, as a real
+              // mid-frame cut would.
+              const std::uint8_t torn[3] = {0x08, 0x00, 0x00};
+              w.buffer.feed(torn, sizeof(torn));
+            }
+            if (w.pid > 0) ::kill(w.pid, SIGKILL);
+            handle_death(w);
+            stream_cut = true;
+            break;
+          }
+          handle_frame(w, *frame);
+          if (!w.alive || outstanding == 0) break;
+        }
+        if (stream_cut) continue;
+        if (n == 0 && w.alive) handle_death(w);
+        if (outstanding == 0) break;
+      }
+    }
+
+    if (!adaptive) break;
+
+    // Round boundary: every campaign's current replicas are installed, so the
+    // deterministic snapshots decide — per point — whether to settle or grow.
+    // The decision is exp::next_sequential_round, the very function the
+    // in-process runner calls, on the very same slots; the two backends
+    // therefore follow bit-identical growth schedules.
+    bool any_extend = false;
+    std::vector<std::uint32_t> next_counts(header.points);
+    for (std::uint32_t p = 0; p < header.points; ++p) {
+      const int next = exp::next_sequential_round(*campaigns[p], replica_cap);
+      next_counts[p] = static_cast<std::uint32_t>(
+          next > 0 ? next : campaigns[p]->replicas());
+      if (next > 0) any_extend = true;
+    }
+    if (!any_extend) break;
+
+    // The round record goes to the journal *before* any extend-round unit can
+    // complete: a crash anywhere inside the round replays the record first
+    // and resumes with the grown campaign sizes the snapshots decided.
+    ++rounds_recorded;
+    if (journal) {
+      JournalRecord record;
+      record.kind = JournalRecord::Kind::kRound;
+      record.round = rounds_recorded;
+      record.round_replicas = next_counts;
+      journal->append_record(record);
+    }
+    for (std::uint32_t p = 0; p < header.points; ++p) {
+      campaigns[p]->extend(static_cast<int>(next_counts[p]));
+    }
+    refill_pending();
+
+    // Wake the fleet: regrow toward the configured shard count if the new
+    // round brought more units than live workers (a resume may have started
+    // with a near-empty queue and a correspondingly small fleet), then hand
+    // units to everyone idle. Fresh workers dispatch on their kHello.
+    const int round_target = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(options_.shards), pending.size()));
+    if (round_target > target_shards) target_shards = round_target;
+    while (active_count() < target_shards &&
+           idle_active_count() < static_cast<int>(pending.size())) {
+      spawn_one();
+    }
+    for (Worker& w : workers) {
+      if (pending.empty()) break;
+      dispatch(w);
     }
   }
 

@@ -126,13 +126,21 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
 std::uint64_t spec_digest(const exp::ExperimentSpec& spec,
                           const std::vector<exp::GridPoint>& points) {
   Hasher h;
-  h.str("coopcr-spec-digest-v1");
+  h.str("coopcr-spec-digest-v2");
   h.str(spec.name());
   h.u32(static_cast<std::uint32_t>(spec.campaign_options().replicas));
   // The variance-reduction options change what a work unit *is* (a pair vs
   // a single replica, predictors or not), so they are part of the identity.
   h.u32(spec.campaign_options().antithetic ? 1 : 0);
   h.u32(spec.campaign_options().control_variate ? 1 : 0);
+  // The sequential-stopping and contrast/stratification options decide the
+  // extend-round schedule and the convergence rule — a journal written under
+  // one stopping rule must never resume under another (digest v2).
+  h.f64(spec.campaign_options().target_ci_width);
+  h.u32(static_cast<std::uint32_t>(spec.campaign_options().max_replicas));
+  h.str(spec.campaign_options().contrast_reference);
+  h.u32(static_cast<std::uint32_t>(spec.campaign_options().strata_bins));
+  h.str(spec.campaign_options().strata_feature);
   const std::vector<Strategy>& strategies = spec.strategy_set();
   h.u64(strategies.size());
   for (const Strategy& s : strategies) h.str(s.name());
@@ -186,6 +194,10 @@ JournalReplay replay_journal(const std::string& path,
                "journal dimensions mismatch the experiment grid");
 
   replay.valid_bytes = pos;
+  // Running per-point replica counts: the header's initial count, grown by
+  // each round record — the bound in-sequence unit records are checked
+  // against.
+  std::vector<std::uint32_t> point_replicas(h.points, h.replicas);
   while (true) {
     const std::size_t block_start = pos;
     if (!parse_block(data, pos, payload)) {
@@ -214,11 +226,40 @@ JournalReplay replay_journal(const std::string& path,
     }
     Decoder dec(payload);
     JournalRecord record;
+    const std::uint16_t kind = dec.u16();
+    if (kind == static_cast<std::uint16_t>(JournalRecord::Kind::kRound)) {
+      record.kind = JournalRecord::Kind::kRound;
+      record.round = dec.u32();
+      const std::uint32_t n = dec.u32();
+      COOPCR_CHECK(n == h.points,
+                   "journal round record carries " + std::to_string(n) +
+                       " per-point replica counts for a grid of " +
+                       std::to_string(h.points) + " points");
+      record.round_replicas.reserve(n);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        const std::uint32_t grown = dec.u32();
+        COOPCR_CHECK(grown >= point_replicas[p],
+                     "journal round record shrinks point " +
+                         std::to_string(p) + " from " +
+                         std::to_string(point_replicas[p]) + " to " +
+                         std::to_string(grown) + " replicas");
+        record.round_replicas.push_back(grown);
+      }
+      dec.expect_done();
+      point_replicas = record.round_replicas;
+      replay.records.push_back(std::move(record));
+      replay.valid_bytes = pos;
+      continue;
+    }
+    COOPCR_CHECK(kind == static_cast<std::uint16_t>(JournalRecord::Kind::kUnit),
+                 "journal record has unknown kind " + std::to_string(kind));
+    record.kind = JournalRecord::Kind::kUnit;
     record.point = dec.u32();
     record.replica = dec.u32();
     record.slot = decode_slot(dec);
     dec.expect_done();
-    COOPCR_CHECK(record.point < h.points && record.replica < h.replicas,
+    COOPCR_CHECK(record.point < h.points &&
+                     record.replica < point_replicas[record.point],
                  "journal record addresses unit (" +
                      std::to_string(record.point) + ", " +
                      std::to_string(record.replica) + ") outside the grid");
@@ -266,9 +307,16 @@ JournalWriter::~JournalWriter() { close(); }
 void JournalWriter::append_record(const JournalRecord& record) {
   COOPCR_CHECK(fd_ >= 0, "journal writer is closed");
   Encoder enc;
-  enc.u32(record.point);
-  enc.u32(record.replica);
-  encode_slot(enc, record.slot);
+  enc.u16(static_cast<std::uint16_t>(record.kind));
+  if (record.kind == JournalRecord::Kind::kRound) {
+    enc.u32(record.round);
+    enc.u32(static_cast<std::uint32_t>(record.round_replicas.size()));
+    for (const std::uint32_t r : record.round_replicas) enc.u32(r);
+  } else {
+    enc.u32(record.point);
+    enc.u32(record.replica);
+    encode_slot(enc, record.slot);
+  }
   write_all_fd(fd_, frame_block(enc.bytes()));
   COOPCR_CHECK(::fdatasync(fd_) == 0, "journal fdatasync failed");
 }

@@ -29,6 +29,20 @@
 // journal can never be replayed into a campaign with a different pairing.
 // Version-1 journals refuse to resume (format_version mismatch).
 //
+// Format version 3 (slot layout v3, sequential stopping): record payloads
+// now lead with a u16 record kind. Kind 1 (unit) is the v2 payload — u32
+// point, u32 replica, ReplicaSlot (which gained the six workload-feature
+// doubles of wire kProtocolVersion 3). Kind 2 (round) marks a sequential-
+// stopping round boundary: the coordinator appends one *before* dispatching
+// an extend round, recording the new per-point replica counts, so a resume
+// that lands mid-round rebuilds exactly the campaign sizes the snapshots
+// had decided — unit records past the round record address replicas the
+// header's initial count does not cover, and are validated against the
+// running per-point counts instead. The spec digest folds the sequential-
+// stopping and contrast/stratification options in, so a journal can never
+// be replayed under a different stopping rule. v1/v2 journals refuse to
+// resume (format_version mismatch).
+//
 // Torn-write discipline: every record is length-prefixed and checksummed.
 // A record cut short by a crash — or whose checksum fails at the *end* of
 // the file — is a torn tail: it is dropped at replay, the file is
@@ -55,11 +69,12 @@ namespace coopcr::dist {
 /// Identifies the simulator build a journal was written by. Bump on any
 /// change that can alter simulation results; resuming across versions is
 /// refused.
-inline constexpr const char* kCodeVersion = "coopcr-6";
+inline constexpr const char* kCodeVersion = "coopcr-7";
 
 /// Journal file format version (layout changes only). v2: slot layout
-/// gained the variance-reduction fields (see the header comment).
-inline constexpr std::uint32_t kJournalFormatVersion = 2;
+/// gained the variance-reduction fields; v3: typed records (unit + round
+/// boundary) and the slot workload features (see the header comment).
+inline constexpr std::uint32_t kJournalFormatVersion = 3;
 
 /// FNV-1a 64-bit over `data` (checksums and the spec digest).
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
@@ -82,11 +97,26 @@ struct JournalHeader {
   std::uint32_t strategies = 0;
 };
 
-/// One durable completed work unit.
+/// One durable journal record: a completed work unit (kUnit) or a
+/// sequential-stopping round boundary (kRound).
 struct JournalRecord {
+  enum class Kind : std::uint16_t {
+    kUnit = 1,   ///< point/replica/slot hold a completed unit
+    kRound = 2,  ///< round/round_replicas hold an extend-round boundary
+  };
+  Kind kind = Kind::kUnit;
+
+  // kUnit fields.
   std::uint32_t point = 0;
   std::uint32_t replica = 0;
   ReplicaSlot slot;
+
+  // kRound fields: the 1-based extend-round index and the new per-point
+  // replica counts the round grows each campaign to (appended *before* the
+  // round's units dispatch, so a mid-round crash resumes into the right
+  // campaign sizes).
+  std::uint32_t round = 0;
+  std::vector<std::uint32_t> round_replicas;
 };
 
 /// Result of replaying a journal file.

@@ -251,10 +251,13 @@ std::vector<ReplicaStrategyMetrics> decode_tuples(Decoder& dec) {
 }  // namespace
 
 void encode_slot(Encoder& enc, const ReplicaSlot& slot) {
-  // Layout v2 (kProtocolVersion / journal format 2): the v1 prefix —
-  // primal baselines + primal tuples — followed by the antithetic partner's
-  // baselines and tuples (0.0 / count 0 for unpaired campaigns) and the two
-  // control-variate predictor doubles (0.0 when control variates are off).
+  // Layout v3 (kProtocolVersion / journal format 3): the v2 layout — primal
+  // baselines + primal tuples, the antithetic partner's baselines and tuples
+  // (0.0 / count 0 for unpaired campaigns), two control-variate predictor
+  // doubles (0.0 when control variates are off) — followed by the six
+  // realised workload-feature doubles (primal total node-seconds, job
+  // count, max class share, then the antithetic partner's three, 0.0 when
+  // unpaired) that post-stratification bins on.
   enc.f64(slot.baseline_useful);
   enc.f64(slot.baseline_useful_energy);
   encode_tuples(enc, slot.per_strategy);
@@ -263,6 +266,12 @@ void encode_slot(Encoder& enc, const ReplicaSlot& slot) {
   encode_tuples(enc, slot.antithetic);
   enc.f64(slot.cv_predictor);
   enc.f64(slot.cv_predictor_anti);
+  enc.f64(slot.work_total);
+  enc.f64(slot.work_jobs);
+  enc.f64(slot.work_max_share);
+  enc.f64(slot.work_total_anti);
+  enc.f64(slot.work_jobs_anti);
+  enc.f64(slot.work_max_share_anti);
 }
 
 ReplicaSlot decode_slot(Decoder& dec) {
@@ -275,6 +284,12 @@ ReplicaSlot decode_slot(Decoder& dec) {
   slot.antithetic = decode_tuples(dec);
   slot.cv_predictor = dec.f64();
   slot.cv_predictor_anti = dec.f64();
+  slot.work_total = dec.f64();
+  slot.work_jobs = dec.f64();
+  slot.work_max_share = dec.f64();
+  slot.work_total_anti = dec.f64();
+  slot.work_jobs_anti = dec.f64();
+  slot.work_max_share_anti = dec.f64();
   return slot;
 }
 

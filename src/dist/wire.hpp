@@ -35,8 +35,10 @@ namespace coopcr::dist {
 
 /// Bumped on any incompatible change to the frame or payload layout.
 /// v2: slot layout gained the variance-reduction fields (antithetic partner
-/// tuples + control-variate predictors) — see encode_slot.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// tuples + control-variate predictors). v3: slot layout gained the six
+/// realised workload-feature doubles post-stratification bins on — see
+/// encode_slot.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Upper bound on a frame payload; anything larger is a corrupt stream, not
 /// a real message (the largest real payload is a kResult slot: tens of

@@ -59,6 +59,14 @@ void worker_serve(const exp::ExperimentSpec& spec, int in_fd, int out_fd,
                                                     std::to_string(unit.point) +
                                                     " outside the grid");
     MonteCarloCampaign& campaign = *campaigns[unit.point];
+    // Sequential stopping dispatches units past the initial replica count:
+    // grow the campaign on demand. Task t's RNG stream depends only on
+    // (seed, t), so a worker that never saw the coordinator's extend rounds
+    // still produces the bit-identical slot.
+    if (static_cast<int>(unit.replica) >= campaign.tasks()) {
+      const int needed = static_cast<int>(unit.replica) + 1;
+      campaign.extend(campaign.options().antithetic ? 2 * needed : needed);
+    }
     campaign.run_replica_task(static_cast<int>(unit.replica));
     ++units_done;
     if (directives.kill_after > 0 && units_done >= directives.kill_after) {

@@ -145,6 +145,18 @@ void ExperimentReport::write_csv(std::ostream& os) const {
       header.push_back(column);
     }
   }
+  // contrast_* columns likewise appear only when the paired contrast
+  // estimator was active; they carry the strategy − reference difference
+  // estimate on waste_ratio rows of non-reference strategies, and
+  // contrast_vr_factor compares against the *unpaired* two-sample
+  // estimator — it reads directly as the replica-count saving.
+  const bool contrast = !points.empty() && points[0].report.contrast_enabled;
+  if (contrast) {
+    for (const char* column : {"contrast_mean", "contrast_std_error",
+                               "contrast_ci_width", "contrast_vr_factor"}) {
+      header.push_back(column);
+    }
+  }
   csv.write_row(header);
   for (const auto& pr : points) {
     std::vector<std::string> prefix;
@@ -179,6 +191,17 @@ void ExperimentReport::write_csv(std::ostream& os) const {
             row.push_back(format_number(est.cv_beta));
           } else {
             row.insert(row.end(), 6, std::string());
+          }
+        }
+        if (contrast) {
+          if (metric == Metric::kWasteRatio && outcome.contrast.enabled) {
+            const VrEstimate& est = outcome.contrast.estimate;
+            row.push_back(format_number(est.mean));
+            row.push_back(format_number(est.std_error));
+            row.push_back(format_number(est.ci_width));
+            row.push_back(format_number(est.vr_factor));
+          } else {
+            row.insert(row.end(), 4, std::string());
           }
         }
         csv.write_row(row);
@@ -238,6 +261,17 @@ void ExperimentReport::write_json(std::ostream& os) const {
            << ",\"cv_beta\":" << format_number(est.cv_beta)
            << ",\"simulations\":" << est.simulations << "}";
       }
+      if (outcome.contrast.enabled) {
+        const VrEstimate& est = outcome.contrast.estimate;
+        os << ",\"contrast\":{\"reference\":\""
+           << json_escape(pr.report.contrast_reference)
+           << "\",\"mean\":" << format_number(est.mean)
+           << ",\"std_error\":" << format_number(est.std_error)
+           << ",\"ci_width\":" << format_number(est.ci_width)
+           << ",\"vr_factor\":" << format_number(est.vr_factor)
+           << ",\"ess\":" << format_number(est.ess)
+           << ",\"simulations\":" << est.simulations << "}";
+      }
       os << "}";
     }
     os << "]}";
@@ -278,6 +312,50 @@ std::vector<FigureRow> ExperimentReport::figure_rows(
     for (const auto& outcome : pr.report.outcomes) {
       rows.push_back(FigureRow{x, outcome.strategy.name(),
                                metric_samples(outcome, metric).candlestick()});
+    }
+  }
+  return rows;
+}
+
+std::vector<FigureRow> ExperimentReport::contrast_rows(
+    Metric metric, const std::string& x_axis) const {
+  const std::string axis =
+      !x_axis.empty() ? x_axis
+                      : (axis_names.empty() ? std::string() : axis_names[0]);
+  std::vector<FigureRow> rows;
+  for (const auto& pr : points) {
+    if (!pr.report.contrast_enabled) continue;
+    // Locate the reference outcome; replica samples are recorded in the same
+    // deterministic order for every strategy (common random numbers), so the
+    // per-index differences are the paired contrasts.
+    const StrategyOutcome* reference = nullptr;
+    for (const auto& outcome : pr.report.outcomes) {
+      if (outcome.strategy.name() == pr.report.contrast_reference) {
+        reference = &outcome;
+        break;
+      }
+    }
+    if (reference == nullptr) continue;
+    const std::vector<double>& ref_samples =
+        metric_samples(*reference, metric).samples();
+    const double x = axis.empty() ? 0.0 : pr.point.coord(axis).value;
+    for (const auto& outcome : pr.report.outcomes) {
+      if (!outcome.contrast.enabled) continue;
+      const std::vector<double>& samples =
+          metric_samples(outcome, metric).samples();
+      COOPCR_CHECK(samples.size() == ref_samples.size(),
+                   "contrast figure: strategy \"" + outcome.strategy.name() +
+                       "\" has " + std::to_string(samples.size()) +
+                       " samples vs the reference's " +
+                       std::to_string(ref_samples.size()));
+      SampleSet diffs;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        diffs.add(samples[i] - ref_samples[i]);
+      }
+      rows.push_back(FigureRow{x,
+                               outcome.strategy.name() + " - " +
+                                   pr.report.contrast_reference,
+                               diffs.candlestick()});
     }
   }
   return rows;

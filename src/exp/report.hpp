@@ -69,10 +69,15 @@ struct ExperimentReport {
   /// explicit field (base schema, energy columns), v3 added the
   /// burst-buffer/ckpt_waste extensions, v4 adds the "schema_version" field
   /// itself plus a per-candlestick standard error ("se") — the field the
-  /// serve/ advisor's interpolation propagates. exp::load_report_json
-  /// rejects documents whose version it does not understand, so bump this
-  /// whenever the document shape changes.
-  static constexpr int kSchemaVersion = 4;
+  /// serve/ advisor's interpolation propagates. v5 adds the paired
+  /// strategy-contrast estimates: contrast_* CSV columns and a per-strategy
+  /// "contrast" JSON object (mean difference vs the reference strategy,
+  /// std_error, ci_width, vr_factor vs the unpaired two-sample estimator),
+  /// present only when the contrast estimator was active — contrast-off
+  /// artifacts are byte-identical to v4 apart from this version field.
+  /// exp::load_report_json rejects documents whose version it does not
+  /// understand, so bump this whenever the document shape changes.
+  static constexpr int kSchemaVersion = 5;
 
   std::string name;
   std::vector<std::string> axis_names;  ///< in declaration order
@@ -114,6 +119,15 @@ struct ExperimentReport {
   /// index in outcome order ("case #"), series = strategy name.
   std::vector<FigureRow> case_rows(Metric metric = Metric::kWasteRatio,
                                    std::size_t point = 0) const;
+
+  /// Candlestick rows of the per-replica paired *differences*
+  /// (strategy − reference) under the contrast estimator: one series per
+  /// non-reference strategy, named "<strategy> - <reference>". Common random
+  /// numbers make each replica's difference meaningful, so the candles show
+  /// the distribution of the contrast itself — usually far tighter than the
+  /// two marginal candles. Empty when the contrast estimator was off.
+  std::vector<FigureRow> contrast_rows(Metric metric = Metric::kWasteRatio,
+                                       const std::string& x_axis = "") const;
 };
 
 /// Paper-style candlestick figure presentation (console table + legacy CSV

@@ -45,6 +45,42 @@ void rethrow_first_error_with_context(
 
 }  // namespace
 
+int sequential_stopping_cap(const MonteCarloOptions& options) {
+  int cap = options.resolved_max_replicas();
+  if (options.antithetic) cap -= cap % 2;  // keep pair parity
+  return cap;
+}
+
+int sequential_stopping_start(const MonteCarloOptions& options) {
+  if (options.target_ci_width <= 0.0) return options.replicas;
+  // max_replicas caps the *total*, round one included: a campaign asked to
+  // start above the cap starts at the cap instead of overrunning it.
+  return std::min(options.replicas, sequential_stopping_cap(options));
+}
+
+int next_sequential_round(const MonteCarloCampaign& campaign, int cap) {
+  const MonteCarloOptions& opt = campaign.options();
+  if (opt.target_ci_width <= 0.0) return 0;
+  const MonteCarloReport snap = campaign.snapshot();
+  bool converged = true;
+  for (const StrategyOutcome& outcome : snap.outcomes) {
+    // Contrast-aware convergence: when the paired contrast estimator is on,
+    // the accuracy target applies to the strategy *differences* — the
+    // quantity the campaign exists to pin down — not the individual means.
+    const double ci_width = opt.contrast_active()
+                                ? (outcome.contrast.enabled
+                                       ? outcome.contrast.estimate.ci_width
+                                       : 0.0)
+                                : outcome.vr.estimate.ci_width;
+    if (ci_width > opt.target_ci_width) {
+      converged = false;
+      break;
+    }
+  }
+  if (converged || campaign.replicas() >= cap) return 0;
+  return std::min(cap, 2 * campaign.replicas());
+}
+
 SweepRunner::SweepRunner(int threads)
     : pool_(std::make_unique<ThreadPool>(threads)) {}
 
@@ -68,9 +104,10 @@ std::vector<MonteCarloReport> SweepRunner::run_batch(
   running.reserve(campaigns.size());
   cap.reserve(campaigns.size());
   for (auto& campaign : campaigns) {
-    int c = campaign.options.resolved_max_replicas();
-    if (campaign.options.antithetic) c -= c % 2;  // keep pair parity
-    cap.push_back(c);
+    cap.push_back(sequential_stopping_cap(campaign.options));
+    // The cap bounds the total including round one (an initial count above
+    // max_replicas starts at the cap instead of overrunning it).
+    campaign.options.replicas = sequential_stopping_start(campaign.options);
     running.push_back(std::make_unique<MonteCarloCampaign>(
         std::move(campaign.scenario), std::move(campaign.strategies),
         campaign.options));
@@ -105,24 +142,12 @@ std::vector<MonteCarloReport> SweepRunner::run_batch(
     bool all_settled = true;
     for (std::size_t c = 0; c < running.size(); ++c) {
       if (settled[c]) continue;
-      const MonteCarloOptions& opt = running[c]->options();
-      if (opt.target_ci_width <= 0.0) {
+      const int next = next_sequential_round(*running[c], cap[c]);
+      if (next == 0) {
         settled[c] = true;
         continue;
       }
-      const MonteCarloReport snap = running[c]->snapshot();
-      bool converged = true;
-      for (const StrategyOutcome& outcome : snap.outcomes) {
-        if (outcome.vr.estimate.ci_width > opt.target_ci_width) {
-          converged = false;
-          break;
-        }
-      }
-      if (converged || running[c]->replicas() >= cap[c]) {
-        settled[c] = true;
-        continue;
-      }
-      running[c]->extend(std::min(cap[c], 2 * running[c]->replicas()));
+      running[c]->extend(next);
       all_settled = false;
     }
     if (all_settled) break;

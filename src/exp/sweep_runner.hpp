@@ -27,6 +27,26 @@
 
 namespace coopcr::exp {
 
+/// Resolved sequential-stopping replica cap for `options`:
+/// resolved_max_replicas() with antithetic pair parity kept.
+int sequential_stopping_cap(const MonteCarloOptions& options);
+
+/// Initial replica count of a sequential-stopping campaign: the requested
+/// count clamped to the cap, so max_replicas bounds the *total* simulated
+/// replicas — round one included, not just the extend rounds.
+int sequential_stopping_start(const MonteCarloOptions& options);
+
+/// The one sequential-stopping round decision, shared by
+/// SweepRunner::run_batch and dist::DistSweepRunner so the two backends can
+/// never disagree on the growth schedule: snapshot `campaign` and return
+/// the replica count the next doubling round grows it to, or 0 when it
+/// settles — the 95% CI of every strategy's waste-ratio estimate (every
+/// *contrast* estimate when the paired contrast is active) is at most
+/// target_ci_width, or the cap is reached. Driven by the deterministic
+/// snapshot alone, so the schedule is bit-identical across thread counts,
+/// shard counts and resume histories.
+int next_sequential_round(const MonteCarloCampaign& campaign, int cap);
+
 class SweepRunner final : public SweepExecutor {
  public:
   /// `threads` sizes the shared pool; 0 selects hardware concurrency. The

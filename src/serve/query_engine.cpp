@@ -233,6 +233,11 @@ AdvisorAnswer QueryEngine::compute(const StoredGrid& grid,
   for (std::size_t a = 0; a < grid.axes.size(); ++a) {
     spec.named_axis(grid.axes[a], {values[a]});
   }
+  if (options_.fallback_target_ci > 0.0) {
+    MonteCarloOptions mc = spec.campaign_options();
+    mc.target_ci_width = options_.fallback_target_ci;
+    spec.options(mc);
+  }
 
   const std::unique_ptr<exp::SweepExecutor> executor =
       exp::make_sweep_executor(options_.executor);

@@ -49,6 +49,13 @@ struct EngineOptions {
   /// Replicas for fallback campaigns; 0 uses the grid's own replica count.
   int fallback_replicas = 0;
 
+  /// When > 0, fallback campaigns run under sequential stopping: replicas
+  /// double (from the fallback count) until every strategy's 95% CI width
+  /// is at most this, on whichever backend `executor` selects — the
+  /// in-process runner and the dist coordinator follow the same growth
+  /// schedule, so the answer bytes do not depend on the backend.
+  double fallback_target_ci = 0.0;
+
   /// Which sweep engine runs fallback campaigns.
   exp::ExecutorOptions executor;
 };

@@ -9,7 +9,15 @@
 //    and actually reduces variance (vr_factor > 1) on a failure-noise
 //    dominated row, where its premise holds;
 //  * option validation: odd replica counts and keep_results are rejected
-//    under antithetic pairing.
+//    under antithetic pairing;
+//  * estimate_contrast arithmetic — per-replica paired differences, the
+//    unpaired two-sample vr_factor credit, antithetic and stratification
+//    composition — pinned to hand-computed values;
+//  * post-stratification keeps the mean, shrinks only the variance, and
+//    degenerates safely when the binning is too fine;
+//  * the campaign-level contrast on a full-APEX-mix row cancels the shared
+//    workload-schedule variance (vr_factor floor vs the unpaired
+//    comparison).
 
 #include "core/variance_reduction.hpp"
 
@@ -120,6 +128,137 @@ TEST(EstimateMean, ValidatesItsInputs) {
   EXPECT_THROW(estimate_mean({1.0, 2.0, 3.0}, /*paired=*/true, {}, 0.0),
                Error);
   EXPECT_THROW(estimate_mean({1.0, 2.0}, false, {0.5}, 0.0), Error);
+}
+
+TEST(EstimateMean, PostStratificationKeepsMeanAndShrinksVariance) {
+  // Two clusters perfectly explained by the feature: units {1,2} (feature
+  // low) and {10,11} (feature high), 2 quantile bins. The mean is the plain
+  // sample mean; the variance keeps only the within-bin spread:
+  // each bin has weight 1/2, variance 1/2 and 2 units, so
+  // Var = 2 * (1/2)^2 * (1/2)/2 = 1/8.
+  const std::vector<double> samples = {1.0, 2.0, 10.0, 11.0};
+  const std::vector<double> strata = {0.1, 0.2, 0.9, 0.8};
+  const VrEstimate plain = estimate_mean(samples, false, {}, 0.0);
+  const VrEstimate strat = estimate_mean(samples, false, {}, 0.0, strata, 2);
+  EXPECT_DOUBLE_EQ(strat.mean, plain.mean);
+  EXPECT_DOUBLE_EQ(strat.mean, 6.0);
+  EXPECT_DOUBLE_EQ(strat.std_error, std::sqrt(0.125));
+  // Plain estimator variance: sample variance 82/3 over 4 samples.
+  EXPECT_DOUBLE_EQ(strat.vr_factor, (82.0 / 3.0 / 4.0) / 0.125);
+  EXPECT_DOUBLE_EQ(strat.ess, 4.0 * strat.vr_factor);
+}
+
+TEST(EstimateMean, TooFineBinningFallsBackToUnstratifiedVariance) {
+  // 4 units cannot fill 3 bins with >= 2 units each: the stratified variance
+  // must quietly degenerate to the plain one instead of fabricating a
+  // narrower CI from singleton bins.
+  const std::vector<double> samples = {1.0, 2.0, 10.0, 11.0};
+  const std::vector<double> strata = {0.1, 0.2, 0.9, 0.8};
+  const VrEstimate plain = estimate_mean(samples, false, {}, 0.0);
+  const VrEstimate strat = estimate_mean(samples, false, {}, 0.0, strata, 3);
+  EXPECT_DOUBLE_EQ(strat.mean, plain.mean);
+  EXPECT_DOUBLE_EQ(strat.std_error, plain.std_error);
+  EXPECT_DOUBLE_EQ(strat.vr_factor, 1.0);
+}
+
+TEST(EstimateContrast, MatchesHandComputedPairedDifferences) {
+  // diffs = {1, 1, 1, -1}: mean 1/2, sample variance 1, so the paired
+  // estimator's variance is 1/4. The unpaired two-sample alternative over
+  // the same budget: (var(A) + var(B)) / n = (20/3 + 35/3) / 4 = 55/12.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> b = {1.0, 3.0, 5.0, 9.0};
+  const VrEstimate est = estimate_contrast(a, b, /*paired=*/false);
+  EXPECT_DOUBLE_EQ(est.mean, 0.5);
+  EXPECT_DOUBLE_EQ(est.std_error, 0.5);
+  EXPECT_DOUBLE_EQ(est.ci_width, 2.0 * 1.959963984540054 * 0.5);
+  EXPECT_DOUBLE_EQ(est.vr_factor, (55.0 / 12.0) / 0.25);
+  EXPECT_DOUBLE_EQ(est.ess, 4.0 * est.vr_factor);
+  EXPECT_EQ(est.simulations, 4u);
+  EXPECT_DOUBLE_EQ(est.cv_beta, 0.0);
+}
+
+TEST(EstimateContrast, ComposesWithAntitheticPairing) {
+  // diffs = {1, 2, 1, 4}; antithetic pair means {3/2, 5/2}: mean 2, unit
+  // variance 1/2 over 2 units -> estimator variance 1/4. Unpaired:
+  // (var(A) + var(B)) / n = (14/3 + 2/3) / 4 = 4/3.
+  const std::vector<double> a = {1.0, 3.0, 2.0, 6.0};
+  const std::vector<double> b = {0.0, 1.0, 1.0, 2.0};
+  const VrEstimate est = estimate_contrast(a, b, /*paired=*/true);
+  EXPECT_DOUBLE_EQ(est.mean, 2.0);
+  EXPECT_DOUBLE_EQ(est.std_error, 0.5);
+  EXPECT_DOUBLE_EQ(est.vr_factor, (4.0 / 3.0) / 0.25);
+}
+
+TEST(EstimateContrast, ComposesWithPostStratification) {
+  // diffs = {1, 2, 2, 3}; 2 quantile bins of the feature hold {1,2} and
+  // {2,3}: Var = 2 * (1/2)^2 * (1/2)/2 = 1/8, mean unchanged at 2.
+  const std::vector<double> a = {2.0, 3.0, 10.0, 12.0};
+  const std::vector<double> b = {1.0, 1.0, 8.0, 9.0};
+  const std::vector<double> strata = {0.1, 0.2, 0.8, 0.9};
+  const VrEstimate est =
+      estimate_contrast(a, b, /*paired=*/false, strata, /*strata_bins=*/2);
+  EXPECT_DOUBLE_EQ(est.mean, 2.0);
+  EXPECT_DOUBLE_EQ(est.std_error, std::sqrt(0.125));
+}
+
+TEST(EstimateContrast, ValidatesItsInputs) {
+  EXPECT_THROW(estimate_contrast({}, {}, false), Error);
+  EXPECT_THROW(estimate_contrast({1.0, 2.0}, {1.0}, false), Error);
+  EXPECT_THROW(
+      estimate_contrast({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, /*paired=*/true),
+      Error);
+  EXPECT_THROW(
+      estimate_contrast({1.0, 2.0}, {1.0, 2.0}, false, {0.5}, 2), Error);
+}
+
+TEST(EstimateContrast, IdenticalStrategiesCollapseTheContrastError) {
+  // A strategy contrasted against itself: every difference is exactly 0 —
+  // the degenerate-variance guard must report vr_factor 1, not infinity.
+  const std::vector<double> a = {0.3, 0.4, 0.5, 0.6};
+  const VrEstimate est = estimate_contrast(a, a, false);
+  EXPECT_DOUBLE_EQ(est.mean, 0.0);
+  EXPECT_DOUBLE_EQ(est.std_error, 0.0);
+  EXPECT_DOUBLE_EQ(est.vr_factor, 1.0);
+}
+
+TEST(VarianceReduction, CampaignContrastCancelsSharedMixVarianceOnMixRow) {
+  // Full APEX mix: the workload-schedule interaction dominates the
+  // waste-ratio variance and is common to every strategy of a replica, so
+  // the paired contrast beats the unpaired two-sample comparison by a wide
+  // margin (the bench's contrast_economy legs track the same floor at
+  // production sizes). The reference strategy's own contrast stays off, and
+  // the contrast mean must equal the difference of the per-strategy means
+  // exactly — common random numbers change the variance, never the point
+  // estimate.
+  const ScenarioConfig scenario = tiny_scenario();
+  MonteCarloOptions options;
+  options.replicas = 48;
+  options.threads = 4;
+  const std::vector<StrategySpec> strategies = {oblivious_daly(),
+                                                least_waste()};
+  MonteCarloOptions contrast = options;
+  contrast.contrast_reference = strategies[0].name();
+  const auto report = run_monte_carlo(scenario, strategies, contrast);
+
+  ASSERT_TRUE(report.contrast_enabled);
+  EXPECT_EQ(report.contrast_reference, strategies[0].name());
+  EXPECT_FALSE(report.outcomes[0].contrast.enabled);
+  ASSERT_TRUE(report.outcomes[1].contrast.enabled);
+  const VrEstimate& est = report.outcomes[1].contrast.estimate;
+  EXPECT_GT(est.vr_factor, 2.0);
+  EXPECT_NEAR(est.mean,
+              report.outcomes[1].waste_ratio.mean() -
+                  report.outcomes[0].waste_ratio.mean(),
+              1e-12);
+  EXPECT_EQ(est.simulations, 48u);
+}
+
+TEST(VarianceReduction, ContrastRejectsUnknownReferenceStrategy) {
+  MonteCarloOptions options;
+  options.replicas = 2;
+  options.contrast_reference = "no-such-strategy";
+  EXPECT_THROW(run_monte_carlo(tiny_scenario(), {least_waste()}, options),
+               Error);
 }
 
 TEST(VarianceReduction, AntitheticPrimalMembersMatchPlainReplicas) {

@@ -280,18 +280,78 @@ TEST_F(DistRunnerTest, AntitheticCampaignCrossesTheWireByteIdentically) {
   EXPECT_EQ(json_bytes(reference), json_bytes(resumed));
 }
 
-TEST_F(DistRunnerTest, RejectsSequentialStopping) {
-  // Sequential stopping's snapshot-extend loop is in-process only; the
-  // coordinator refuses the option up front rather than running the grid at
-  // the initial replica count and mislabelling the result.
-  exp::ExperimentSpec spec = grid_spec();
+exp::ExperimentSpec adaptive_spec() {
+  exp::ExperimentSpec spec(tiny_base(), "dist_adaptive_2x1");
+  MonteCarloOptions options;
+  options.replicas = 4;
+  // An unattainable target pins the trajectory: every round doubles until
+  // the cap, so the test asserts the full 4 → 8 → 16 growth schedule
+  // without depending on the waste distribution's actual spread.
+  options.target_ci_width = 1e-9;
+  options.max_replicas = 16;
+  spec.pfs_bandwidth_axis({60, 100})
+      .strategies({oblivious_daly(), least_waste()})
+      .options(options);
+  return spec;
+}
+
+TEST_F(DistRunnerTest, SequentialStoppingMatchesInProcessRunnerByteForByte) {
+  // Dist-wide sequential stopping: the coordinator takes the same
+  // snapshot-extend round decisions (exp::next_sequential_round) on the
+  // same slots as the in-process runner, so an adaptive sweep's replica
+  // trajectory and artifacts are byte-identical across backends and shard
+  // counts.
+  const exp::ExperimentSpec spec = adaptive_spec();
+  const exp::ExperimentReport reference = reference_report(spec);
+  ASSERT_EQ(reference.points[0].report.replicas, 16);
+  for (const int shards : {1, 3}) {
+    dist::DistOptions options;
+    options.shards = shards;
+    dist::DistSweepRunner runner(options);
+    const exp::ExperimentReport distributed = runner.run(spec);
+    EXPECT_EQ(distributed.points[0].report.replicas, 16)
+        << "shards=" << shards;
+    EXPECT_EQ(csv_bytes(reference), csv_bytes(distributed))
+        << "shards=" << shards;
+    EXPECT_EQ(json_bytes(reference), json_bytes(distributed))
+        << "shards=" << shards;
+  }
+}
+
+TEST_F(DistRunnerTest, AdaptiveJournaledSweepResumesMidRoundByteIdentically) {
+  // A journaled adaptive sweep interrupted *inside* an extend round (after
+  // the round record, before the round's units finish) must resume into the
+  // grown campaign sizes and land on the same bytes. Contrast + strata are
+  // on so the convergence rule exercises the contrast-aware path and the
+  // journal round-trips the v3 slot workload features.
+  exp::ExperimentSpec spec = adaptive_spec();
   MonteCarloOptions mc = spec.campaign_options();
-  mc.target_ci_width = 0.01;
+  mc.contrast_reference = spec.strategy_set()[0].name();
+  mc.strata_bins = 2;
   spec.options(mc);
+  const exp::ExperimentReport reference = reference_report(spec);
+  ASSERT_EQ(reference.points[0].report.replicas, 16);
+
+  // Round one is 2 points x 4 replicas = 8 units; interrupting after 10
+  // lands mid-way through the first extend round.
+  {
+    dist::DistOptions options;
+    options.shards = 2;
+    options.journal = journal_;
+    options.max_units = 10;
+    dist::DistSweepRunner runner(options);
+    EXPECT_THROW(runner.run(spec), Error);
+  }
+  ASSERT_TRUE(std::filesystem::exists(journal_));
+
   dist::DistOptions options;
   options.shards = 2;
+  options.journal = journal_;
+  options.resume = true;
   dist::DistSweepRunner runner(options);
-  EXPECT_THROW(runner.run(spec), Error);
+  const exp::ExperimentReport resumed = runner.run(spec);
+  EXPECT_EQ(csv_bytes(reference), csv_bytes(resumed));
+  EXPECT_EQ(json_bytes(reference), json_bytes(resumed));
 }
 
 TEST_F(DistRunnerTest, RejectsKeepResultsAndBadShardCounts) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <locale>
 #include <sstream>
@@ -110,7 +111,7 @@ TEST(ReportEmission, JsonCarriesTheFullSummaries) {
   report.write_json(oss);
   const std::string json = oss.str();
   // The serving-layer schema contract: version first, se in every summary.
-  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u);
+  EXPECT_EQ(json.rfind("{\"schema_version\":5,", 0), 0u);
   EXPECT_NE(json.find(",\"se\":"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"tiny\""), std::string::npos);
   EXPECT_NE(json.find("\"axes\":[\"pfs_bandwidth_gbps\"]"),
@@ -181,7 +182,7 @@ TEST(ReportEmission, EmptyGridEmitsHeaderOnlyCsvAndValidJson) {
   std::ostringstream json;
   empty.write_json(json);
   EXPECT_EQ(json.str(),
-            "{\"schema_version\":4,\"name\":\"empty\",\"replicas\":0,"
+            "{\"schema_version\":5,\"name\":\"empty\",\"replicas\":0,"
             "\"axes\":[\"alpha\",\"beta\"],\"points\":[]}\n");
   EXPECT_THROW(empty.at(0), Error);
 }
@@ -212,6 +213,108 @@ TEST(ReportEmission, SinglePointAxislessGrid) {
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].x, 0.0);
   EXPECT_EQ(rows[0].series, "Oblivious-Daly");
+}
+
+exp::ExperimentReport two_strategy_report(bool contrast) {
+  exp::ExperimentSpec spec(ScenarioBuilder::cielo_apex(/*seed=*/7)
+                               .min_makespan(units::days(6))
+                               .segment(units::days(1), units::days(5)),
+                           "gated_pair");
+  MonteCarloOptions options;
+  options.replicas = 4;
+  spec.pfs_bandwidth_axis({40})
+      .strategies({oblivious_daly(), least_waste()})
+      .options(options);
+  if (contrast) {
+    MonteCarloOptions mc = spec.campaign_options();
+    mc.contrast_reference = spec.strategy_set()[0].name();
+    spec.options(mc);
+  }
+  exp::SweepRunner runner(/*threads=*/2);
+  return runner.run(spec);
+}
+
+TEST(ReportEmission, ContrastColumnsAndObjectAreGatedOnTheEstimator) {
+  // Schema v5 gating: with the paired contrast off, the emitted CSV/JSON
+  // must not mention contrast at all (byte-compatibility with pre-contrast
+  // artifacts, schema_version aside); with it on, the contrast_* columns
+  // fill only the non-reference strategies' waste_ratio rows and the JSON
+  // grows one "contrast" object per non-reference strategy.
+  const exp::ExperimentReport off = two_strategy_report(false);
+  const exp::ExperimentReport on = two_strategy_report(true);
+
+  std::ostringstream off_csv, on_csv, off_json, on_json;
+  off.write_csv(off_csv);
+  on.write_csv(on_csv);
+  off.write_json(off_json);
+  on.write_json(on_json);
+  EXPECT_EQ(off_csv.str().find("contrast"), std::string::npos);
+  EXPECT_EQ(off_json.str().find("contrast"), std::string::npos);
+  EXPECT_TRUE(off.contrast_rows().empty());
+
+  std::istringstream iss(on_csv.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(iss, header));
+  const std::vector<std::string> cols = split_csv_line(header);
+  const auto col = [&](const std::string& name) {
+    const auto it = std::find(cols.begin(), cols.end(), name);
+    EXPECT_NE(it, cols.end()) << name << " missing from " << header;
+    return static_cast<std::size_t>(it - cols.begin());
+  };
+  const std::size_t c_strategy = col("strategy");
+  const std::size_t c_metric = col("metric");
+  const std::size_t c_mean = col("contrast_mean");
+  const std::size_t c_se = col("contrast_std_error");
+  const std::size_t c_ci = col("contrast_ci_width");
+  const std::size_t c_vr = col("contrast_vr_factor");
+
+  // Trailing empty cells are legal CSV; treat a short row as empty cells.
+  const auto cell = [](const std::vector<std::string>& row, std::size_t i) {
+    return i < row.size() ? row[i] : std::string();
+  };
+  std::vector<std::string> reference_row, contrasted_row, other_metric_row;
+  std::string line;
+  while (std::getline(iss, line)) {
+    const std::vector<std::string> row = split_csv_line(line);
+    if (cell(row, c_metric) == "waste_ratio") {
+      if (cell(row, c_strategy) == "Oblivious-Daly") {
+        reference_row = row;
+      } else {
+        contrasted_row = row;
+      }
+    } else if (cell(row, c_strategy) == "Least-Waste" &&
+               other_metric_row.empty()) {
+      other_metric_row = row;
+    }
+  }
+  ASSERT_FALSE(reference_row.empty());
+  ASSERT_FALSE(contrasted_row.empty());
+  ASSERT_FALSE(other_metric_row.empty());
+
+  const VrEstimate& est = on.at(0).report.outcomes[1].contrast.estimate;
+  EXPECT_EQ(cell(contrasted_row, c_mean), format_number(est.mean));
+  EXPECT_EQ(cell(contrasted_row, c_se), format_number(est.std_error));
+  EXPECT_EQ(cell(contrasted_row, c_ci), format_number(est.ci_width));
+  EXPECT_EQ(cell(contrasted_row, c_vr), format_number(est.vr_factor));
+  // The reference strategy and non-waste metrics keep the cells empty.
+  EXPECT_EQ(cell(reference_row, c_mean), "");
+  EXPECT_EQ(cell(reference_row, c_vr), "");
+  EXPECT_EQ(cell(other_metric_row, c_mean), "");
+
+  // JSON: one gated object per non-reference strategy, naming the reference.
+  EXPECT_NE(on_json.str().find("\"contrast\":{\"reference\":"
+                               "\"Oblivious-Daly\",\"mean\":"),
+            std::string::npos);
+  EXPECT_NE(on_json.str().find(format_number(est.mean)), std::string::npos);
+
+  // Candlestick deltas: per-replica differences against the reference, one
+  // series per non-reference strategy, mean equal to the contrast estimate.
+  const std::vector<exp::FigureRow> deltas = on.contrast_rows();
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].series, "Least-Waste - Oblivious-Daly");
+  EXPECT_EQ(deltas[0].x, 40.0);
+  EXPECT_NEAR(deltas[0].stats.mean, est.mean, 1e-12);
+  EXPECT_EQ(deltas[0].stats.n, 4);
 }
 
 TEST(ReportEmission, LegacyFigureCsvSchemaIsPreserved) {

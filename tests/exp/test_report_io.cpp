@@ -91,7 +91,7 @@ TEST(ReportIo, MetricLookupThrowsOnUnknownNames) {
 
 TEST(ReportIo, RejectsUnknownSchemaVersionsNamingFileAndVersion) {
   std::string text = json_bytes(tiny_report());
-  const std::string needle = "\"schema_version\":4";
+  const std::string needle = "\"schema_version\":5";
   const std::size_t pos = text.find(needle);
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, needle.size(), "\"schema_version\":99");

@@ -293,6 +293,56 @@ TEST(SweepRunner, SequentialStoppingMatchesTheFixedCountCampaign) {
   for (std::size_t i = 0; i < ss.size(); ++i) EXPECT_EQ(ss[i], rs[i]);
 }
 
+TEST(SweepRunner, MaxReplicasCapsTheTotalIncludingRoundOne) {
+  // Regression: max_replicas bounds the *total* simulated replicas, round
+  // one included. A campaign asked to start above the cap must run exactly
+  // cap replicas — not its initial count — and the cap also halts the
+  // doubling rounds mid-schedule (an unattainable target with cap 12 grows
+  // 4 -> 8 -> 12, stopping at the cap rather than 16).
+  const ScenarioConfig scenario = tiny_base().build();
+  exp::SweepRunner runner(/*threads=*/2);
+
+  MonteCarloOptions above_cap;
+  above_cap.replicas = 32;
+  above_cap.target_ci_width = 1e-9;  // unattainable: growth limited by cap
+  above_cap.max_replicas = 8;
+  std::vector<exp::Campaign> batch;
+  batch.push_back(exp::Campaign{scenario, {least_waste()}, above_cap});
+  std::vector<MonteCarloReport> reports = runner.run_batch(std::move(batch));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].replicas, 8);
+
+  MonteCarloOptions mid_schedule;
+  mid_schedule.replicas = 4;
+  mid_schedule.target_ci_width = 1e-9;
+  mid_schedule.max_replicas = 12;
+  batch.clear();
+  batch.push_back(exp::Campaign{scenario, {least_waste()}, mid_schedule});
+  reports = runner.run_batch(std::move(batch));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].replicas, 12);
+
+  // The same contract through run(): the emitted per-point replica count is
+  // the cap, and the samples are the deterministic (seed, r) prefix — a
+  // fixed-count campaign of the same size matches bit for bit.
+  exp::ExperimentSpec spec(tiny_base(), "capped");
+  spec.pfs_bandwidth_axis({80}).strategies({least_waste()}).options(above_cap);
+  const exp::ExperimentReport report = runner.run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.points[0].report.replicas, 8);
+  MonteCarloOptions fixed;
+  fixed.replicas = 8;
+  const MonteCarloReport reference = run_monte_carlo(
+      tiny_base().pfs_bandwidth(units::gb_per_s(80)).build(), {least_waste()},
+      fixed);
+  const auto& capped = report.points[0].report.outcomes[0].waste_ratio;
+  const auto& ref = reference.outcomes[0].waste_ratio;
+  ASSERT_EQ(capped.samples().size(), ref.samples().size());
+  for (std::size_t i = 0; i < ref.samples().size(); ++i) {
+    EXPECT_EQ(capped.samples()[i], ref.samples()[i]);
+  }
+}
+
 TEST(SweepRunner, RunMonteCarloRejectsSequentialStopping) {
   // The doubling loop lives in SweepRunner; the one-shot wrapper refuses the
   // option instead of silently ignoring it.

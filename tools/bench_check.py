@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench run against the committed BENCH_engine.json baseline.
+
+Two kinds of checks:
+
+* **Throughput ratios** — every tracked rate metric in the fresh run
+  (micro `items_per_second`, macro `replicas_per_sec` / `events_per_sec` /
+  `strategy_runs_per_sec`) must be at least `baseline / slack`. Shared CI
+  runners are noisy, so the default slack factor is generous (3x): the gate
+  catches order-of-magnitude regressions — a quadratic sneaking into the
+  event loop, a debug build measured by mistake — not single-digit drift.
+  Time-valued keys (`*wall_seconds`, `*_ns`) are intentionally not gated:
+  their rate counterparts already cover them without double-counting noise.
+
+* **Estimator floors** — absolute invariants of the variance-reduction
+  stack that hold on any machine because they are ratios of statistics, not
+  wall-clock: the replica-economy EAP row's vr_factor and reduction, and
+  the contrast-economy APEX-mix row's vr_factor (> 2) and replica reduction
+  (>= 3). These are the headline numbers EXPERIMENTS.md ("Replica economy")
+  advertises; a fresh run that loses them means the estimator itself
+  regressed, no slack applies. `--skip-floors` exists for smoke runs with
+  loosened CI targets where the floors are not meaningful.
+
+Usage:
+  python3 tools/bench_check.py --baseline BENCH_engine.json \
+      --fresh fresh.json [--slack 3.0] [--skip-floors]
+
+Exit status 0 when every check passes; 1 with one line per violation on
+stderr otherwise. stdlib only — no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# (path into the "macro" object, floor) — statistics, not wall-clock, so no
+# slack: see the module docstring.
+MACRO_FLOORS = [
+    ("replica_economy.vr_factor", 2.0),
+    ("replica_economy.reduction", 2.0),
+    ("contrast_economy.vr_factor", 1.5),
+    ("contrast_economy.apex_mix.vr_factor", 2.0),
+    ("contrast_economy.apex_mix.reduction", 3.0),
+]
+
+RATE_LEAVES = {
+    "replicas_per_sec",
+    "events_per_sec",
+    "strategy_runs_per_sec",
+    "items_per_second",
+}
+
+
+def lookup(node: object, path: str) -> object | None:
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def rate_keys(node: object, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric rate leaf under `node` to dotted-path -> value."""
+    rates: dict[str, float] = {}
+    if not isinstance(node, dict):
+        return rates
+    for key, value in node.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rates.update(rate_keys(value, f"{path}."))
+        elif key in RATE_LEAVES and isinstance(value, (int, float)):
+            rates[path] = float(value)
+    return rates
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="BENCH_engine.json from the run under test")
+    parser.add_argument("--slack", type=float, default=3.0,
+                        help="fresh rates may be up to this factor below "
+                             "baseline (default 3.0)")
+    parser.add_argument("--skip-floors", action="store_true",
+                        help="skip the estimator floors (smoke runs with "
+                             "loosened CI targets)")
+    args = parser.parse_args(argv)
+    if args.slack < 1.0:
+        parser.error("--slack must be >= 1.0")
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    violations: list[str] = []
+    checked = 0
+
+    base_rates = rate_keys(baseline)
+    fresh_rates = rate_keys(fresh)
+    for path, base_value in sorted(base_rates.items()):
+        if base_value <= 0.0:
+            continue
+        fresh_value = fresh_rates.get(path)
+        if fresh_value is None:
+            violations.append(f"{path}: present in baseline, missing from "
+                              f"fresh run")
+            continue
+        checked += 1
+        floor = base_value / args.slack
+        if fresh_value < floor:
+            violations.append(
+                f"{path}: {fresh_value:.6g} < baseline {base_value:.6g} / "
+                f"slack {args.slack:g} = {floor:.6g}")
+        else:
+            print(f"ok {path}: {fresh_value:.6g} "
+                  f"(baseline {base_value:.6g}, floor {floor:.6g})")
+
+    if not args.skip_floors:
+        macro = fresh.get("macro", {})
+        for path, floor in MACRO_FLOORS:
+            value = lookup(macro, path)
+            checked += 1
+            if not isinstance(value, (int, float)):
+                violations.append(f"macro.{path}: floor {floor:g} but the "
+                                  f"fresh run has no such key")
+            elif value < floor:
+                violations.append(
+                    f"macro.{path}: {value:.6g} below floor {floor:g}")
+            else:
+                print(f"ok macro.{path}: {value:.6g} (floor {floor:g})")
+
+    if checked == 0:
+        violations.append("no comparable metrics found — wrong files?")
+    for line in violations:
+        print(f"FAIL {line}", file=sys.stderr)
+    print(f"{checked} checks, {len(violations)} violations")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
